@@ -1,0 +1,7 @@
+// Thin alias: the experiment harness lives in the library so the shape
+// tests (tests/test_shape.cpp) can assert against the same code paths the
+// table benchmarks measure.
+
+#pragma once
+
+#include "pardis/sim/experiment.hpp"

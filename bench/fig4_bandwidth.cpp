@@ -1,0 +1,63 @@
+// Figure 4 (paper §3.4): effective bandwidth of an "in"-argument transfer —
+// including all invocation overhead — versus sequence length, for both
+// transfer methods in the most powerful configuration considered
+// (K = 4 client threads, P = 8 server threads).
+//
+// The paper's curves: both methods are nearly identical for small
+// sequences (header/latency dominated); for large sequences multi-port
+// peaks at ~26.7 MB/s while centralized tops out at ~12.27 MB/s (about a
+// 2.2x gap) and *declines* past its peak as gather/scatter costs grow with
+// the data.  The reproduction must show the same ordering, a comparable
+// ratio at the top end, and the small-size convergence.
+//
+// Extra knobs: PARDIS_FIG4_MAXLEN (default 1e6 doubles).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace pardis;
+using namespace pardis::bench;
+
+int main() {
+  BenchConfig base;
+  base.client_ranks = 4;
+  base.server_ranks = 8;
+  base.reps = static_cast<int>(env_u64("PARDIS_REPS", 7));
+  base.link = link_from_env();
+
+  const auto max_len = env_u64("PARDIS_FIG4_MAXLEN", 1'000'000);
+
+  base.seqlen = max_len;
+  print_banner(
+      "Figure 4: effective bandwidth, centralized vs multi-port (K=4, P=8)",
+      base);
+
+  std::printf("  %9s | %14s | %14s | %s\n", "doubles", "centralized",
+              "multi-port", "ratio");
+  std::printf("  %9s | %14s | %14s |\n", "", "(MB/s)", "(MB/s)");
+  std::printf("  ----------+----------------+----------------+------\n");
+
+  for (std::uint64_t len = 10; len <= max_len; len *= 10) {
+    double mbps[2] = {0, 0};
+    for (auto method : {orb::TransferMethod::kCentralized,
+                        orb::TransferMethod::kMultiPort}) {
+      BenchConfig cfg = base;
+      cfg.seqlen = len;
+      cfg.method = method;
+      // Fewer reps for the big points to keep runtime sane.
+      if (len >= 100'000) cfg.reps = std::max(3, cfg.reps / 2);
+      const BenchResult r = run_config(cfg);
+      const double seconds = r.client_ms(Phase::kTotal) / 1e3;
+      const double mb = static_cast<double>(len) * 8.0 / 1e6;
+      mbps[method == orb::TransferMethod::kMultiPort] = mb / seconds;
+    }
+    std::printf("  %9llu | %14.2f | %14.2f | %4.2fx\n",
+                static_cast<unsigned long long>(len), mbps[0], mbps[1],
+                mbps[1] / mbps[0]);
+  }
+  std::printf(
+      "\n(effective bandwidth includes all invocation overhead, as in the "
+      "paper)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Microbenchmarks (google-benchmark): CDR marshaling throughput and the
+// distribution/plan algebra on the multi-port hot path.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "pardis/cdr/decoder.hpp"
+#include "pardis/cdr/encoder.hpp"
+#include "pardis/dseq/plan.hpp"
+
+using namespace pardis;
+
+namespace {
+
+void BM_CdrEncodeDoubles(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> values(n, 3.14);
+  for (auto _ : state) {
+    cdr::Encoder enc;
+    enc.reserve(n * 8 + 16);
+    enc.put_array(values.data(), values.size());
+    benchmark::DoNotOptimize(enc.bytes().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 8);
+}
+BENCHMARK(BM_CdrEncodeDoubles)->Range(1 << 10, 1 << 20);
+
+void BM_CdrDecodeDoubles(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> values(n, 3.14);
+  cdr::Encoder enc;
+  enc.put_array(values.data(), values.size());
+  const Bytes bytes = enc.take();
+  for (auto _ : state) {
+    cdr::Decoder dec{BytesView(bytes)};
+    auto out = dec.get_array<double>();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 8);
+}
+BENCHMARK(BM_CdrDecodeDoubles)->Range(1 << 10, 1 << 20);
+
+void BM_CdrEncodeMixedScalars(benchmark::State& state) {
+  for (auto _ : state) {
+    cdr::Encoder enc;
+    for (int i = 0; i < 64; ++i) {
+      enc.put_octet(1);
+      enc.put_long(i);
+      enc.put_double(i * 0.5);
+      enc.put_string("operation_name");
+    }
+    benchmark::DoNotOptimize(enc.bytes().data());
+  }
+}
+BENCHMARK(BM_CdrEncodeMixedScalars);
+
+void BM_ProportionsSplit(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  std::vector<double> weights(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) weights[static_cast<std::size_t>(i)] = i + 1;
+  const dseq::Proportions props(weights);
+  for (auto _ : state) {
+    auto counts = props.split(1 << 20, p);
+    benchmark::DoNotOptimize(counts.data());
+  }
+}
+BENCHMARK(BM_ProportionsSplit)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RedistributionPlan(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int p = static_cast<int>(state.range(1));
+  const auto src = dseq::DistTempl::block(1 << 20, k);
+  const auto dst = dseq::DistTempl::block(1 << 20, p);
+  for (auto _ : state) {
+    dseq::RedistributionPlan plan(src, dst);
+    benchmark::DoNotOptimize(plan.segments().data());
+  }
+}
+BENCHMARK(BM_RedistributionPlan)
+    ->Args({2, 8})
+    ->Args({4, 8})
+    ->Args({16, 64})
+    ->Args({64, 256});
+
+void BM_DistTemplOwner(benchmark::State& state) {
+  const auto dist = dseq::DistTempl::block(1 << 20, 64);
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<std::uint64_t> pick(0, (1 << 20) - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.owner(pick(rng)));
+  }
+}
+BENCHMARK(BM_DistTemplOwner);
+
+}  // namespace
+
+BENCHMARK_MAIN();

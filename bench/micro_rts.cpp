@@ -1,0 +1,96 @@
+// Microbenchmarks (google-benchmark): runtime-system primitives — tagged
+// point-to-point latency and the collective operations the transfer engines
+// lean on.  Each benchmark runs a persistent team and measures many
+// operations per team launch.
+
+#include <benchmark/benchmark.h>
+
+#include "pardis/common/timing.hpp"
+#include "pardis/rts/collectives.hpp"
+#include "pardis/rts/team.hpp"
+
+using namespace pardis;
+
+namespace {
+
+/// Runs `per_rank` inside a team of `nranks` and reports the time per
+/// repetition measured at rank 0.
+template <typename Fn>
+void run_team_bench(benchmark::State& state, int nranks, int reps,
+                    const Fn& per_rank) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    rts::Team team("bench", nranks);
+    double rank0_seconds = 0;
+    state.ResumeTiming();
+    team.run([&](rts::Communicator& comm) {
+      comm.barrier();
+      const auto t0 = Clock::now();
+      for (int i = 0; i < reps; ++i) per_rank(comm, i);
+      if (comm.rank() == 0) {
+        rank0_seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+      }
+    });
+    benchmark::DoNotOptimize(rank0_seconds);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          reps);
+}
+
+void BM_PingPong(benchmark::State& state) {
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 0xAB);
+  run_team_bench(state, 2, 200, [&](rts::Communicator& comm, int) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, payload);
+      (void)comm.recv(1, 8);
+    } else {
+      (void)comm.recv(0, 7);
+      comm.send(0, 8, payload);
+    }
+  });
+}
+BENCHMARK(BM_PingPong)->Arg(8)->Arg(4096)->Arg(1 << 18)->Iterations(20);
+
+void BM_Barrier(benchmark::State& state) {
+  run_team_bench(state, static_cast<int>(state.range(0)), 200,
+                 [](rts::Communicator& comm, int) { comm.barrier(); });
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8)->Iterations(20);
+
+void BM_Bcast(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  run_team_bench(state, 8, 50, [&](rts::Communicator& comm, int) {
+    Bytes data;
+    if (comm.rank() == 0) data.assign(bytes, 0x5A);
+    comm.bcast_bytes(data, 0);
+    benchmark::DoNotOptimize(data.data());
+  });
+}
+BENCHMARK(BM_Bcast)->Arg(64)->Arg(1 << 16)->Iterations(20);
+
+void BM_Gatherv(benchmark::State& state) {
+  const auto per_rank_elems = static_cast<std::size_t>(state.range(0));
+  run_team_bench(state, 8, 50, [&](rts::Communicator& comm, int) {
+    std::vector<double> local(per_rank_elems, 1.0);
+    auto all = rts::gatherv<double>(comm, local, 0);
+    benchmark::DoNotOptimize(all.data());
+  });
+}
+BENCHMARK(BM_Gatherv)->Arg(1 << 10)->Arg(1 << 15)->Iterations(20);
+
+void BM_Alltoall(benchmark::State& state) {
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  run_team_bench(state, 8, 20, [&](rts::Communicator& comm, int) {
+    std::vector<std::vector<double>> parts(
+        static_cast<std::size_t>(comm.size()),
+        std::vector<double>(chunk, 2.0));
+    auto got = rts::alltoallv(comm, parts);
+    benchmark::DoNotOptimize(got.data());
+  });
+}
+BENCHMARK(BM_Alltoall)->Arg(1 << 8)->Arg(1 << 12)->Iterations(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table 1 (paper §3.2): time of invocation using the CENTRALIZED method of
+// argument transfer, for server thread counts P = 1,2,4,8 and client thread
+// counts K = 2,4.  One "in" distributed sequence of doubles travels from
+// client to server inside the request message.
+//
+// Columns (matching the paper's):
+//   t     total invocation time (client, max over threads)
+//   t_ps  pack + send at the client's communicating thread
+//   t_r   receive + unpack at the server's communicating thread
+//   t_g   gather at the client (collect chunks at the communicating thread)
+//   t_sc  scatter at the server (distribute chunks from the communicating
+//         thread)
+//
+// Paper shape to verify: every column GROWS as P or K grows (gather/scatter
+// cost, single serialized stream), and t_r tracks t_ps (the server's receive
+// overlaps the client's send).
+
+#include "bench_common.hpp"
+
+using namespace pardis;
+using namespace pardis::bench;
+
+int main() {
+  BenchConfig base;
+  base.seqlen = env_u64("PARDIS_SEQLEN", 1u << 17);
+  base.reps = static_cast<int>(env_u64("PARDIS_REPS", 15));
+  base.link = link_from_env();
+  base.method = orb::TransferMethod::kCentralized;
+
+  print_banner("Table 1: centralized argument transfer", base);
+
+  const int clients[] = {2, 4};
+  const int servers[] = {1, 2, 4, 8};
+
+  for (int k : clients) {
+    std::printf("K = %d client threads\n", k);
+    std::printf("  %2s | %9s %9s %9s %9s %9s\n", "P", "t", "t_ps", "t_r",
+                "t_g", "t_sc");
+    std::printf("  ---+-------------------------------------------------\n");
+    for (int p : servers) {
+      BenchConfig cfg = base;
+      cfg.client_ranks = k;
+      cfg.server_ranks = p;
+      const BenchResult r = run_config(cfg);
+      std::printf("  %2d | %9.2f %9.2f %9.2f %9.2f %9.2f\n", p,
+                  r.client_ms(Phase::kTotal),
+                  r.client_ms(Phase::kPack) + r.client_ms(Phase::kSend),
+                  r.server_ms(Phase::kRecv) + r.server_ms(Phase::kUnpack),
+                  r.client_ms(Phase::kGather),
+                  r.server_ms(Phase::kScatter));
+    }
+    std::printf("\n");
+  }
+  std::printf("(all times in milliseconds)\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// The paper's §2.1 scenario: application B (a parallel diffusion service,
+// here 4 computing threads) serves application A (a parallel client, here
+// 2 computing threads) which owns a distributed array and asks B to advance
+// it.  The client runs the same steps serially to verify the result, then
+// compares the two argument-transfer methods of §3 on a throttled link.
+//
+// Environment knobs:
+//   PARDIS_SEQLEN   sequence length in doubles   (default 1<<16)
+//   PARDIS_STEPS    diffusion timesteps          (default 10)
+//   PARDIS_LINK_MBPS simulated link bandwidth, MB/s (default 200; 0 = unlimited)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "diffusion.pardis.hpp"
+#include "pardis/common/config.hpp"
+#include "pardis/sim/scenario.hpp"
+
+using namespace pardis;
+
+namespace {
+
+// Explicit 1-D diffusion with fixed boundaries: the real data-parallel
+// computation behind the SPMD object.  Threads exchange halo cells through
+// the runtime system each step.
+class DiffusionImpl : public Diffusion::POA_diff_object {
+ public:
+  void diffusion(transfer::ServerCall& call, cdr::Long timesteps,
+                 dseq::DSequence<double>& darray) override {
+    if (timesteps < 0) {
+      throw Diffusion::BadTimestep(timesteps, "negative timestep count");
+    }
+    auto& comm = call.comm();
+    const int rank = comm.rank();
+    const int size = comm.size();
+    const std::size_t n = darray.local_length();
+    constexpr int kLeftTag = 101;
+    constexpr int kRightTag = 102;
+
+    std::vector<double> next(n);
+    for (cdr::Long t = 0; t < timesteps; ++t) {
+      double* u = darray.local_data();
+      // Halo exchange with the neighbouring threads.
+      double left = 0.0;
+      double right = 0.0;
+      const bool has_left = rank > 0;
+      const bool has_right = rank < size - 1;
+      if (has_left && n > 0) {
+        comm.send(rank - 1, kRightTag,
+                  BytesView(reinterpret_cast<const std::uint8_t*>(&u[0]),
+                            sizeof(double)));
+      }
+      if (has_right && n > 0) {
+        comm.send(rank + 1, kLeftTag,
+                  BytesView(reinterpret_cast<const std::uint8_t*>(&u[n - 1]),
+                            sizeof(double)));
+      }
+      if (has_left && n > 0) {
+        const auto msg = comm.recv(rank - 1, kLeftTag);
+        std::memcpy(&left, msg.payload.data(), sizeof(double));
+      }
+      if (has_right && n > 0) {
+        const auto msg = comm.recv(rank + 1, kRightTag);
+        std::memcpy(&right, msg.payload.data(), sizeof(double));
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const double lo = i > 0 ? u[i - 1] : (has_left ? left : u[i]);
+        const double hi =
+            i + 1 < n ? u[i + 1] : (has_right ? right : u[i]);
+        next[i] = u[i] + coeff_ * (lo - 2.0 * u[i] + hi);
+      }
+      std::memcpy(u, next.data(), n * sizeof(double));
+    }
+    steps_ += timesteps;
+  }
+
+  cdr::Long _get_steps_done(transfer::ServerCall&) override { return steps_; }
+  cdr::Double _get_coefficient(transfer::ServerCall&) override {
+    return coeff_;
+  }
+  void _set_coefficient(transfer::ServerCall&, cdr::Double v) override {
+    coeff_ = v;
+  }
+
+ private:
+  cdr::Long steps_ = 0;
+  double coeff_ = Diffusion::kDefaultCoefficient;
+};
+
+// Serial reference used by the client to verify the remote result.
+void serial_diffusion(std::vector<double>& u, int steps, double c) {
+  std::vector<double> next(u.size());
+  for (int t = 0; t < steps; ++t) {
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      const double lo = i > 0 ? u[i - 1] : u[i];
+      const double hi = i + 1 < u.size() ? u[i + 1] : u[i];
+      next[i] = u[i] + c * (lo - 2.0 * u[i] + hi);
+    }
+    u.swap(next);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto seqlen = env_u64("PARDIS_SEQLEN", 1u << 16);
+  const auto steps = static_cast<int>(env_u64("PARDIS_STEPS", 10));
+  const double link_mbps = env_double("PARDIS_LINK_MBPS", 200.0);
+
+  sim::ScenarioConfig cfg;
+  cfg.server.nranks = 4;
+  cfg.client.nranks = 2;
+  if (link_mbps > 0) {
+    cfg.link = net::LinkModel::atm_scaled(link_mbps * 1e6);
+  }
+  sim::Scenario scenario(cfg);
+
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        transfer::SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        DiffusionImpl servant;
+        server.activate("example", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        // As in the paper:  diff_object* diff = diff_object::_spmd_bind(...)
+        auto diff = Diffusion::diff_object::_spmd_bind(
+            scenario.orb(), comm, cfg.client.host, "example");
+
+        // Build the client-side distributed array: a heat spike in the
+        // middle of the domain.
+        dseq::DSequence<double> darray(comm, seqlen);
+        const auto offset = darray.local_offset();
+        for (std::size_t i = 0; i < darray.local_length(); ++i) {
+          const auto g = offset + i;
+          darray.local_data()[i] = (g == seqlen / 2) ? 1000.0 : 0.0;
+        }
+
+        for (auto method : {orb::TransferMethod::kCentralized,
+                            orb::TransferMethod::kMultiPort}) {
+          diff._transfer_method(method);
+          auto work = darray;  // deep copy per run
+          const StopWatch watch;
+          diff.diffusion(steps, work);
+          const double elapsed = watch.elapsed_ms();
+
+          // Verify against the serial reference.
+          auto got = work.gather_all();
+          std::vector<double> want = darray.gather_all();
+          serial_diffusion(want, steps, Diffusion::kDefaultCoefficient);
+          double max_err = 0.0;
+          for (std::size_t i = 0; i < got.size(); ++i) {
+            max_err = std::max(max_err, std::abs(got[i] - want[i]));
+          }
+          if (comm.rank() == 0) {
+            std::printf(
+                "diffusion(%d steps, %llu doubles) via %-11s : %8.2f ms   "
+                "max|err| = %.2e\n",
+                steps, static_cast<unsigned long long>(seqlen),
+                orb::to_string(method), elapsed, max_err);
+            if (max_err > 1e-9) {
+              std::printf("!! verification FAILED\n");
+            }
+          }
+        }
+        // Attribute access is a collective invocation too: every rank of
+        // the parallel client participates.
+        const auto total_steps = diff.steps_done();
+        if (comm.rank() == 0) {
+          std::printf("server ran %d total steps\n", total_steps);
+        }
+        diff._unbind();
+      },
+      "example");
+
+  std::printf("diffusion example: done\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Non-collective binding (paper §2.1): "bind is non-collective and always
+// establishes one binding per thread, so invoking it from all threads of a
+// parallel program would establish multiple bindings either to the same
+// object, or to different objects of the same type ...  This kind of
+// interaction can be useful to parallel clients which want to interact in
+// parallel with multiple distributed objects."
+//
+// One server application hosts four independent `diff_object` instances
+// ("domain0".."domain3").  Each thread of the parallel client `_bind`s to
+// its own object and drives it through the non-distributed mapping,
+// concurrently and without any coordination with its sibling threads.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "diffusion.pardis.hpp"
+#include "pardis/sim/scenario.hpp"
+
+using namespace pardis;
+
+namespace {
+
+class DomainImpl : public Diffusion::POA_diff_object {
+ public:
+  void diffusion(transfer::ServerCall&, cdr::Long timesteps,
+                 dseq::DSequence<double>& darray) override {
+    if (timesteps < 0) {
+      throw Diffusion::BadTimestep(timesteps, "negative timestep count");
+    }
+    // Independent per-domain smoothing; chunk-local (domains are small).
+    const std::size_t n = darray.local_length();
+    std::vector<double> next(n);
+    double* u = darray.local_data();
+    for (cdr::Long t = 0; t < timesteps; ++t) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double lo = i > 0 ? u[i - 1] : u[i];
+        const double hi = i + 1 < n ? u[i + 1] : u[i];
+        next[i] = u[i] + 0.25 * (lo - 2.0 * u[i] + hi);
+      }
+      std::memcpy(u, next.data(), n * sizeof(double));
+    }
+    steps_ += timesteps;
+  }
+  cdr::Long _get_steps_done(transfer::ServerCall&) override { return steps_; }
+  cdr::Double _get_coefficient(transfer::ServerCall&) override { return 0.25; }
+  void _set_coefficient(transfer::ServerCall&, cdr::Double) override {}
+
+ private:
+  cdr::Long steps_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  constexpr int kDomains = 4;
+
+  sim::ScenarioConfig cfg;
+  cfg.server.nranks = 1;   // each object is itself small; one thread serves
+  cfg.client.nranks = kDomains;
+  sim::Scenario scenario(cfg);
+
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        transfer::SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        // One server application, several named objects of the same type.
+        std::vector<DomainImpl> servants(kDomains);
+        for (int d = 0; d < kDomains; ++d) {
+          server.activate("domain" + std::to_string(d), servants[d]);
+        }
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        // Every client thread binds independently to "its" object — the
+        // paper's per-thread _bind — and works through the non-distributed
+        // mapping.
+        const std::string mine = "domain" + std::to_string(comm.rank());
+        auto diff = Diffusion::diff_object::_bind(scenario.orb(),
+                                                  cfg.client.host, mine);
+
+        std::vector<double> u(512, 0.0);
+        u[128 + 32 * static_cast<std::size_t>(comm.rank())] = 100.0;
+        const double before = *std::max_element(u.begin(), u.end());
+        diff.diffusion(25, u);  // non-collective invocation, nd mapping
+        const double after = *std::max_element(u.begin(), u.end());
+
+        std::printf(
+            "client thread %d drove %s: peak %.1f -> %.3f over %d steps\n",
+            comm.rank(), mine.c_str(), before, after, diff.steps_done());
+        diff._unbind();
+        comm.barrier();
+      },
+      "domain0");
+
+  std::printf("multibind example: done\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "pardis/cdr/decoder.hpp"
+
+namespace pardis::cdr {
+
+std::string Decoder::get_string() {
+  const ULong len = get_ulong();
+  if (len == 0) {
+    throw MARSHAL("CDR string with zero length (missing NUL)");
+  }
+  require(len);
+  const char* data = reinterpret_cast<const char*>(view_.data() + cursor_);
+  if (data[len - 1] != '\0') {
+    throw MARSHAL("CDR string not NUL-terminated");
+  }
+  std::string out(data, len - 1);
+  cursor_ += len;
+  return out;
+}
+
+pardis::BytesView Decoder::get_octets(std::size_t count) {
+  require(count);
+  pardis::BytesView out = view_.subspan(cursor_, count);
+  cursor_ += count;
+  return out;
+}
+
+pardis::Bytes Decoder::get_octet_sequence() {
+  const ULong count = get_ulong();
+  require(count);
+  pardis::Bytes out(view_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                    view_.begin() + static_cast<std::ptrdiff_t>(cursor_ + count));
+  cursor_ += count;
+  return out;
+}
+
+Decoder Decoder::get_encapsulation() {
+  const ULong len = get_ulong();
+  if (len == 0) {
+    throw MARSHAL("empty CDR encapsulation");
+  }
+  require(len);
+  const bool little = view_[cursor_] != 0;
+  pardis::BytesView body = view_.subspan(cursor_ + 1, len - 1);
+  cursor_ += len;
+  return Decoder(body, little);
+}
+
+void Decoder::align(std::size_t alignment) {
+  const std::size_t misalign = cursor_ % alignment;
+  if (misalign != 0) {
+    const std::size_t pad = alignment - misalign;
+    require(pad);
+    cursor_ += pad;
+  }
+}
+
+}  // namespace pardis::cdr

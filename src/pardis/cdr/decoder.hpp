@@ -1,0 +1,123 @@
+// CDR decoder: bounds-checked, byte-order-correcting reader over a byte
+// view.  Throws pardis::MARSHAL on truncated or malformed input — a remote
+// peer's bytes are never trusted.
+
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pardis/cdr/types.hpp"
+#include "pardis/common/bytes.hpp"
+#include "pardis/common/endian.hpp"
+#include "pardis/common/error.hpp"
+
+namespace pardis::cdr {
+
+class Decoder {
+ public:
+  /// Decodes `view` produced by a peer whose byte order was little-endian
+  /// iff `source_little_endian`.  The view must outlive the decoder.
+  explicit Decoder(pardis::BytesView view,
+                   bool source_little_endian = pardis::host_is_little_endian())
+      : view_(view), swap_(source_little_endian != pardis::host_is_little_endian()) {}
+
+  Octet get_octet() { return get_scalar<Octet>(); }
+  Boolean get_boolean() { return get_scalar<Octet>() != 0; }
+  Char get_char() { return get_scalar<Char>(); }
+  Short get_short() { return get_scalar<Short>(); }
+  UShort get_ushort() { return get_scalar<UShort>(); }
+  Long get_long() { return get_scalar<Long>(); }
+  ULong get_ulong() { return get_scalar<ULong>(); }
+  LongLong get_longlong() { return get_scalar<LongLong>(); }
+  ULongLong get_ulonglong() { return get_scalar<ULongLong>(); }
+  Float get_float() { return get_scalar<Float>(); }
+  Double get_double() { return get_scalar<Double>(); }
+
+  std::string get_string();
+
+  /// Raw octets with no count prefix.
+  pardis::BytesView get_octets(std::size_t count);
+
+  /// ULong count + raw octets, copied out.
+  pardis::Bytes get_octet_sequence();
+
+  /// ULong count + aligned primitives; `max_count` guards against a
+  /// malicious length prefix.  Returns number of elements read into `out`.
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  std::vector<T> get_array(std::size_t max_count = SIZE_MAX) {
+    const ULong count = get_ulong();
+    if (count > max_count) {
+      throw MARSHAL("array length exceeds limit");
+    }
+    align(sizeof(T));
+    require(static_cast<std::size_t>(count) * sizeof(T));
+    std::vector<T> out(count);
+    if (count != 0) {
+      std::memcpy(out.data(), view_.data() + cursor_, count * sizeof(T));
+    }
+    cursor_ += static_cast<std::size_t>(count) * sizeof(T);
+    if (swap_) {
+      for (T& v : out) v = pardis::byteswap_scalar(v);
+    }
+    return out;
+  }
+
+  /// Reads an array's count prefix and copies elements into caller storage
+  /// (used by distributed-sequence unpack to avoid an extra allocation).
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void get_array_into(T* out, std::size_t expected_count) {
+    const ULong count = get_ulong();
+    if (count != expected_count) {
+      throw MARSHAL("array length mismatch");
+    }
+    align(sizeof(T));
+    require(expected_count * sizeof(T));
+    if (expected_count != 0) {
+      std::memcpy(out, view_.data() + cursor_, expected_count * sizeof(T));
+    }
+    cursor_ += expected_count * sizeof(T);
+    if (swap_) {
+      for (std::size_t i = 0; i < expected_count; ++i) {
+        out[i] = pardis::byteswap_scalar(out[i]);
+      }
+    }
+  }
+
+  /// Enters an encapsulation: reads its length + byte-order octet and
+  /// returns a decoder over the body.
+  Decoder get_encapsulation();
+
+  void align(std::size_t alignment);
+
+  std::size_t remaining() const noexcept { return view_.size() - cursor_; }
+  std::size_t position() const noexcept { return cursor_; }
+  bool exhausted() const noexcept { return cursor_ == view_.size(); }
+
+ private:
+  template <typename T>
+  T get_scalar() {
+    align(sizeof(T));
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, view_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return swap_ ? pardis::byteswap_scalar(v) : v;
+  }
+
+  void require(std::size_t bytes) const {
+    if (bytes > view_.size() - cursor_) {
+      throw MARSHAL("truncated CDR stream");
+    }
+  }
+
+  pardis::BytesView view_;
+  std::size_t cursor_ = 0;
+  bool swap_;
+};
+
+}  // namespace pardis::cdr

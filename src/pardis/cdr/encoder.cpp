@@ -1,0 +1,39 @@
+#include "pardis/cdr/encoder.hpp"
+
+#include "pardis/common/endian.hpp"
+
+namespace pardis::cdr {
+
+void Encoder::put_string(const std::string& s) {
+  put_ulong(static_cast<ULong>(s.size() + 1));
+  const std::size_t offset = buffer_.size();
+  buffer_.resize(offset + s.size() + 1);
+  if (!s.empty()) {
+    std::memcpy(buffer_.data() + offset, s.data(), s.size());
+  }
+  buffer_[offset + s.size()] = 0;
+}
+
+void Encoder::put_octets(pardis::BytesView view) {
+  buffer_.insert(buffer_.end(), view.begin(), view.end());
+}
+
+void Encoder::put_octet_sequence(pardis::BytesView view) {
+  put_ulong(static_cast<ULong>(view.size()));
+  put_octets(view);
+}
+
+void Encoder::put_encapsulation(pardis::BytesView body) {
+  put_ulong(static_cast<ULong>(body.size() + 1));
+  put_octet(pardis::host_is_little_endian() ? 1 : 0);
+  put_octets(body);
+}
+
+void Encoder::align(std::size_t alignment) {
+  const std::size_t misalign = buffer_.size() % alignment;
+  if (misalign != 0) {
+    buffer_.resize(buffer_.size() + (alignment - misalign), 0);
+  }
+}
+
+}  // namespace pardis::cdr

@@ -1,0 +1,96 @@
+// CDR (Common Data Representation) encoder.
+//
+// CORBA CDR rules implemented here:
+//   * every primitive is aligned to its natural size, relative to the start
+//     of the stream (or of the enclosing encapsulation);
+//   * strings are encoded as ULong length including the NUL, then the bytes;
+//   * sequences are ULong element count followed by the elements;
+//   * an "encapsulation" is an octet sequence whose first octet records the
+//     byte order of its producer, so it can be relocated and decoded later
+//     (used for stringified object references).
+//
+// The encoder always writes in host byte order and records that order in
+// message headers / encapsulations; the decoder swaps on mismatch
+// (receiver-makes-right).
+
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+#include "pardis/cdr/types.hpp"
+#include "pardis/common/bytes.hpp"
+
+namespace pardis::cdr {
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  /// Pre-reserves capacity for large payloads.
+  void reserve(std::size_t bytes) { buffer_.reserve(bytes); }
+
+  void put_octet(Octet v) { put_scalar(v); }
+  void put_boolean(Boolean v) { put_scalar<Octet>(v ? 1 : 0); }
+  void put_char(Char v) { put_scalar(v); }
+  void put_short(Short v) { put_scalar(v); }
+  void put_ushort(UShort v) { put_scalar(v); }
+  void put_long(Long v) { put_scalar(v); }
+  void put_ulong(ULong v) { put_scalar(v); }
+  void put_longlong(LongLong v) { put_scalar(v); }
+  void put_ulonglong(ULongLong v) { put_scalar(v); }
+  void put_float(Float v) { put_scalar(v); }
+  void put_double(Double v) { put_scalar(v); }
+
+  /// ULong length (including NUL) + characters + NUL.
+  void put_string(const std::string& s);
+
+  /// Raw octets with no count prefix (caller knows the length).
+  void put_octets(pardis::BytesView view);
+
+  /// ULong count + raw octets.
+  void put_octet_sequence(pardis::BytesView view);
+
+  /// ULong count + aligned array of primitives.
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void put_array(const T* data, std::size_t count) {
+    put_ulong(static_cast<ULong>(count));
+    align(alignof_cdr<T>());
+    const std::size_t offset = buffer_.size();
+    buffer_.resize(offset + count * sizeof(T));
+    if (count != 0) {
+      std::memcpy(buffer_.data() + offset, data, count * sizeof(T));
+    }
+  }
+
+  /// Nested encapsulation: byte-order octet + body.
+  void put_encapsulation(pardis::BytesView body);
+
+  /// Advances to `alignment` relative to stream start, zero-filling the gap.
+  void align(std::size_t alignment);
+
+  std::size_t size() const noexcept { return buffer_.size(); }
+  const pardis::Bytes& bytes() const noexcept { return buffer_; }
+  pardis::Bytes take() { return std::move(buffer_); }
+
+  /// CDR natural alignment of a primitive (== its size).
+  template <typename T>
+  static constexpr std::size_t alignof_cdr() {
+    return sizeof(T);
+  }
+
+ private:
+  template <typename T>
+  void put_scalar(T v) {
+    align(sizeof(T));
+    const std::size_t offset = buffer_.size();
+    buffer_.resize(offset + sizeof(T));
+    std::memcpy(buffer_.data() + offset, &v, sizeof(T));
+  }
+
+  pardis::Bytes buffer_;
+};
+
+}  // namespace pardis::cdr

@@ -1,0 +1,25 @@
+// IDL basic-type aliases used throughout the broker and generated code,
+// following the CORBA C++ mapping's fixed-width expectations.
+
+#pragma once
+
+#include <cstdint>
+
+namespace pardis::cdr {
+
+using Octet = std::uint8_t;
+using Boolean = bool;
+using Char = char;
+using Short = std::int16_t;
+using UShort = std::uint16_t;
+using Long = std::int32_t;
+using ULong = std::uint32_t;
+using LongLong = std::int64_t;
+using ULongLong = std::uint64_t;
+using Float = float;
+using Double = double;
+
+static_assert(sizeof(Float) == 4, "IDL float must be 4 bytes");
+static_assert(sizeof(Double) == 8, "IDL double must be 8 bytes");
+
+}  // namespace pardis::cdr

@@ -1,0 +1,63 @@
+#include "pardis/common/bytes.hpp"
+
+#include "pardis/common/error.hpp"
+
+namespace pardis {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+void append(Bytes& out, BytesView view) {
+  out.insert(out.end(), view.begin(), view.end());
+}
+
+std::string hex_dump(BytesView view, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = view.size() < max_bytes ? view.size() : max_bytes;
+  out.reserve(n * 3 + 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out.push_back(' ');
+    out.push_back(kHexDigits[view[i] >> 4]);
+    out.push_back(kHexDigits[view[i] & 0xF]);
+  }
+  if (view.size() > n) out += " ...";
+  return out;
+}
+
+std::string to_hex(BytesView view) {
+  std::string out;
+  out.reserve(view.size() * 2);
+  for (std::uint8_t b : view) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Bytes from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    throw BAD_PARAM("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw BAD_PARAM("from_hex: non-hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace pardis

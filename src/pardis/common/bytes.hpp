@@ -1,0 +1,40 @@
+// Raw byte-buffer utilities shared by the CDR codec, the runtime system and
+// the network fabric.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pardis {
+
+/// The unit of data exchanged by every PARDIS layer.
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Appends `view` to `out`.
+void append(Bytes& out, BytesView view);
+
+/// Appends the object representation of a trivially copyable value.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void append_raw(Bytes& out, const T& value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+/// Hex dump ("de ad be ef") of at most `max_bytes` bytes, for diagnostics.
+std::string hex_dump(BytesView view, std::size_t max_bytes = 64);
+
+/// Lossless hex encoding used by stringified object references.
+std::string to_hex(BytesView view);
+
+/// Inverse of to_hex.  Throws pardis::BAD_PARAM on odd length or non-hex
+/// characters.
+Bytes from_hex(const std::string& hex);
+
+}  // namespace pardis

@@ -1,0 +1,71 @@
+#include "pardis/common/config.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "pardis/common/error.hpp"
+
+namespace pardis {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  const std::string& s = *raw;
+  std::size_t pos = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(s, &pos, 0);
+  } catch (const std::exception&) {
+    throw BAD_PARAM(std::string(name) + ": not an integer: " + s);
+  }
+  std::uint64_t scale = 1;
+  if (pos < s.size()) {
+    switch (std::tolower(static_cast<unsigned char>(s[pos]))) {
+      case 'k': scale = 1024ull; break;
+      case 'm': scale = 1024ull * 1024; break;
+      case 'g': scale = 1024ull * 1024 * 1024; break;
+      default:
+        throw BAD_PARAM(std::string(name) + ": bad suffix in: " + s);
+    }
+    if (pos + 1 != s.size()) {
+      throw BAD_PARAM(std::string(name) + ": trailing junk in: " + s);
+    }
+  }
+  return value * scale;
+}
+
+double env_double(const char* name, double fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(*raw, &pos);
+    if (pos != raw->size()) {
+      throw std::invalid_argument("trailing junk");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw BAD_PARAM(std::string(name) + ": not a number: " + *raw);
+  }
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  if (*raw == "1" || *raw == "true" || *raw == "yes" || *raw == "on") {
+    return true;
+  }
+  if (*raw == "0" || *raw == "false" || *raw == "no" || *raw == "off") {
+    return false;
+  }
+  throw BAD_PARAM(std::string(name) + ": not a boolean: " + *raw);
+}
+
+}  // namespace pardis

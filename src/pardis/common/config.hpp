@@ -1,0 +1,26 @@
+// Environment-driven configuration knobs.
+//
+// Benchmarks and the simulated link are parameterized through the
+// environment so the paper's sweep points can be rescaled without
+// recompiling (see EXPERIMENTS.md for the knob list).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pardis {
+
+std::optional<std::string> env_string(const char* name);
+
+/// Parses an unsigned integer with optional k/m/g (×1024) suffix,
+/// e.g. "64k" -> 65536.  Returns fallback when unset; throws BAD_PARAM on a
+/// malformed value.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+double env_double(const char* name, double fallback);
+
+bool env_bool(const char* name, bool fallback);
+
+}  // namespace pardis

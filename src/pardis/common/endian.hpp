@@ -1,0 +1,58 @@
+// Byte-order helpers for the CDR layer.
+//
+// CORBA's CDR is receiver-makes-right: every message carries the sender's
+// byte order and the receiver swaps only on mismatch.  These helpers provide
+// the swap primitives; the CDR codec decides when to apply them.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace pardis {
+
+constexpr bool host_is_little_endian() noexcept {
+  return std::endian::native == std::endian::little;
+}
+
+constexpr std::uint8_t byteswap(std::uint8_t v) noexcept { return v; }
+
+constexpr std::uint16_t byteswap(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+}
+
+constexpr std::uint32_t byteswap(std::uint32_t v) noexcept {
+  return ((v & 0xFF000000u) >> 24) | ((v & 0x00FF0000u) >> 8) |
+         ((v & 0x0000FF00u) << 8) | ((v & 0x000000FFu) << 24);
+}
+
+constexpr std::uint64_t byteswap(std::uint64_t v) noexcept {
+  return (static_cast<std::uint64_t>(byteswap(static_cast<std::uint32_t>(v)))
+          << 32) |
+         byteswap(static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Byte-swaps any trivially copyable scalar (including float/double) by
+/// reinterpreting its object representation as the same-width unsigned type.
+template <typename T>
+  requires std::is_trivially_copyable_v<T> &&
+           (sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+            sizeof(T) == 8)
+T byteswap_scalar(T value) noexcept {
+  if constexpr (sizeof(T) == 1) {
+    return value;
+  } else {
+    using U = std::conditional_t<
+        sizeof(T) == 2, std::uint16_t,
+        std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>>;
+    U bits;
+    std::memcpy(&bits, &value, sizeof(T));
+    bits = byteswap(bits);
+    std::memcpy(&value, &bits, sizeof(T));
+    return value;
+  }
+}
+
+}  // namespace pardis

@@ -1,0 +1,25 @@
+#include "pardis/common/error.hpp"
+
+namespace pardis {
+
+const char* to_string(Completion c) noexcept {
+  switch (c) {
+    case Completion::kYes:
+      return "COMPLETED_YES";
+    case Completion::kNo:
+      return "COMPLETED_NO";
+    case Completion::kMaybe:
+      return "COMPLETED_MAYBE";
+  }
+  return "COMPLETED_?";
+}
+
+SystemException::SystemException(std::string kind, std::string detail,
+                                 Completion completed)
+    : Exception(detail.empty()
+                    ? kind + " (" + to_string(completed) + ")"
+                    : kind + ": " + detail + " (" + to_string(completed) + ")"),
+      kind_(std::move(kind)),
+      completed_(completed) {}
+
+}  // namespace pardis

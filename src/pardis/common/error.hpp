@@ -1,0 +1,78 @@
+// CORBA-style system exceptions for PARDIS.
+//
+// The paper models PARDIS on the CORBA framework, whose C++ mapping reports
+// broker failures through a closed set of system exceptions and
+// user-declared exceptions defined in IDL.  We mirror that split: broker and
+// runtime failures raise a SystemException subclass; IDL-declared exceptions
+// derive from UserException and are marshaled across the wire.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pardis {
+
+/// Root of the PARDIS exception hierarchy.
+class Exception : public std::runtime_error {
+ public:
+  explicit Exception(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Completion status of the operation when a system exception was raised,
+/// mirroring CORBA::CompletionStatus.
+enum class Completion : std::uint8_t { kYes = 0, kNo = 1, kMaybe = 2 };
+
+const char* to_string(Completion c) noexcept;
+
+/// Raised by the broker / runtime; never declared in IDL.
+class SystemException : public Exception {
+ public:
+  SystemException(std::string kind, std::string detail, Completion completed);
+
+  /// CORBA-style repository kind, e.g. "COMM_FAILURE".
+  const std::string& kind() const noexcept { return kind_; }
+  Completion completed() const noexcept { return completed_; }
+
+ private:
+  std::string kind_;
+  Completion completed_;
+};
+
+#define PARDIS_DEFINE_SYSTEM_EXCEPTION(Name)                                \
+  class Name : public SystemException {                                     \
+   public:                                                                  \
+    explicit Name(std::string detail = {},                                  \
+                  Completion completed = Completion::kNo)                   \
+        : SystemException(#Name, std::move(detail), completed) {}           \
+  }
+
+PARDIS_DEFINE_SYSTEM_EXCEPTION(BAD_PARAM);        // caller passed a bad value
+PARDIS_DEFINE_SYSTEM_EXCEPTION(COMM_FAILURE);     // transport-level failure
+PARDIS_DEFINE_SYSTEM_EXCEPTION(INV_OBJREF);       // malformed object reference
+PARDIS_DEFINE_SYSTEM_EXCEPTION(MARSHAL);          // CDR encode/decode error
+PARDIS_DEFINE_SYSTEM_EXCEPTION(NO_IMPLEMENT);     // operation not implemented
+PARDIS_DEFINE_SYSTEM_EXCEPTION(OBJECT_NOT_EXIST); // unknown object key/name
+PARDIS_DEFINE_SYSTEM_EXCEPTION(BAD_OPERATION);    // unknown operation name
+PARDIS_DEFINE_SYSTEM_EXCEPTION(INTERNAL);         // broker invariant violated
+PARDIS_DEFINE_SYSTEM_EXCEPTION(TIMEOUT);          // deadline exceeded
+PARDIS_DEFINE_SYSTEM_EXCEPTION(INITIALIZE);       // ORB initialization failure
+
+#undef PARDIS_DEFINE_SYSTEM_EXCEPTION
+
+/// Base class for IDL-declared exceptions; generated code derives from this
+/// and supplies marshaling.
+class UserException : public Exception {
+ public:
+  explicit UserException(std::string repo_id, std::string what = {})
+      : Exception(std::move(what)), repo_id_(std::move(repo_id)) {}
+
+  /// Repository id, e.g. "IDL:Diffusion/BadTimestep:1.0".
+  const std::string& repo_id() const noexcept { return repo_id_; }
+
+ private:
+  std::string repo_id_;
+};
+
+}  // namespace pardis

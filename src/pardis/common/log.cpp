@@ -1,0 +1,62 @@
+#include "pardis/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace pardis {
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("PARDIS_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn:  return "warn";
+    case LogLevel::kInfo:  return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[pardis %-5s %04zx] %s\n", level_name(level),
+               tid & 0xFFFF, message.c_str());
+}
+
+}  // namespace pardis

@@ -1,0 +1,63 @@
+// Minimal leveled, thread-safe logger.
+//
+// The broker is heavily multi-threaded (K client ranks + P server ranks +
+// adapter threads in one process), so interleaving-safe diagnostics matter.
+// Level comes from the PARDIS_LOG environment variable:
+// error|warn|info|debug|trace (default warn).
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pardis {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+bool log_enabled(LogLevel level) noexcept;
+
+/// Emits one line to stderr: "[pardis <level> <thread>] message".
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace pardis
+
+#define PARDIS_LOG(level)                   \
+  if (!::pardis::log_enabled(level)) {      \
+  } else                                    \
+    ::pardis::detail::LogStream(level)
+
+#define PARDIS_LOG_ERROR PARDIS_LOG(::pardis::LogLevel::kError)
+#define PARDIS_LOG_WARN PARDIS_LOG(::pardis::LogLevel::kWarn)
+#define PARDIS_LOG_INFO PARDIS_LOG(::pardis::LogLevel::kInfo)
+#define PARDIS_LOG_DEBUG PARDIS_LOG(::pardis::LogLevel::kDebug)
+#define PARDIS_LOG_TRACE PARDIS_LOG(::pardis::LogLevel::kTrace)

@@ -1,0 +1,47 @@
+#include "pardis/common/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pardis {
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+RunningStat& RunningStat::operator+=(const RunningStat& other) {
+  if (other.n_ == 0) return *this;
+  if (n_ == 0) {
+    *this = other;
+    return *this;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  return *this;
+}
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace pardis

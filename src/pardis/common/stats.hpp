@@ -1,0 +1,37 @@
+// Streaming statistics for benchmark reporting.
+
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace pardis {
+
+/// Welford-style running mean/variance with min/max.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  RunningStat& operator+=(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// "12.34" style fixed-precision formatting used by the table printers.
+std::string format_fixed(double value, int precision = 2);
+
+}  // namespace pardis

@@ -1,0 +1,112 @@
+// Wall-clock timing primitives used to instrument invocation phases.
+//
+// The paper reports per-phase times (pack, send, receive+unpack, gather,
+// scatter, exit barrier) for both argument-transfer methods; PhaseTimer
+// accumulates exactly those buckets.
+
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace pardis {
+
+using Clock = std::chrono::steady_clock;
+using Duration = Clock::duration;
+
+inline double to_ms(Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+inline double to_us(Duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+/// Simple restartable stopwatch.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+  Duration elapsed() const { return Clock::now() - start_; }
+  double elapsed_ms() const { return to_ms(elapsed()); }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Invocation phases instrumented by the transfer engines (paper §3.2/§3.3).
+enum class Phase : std::size_t {
+  kGather = 0,   // client: collect distributed data at communicating thread
+  kPack,         // marshal arguments into CDR form
+  kSend,         // network send (from first byte offered to send complete)
+  kRecv,         // network receive
+  kUnpack,       // unmarshal arguments
+  kScatter,      // server: distribute data from communicating thread
+  kBarrier,      // post-invocation synchronization
+  kTotal,        // whole invocation, bind to reply
+  kCount
+};
+
+constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
+
+const char* to_string(Phase p) noexcept;
+
+/// Accumulates elapsed time per phase.  Not thread-safe: each computing
+/// thread owns its own PhaseTimer; cross-thread reduction happens after the
+/// fact (the paper reports the max over threads).
+class PhaseTimer {
+ public:
+  void add(Phase p, Duration d) { buckets_[index(p)] += d; }
+
+  /// Times `fn()` and charges it to phase `p`; returns fn's result.
+  template <typename Fn>
+  decltype(auto) time(Phase p, Fn&& fn) {
+    const auto t0 = Clock::now();
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      add(p, Clock::now() - t0);
+    } else {
+      decltype(auto) result = fn();
+      add(p, Clock::now() - t0);
+      return result;
+    }
+  }
+
+  Duration get(Phase p) const { return buckets_[index(p)]; }
+  double ms(Phase p) const { return to_ms(get(p)); }
+
+  void reset() { buckets_.fill(Duration::zero()); }
+
+  /// Element-wise sum, for accumulating repetitions.
+  PhaseTimer& operator+=(const PhaseTimer& other) {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    return *this;
+  }
+
+ private:
+  static std::size_t index(Phase p) { return static_cast<std::size_t>(p); }
+
+  std::array<Duration, kPhaseCount> buckets_{};
+};
+
+inline const char* to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::kGather:  return "gather";
+    case Phase::kPack:    return "pack";
+    case Phase::kSend:    return "send";
+    case Phase::kRecv:    return "recv";
+    case Phase::kUnpack:  return "unpack";
+    case Phase::kScatter: return "scatter";
+    case Phase::kBarrier: return "barrier";
+    case Phase::kTotal:   return "total";
+    case Phase::kCount:   break;
+  }
+  return "?";
+}
+
+}  // namespace pardis

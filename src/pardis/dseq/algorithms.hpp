@@ -1,0 +1,216 @@
+// STL-style algorithms over distributed sequences.
+//
+// The paper's "experimental" direct mapping exposes a distributed sequence
+// as a container; its stated next step is a seamless mapping onto parallel
+// container packages ("such as for example distributed vector in HPC++
+// PSTL", §2.2).  This header is that direction in miniature: local
+// iteration plus collective algorithms with PSTL-like names, so
+// application code reads like STL while executing SPMD.
+//
+// Convention: functions taking a DSequence are *collective* unless their
+// name says `_local`; every rank must call them with identical arguments,
+// and every rank receives the (identical) result.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "pardis/common/error.hpp"
+#include "pardis/dseq/dsequence.hpp"
+#include "pardis/rts/collectives.hpp"
+
+namespace pardis::dseq {
+
+/// This rank's chunk as a span (the `_local` iteration surface).
+template <typename T>
+std::span<T> local_span(DSequence<T>& seq) {
+  return {seq.local_data(), seq.local_length()};
+}
+
+template <typename T>
+std::span<const T> local_span(const DSequence<T>& seq) {
+  return {seq.local_data(), seq.local_length()};
+}
+
+/// Applies `fn(global_index, element&)` to every local element.
+/// Local (embarrassingly parallel); no communication.
+template <typename T, typename Fn>
+void for_each_local(DSequence<T>& seq, Fn&& fn) {
+  const std::uint64_t base = seq.local_offset();
+  T* data = seq.local_data();
+  for (std::uint64_t i = 0; i < seq.local_length(); ++i) {
+    fn(base + i, data[i]);
+  }
+}
+
+/// Collective fill (every element, every rank's chunk).
+template <typename T>
+void fill(DSequence<T>& seq, T value) {
+  auto span = local_span(seq);
+  std::fill(span.begin(), span.end(), value);
+}
+
+/// Collective iota: element i becomes start + i.
+template <typename T>
+void iota(DSequence<T>& seq, T start = T{}) {
+  for_each_local(seq, [&](std::uint64_t g, T& v) {
+    v = static_cast<T>(start + static_cast<T>(g));
+  });
+}
+
+/// Collective generate: element i = fn(i).
+template <typename T, typename Fn>
+void generate(DSequence<T>& seq, Fn&& fn) {
+  for_each_local(seq, [&](std::uint64_t g, T& v) { v = fn(g); });
+}
+
+/// Collective element-wise transform: out[i] = fn(in[i]).  `in` and `out`
+/// must share one distribution template.
+template <typename T, typename U, typename Fn>
+void transform(const DSequence<T>& in, DSequence<U>& out, Fn&& fn) {
+  if (in.distribution() != out.distribution()) {
+    throw BAD_PARAM("transform: sequences must share a distribution");
+  }
+  const T* src = in.local_data();
+  U* dst = out.local_data();
+  for (std::uint64_t i = 0; i < in.local_length(); ++i) {
+    dst[i] = fn(src[i]);
+  }
+}
+
+/// Collective reduction over all elements with `op` (must be associative
+/// and commutative); every rank receives the result.
+template <typename T, typename Op = std::plus<T>>
+T reduce(const DSequence<T>& seq, T init = T{}, Op op = {}) {
+  auto span = local_span(seq);
+  // Identity-free local fold: fold elements only, then combine the
+  // per-rank partials (ranks with empty chunks contribute nothing).
+  const int participants = rts::allreduce_value(
+      seq.comm(), span.empty() ? 0 : 1);
+  if (participants == 0) return init;
+  T local = span.empty() ? T{} : span[0];
+  for (std::size_t i = 1; i < span.size(); ++i) local = op(local, span[i]);
+  // Gather the partials of non-empty ranks and fold them in rank order.
+  const auto flags = rts::allgather_value(seq.comm(), span.empty() ? 0 : 1);
+  const auto partials = rts::allgather_value(seq.comm(), local);
+  bool first = true;
+  T acc{};
+  for (std::size_t r = 0; r < partials.size(); ++r) {
+    if (!flags[r]) continue;
+    acc = first ? partials[r] : op(acc, partials[r]);
+    first = false;
+  }
+  return op(init, acc);
+}
+
+/// Collective dot product of two equally distributed sequences.
+template <typename T>
+T dot(const DSequence<T>& a, const DSequence<T>& b) {
+  if (a.distribution() != b.distribution()) {
+    throw BAD_PARAM("dot: sequences must share a distribution");
+  }
+  const T* x = a.local_data();
+  const T* y = b.local_data();
+  T local{};
+  for (std::uint64_t i = 0; i < a.local_length(); ++i) {
+    local += x[i] * y[i];
+  }
+  return rts::allreduce_value(a.comm(), local);
+}
+
+/// Result of a collective extremum search.
+template <typename T>
+struct Extremum {
+  std::uint64_t index = 0;
+  T value{};
+  bool operator==(const Extremum&) const = default;
+};
+
+/// Collective arg-min / arg-max; ties resolve to the lowest global index.
+/// Throws BAD_PARAM on an empty sequence.
+template <typename T, typename Cmp>
+Extremum<T> extremum(const DSequence<T>& seq, Cmp cmp) {
+  if (seq.length() == 0) {
+    throw BAD_PARAM("extremum of an empty sequence");
+  }
+  auto span = local_span(seq);
+  // Local candidate (empty ranks send a neutral marker index).
+  Extremum<T> mine;
+  bool have = !span.empty();
+  if (have) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < span.size(); ++i) {
+      if (cmp(span[i], span[best])) best = i;
+    }
+    mine.index = seq.local_offset() + best;
+    mine.value = span[best];
+  }
+  const auto flags = rts::allgather_value(seq.comm(), have ? 1 : 0);
+  const auto candidates = rts::allgather_value(seq.comm(), mine);
+  Extremum<T> winner;
+  bool first = true;
+  for (std::size_t r = 0; r < candidates.size(); ++r) {
+    if (!flags[r]) continue;
+    const Extremum<T>& c = candidates[r];
+    if (first || cmp(c.value, winner.value) ||
+        (!cmp(winner.value, c.value) && c.index < winner.index)) {
+      winner = c;
+      first = false;
+    }
+  }
+  return winner;
+}
+
+template <typename T>
+Extremum<T> min_element(const DSequence<T>& seq) {
+  return extremum(seq, std::less<T>{});
+}
+
+template <typename T>
+Extremum<T> max_element(const DSequence<T>& seq) {
+  return extremum(seq, std::greater<T>{});
+}
+
+/// Collective count of elements satisfying `pred`.
+template <typename T, typename Pred>
+std::uint64_t count_if(const DSequence<T>& seq, Pred pred) {
+  auto span = local_span(seq);
+  const std::uint64_t local = static_cast<std::uint64_t>(
+      std::count_if(span.begin(), span.end(), pred));
+  return rts::allreduce_value(seq.comm(), local);
+}
+
+/// Collective copy from a replicated vector (identical on every rank) into
+/// the sequence; sizes must match.
+template <typename T>
+void assign(DSequence<T>& seq, const std::vector<T>& values) {
+  if (values.size() != seq.length()) {
+    throw BAD_PARAM("assign: size mismatch");
+  }
+  const std::uint64_t base = seq.local_offset();
+  T* dst = seq.local_data();
+  for (std::uint64_t i = 0; i < seq.local_length(); ++i) {
+    dst[i] = values[base + i];
+  }
+}
+
+/// Collective axpy: y += a * x (same distribution).
+template <typename T>
+void axpy(T a, const DSequence<T>& x, DSequence<T>& y) {
+  if (x.distribution() != y.distribution()) {
+    throw BAD_PARAM("axpy: sequences must share a distribution");
+  }
+  const T* xs = x.local_data();
+  T* ys = y.local_data();
+  for (std::uint64_t i = 0; i < x.local_length(); ++i) {
+    ys[i] += a * xs[i];
+  }
+}
+
+}  // namespace pardis::dseq

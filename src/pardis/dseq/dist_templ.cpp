@@ -1,0 +1,85 @@
+#include "pardis/dseq/dist_templ.hpp"
+
+#include <algorithm>
+
+#include "pardis/common/error.hpp"
+
+namespace pardis::dseq {
+
+DistTempl::DistTempl(std::vector<std::uint64_t> counts)
+    : counts_(std::move(counts)) {
+  offsets_.resize(counts_.size() + 1);
+  offsets_[0] = 0;
+  for (std::size_t r = 0; r < counts_.size(); ++r) {
+    offsets_[r + 1] = offsets_[r] + counts_[r];
+  }
+}
+
+DistTempl DistTempl::block(std::uint64_t length, int nranks) {
+  return proportional(length, Proportions{}, nranks);
+}
+
+DistTempl DistTempl::proportional(std::uint64_t length, const Proportions& p,
+                                  int nranks) {
+  return DistTempl(p.split(length, nranks));
+}
+
+DistTempl DistTempl::from_counts(std::vector<std::uint64_t> counts) {
+  if (counts.empty()) {
+    throw BAD_PARAM("DistTempl: counts must not be empty");
+  }
+  return DistTempl(std::move(counts));
+}
+
+std::uint64_t DistTempl::count(int rank) const {
+  if (rank < 0 || rank >= nranks()) {
+    throw BAD_PARAM("DistTempl::count: rank out of range");
+  }
+  return counts_[static_cast<std::size_t>(rank)];
+}
+
+std::uint64_t DistTempl::offset(int rank) const {
+  if (rank < 0 || rank >= nranks()) {
+    throw BAD_PARAM("DistTempl::offset: rank out of range");
+  }
+  return offsets_[static_cast<std::size_t>(rank)];
+}
+
+std::pair<std::uint64_t, std::uint64_t> DistTempl::local_range(
+    int rank) const {
+  return {offset(rank), offset(rank) + count(rank)};
+}
+
+int DistTempl::owner(std::uint64_t i) const {
+  if (i >= length()) {
+    throw BAD_PARAM("DistTempl::owner: index out of range");
+  }
+  // First offset strictly greater than i marks the owner's successor.
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), i);
+  return static_cast<int>(it - offsets_.begin()) - 1;
+}
+
+DistTempl DistTempl::resized(std::uint64_t new_length) const {
+  if (counts_.empty()) {
+    throw BAD_PARAM("DistTempl::resized on an empty template");
+  }
+  const std::uint64_t old_length = length();
+  std::vector<std::uint64_t> counts = counts_;
+  if (new_length >= old_length) {
+    // Grow: the rank owning the current last element absorbs the new tail
+    // (rank 0 when the sequence is empty).
+    const int last_owner = old_length == 0 ? 0 : owner(old_length - 1);
+    counts[static_cast<std::size_t>(last_owner)] += new_length - old_length;
+    return DistTempl(std::move(counts));
+  }
+  // Shrink: discard from the top.
+  std::uint64_t to_drop = old_length - new_length;
+  for (std::size_t r = counts.size(); r-- > 0 && to_drop > 0;) {
+    const std::uint64_t drop = std::min(counts[r], to_drop);
+    counts[r] -= drop;
+    to_drop -= drop;
+  }
+  return DistTempl(std::move(counts));
+}
+
+}  // namespace pardis::dseq

@@ -1,0 +1,69 @@
+// Distribution templates (paper §2.2).
+//
+// A DistTempl partitions the index space [0, length) of a distributed
+// sequence into contiguous per-rank blocks.  It answers the ownership
+// questions both transfer methods and the redistribute engine ask:
+// count/offset per rank, owner of an index, and the grow/shrink semantics
+// the paper specifies for length changes ("if a sequence is shrunk, the
+// data above the length value will be discarded, if a sequence is
+// lengthened, new elements will be added to the ownership of the computing
+// thread which owned the last elements of the old sequence").
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pardis/dseq/proportions.hpp"
+
+namespace pardis::dseq {
+
+class DistTempl {
+ public:
+  /// Empty template: zero-length sequence over zero ranks.
+  DistTempl() = default;
+
+  /// Uniform blockwise distribution of `length` over `nranks`.
+  static DistTempl block(std::uint64_t length, int nranks);
+
+  /// Proportional distribution (uniform when `p.uniform()`).
+  static DistTempl proportional(std::uint64_t length, const Proportions& p,
+                                int nranks);
+
+  /// From explicit per-rank counts.
+  static DistTempl from_counts(std::vector<std::uint64_t> counts);
+
+  int nranks() const noexcept { return static_cast<int>(counts_.size()); }
+  std::uint64_t length() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+
+  std::uint64_t count(int rank) const;
+  /// Global index of the first element owned by `rank`.
+  std::uint64_t offset(int rank) const;
+  /// Owned global range [first, last) of `rank`.
+  std::pair<std::uint64_t, std::uint64_t> local_range(int rank) const;
+
+  /// Rank owning global index `i` (empty-block ranks never own anything).
+  /// Throws pardis::BAD_PARAM when i >= length().
+  int owner(std::uint64_t i) const;
+
+  std::span<const std::uint64_t> counts() const noexcept { return counts_; }
+
+  /// Paper grow/shrink semantics over the same rank set: shrinking discards
+  /// from the top; growing appends to the rank owning the current last
+  /// element (or rank 0 if the sequence was empty).
+  DistTempl resized(std::uint64_t new_length) const;
+
+  bool operator==(const DistTempl&) const = default;
+
+ private:
+  explicit DistTempl(std::vector<std::uint64_t> counts);
+
+  std::vector<std::uint64_t> counts_;
+  /// Exclusive prefix sums, one entry per rank plus the total at the back.
+  std::vector<std::uint64_t> offsets_;
+};
+
+}  // namespace pardis::dseq

@@ -1,0 +1,297 @@
+// DSequence<T> — the PARDIS distributed sequence (paper §2.2).
+//
+// A generalization of the CORBA sequence: a one-dimensional array of IDL
+// elements distributed over the address spaces of the computing threads of
+// an SPMD application according to a distribution template.  This is the
+// paper's "experimental" direct C++ mapping:
+//
+//   * collective constructors (length + template, or Proportions);
+//   * a conversion constructor wrapping memory managed by the programmer
+//     ("with no data ownership" when release is false);
+//   * length() grow/shrink with the paper's ownership rules;
+//   * redistribute() moving elements to a new template;
+//   * location-transparent element access via a proxy, SPMD-style: all
+//     computing threads call it collectively and all receive the value
+//     (the paper's restriction for message-passing runtimes);
+//   * local_data()/local_length() escape hatches to the programmer's own
+//     memory-management scheme.
+//
+// All methods marked *collective* must be invoked by every rank of the
+// communicator with identical arguments.
+
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "pardis/common/error.hpp"
+#include "pardis/dseq/dist_templ.hpp"
+#include "pardis/dseq/plan.hpp"
+#include "pardis/rts/collectives.hpp"
+#include "pardis/rts/communicator.hpp"
+
+namespace pardis::dseq {
+
+template <typename T>
+class DSequence;
+
+/// Proxy for location-transparent element access (the paper's
+/// `double_proxy operator[]`).  Reads and writes are collective.
+template <typename T>
+class ElementProxy {
+ public:
+  /// Collective read: the owner broadcasts; every rank gets the value.
+  operator T() const { return seq_->get(index_); }
+
+  /// Collective write: every rank passes the same value; the owner stores it.
+  ElementProxy& operator=(T value) {
+    seq_->set(index_, value);
+    return *this;
+  }
+
+ private:
+  friend class DSequence<T>;
+  ElementProxy(DSequence<T>* seq, std::uint64_t index)
+      : seq_(seq), index_(index) {}
+
+  DSequence<T>* seq_;
+  std::uint64_t index_;
+};
+
+template <typename T>
+class DSequence {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "DSequence elements must be trivially copyable");
+
+ public:
+  /// Collective: empty sequence, uniform blockwise template.
+  explicit DSequence(rts::Communicator& comm)
+      : DSequence(comm, 0, DistTempl::block(0, comm.size())) {}
+
+  /// Collective: `length` elements distributed by `dist` (zero-initialized).
+  DSequence(rts::Communicator& comm, std::uint64_t length, DistTempl dist)
+      : comm_(&comm), dist_(std::move(dist)) {
+    check_dist();
+    if (dist_.length() != length) {
+      throw BAD_PARAM("DSequence: template length != requested length");
+    }
+    owned_.resize(dist_.count(comm.rank()));
+  }
+
+  /// Collective: uniform blockwise distribution.
+  DSequence(rts::Communicator& comm, std::uint64_t length)
+      : DSequence(comm, length, DistTempl::block(length, comm.size())) {}
+
+  /// Collective: proportional distribution.
+  DSequence(rts::Communicator& comm, std::uint64_t length,
+            const Proportions& proportions)
+      : DSequence(comm, length,
+                  DistTempl::proportional(length, proportions, comm.size())) {}
+
+  /// Collective conversion constructor (paper §2.2): wraps `local_length`
+  /// elements of the caller's memory on each rank.  The global template is
+  /// derived from the per-rank lengths.  With release=false the sequence
+  /// never owns or frees the memory; with release=true it adopts the buffer
+  /// (which must have been allocated with new[]) and frees it on
+  /// destruction.
+  DSequence(rts::Communicator& comm, std::uint64_t local_length, T* data,
+            bool release = false)
+      : comm_(&comm) {
+    auto counts = rts::allgather_value(comm, local_length);
+    dist_ = DistTempl::from_counts(
+        std::vector<std::uint64_t>(counts.begin(), counts.end()));
+    external_ = data;
+    external_len_ = local_length;
+    if (release) {
+      adopted_.reset(data);
+    }
+  }
+
+  /// Builds a sequence around already-distributed local chunks (used by the
+  /// server-side unmarshaling path).  Collective; `dist.count(rank)` must
+  /// equal `local.size()` on each rank.
+  static DSequence from_local_chunk(rts::Communicator& comm, DistTempl dist,
+                                    std::vector<T> local) {
+    if (dist.nranks() != comm.size()) {
+      throw BAD_PARAM("DSequence: template rank count != communicator size");
+    }
+    if (dist.count(comm.rank()) != local.size()) {
+      throw BAD_PARAM("DSequence: chunk size does not match template");
+    }
+    DSequence seq(comm, PrivateTag{});
+    seq.dist_ = std::move(dist);
+    seq.owned_ = std::move(local);
+    return seq;
+  }
+
+  // Deep value semantics (CORBA sequences are value types).  Copying a
+  // borrowed sequence yields an owning copy.
+  DSequence(const DSequence& other)
+      : comm_(other.comm_),
+        dist_(other.dist_),
+        owned_(other.data(), other.data() + other.local_length()) {}
+
+  DSequence& operator=(const DSequence& other) {
+    if (this != &other) {
+      comm_ = other.comm_;
+      dist_ = other.dist_;
+      owned_.assign(other.data(), other.data() + other.local_length());
+      adopted_.reset();
+      external_ = nullptr;
+      external_len_ = 0;
+    }
+    return *this;
+  }
+
+  DSequence(DSequence&&) noexcept = default;
+  DSequence& operator=(DSequence&&) noexcept = default;
+  ~DSequence() = default;
+
+  // ---- observers -----------------------------------------------------------
+
+  std::uint64_t length() const noexcept { return dist_.length(); }
+  const DistTempl& distribution() const noexcept { return dist_; }
+  rts::Communicator& comm() const noexcept { return *comm_; }
+
+  T* local_data() noexcept { return data(); }
+  const T* local_data() const noexcept { return data(); }
+  std::uint64_t local_length() const noexcept {
+    return external_ != nullptr ? external_len_ : owned_.size();
+  }
+  /// Global index of this rank's first element.
+  std::uint64_t local_offset() const { return dist_.offset(comm_->rank()); }
+
+  // ---- element access (collective) -----------------------------------------
+
+  ElementProxy<T> operator[](std::uint64_t index) {
+    return ElementProxy<T>(this, index);
+  }
+
+  /// Collective read of element `index`; every rank receives the value.
+  T get(std::uint64_t index) const {
+    const int own = dist_.owner(index);
+    T value{};
+    if (comm_->rank() == own) {
+      value = data()[index - dist_.offset(own)];
+    }
+    return rts::bcast_value(*comm_, value, own);
+  }
+
+  /// Collective write: all ranks pass the same value; the owner stores it.
+  void set(std::uint64_t index, T value) {
+    const int own = dist_.owner(index);
+    if (comm_->rank() == own) {
+      mutable_data()[index - dist_.offset(own)] = value;
+    }
+  }
+
+  // ---- mutation (collective) -----------------------------------------------
+
+  /// Changes the sequence length with the paper's semantics: shrinking
+  /// discards the tail, growing appends (zero-initialized) to the rank that
+  /// owned the last element.
+  void length(std::uint64_t new_length) {
+    materialize();
+    dist_ = dist_.resized(new_length);
+    owned_.resize(dist_.count(comm_->rank()));
+  }
+
+  /// Moves the elements to a new distribution template (same length).
+  void redistribute(const DistTempl& new_dist) {
+    if (new_dist.nranks() != comm_->size()) {
+      throw BAD_PARAM("redistribute: template rank count != team size");
+    }
+    const RedistributionPlan plan(dist_, new_dist);
+    const int me = comm_->rank();
+    // Package outgoing segments per destination, in global order.
+    std::vector<std::vector<T>> parts(
+        static_cast<std::size_t>(comm_->size()));
+    for (const Segment& s : plan.outgoing(me)) {
+      auto& part = parts[static_cast<std::size_t>(s.dst_rank)];
+      const T* src = data() + s.src_offset;
+      part.insert(part.end(), src, src + s.count);
+    }
+    auto received = rts::alltoallv(*comm_, parts);
+    // Unpack incoming segments; chunks from one source arrive concatenated
+    // in the same global order the plan lists them.
+    std::vector<T> fresh(new_dist.count(me));
+    std::vector<std::size_t> consumed(
+        static_cast<std::size_t>(comm_->size()), 0);
+    for (const Segment& s : plan.incoming(me)) {
+      auto& offset = consumed[static_cast<std::size_t>(s.src_rank)];
+      const auto& chunk = received[static_cast<std::size_t>(s.src_rank)];
+      if (offset + s.count > chunk.size()) {
+        throw INTERNAL("redistribute: segment exceeds received chunk");
+      }
+      std::memcpy(fresh.data() + s.dst_offset, chunk.data() + offset,
+                  s.count * sizeof(T));
+      offset += s.count;
+    }
+    owned_ = std::move(fresh);
+    adopted_.reset();
+    external_ = nullptr;
+    external_len_ = 0;
+    dist_ = new_dist;
+  }
+
+  void redistribute(const Proportions& proportions) {
+    redistribute(
+        DistTempl::proportional(length(), proportions, comm_->size()));
+  }
+
+  /// Collective: every rank receives the full sequence contents in global
+  /// order (convenience for tests, examples and visualization clients).
+  std::vector<T> gather_all() const {
+    auto parts = comm_->allgather_bytes(pardis::BytesView(
+        reinterpret_cast<const std::uint8_t*>(data()),
+        local_length() * sizeof(T)));
+    std::vector<T> out;
+    out.reserve(length());
+    for (const auto& p : parts) {
+      const std::size_t n = p.size() / sizeof(T);
+      const std::size_t base = out.size();
+      out.resize(base + n);
+      if (n != 0) std::memcpy(out.data() + base, p.data(), p.size());
+    }
+    return out;
+  }
+
+ private:
+  struct PrivateTag {};
+  DSequence(rts::Communicator& comm, PrivateTag) : comm_(&comm) {}
+
+  void check_dist() const {
+    if (dist_.nranks() != comm_->size()) {
+      throw BAD_PARAM("DSequence: template rank count != communicator size");
+    }
+  }
+
+  const T* data() const noexcept {
+    return external_ != nullptr ? external_ : owned_.data();
+  }
+  T* data() noexcept { return external_ != nullptr ? external_ : owned_.data(); }
+
+  /// Direct mutable access for in-place writes (no storage change).
+  T* mutable_data() noexcept { return data(); }
+
+  /// Copies borrowed/adopted storage into owned storage before operations
+  /// that reallocate.
+  void materialize() {
+    if (external_ != nullptr) {
+      owned_.assign(external_, external_ + external_len_);
+      adopted_.reset();
+      external_ = nullptr;
+      external_len_ = 0;
+    }
+  }
+
+  rts::Communicator* comm_ = nullptr;
+  DistTempl dist_;
+  std::vector<T> owned_;
+  std::unique_ptr<T[]> adopted_;    // set when the conversion ctor released
+  T* external_ = nullptr;           // borrowed or adopted storage
+  std::uint64_t external_len_ = 0;
+};
+
+}  // namespace pardis::dseq

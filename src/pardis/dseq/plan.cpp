@@ -1,0 +1,60 @@
+#include "pardis/dseq/plan.hpp"
+
+#include <algorithm>
+
+#include "pardis/common/error.hpp"
+
+namespace pardis::dseq {
+
+RedistributionPlan::RedistributionPlan(const DistTempl& src,
+                                       const DistTempl& dst)
+    : src_(src), dst_(dst) {
+  if (src.length() != dst.length()) {
+    throw BAD_PARAM("RedistributionPlan: source and destination lengths differ");
+  }
+  // March both partitions in parallel over the global index space; each step
+  // emits the overlap of the current source and destination intervals.
+  int s = 0;
+  int d = 0;
+  std::uint64_t pos = 0;
+  const std::uint64_t total = src.length();
+  while (pos < total) {
+    while (s < src.nranks() && src.offset(s) + src.count(s) <= pos) ++s;
+    while (d < dst.nranks() && dst.offset(d) + dst.count(d) <= pos) ++d;
+    const std::uint64_t src_end = src.offset(s) + src.count(s);
+    const std::uint64_t dst_end = dst.offset(d) + dst.count(d);
+    const std::uint64_t end = std::min(src_end, dst_end);
+    segments_.push_back(Segment{
+        .src_rank = s,
+        .dst_rank = d,
+        .src_offset = pos - src.offset(s),
+        .dst_offset = pos - dst.offset(d),
+        .count = end - pos,
+    });
+    pos = end;
+  }
+}
+
+std::vector<Segment> RedistributionPlan::outgoing(int src_rank) const {
+  std::vector<Segment> out;
+  std::copy_if(segments_.begin(), segments_.end(), std::back_inserter(out),
+               [&](const Segment& s) { return s.src_rank == src_rank; });
+  return out;
+}
+
+std::vector<Segment> RedistributionPlan::incoming(int dst_rank) const {
+  std::vector<Segment> in;
+  std::copy_if(segments_.begin(), segments_.end(), std::back_inserter(in),
+               [&](const Segment& s) { return s.dst_rank == dst_rank; });
+  return in;
+}
+
+std::uint64_t RedistributionPlan::incoming_count(int dst_rank) const {
+  std::uint64_t total = 0;
+  for (const Segment& s : segments_) {
+    if (s.dst_rank == dst_rank) total += s.count;
+  }
+  return total;
+}
+
+}  // namespace pardis::dseq

@@ -1,0 +1,57 @@
+// Redistribution plans: the routing table of multi-port transfer.
+//
+// Given a sequence distributed over K sender ranks (one template) that must
+// arrive distributed over P receiver ranks (another template), the plan is
+// the list of contiguous segments obtained by intersecting every sender
+// interval with every receiver interval.  Multi-port argument transfer
+// (paper §3.3: "the client's threads first calculate to which of the
+// server's threads they should send data") and DSequence::redistribute both
+// execute such a plan.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pardis/dseq/dist_templ.hpp"
+
+namespace pardis::dseq {
+
+struct Segment {
+  int src_rank = 0;
+  int dst_rank = 0;
+  std::uint64_t src_offset = 0;  // element offset into the sender's chunk
+  std::uint64_t dst_offset = 0;  // element offset into the receiver's chunk
+  std::uint64_t count = 0;       // elements
+
+  bool operator==(const Segment&) const = default;
+};
+
+class RedistributionPlan {
+ public:
+  /// Builds the plan from `src` to `dst`; both must cover the same length.
+  /// Throws pardis::BAD_PARAM on a length mismatch.
+  RedistributionPlan(const DistTempl& src, const DistTempl& dst);
+
+  std::span<const Segment> segments() const noexcept { return segments_; }
+
+  /// Segments this sender rank must transmit, in destination order.
+  std::vector<Segment> outgoing(int src_rank) const;
+
+  /// Segments this receiver rank expects, in source order.
+  std::vector<Segment> incoming(int dst_rank) const;
+
+  /// Total elements rank `dst_rank` will receive.
+  std::uint64_t incoming_count(int dst_rank) const;
+
+  const DistTempl& src() const noexcept { return src_; }
+  const DistTempl& dst() const noexcept { return dst_; }
+
+ private:
+  DistTempl src_;
+  DistTempl dst_;
+  std::vector<Segment> segments_;  // ordered by global offset
+};
+
+}  // namespace pardis::dseq

@@ -1,0 +1,81 @@
+#include "pardis/dseq/proportions.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pardis/common/error.hpp"
+
+namespace pardis::dseq {
+
+Proportions::Proportions(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  validate();
+}
+
+Proportions::Proportions(std::initializer_list<double> weights)
+    : weights_(weights) {
+  validate();
+}
+
+Proportions::Proportions(double a, double b) : weights_{a, b} { validate(); }
+Proportions::Proportions(double a, double b, double c) : weights_{a, b, c} {
+  validate();
+}
+Proportions::Proportions(double a, double b, double c, double d)
+    : weights_{a, b, c, d} {
+  validate();
+}
+
+void Proportions::validate() const {
+  if (weights_.empty()) {
+    throw BAD_PARAM("Proportions: weight list must not be empty");
+  }
+  for (double w : weights_) {
+    if (!(w > 0.0)) {
+      throw BAD_PARAM("Proportions: weights must be positive");
+    }
+  }
+}
+
+std::vector<std::uint64_t> Proportions::split(std::uint64_t length,
+                                              int nranks) const {
+  if (nranks <= 0) {
+    throw BAD_PARAM("Proportions::split: nranks must be positive");
+  }
+  const auto p = static_cast<std::size_t>(nranks);
+  if (uniform()) {
+    const std::uint64_t base = length / p;
+    const std::uint64_t extra = length % p;
+    std::vector<std::uint64_t> counts(p, base);
+    for (std::uint64_t r = 0; r < extra; ++r) {
+      ++counts[static_cast<std::size_t>(r)];
+    }
+    return counts;
+  }
+  if (weights_.size() != p) {
+    throw BAD_PARAM("Proportions::split: weight count != rank count");
+  }
+  const double total = std::accumulate(weights_.begin(), weights_.end(), 0.0);
+  // Largest-remainder rounding: floor every share, then hand the leftover
+  // elements to the ranks with the biggest fractional parts.
+  std::vector<std::uint64_t> counts(p);
+  std::vector<std::pair<double, std::size_t>> remainders(p);
+  std::uint64_t assigned = 0;
+  for (std::size_t r = 0; r < p; ++r) {
+    const double share =
+        static_cast<double>(length) * (weights_[r] / total);
+    counts[r] = static_cast<std::uint64_t>(share);
+    remainders[r] = {share - static_cast<double>(counts[r]), r};
+    assigned += counts[r];
+  }
+  std::sort(remainders.begin(), remainders.end(), [](auto& a, auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;  // deterministic tie-break by rank
+  });
+  for (std::size_t i = 0; assigned < length; ++i, ++assigned) {
+    ++counts[remainders[i % p].second];
+  }
+  return counts;
+}
+
+}  // namespace pardis::dseq

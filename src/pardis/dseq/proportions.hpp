@@ -1,0 +1,49 @@
+// PARDIS::Proportions (paper §2.2).
+//
+// An alternative to the default uniform blockwise distribution: the
+// programmer describes relative ownership weights per computing thread,
+// e.g. Proportions(2, 4, 2, 4) distributes a sequence over threads
+// 0..3 in proportions 2:4:2:4.
+
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace pardis::dseq {
+
+class Proportions {
+ public:
+  /// Empty proportions mean "uniform blockwise".
+  Proportions() = default;
+
+  /// Weights per rank; each must be positive.  Throws pardis::BAD_PARAM.
+  explicit Proportions(std::vector<double> weights);
+  Proportions(std::initializer_list<double> weights);
+
+  /// Convenience numeric constructors "up to a point", as in the paper's
+  /// PARDIS::Proportions(2,4,2,4).
+  Proportions(double a, double b);
+  Proportions(double a, double b, double c);
+  Proportions(double a, double b, double c, double d);
+
+  bool uniform() const noexcept { return weights_.empty(); }
+  const std::vector<double>& weights() const noexcept { return weights_; }
+  std::size_t rank_count() const noexcept { return weights_.size(); }
+
+  /// Splits `length` elements into one count per rank: exact proportional
+  /// shares rounded by the largest-remainder method, so counts always sum
+  /// to `length`.  For uniform proportions this is the classic block
+  /// distribution (first length%nranks ranks get one extra element).
+  std::vector<std::uint64_t> split(std::uint64_t length, int nranks) const;
+
+  bool operator==(const Proportions&) const = default;
+
+ private:
+  void validate() const;
+
+  std::vector<double> weights_;
+};
+
+}  // namespace pardis::dseq

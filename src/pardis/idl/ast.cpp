@@ -1,0 +1,51 @@
+#include "pardis/idl/ast.hpp"
+
+namespace pardis::idl {
+
+const char* to_string(BasicKind k) noexcept {
+  switch (k) {
+    case BasicKind::kShort:     return "short";
+    case BasicKind::kUShort:    return "unsigned short";
+    case BasicKind::kLong:      return "long";
+    case BasicKind::kULong:     return "unsigned long";
+    case BasicKind::kLongLong:  return "long long";
+    case BasicKind::kULongLong: return "unsigned long long";
+    case BasicKind::kFloat:     return "float";
+    case BasicKind::kDouble:    return "double";
+    case BasicKind::kBoolean:   return "boolean";
+    case BasicKind::kChar:      return "char";
+    case BasicKind::kOctet:     return "octet";
+  }
+  return "?";
+}
+
+const char* to_string(ParamDir d) noexcept {
+  switch (d) {
+    case ParamDir::kIn:    return "in";
+    case ParamDir::kOut:   return "out";
+    case ParamDir::kInOut: return "inout";
+  }
+  return "?";
+}
+
+std::string spell(const TypeRef& type) {
+  switch (type.kind) {
+    case TypeKind::kVoid:
+      return "void";
+    case TypeKind::kBasic:
+      return to_string(type.basic);
+    case TypeKind::kString:
+      return "string";
+    case TypeKind::kSequence:
+      return "sequence<" + spell(*type.element) +
+             (type.bound ? ", " + std::to_string(type.bound) : "") + ">";
+    case TypeKind::kDSequence:
+      return "dsequence<" + spell(*type.element) +
+             (type.bound ? ", " + std::to_string(type.bound) : "") + ">";
+    case TypeKind::kNamed:
+      return type.name;
+  }
+  return "?";
+}
+
+}  // namespace pardis::idl

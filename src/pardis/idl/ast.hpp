@@ -1,0 +1,155 @@
+// Abstract syntax tree of the PARDIS IDL.
+//
+// Supported subset: modules, interfaces (with inheritance, operations —
+// including oneway — and attributes), structs, enums, typedefs, constants,
+// exceptions, sequence<T[,bound]>, string, the basic CORBA types, and the
+// paper's extension dsequence<T[,length][,dist]> (a distribution literal
+// like dsequence<double, 1024, BLOCK> marks the default template).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "pardis/idl/diagnostics.hpp"
+
+namespace pardis::idl {
+
+enum class BasicKind {
+  kShort,
+  kUShort,
+  kLong,
+  kULong,
+  kLongLong,
+  kULongLong,
+  kFloat,
+  kDouble,
+  kBoolean,
+  kChar,
+  kOctet,
+};
+
+const char* to_string(BasicKind k) noexcept;
+
+enum class TypeKind {
+  kVoid,
+  kBasic,
+  kString,
+  kSequence,   // sequence<element[, bound]>
+  kDSequence,  // dsequence<element[, length]>  (PARDIS extension)
+  kNamed,      // reference to a typedef/struct/enum/interface
+};
+
+struct TypeRef {
+  TypeKind kind = TypeKind::kVoid;
+  BasicKind basic = BasicKind::kLong;      // when kBasic
+  std::string name;                        // when kNamed
+  std::shared_ptr<TypeRef> element;        // when kSequence/kDSequence
+  std::uint64_t bound = 0;                 // 0 = unbounded / unspecified
+  SourceLoc loc;
+
+  static TypeRef void_type() { return TypeRef{}; }
+  static TypeRef basic_type(BasicKind k) {
+    TypeRef t;
+    t.kind = TypeKind::kBasic;
+    t.basic = k;
+    return t;
+  }
+};
+
+enum class ParamDir { kIn, kOut, kInOut };
+
+const char* to_string(ParamDir d) noexcept;
+
+struct Param {
+  ParamDir dir = ParamDir::kIn;
+  TypeRef type;
+  std::string name;
+  SourceLoc loc;
+};
+
+struct Operation {
+  bool oneway = false;
+  TypeRef return_type;
+  std::string name;
+  std::vector<Param> params;
+  std::vector<std::string> raises;  // exception names
+  SourceLoc loc;
+};
+
+struct Attribute {
+  bool readonly = false;
+  TypeRef type;
+  std::string name;
+  SourceLoc loc;
+};
+
+struct StructField {
+  TypeRef type;
+  std::string name;
+  SourceLoc loc;
+};
+
+struct StructDef {
+  std::string name;
+  std::vector<StructField> fields;
+  SourceLoc loc;
+};
+
+struct EnumDef {
+  std::string name;
+  std::vector<std::string> enumerators;
+  SourceLoc loc;
+};
+
+struct TypedefDef {
+  std::string name;
+  TypeRef type;
+  SourceLoc loc;
+};
+
+struct ConstDef {
+  std::string name;
+  TypeRef type;
+  std::string value;  // literal text ("42", "3.5", "TRUE", quoted string)
+  bool is_string = false;
+  SourceLoc loc;
+};
+
+struct ExceptionDef {
+  std::string name;
+  std::vector<StructField> members;
+  SourceLoc loc;
+};
+
+struct InterfaceDef {
+  std::string name;
+  std::vector<std::string> bases;
+  std::vector<Operation> operations;
+  std::vector<Attribute> attributes;
+  SourceLoc loc;
+};
+
+struct ModuleDef;
+
+using Definition =
+    std::variant<StructDef, EnumDef, TypedefDef, ConstDef, ExceptionDef,
+                 InterfaceDef, std::shared_ptr<ModuleDef>>;
+
+struct ModuleDef {
+  std::string name;
+  std::vector<Definition> definitions;
+  SourceLoc loc;
+};
+
+struct TranslationUnit {
+  std::vector<Definition> definitions;
+};
+
+/// Human-readable type spelling for diagnostics ("sequence<double>").
+std::string spell(const TypeRef& type);
+
+}  // namespace pardis::idl

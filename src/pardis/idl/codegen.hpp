@@ -1,0 +1,46 @@
+// C++ code generation: IDL definitions -> PARDIS stubs and skeletons.
+//
+// For each interface the generator emits:
+//   * a client proxy class (paper §2.1's stub) with `_bind`/`_spmd_bind`
+//     statics, a method per operation in the *distributed* mapping
+//     (DSequence arguments), an overload in the *non-distributed* mapping
+//     (std::vector arguments) for operations with dsequence parameters,
+//     and `<op>_nb` non-blocking variants returning futures;
+//   * a `POA_<name>` skeleton deriving from SpmdServant with one pure
+//     virtual per operation and a generated dispatch() that unmarshals
+//     both mappings.
+// Structs, enums, typedefs, constants and exceptions map to their C++
+// equivalents with CDR marshaling helpers; exceptions self-register with
+// the ExceptionRegistry so clients rethrow fully typed.
+
+#pragma once
+
+#include <string>
+
+#include "pardis/idl/ast.hpp"
+#include "pardis/idl/sema.hpp"
+
+namespace pardis::idl {
+
+struct CodegenOptions {
+  /// Output file stem; the header is "<stem>.pardis.hpp".
+  std::string stem = "generated";
+  /// Original IDL file name, for the banner comment.
+  std::string source_name = "<memory>";
+};
+
+struct GeneratedCode {
+  std::string header;
+  std::string source;
+};
+
+/// Generates code for an analyzed, error-free translation unit.
+GeneratedCode generate(const TranslationUnit& tu, const SemaModel& model,
+                       const CodegenOptions& options);
+
+/// Convenience: lex+parse+analyze+generate; throws CompileError on any
+/// diagnostic error.
+GeneratedCode compile(const std::string& idl_source,
+                      const CodegenOptions& options);
+
+}  // namespace pardis::idl

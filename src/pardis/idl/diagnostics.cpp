@@ -1,0 +1,30 @@
+#include "pardis/idl/diagnostics.hpp"
+
+namespace pardis::idl {
+
+std::string Diagnostic::to_string() const {
+  return loc.to_string() + ": " +
+         (severity == Severity::kError ? "error: " : "warning: ") + message;
+}
+
+void DiagnosticSink::error(SourceLoc loc, std::string message) {
+  diags_.push_back(
+      {Diagnostic::Severity::kError, loc, std::move(message)});
+  ++error_count_;
+}
+
+void DiagnosticSink::warning(SourceLoc loc, std::string message) {
+  diags_.push_back(
+      {Diagnostic::Severity::kWarning, loc, std::move(message)});
+}
+
+std::string DiagnosticSink::to_string() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pardis::idl

@@ -1,0 +1,56 @@
+// Source locations and diagnostics for the IDL compiler.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pardis/common/error.hpp"
+
+namespace pardis::idl {
+
+struct SourceLoc {
+  int line = 1;
+  int column = 1;
+
+  std::string to_string() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+  bool operator==(const SourceLoc&) const = default;
+};
+
+struct Diagnostic {
+  enum class Severity { kError, kWarning };
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Collects diagnostics across lexing, parsing and semantic analysis.
+class DiagnosticSink {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+
+  bool has_errors() const noexcept { return error_count_ > 0; }
+  std::size_t error_count() const noexcept { return error_count_; }
+  const std::vector<Diagnostic>& all() const noexcept { return diags_; }
+
+  /// All diagnostics, one per line (compiler output format).
+  std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+/// Thrown when compilation cannot proceed; carries the sink's report.
+class CompileError : public Exception {
+ public:
+  explicit CompileError(const DiagnosticSink& sink)
+      : Exception(sink.to_string()) {}
+};
+
+}  // namespace pardis::idl

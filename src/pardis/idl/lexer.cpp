@@ -1,0 +1,209 @@
+#include "pardis/idl/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace pardis::idl {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "module",    "interface", "struct",   "enum",     "typedef",
+    "sequence",  "dsequence", "exception", "const",   "raises",
+    "oneway",    "in",        "out",      "inout",    "void",
+    "long",      "short",     "unsigned", "float",    "double",
+    "boolean",   "char",      "octet",    "string",   "readonly",
+    "attribute", "TRUE",      "FALSE",
+};
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++loc_.line;
+      loc_.column = 1;
+    } else {
+      ++loc_.column;
+    }
+    return c;
+  }
+  SourceLoc loc() const { return loc_; }
+
+ private:
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  SourceLoc loc_{};
+};
+
+}  // namespace
+
+bool is_idl_keyword(const std::string& word) {
+  for (const char* kw : kKeywords) {
+    if (word == kw) return true;
+  }
+  return false;
+}
+
+std::vector<Token> lex(const std::string& source, DiagnosticSink& sink) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+
+  const auto push = [&](TokKind kind, std::string text, SourceLoc loc) {
+    tokens.push_back(Token{kind, std::move(text), loc});
+  };
+
+  while (!cur.done()) {
+    const SourceLoc loc = cur.loc();
+    const char c = cur.peek();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+    // Comments.
+    if (c == '/' && cur.peek(1) == '/') {
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      cur.advance();
+      cur.advance();
+      bool closed = false;
+      while (!cur.done()) {
+        if (cur.peek() == '*' && cur.peek(1) == '/') {
+          cur.advance();
+          cur.advance();
+          closed = true;
+          break;
+        }
+        cur.advance();
+      }
+      if (!closed) sink.error(loc, "unterminated block comment");
+      continue;
+    }
+    // Preprocessor-style lines are skipped (we do not implement cpp).
+    if (c == '#') {
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (!cur.done() && (std::isalnum(static_cast<unsigned char>(
+                                 cur.peek())) ||
+                             cur.peek() == '_')) {
+        word.push_back(cur.advance());
+      }
+      const TokKind kind =
+          is_idl_keyword(word) ? TokKind::kKeyword : TokKind::kIdentifier;
+      push(kind, std::move(word), loc);
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool is_float = false;
+      // Hex?
+      if (c == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X')) {
+        num.push_back(cur.advance());
+        num.push_back(cur.advance());
+        while (std::isxdigit(static_cast<unsigned char>(cur.peek()))) {
+          num.push_back(cur.advance());
+        }
+      } else {
+        while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+          num.push_back(cur.advance());
+        }
+        if (cur.peek() == '.' &&
+            std::isdigit(static_cast<unsigned char>(cur.peek(1)))) {
+          is_float = true;
+          num.push_back(cur.advance());
+          while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+            num.push_back(cur.advance());
+          }
+        }
+        if (cur.peek() == 'e' || cur.peek() == 'E') {
+          is_float = true;
+          num.push_back(cur.advance());
+          if (cur.peek() == '+' || cur.peek() == '-') {
+            num.push_back(cur.advance());
+          }
+          if (!std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+            sink.error(cur.loc(), "malformed exponent in numeric literal");
+          }
+          while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+            num.push_back(cur.advance());
+          }
+        }
+      }
+      push(is_float ? TokKind::kFloatLiteral : TokKind::kIntLiteral,
+           std::move(num), loc);
+      continue;
+    }
+    // String literals.
+    if (c == '"') {
+      cur.advance();
+      std::string text;
+      bool closed = false;
+      while (!cur.done()) {
+        const char d = cur.advance();
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        if (d == '\\' && !cur.done()) {
+          const char e = cur.advance();
+          switch (e) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            case '\\': text.push_back('\\'); break;
+            case '"': text.push_back('"'); break;
+            default:
+              sink.error(cur.loc(), std::string("unknown escape \\") + e);
+              break;
+          }
+          continue;
+        }
+        if (d == '\n') {
+          sink.error(loc, "newline in string literal");
+          break;
+        }
+        text.push_back(d);
+      }
+      if (!closed) sink.error(loc, "unterminated string literal");
+      push(TokKind::kStringLiteral, std::move(text), loc);
+      continue;
+    }
+    // Scope operator.
+    if (c == ':' && cur.peek(1) == ':') {
+      cur.advance();
+      cur.advance();
+      push(TokKind::kPunct, "::", loc);
+      continue;
+    }
+    // Single-character punctuation.
+    switch (c) {
+      case '{': case '}': case '(': case ')': case '<': case '>':
+      case '[': case ']': case ';': case ':': case ',': case '=':
+      case '|':
+        push(TokKind::kPunct, std::string(1, cur.advance()), loc);
+        continue;
+      default:
+        sink.error(loc, std::string("unexpected character '") + c + "'");
+        cur.advance();
+        continue;
+    }
+  }
+
+  push(TokKind::kEof, "", cur.loc());
+  return tokens;
+}
+
+}  // namespace pardis::idl

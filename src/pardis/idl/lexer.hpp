@@ -1,0 +1,43 @@
+// Lexer for the PARDIS IDL (a CORBA IDL subset plus the `dsequence`
+// extension introduced by the paper).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pardis/idl/diagnostics.hpp"
+
+namespace pardis::idl {
+
+enum class TokKind {
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kPunct,   // one of  { } ( ) < > [ ] ; : , = :: |
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  SourceLoc loc;
+
+  bool is_keyword(const char* kw) const {
+    return kind == TokKind::kKeyword && text == kw;
+  }
+  bool is_punct(const char* p) const {
+    return kind == TokKind::kPunct && text == p;
+  }
+};
+
+/// All IDL keywords this compiler recognizes.
+bool is_idl_keyword(const std::string& word);
+
+/// Tokenizes `source`; lexical errors go to `sink` (the offending character
+/// is skipped so later errors are still reported).  Always ends with kEof.
+std::vector<Token> lex(const std::string& source, DiagnosticSink& sink);
+
+}  // namespace pardis::idl

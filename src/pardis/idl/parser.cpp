@@ -1,0 +1,476 @@
+#include "pardis/idl/parser.hpp"
+
+#include <charconv>
+
+#include "pardis/idl/lexer.hpp"
+
+namespace pardis::idl {
+
+namespace {
+
+/// Raised on a syntax error after reporting; caught at statement level for
+/// recovery.
+struct SyntaxError {};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticSink& sink)
+      : tokens_(std::move(tokens)), sink_(sink) {}
+
+  TranslationUnit parse_unit() {
+    TranslationUnit tu;
+    while (!peek().is_punct("") && peek().kind != TokKind::kEof) {
+      try {
+        tu.definitions.push_back(parse_definition());
+      } catch (const SyntaxError&) {
+        recover();
+      }
+    }
+    return tu;
+  }
+
+ private:
+  // ---- token helpers -------------------------------------------------------
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() {
+    const Token& t = peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+
+  [[noreturn]] void fail(const Token& at, const std::string& message) {
+    sink_.error(at.loc, message);
+    throw SyntaxError{};
+  }
+
+  void expect_punct(const char* p) {
+    if (!peek().is_punct(p)) {
+      fail(peek(), std::string("expected '") + p + "', found '" +
+                       peek().text + "'");
+    }
+    advance();
+  }
+
+  void expect_keyword(const char* kw) {
+    if (!peek().is_keyword(kw)) {
+      fail(peek(), std::string("expected '") + kw + "', found '" +
+                       peek().text + "'");
+    }
+    advance();
+  }
+
+  std::string expect_identifier(const char* what) {
+    if (peek().kind != TokKind::kIdentifier) {
+      fail(peek(), std::string("expected ") + what + ", found '" +
+                       peek().text + "'");
+    }
+    return advance().text;
+  }
+
+  /// Skip to just past the next ';' (or stop before '}' / EOF).
+  void recover() {
+    while (peek().kind != TokKind::kEof) {
+      if (peek().is_punct(";")) {
+        advance();
+        return;
+      }
+      if (peek().is_punct("}")) {
+        advance();
+        if (peek().is_punct(";")) advance();
+        return;
+      }
+      advance();
+    }
+  }
+
+  // ---- grammar -------------------------------------------------------------
+
+  Definition parse_definition() {
+    const Token& t = peek();
+    if (t.is_keyword("module")) return parse_module();
+    if (t.is_keyword("interface")) return parse_interface();
+    if (t.is_keyword("struct")) return parse_struct();
+    if (t.is_keyword("enum")) return parse_enum();
+    if (t.is_keyword("typedef")) return parse_typedef();
+    if (t.is_keyword("const")) return parse_const();
+    if (t.is_keyword("exception")) return parse_exception();
+    fail(t, "expected a definition (module/interface/struct/enum/typedef/"
+            "const/exception), found '" +
+                t.text + "'");
+  }
+
+  Definition parse_module() {
+    auto mod = std::make_shared<ModuleDef>();
+    mod->loc = peek().loc;
+    expect_keyword("module");
+    mod->name = expect_identifier("module name");
+    expect_punct("{");
+    while (!peek().is_punct("}")) {
+      if (peek().kind == TokKind::kEof) {
+        fail(peek(), "unexpected end of file in module '" + mod->name + "'");
+      }
+      try {
+        mod->definitions.push_back(parse_definition());
+      } catch (const SyntaxError&) {
+        recover();
+      }
+    }
+    expect_punct("}");
+    expect_punct(";");
+    return mod;
+  }
+
+  Definition parse_interface() {
+    InterfaceDef iface;
+    iface.loc = peek().loc;
+    expect_keyword("interface");
+    iface.name = expect_identifier("interface name");
+    if (peek().is_punct(":")) {
+      advance();
+      iface.bases.push_back(parse_scoped_name());
+      while (peek().is_punct(",")) {
+        advance();
+        iface.bases.push_back(parse_scoped_name());
+      }
+    }
+    expect_punct("{");
+    while (!peek().is_punct("}")) {
+      if (peek().kind == TokKind::kEof) {
+        fail(peek(), "unexpected end of file in interface '" + iface.name +
+                         "'");
+      }
+      try {
+        parse_interface_member(iface);
+      } catch (const SyntaxError&) {
+        recover();
+      }
+    }
+    expect_punct("}");
+    expect_punct(";");
+    return iface;
+  }
+
+  void parse_interface_member(InterfaceDef& iface) {
+    if (peek().is_keyword("readonly") || peek().is_keyword("attribute")) {
+      Attribute attr;
+      attr.loc = peek().loc;
+      if (peek().is_keyword("readonly")) {
+        attr.readonly = true;
+        advance();
+      }
+      expect_keyword("attribute");
+      attr.type = parse_type();
+      attr.name = expect_identifier("attribute name");
+      expect_punct(";");
+      iface.attributes.push_back(std::move(attr));
+      return;
+    }
+    Operation op;
+    op.loc = peek().loc;
+    if (peek().is_keyword("oneway")) {
+      op.oneway = true;
+      advance();
+    }
+    op.return_type = parse_type_or_void();
+    op.name = expect_identifier("operation name");
+    expect_punct("(");
+    if (!peek().is_punct(")")) {
+      op.params.push_back(parse_param());
+      while (peek().is_punct(",")) {
+        advance();
+        op.params.push_back(parse_param());
+      }
+    }
+    expect_punct(")");
+    if (peek().is_keyword("raises")) {
+      advance();
+      expect_punct("(");
+      op.raises.push_back(parse_scoped_name());
+      while (peek().is_punct(",")) {
+        advance();
+        op.raises.push_back(parse_scoped_name());
+      }
+      expect_punct(")");
+    }
+    expect_punct(";");
+    iface.operations.push_back(std::move(op));
+  }
+
+  Param parse_param() {
+    Param p;
+    p.loc = peek().loc;
+    if (peek().is_keyword("in")) {
+      p.dir = ParamDir::kIn;
+    } else if (peek().is_keyword("out")) {
+      p.dir = ParamDir::kOut;
+    } else if (peek().is_keyword("inout")) {
+      p.dir = ParamDir::kInOut;
+    } else {
+      fail(peek(), "expected parameter direction (in/out/inout), found '" +
+                       peek().text + "'");
+    }
+    advance();
+    p.type = parse_type();
+    p.name = expect_identifier("parameter name");
+    return p;
+  }
+
+  Definition parse_struct() {
+    StructDef s;
+    s.loc = peek().loc;
+    expect_keyword("struct");
+    s.name = expect_identifier("struct name");
+    expect_punct("{");
+    while (!peek().is_punct("}")) {
+      if (peek().kind == TokKind::kEof) {
+        fail(peek(), "unexpected end of file in struct '" + s.name + "'");
+      }
+      StructField f;
+      f.loc = peek().loc;
+      f.type = parse_type();
+      f.name = expect_identifier("field name");
+      expect_punct(";");
+      s.fields.push_back(std::move(f));
+    }
+    expect_punct("}");
+    expect_punct(";");
+    return s;
+  }
+
+  Definition parse_enum() {
+    EnumDef e;
+    e.loc = peek().loc;
+    expect_keyword("enum");
+    e.name = expect_identifier("enum name");
+    expect_punct("{");
+    e.enumerators.push_back(expect_identifier("enumerator"));
+    while (peek().is_punct(",")) {
+      advance();
+      if (peek().is_punct("}")) break;  // trailing comma tolerated
+      e.enumerators.push_back(expect_identifier("enumerator"));
+    }
+    expect_punct("}");
+    expect_punct(";");
+    return e;
+  }
+
+  Definition parse_typedef() {
+    TypedefDef td;
+    td.loc = peek().loc;
+    expect_keyword("typedef");
+    td.type = parse_type();
+    td.name = expect_identifier("typedef name");
+    expect_punct(";");
+    return td;
+  }
+
+  Definition parse_const() {
+    ConstDef cd;
+    cd.loc = peek().loc;
+    expect_keyword("const");
+    cd.type = parse_type();
+    cd.name = expect_identifier("constant name");
+    expect_punct("=");
+    const Token& v = peek();
+    switch (v.kind) {
+      case TokKind::kIntLiteral:
+      case TokKind::kFloatLiteral:
+        cd.value = advance().text;
+        break;
+      case TokKind::kStringLiteral:
+        cd.value = advance().text;
+        cd.is_string = true;
+        break;
+      case TokKind::kKeyword:
+        if (v.text == "TRUE" || v.text == "FALSE") {
+          cd.value = advance().text;
+          break;
+        }
+        [[fallthrough]];
+      default:
+        fail(v, "expected a literal constant value, found '" + v.text + "'");
+    }
+    expect_punct(";");
+    return cd;
+  }
+
+  Definition parse_exception() {
+    ExceptionDef e;
+    e.loc = peek().loc;
+    expect_keyword("exception");
+    e.name = expect_identifier("exception name");
+    expect_punct("{");
+    while (!peek().is_punct("}")) {
+      if (peek().kind == TokKind::kEof) {
+        fail(peek(), "unexpected end of file in exception '" + e.name + "'");
+      }
+      StructField f;
+      f.loc = peek().loc;
+      f.type = parse_type();
+      f.name = expect_identifier("member name");
+      expect_punct(";");
+      e.members.push_back(std::move(f));
+    }
+    expect_punct("}");
+    expect_punct(";");
+    return e;
+  }
+
+  // ---- types ---------------------------------------------------------------
+
+  TypeRef parse_type_or_void() {
+    if (peek().is_keyword("void")) {
+      TypeRef t;
+      t.loc = advance().loc;
+      t.kind = TypeKind::kVoid;
+      return t;
+    }
+    return parse_type();
+  }
+
+  TypeRef parse_type() {
+    TypeRef t;
+    t.loc = peek().loc;
+    const Token& tok = peek();
+
+    if (tok.is_keyword("unsigned")) {
+      advance();
+      if (peek().is_keyword("short")) {
+        advance();
+        return with_loc(TypeRef::basic_type(BasicKind::kUShort), t.loc);
+      }
+      if (peek().is_keyword("long")) {
+        advance();
+        if (peek().is_keyword("long")) {
+          advance();
+          return with_loc(TypeRef::basic_type(BasicKind::kULongLong), t.loc);
+        }
+        return with_loc(TypeRef::basic_type(BasicKind::kULong), t.loc);
+      }
+      fail(peek(), "expected 'short' or 'long' after 'unsigned'");
+    }
+    if (tok.is_keyword("short")) {
+      advance();
+      return with_loc(TypeRef::basic_type(BasicKind::kShort), t.loc);
+    }
+    if (tok.is_keyword("long")) {
+      advance();
+      if (peek().is_keyword("long")) {
+        advance();
+        return with_loc(TypeRef::basic_type(BasicKind::kLongLong), t.loc);
+      }
+      if (peek().is_keyword("double")) {
+        fail(peek(), "'long double' is not supported by this compiler");
+      }
+      return with_loc(TypeRef::basic_type(BasicKind::kLong), t.loc);
+    }
+    if (tok.is_keyword("float")) {
+      advance();
+      return with_loc(TypeRef::basic_type(BasicKind::kFloat), t.loc);
+    }
+    if (tok.is_keyword("double")) {
+      advance();
+      return with_loc(TypeRef::basic_type(BasicKind::kDouble), t.loc);
+    }
+    if (tok.is_keyword("boolean")) {
+      advance();
+      return with_loc(TypeRef::basic_type(BasicKind::kBoolean), t.loc);
+    }
+    if (tok.is_keyword("char")) {
+      advance();
+      return with_loc(TypeRef::basic_type(BasicKind::kChar), t.loc);
+    }
+    if (tok.is_keyword("octet")) {
+      advance();
+      return with_loc(TypeRef::basic_type(BasicKind::kOctet), t.loc);
+    }
+    if (tok.is_keyword("string")) {
+      advance();
+      t.kind = TypeKind::kString;
+      return t;
+    }
+    if (tok.is_keyword("sequence") || tok.is_keyword("dsequence")) {
+      const bool distributed = tok.text == "dsequence";
+      advance();
+      expect_punct("<");
+      t.kind = distributed ? TypeKind::kDSequence : TypeKind::kSequence;
+      t.element = std::make_shared<TypeRef>(parse_type());
+      if (peek().is_punct(",")) {
+        advance();
+        t.bound = parse_uint_literal("sequence bound");
+        // dsequence<double, 1024, BLOCK>: an optional distribution tag.
+        if (distributed && peek().is_punct(",")) {
+          advance();
+          const std::string dist = expect_identifier("distribution tag");
+          if (dist != "BLOCK") {
+            sink_.error(t.loc, "unknown distribution tag '" + dist +
+                                   "' (only BLOCK is supported)");
+          }
+        }
+      }
+      expect_punct(">");
+      return t;
+    }
+    if (tok.kind == TokKind::kIdentifier) {
+      t.kind = TypeKind::kNamed;
+      t.name = parse_scoped_name();
+      return t;
+    }
+    fail(tok, "expected a type, found '" + tok.text + "'");
+  }
+
+  std::string parse_scoped_name() {
+    std::string name = expect_identifier("name");
+    while (peek().is_punct("::")) {
+      advance();
+      name += "::";
+      name += expect_identifier("name after '::'");
+    }
+    return name;
+  }
+
+  std::uint64_t parse_uint_literal(const char* what) {
+    if (peek().kind != TokKind::kIntLiteral) {
+      fail(peek(), std::string("expected ") + what + ", found '" +
+                       peek().text + "'");
+    }
+    const std::string text = advance().text;
+    std::uint64_t value = 0;
+    const char* begin = text.c_str();
+    const char* end = begin + text.size();
+    int base = 10;
+    if (text.size() > 2 && text[0] == '0' &&
+        (text[1] == 'x' || text[1] == 'X')) {
+      begin += 2;
+      base = 16;
+    }
+    const auto [ptr, ec] = std::from_chars(begin, end, value, base);
+    if (ec != std::errc{} || ptr != end) {
+      fail(peek(), "malformed integer literal '" + text + "'");
+    }
+    return value;
+  }
+
+  static TypeRef with_loc(TypeRef t, SourceLoc loc) {
+    t.loc = loc;
+    return t;
+  }
+
+  std::vector<Token> tokens_;
+  DiagnosticSink& sink_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TranslationUnit parse(const std::string& source, DiagnosticSink& sink) {
+  auto tokens = lex(source, sink);
+  Parser parser(std::move(tokens), sink);
+  return parser.parse_unit();
+}
+
+}  // namespace pardis::idl

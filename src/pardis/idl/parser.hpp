@@ -1,0 +1,17 @@
+// Recursive-descent parser for the PARDIS IDL.
+
+#pragma once
+
+#include <string>
+
+#include "pardis/idl/ast.hpp"
+#include "pardis/idl/diagnostics.hpp"
+
+namespace pardis::idl {
+
+/// Parses `source`; syntax errors go to `sink`.  On error the parser skips
+/// to the next ';' or '}' and continues so multiple errors are reported.
+/// The returned tree is only meaningful when !sink.has_errors().
+TranslationUnit parse(const std::string& source, DiagnosticSink& sink);
+
+}  // namespace pardis::idl

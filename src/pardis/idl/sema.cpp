@@ -1,0 +1,454 @@
+#include "pardis/idl/sema.hpp"
+
+#include <set>
+
+namespace pardis::idl {
+
+namespace {
+
+std::string join_scope(const std::string& scope, const std::string& name) {
+  return scope.empty() ? name : scope + "::" + name;
+}
+
+/// True if a dsequence may carry this element kind over the wire.
+bool dseq_element_ok(BasicKind k) {
+  switch (k) {
+    case BasicKind::kBoolean:
+    case BasicKind::kChar:
+      return false;
+    default:
+      return true;
+  }
+}
+
+class Analyzer {
+ public:
+  Analyzer(const TranslationUnit& tu, DiagnosticSink& sink)
+      : tu_(tu), sink_(sink) {}
+
+  SemaModel run() {
+    collect(tu_.definitions, "");
+    check(tu_.definitions, "");
+    return std::move(model_);
+  }
+
+ private:
+  // ---- pass 1: symbol collection -------------------------------------------
+
+  void collect(const std::vector<Definition>& defs, const std::string& scope) {
+    for (const Definition& def : defs) {
+      std::visit([&](const auto& node) { collect_one(node, scope); }, def);
+    }
+  }
+
+  void declare(Symbol sym, SourceLoc loc) {
+    bool inserted = false;
+    const Symbol* existing = model_.add_symbol(sym, &inserted);
+    if (!inserted) {
+      sink_.error(loc, "duplicate definition of '" + sym.qualified +
+                           "' (previously a " +
+                           to_string(existing->kind) + ")");
+    }
+  }
+
+  void collect_one(const StructDef& s, const std::string& scope) {
+    Symbol sym;
+    sym.kind = Symbol::Kind::kStruct;
+    sym.qualified = join_scope(scope, s.name);
+    sym.struct_def = &s;
+    declare(sym, s.loc);
+  }
+  void collect_one(const EnumDef& e, const std::string& scope) {
+    Symbol sym;
+    sym.kind = Symbol::Kind::kEnum;
+    sym.qualified = join_scope(scope, e.name);
+    sym.enum_def = &e;
+    declare(sym, e.loc);
+  }
+  void collect_one(const TypedefDef& t, const std::string& scope) {
+    Symbol sym;
+    sym.kind = Symbol::Kind::kTypedef;
+    sym.qualified = join_scope(scope, t.name);
+    sym.typedef_def = &t;
+    declare(sym, t.loc);
+  }
+  void collect_one(const ConstDef& c, const std::string& scope) {
+    Symbol sym;
+    sym.kind = Symbol::Kind::kConst;
+    sym.qualified = join_scope(scope, c.name);
+    sym.const_def = &c;
+    declare(sym, c.loc);
+  }
+  void collect_one(const ExceptionDef& e, const std::string& scope) {
+    Symbol sym;
+    sym.kind = Symbol::Kind::kException;
+    sym.qualified = join_scope(scope, e.name);
+    sym.exception_def = &e;
+    declare(sym, e.loc);
+  }
+  void collect_one(const InterfaceDef& i, const std::string& scope) {
+    Symbol sym;
+    sym.kind = Symbol::Kind::kInterface;
+    sym.qualified = join_scope(scope, i.name);
+    sym.interface_def = &i;
+    declare(sym, i.loc);
+  }
+  void collect_one(const std::shared_ptr<ModuleDef>& m,
+                   const std::string& scope) {
+    Symbol sym;
+    sym.kind = Symbol::Kind::kModule;
+    sym.qualified = join_scope(scope, m->name);
+    // Re-opened modules are legal in IDL; only declare the first time.
+    bool inserted = false;
+    model_.add_symbol(sym, &inserted);
+    collect(m->definitions, sym.qualified);
+  }
+
+  // ---- pass 2: checks --------------------------------------------------------
+
+  void check(const std::vector<Definition>& defs, const std::string& scope) {
+    for (const Definition& def : defs) {
+      std::visit([&](const auto& node) { check_one(node, scope); }, def);
+    }
+  }
+
+  void check_one(const StructDef& s, const std::string& scope) {
+    std::set<std::string> names;
+    for (const StructField& f : s.fields) {
+      if (!names.insert(f.name).second) {
+        sink_.error(f.loc, "duplicate field '" + f.name + "' in struct '" +
+                               s.name + "'");
+      }
+      check_type(f.type, scope, /*allow_dseq=*/false,
+                 "field '" + f.name + "' of struct '" + s.name + "'");
+    }
+  }
+
+  void check_one(const EnumDef& e, const std::string&) {
+    std::set<std::string> names;
+    for (const std::string& name : e.enumerators) {
+      if (!names.insert(name).second) {
+        sink_.error(e.loc, "duplicate enumerator '" + name + "' in enum '" +
+                               e.name + "'");
+      }
+    }
+  }
+
+  void check_one(const TypedefDef& t, const std::string& scope) {
+    check_type(t.type, scope, /*allow_dseq=*/true,
+               "typedef '" + t.name + "'");
+  }
+
+  void check_one(const ConstDef& c, const std::string& scope) {
+    const TypeRef canon = model_.canonical(scope, c.type);
+    const std::string where = "constant '" + c.name + "'";
+    if (canon.kind == TypeKind::kString) {
+      if (!c.is_string) {
+        sink_.error(c.loc, where + " of type string needs a string literal");
+      }
+      return;
+    }
+    if (canon.kind != TypeKind::kBasic) {
+      sink_.error(c.loc,
+                  where + ": constants must have a basic or string type");
+      return;
+    }
+    if (c.is_string) {
+      sink_.error(c.loc, where + ": string literal for non-string type");
+      return;
+    }
+    const bool is_bool_lit = c.value == "TRUE" || c.value == "FALSE";
+    if ((canon.basic == BasicKind::kBoolean) != is_bool_lit) {
+      sink_.error(c.loc, where + ": literal does not match type " +
+                             to_string(canon.basic));
+    }
+    const bool is_float_type =
+        canon.basic == BasicKind::kFloat || canon.basic == BasicKind::kDouble;
+    if (!is_float_type && !is_bool_lit &&
+        c.value.find('.') != std::string::npos) {
+      sink_.error(c.loc, where + ": floating literal for integer type");
+    }
+  }
+
+  void check_one(const ExceptionDef& e, const std::string& scope) {
+    std::set<std::string> names;
+    for (const StructField& f : e.members) {
+      if (!names.insert(f.name).second) {
+        sink_.error(f.loc, "duplicate member '" + f.name +
+                               "' in exception '" + e.name + "'");
+      }
+      check_type(f.type, scope, /*allow_dseq=*/false,
+                 "member '" + f.name + "' of exception '" + e.name + "'");
+    }
+  }
+
+  void check_one(const InterfaceDef& iface, const std::string& scope) {
+    // Bases must be interfaces.
+    for (const std::string& base : iface.bases) {
+      const Symbol* sym = model_.lookup(scope, base);
+      if (sym == nullptr) {
+        sink_.error(iface.loc, "unknown base interface '" + base + "'");
+      } else if (sym->kind != Symbol::Kind::kInterface) {
+        sink_.error(iface.loc, "base '" + base + "' is a " +
+                                   to_string(sym->kind) +
+                                   ", not an interface");
+      } else if (sym->qualified == join_scope(scope, iface.name)) {
+        sink_.error(iface.loc,
+                    "interface '" + iface.name + "' inherits itself");
+      }
+    }
+    // Member name uniqueness across ops, attributes, and inherited members.
+    std::set<std::string> names;
+    for (const Operation& op :
+         model_.flattened_operations(scope, iface)) {
+      if (!names.insert(op.name).second) {
+        sink_.error(op.loc, "duplicate operation '" + op.name +
+                                "' in interface '" + iface.name + "'");
+      }
+    }
+    for (const Attribute& attr :
+         model_.flattened_attributes(scope, iface)) {
+      if (!names.insert(attr.name).second) {
+        sink_.error(attr.loc, "duplicate member '" + attr.name +
+                                  "' in interface '" + iface.name + "'");
+      }
+      check_type(attr.type, scope, /*allow_dseq=*/false,
+                 "attribute '" + attr.name + "'");
+    }
+    for (const Operation& op : iface.operations) {
+      check_operation(op, scope, iface);
+    }
+  }
+
+  void check_operation(const Operation& op, const std::string& scope,
+                       const InterfaceDef& iface) {
+    const std::string where =
+        "operation '" + iface.name + "::" + op.name + "'";
+    if (op.return_type.kind != TypeKind::kVoid) {
+      check_type(op.return_type, scope, /*allow_dseq=*/false,
+                 "return type of " + where);
+      if (op.oneway) {
+        sink_.error(op.loc, where + ": oneway operations must return void");
+      }
+    }
+    std::set<std::string> names;
+    for (const Param& p : op.params) {
+      if (!names.insert(p.name).second) {
+        sink_.error(p.loc,
+                    "duplicate parameter '" + p.name + "' in " + where);
+      }
+      check_type(p.type, scope, /*allow_dseq=*/true,
+                 "parameter '" + p.name + "' of " + where);
+      if (op.oneway && p.dir != ParamDir::kIn) {
+        sink_.error(p.loc, where + ": oneway operations allow only 'in' "
+                               "parameters");
+      }
+    }
+    for (const std::string& exc : op.raises) {
+      const Symbol* sym = model_.lookup(scope, exc);
+      if (sym == nullptr) {
+        sink_.error(op.loc, where + " raises unknown exception '" + exc +
+                                "'");
+      } else if (sym->kind != Symbol::Kind::kException) {
+        sink_.error(op.loc, where + " raises '" + exc + "', which is a " +
+                                to_string(sym->kind) + ", not an exception");
+      }
+    }
+  }
+
+  void check_one(const std::shared_ptr<ModuleDef>& m,
+                 const std::string& scope) {
+    check(m->definitions, join_scope(scope, m->name));
+  }
+
+  void check_type(const TypeRef& type, const std::string& scope,
+                  bool allow_dseq, const std::string& where) {
+    switch (type.kind) {
+      case TypeKind::kVoid:
+        sink_.error(type.loc, where + ": void is not a value type");
+        return;
+      case TypeKind::kBasic:
+      case TypeKind::kString:
+        return;
+      case TypeKind::kSequence: {
+        const TypeRef elem = model_.canonical(scope, *type.element);
+        if (elem.kind == TypeKind::kDSequence ||
+            elem.kind == TypeKind::kSequence) {
+          sink_.error(type.loc,
+                      where + ": nested sequences are not supported");
+          return;
+        }
+        check_type(*type.element, scope, /*allow_dseq=*/false, where);
+        return;
+      }
+      case TypeKind::kDSequence: {
+        if (!allow_dseq) {
+          sink_.error(type.loc,
+                      where + ": dsequence is only allowed as an operation "
+                              "parameter or typedef");
+          return;
+        }
+        const TypeRef elem = model_.canonical(scope, *type.element);
+        if (elem.kind != TypeKind::kBasic ||
+            !dseq_element_ok(elem.basic)) {
+          sink_.error(type.loc,
+                      where + ": dsequence elements must be numeric basic "
+                              "types (got " +
+                          spell(*type.element) + ")");
+        }
+        return;
+      }
+      case TypeKind::kNamed: {
+        const Symbol* sym = model_.lookup(scope, type.name);
+        if (sym == nullptr) {
+          sink_.error(type.loc, where + ": unknown type '" + type.name + "'");
+          return;
+        }
+        switch (sym->kind) {
+          case Symbol::Kind::kStruct:
+          case Symbol::Kind::kEnum:
+            return;
+          case Symbol::Kind::kTypedef: {
+            const TypeRef canon = model_.canonical(scope, type);
+            if (canon.kind == TypeKind::kDSequence && !allow_dseq) {
+              sink_.error(type.loc,
+                          where + ": dsequence (via typedef '" + type.name +
+                              "') is only allowed as an operation parameter");
+            }
+            return;
+          }
+          case Symbol::Kind::kInterface:
+            sink_.error(type.loc,
+                        where + ": object references as data are not "
+                                "supported by this compiler");
+            return;
+          default:
+            sink_.error(type.loc, where + ": '" + type.name + "' is a " +
+                                      to_string(sym->kind) +
+                                      ", not a type");
+            return;
+        }
+      }
+    }
+  }
+
+  const TranslationUnit& tu_;
+  DiagnosticSink& sink_;
+  SemaModel model_;
+};
+
+}  // namespace
+
+const char* to_string(Symbol::Kind k) noexcept {
+  switch (k) {
+    case Symbol::Kind::kModule:    return "module";
+    case Symbol::Kind::kStruct:    return "struct";
+    case Symbol::Kind::kEnum:      return "enum";
+    case Symbol::Kind::kTypedef:   return "typedef";
+    case Symbol::Kind::kInterface: return "interface";
+    case Symbol::Kind::kException: return "exception";
+    case Symbol::Kind::kConst:     return "constant";
+  }
+  return "?";
+}
+
+const Symbol* SemaModel::add_symbol(const Symbol& sym, bool* inserted) {
+  const auto [it, fresh] = symbols_.emplace(sym.qualified, sym);
+  *inserted = fresh;
+  return &it->second;
+}
+
+const Symbol* SemaModel::lookup(const std::string& scope,
+                                const std::string& name) const {
+  // Try the name qualified by each enclosing scope, innermost first, then
+  // globally.
+  std::string prefix = scope;
+  for (;;) {
+    const std::string candidate =
+        prefix.empty() ? name : prefix + "::" + name;
+    const auto it = symbols_.find(candidate);
+    if (it != symbols_.end()) return &it->second;
+    if (prefix.empty()) return nullptr;
+    const auto cut = prefix.rfind("::");
+    prefix = cut == std::string::npos ? "" : prefix.substr(0, cut);
+  }
+}
+
+TypeRef SemaModel::canonical(const std::string& scope,
+                             const TypeRef& type) const {
+  if (type.kind != TypeKind::kNamed) {
+    if ((type.kind == TypeKind::kSequence ||
+         type.kind == TypeKind::kDSequence) &&
+        type.element) {
+      TypeRef out = type;
+      out.element = std::make_shared<TypeRef>(canonical(scope, *type.element));
+      return out;
+    }
+    return type;
+  }
+  const Symbol* sym = lookup(scope, type.name);
+  if (sym == nullptr) return type;
+  if (sym->kind == Symbol::Kind::kTypedef) {
+    // Resolve the typedef's own type in the scope where it was declared.
+    const auto cut = sym->qualified.rfind("::");
+    const std::string def_scope =
+        cut == std::string::npos ? "" : sym->qualified.substr(0, cut);
+    return canonical(def_scope, sym->typedef_def->type);
+  }
+  TypeRef out = type;
+  out.name = sym->qualified;
+  return out;
+}
+
+namespace {
+
+/// Walks the inheritance DAG base-first; `visit` receives each interface
+/// once (cycles — already a reported error — are not re-entered).
+template <typename Visit>
+void walk_bases(const SemaModel& model, const std::string& scope,
+                const InterfaceDef& iface, std::set<std::string>& seen,
+                const Visit& visit) {
+  for (const std::string& base : iface.bases) {
+    const Symbol* sym = model.lookup(scope, base);
+    if (sym == nullptr || sym->kind != Symbol::Kind::kInterface) continue;
+    if (!seen.insert(sym->qualified).second) continue;
+    const auto cut = sym->qualified.rfind("::");
+    const std::string base_scope =
+        cut == std::string::npos ? "" : sym->qualified.substr(0, cut);
+    walk_bases(model, base_scope, *sym->interface_def, seen, visit);
+    visit(*sym->interface_def);
+  }
+}
+
+}  // namespace
+
+std::vector<Operation> SemaModel::flattened_operations(
+    const std::string& scope, const InterfaceDef& iface) const {
+  std::vector<Operation> ops;
+  std::set<std::string> seen;
+  walk_bases(*this, scope, iface, seen, [&](const InterfaceDef& base) {
+    ops.insert(ops.end(), base.operations.begin(), base.operations.end());
+  });
+  ops.insert(ops.end(), iface.operations.begin(), iface.operations.end());
+  return ops;
+}
+
+std::vector<Attribute> SemaModel::flattened_attributes(
+    const std::string& scope, const InterfaceDef& iface) const {
+  std::vector<Attribute> attrs;
+  std::set<std::string> seen;
+  walk_bases(*this, scope, iface, seen, [&](const InterfaceDef& base) {
+    attrs.insert(attrs.end(), base.attributes.begin(),
+                 base.attributes.end());
+  });
+  attrs.insert(attrs.end(), iface.attributes.begin(),
+               iface.attributes.end());
+  return attrs;
+}
+
+SemaModel analyze(const TranslationUnit& tu, DiagnosticSink& sink) {
+  Analyzer analyzer(tu, sink);
+  return analyzer.run();
+}
+
+}  // namespace pardis::idl

@@ -1,0 +1,76 @@
+// Semantic analysis: scopes, name resolution and the PARDIS-specific
+// legality rules (dsequence element types, parameter placement, raises
+// clauses, constant typing, interface inheritance).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pardis/idl/ast.hpp"
+#include "pardis/idl/diagnostics.hpp"
+
+namespace pardis::idl {
+
+struct Symbol {
+  enum class Kind {
+    kModule,
+    kStruct,
+    kEnum,
+    kTypedef,
+    kInterface,
+    kException,
+    kConst,
+  };
+  Kind kind = Kind::kModule;
+  std::string qualified;  // e.g. "Sim::diff_object"
+  const StructDef* struct_def = nullptr;
+  const EnumDef* enum_def = nullptr;
+  const TypedefDef* typedef_def = nullptr;
+  const InterfaceDef* interface_def = nullptr;
+  const ExceptionDef* exception_def = nullptr;
+  const ConstDef* const_def = nullptr;
+};
+
+const char* to_string(Symbol::Kind k) noexcept;
+
+/// The resolved model handed to the code generator.
+class SemaModel {
+ public:
+  /// Resolves `name` (possibly qualified with ::) as seen from `scope`
+  /// (a module path like "A::B", or "" for global).  Returns nullptr when
+  /// unknown.
+  const Symbol* lookup(const std::string& scope,
+                       const std::string& name) const;
+
+  /// Expands typedef chains to the underlying type; named references to
+  /// structs/enums/interfaces are returned as kNamed with the *qualified*
+  /// name filled in.
+  TypeRef canonical(const std::string& scope, const TypeRef& type) const;
+
+  /// All operations of an interface including inherited ones (base-first,
+  /// declaration order).
+  std::vector<Operation> flattened_operations(
+      const std::string& scope, const InterfaceDef& iface) const;
+  std::vector<Attribute> flattened_attributes(
+      const std::string& scope, const InterfaceDef& iface) const;
+
+  const std::map<std::string, Symbol>& symbols() const noexcept {
+    return symbols_;
+  }
+
+  /// Registers a symbol under its qualified name; returns the existing
+  /// symbol (and does not replace it) when the name is already taken.
+  /// Used by the analyzer while building the model.
+  const Symbol* add_symbol(const Symbol& sym, bool* inserted);
+
+ private:
+  std::map<std::string, Symbol> symbols_;  // keyed by qualified name
+};
+
+/// Runs all checks; diagnostics go to `sink`.  The model is complete even
+/// when errors were reported (callers must check sink.has_errors()).
+SemaModel analyze(const TranslationUnit& tu, DiagnosticSink& sink);
+
+}  // namespace pardis::idl

@@ -1,0 +1,100 @@
+#include "pardis/net/connection.hpp"
+
+#include "pardis/common/error.hpp"
+
+namespace pardis::net {
+namespace detail {
+
+void Pipe::send(pardis::Bytes frame) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      throw COMM_FAILURE("send on closed connection", Completion::kNo);
+    }
+  }
+  // Pace the frame on the shared link *before* delivery: the receiver sees
+  // the frame when its last chunk has crossed the wire.
+  if (governor_) governor_->transmit(frame.size(), &pacer_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      throw COMM_FAILURE("connection closed during send", Completion::kMaybe);
+    }
+    queue_.push_back(std::move(frame));
+  }
+  cv_.notify_all();
+}
+
+std::optional<pardis::Bytes> Pipe::recv() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;  // EOF
+  pardis::Bytes frame = std::move(queue_.front());
+  queue_.pop_front();
+  return frame;
+}
+
+std::optional<pardis::Bytes> Pipe::try_recv() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  pardis::Bytes frame = std::move(queue_.front());
+  queue_.pop_front();
+  return frame;
+}
+
+bool Pipe::has_frame() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !queue_.empty();
+}
+
+void Pipe::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Pipe::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace detail
+
+std::pair<std::shared_ptr<Connection>, std::shared_ptr<Connection>>
+Connection::make_pair(std::shared_ptr<LinkGovernor> a_to_b,
+                      std::shared_ptr<LinkGovernor> b_to_a,
+                      std::string label) {
+  auto forward = std::make_shared<detail::Pipe>(std::move(a_to_b));
+  auto backward = std::make_shared<detail::Pipe>(std::move(b_to_a));
+  auto a = std::shared_ptr<Connection>(
+      new Connection(forward, backward, label));
+  auto b = std::shared_ptr<Connection>(
+      new Connection(backward, forward, label + " (peer)"));
+  return {std::move(a), std::move(b)};
+}
+
+void Connection::send(pardis::Bytes frame) { out_->send(std::move(frame)); }
+
+std::optional<pardis::Bytes> Connection::recv() { return in_->recv(); }
+
+pardis::Bytes Connection::recv_or_throw() {
+  auto frame = in_->recv();
+  if (!frame) {
+    throw COMM_FAILURE("connection closed by peer: " + label_,
+                       Completion::kMaybe);
+  }
+  return std::move(*frame);
+}
+
+std::optional<pardis::Bytes> Connection::try_recv() { return in_->try_recv(); }
+
+bool Connection::has_frame() const { return in_->has_frame(); }
+
+void Connection::close() {
+  out_->close();
+  in_->close();
+}
+
+}  // namespace pardis::net

@@ -1,0 +1,94 @@
+// Framed, bidirectional, in-memory connections.
+//
+// A Connection is one endpoint of a full-duplex framed byte stream — the
+// stand-in for a NexusLite/TCP connection between the client and server
+// machines.  Frames pass through the LinkGovernor of the host pair, so wire
+// time is charged to the sender (sends of large frames are effectively
+// synchronous, matching the paper's observation about Nexus sends).
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "pardis/common/bytes.hpp"
+#include "pardis/net/link.hpp"
+
+namespace pardis::net {
+
+namespace detail {
+
+/// One direction of a connection: a frame queue plus link pacing.
+class Pipe {
+ public:
+  explicit Pipe(std::shared_ptr<LinkGovernor> governor)
+      : governor_(std::move(governor)) {}
+
+  void send(pardis::Bytes frame);
+  std::optional<pardis::Bytes> recv();
+  std::optional<pardis::Bytes> try_recv();
+  bool has_frame() const;
+  void close();
+  bool closed() const;
+
+ private:
+  std::shared_ptr<LinkGovernor> governor_;
+  StreamPacer pacer_;  // per-stream throughput cap state
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<pardis::Bytes> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace detail
+
+class Connection {
+ public:
+  /// Creates a connected pair of endpoints sharing the given governors
+  /// (`a_to_b` paces frames sent by the first endpoint).
+  static std::pair<std::shared_ptr<Connection>, std::shared_ptr<Connection>>
+  make_pair(std::shared_ptr<LinkGovernor> a_to_b,
+            std::shared_ptr<LinkGovernor> b_to_a, std::string label);
+
+  /// Sends one frame; blocks for its simulated wire time.  Throws
+  /// pardis::COMM_FAILURE if the connection is closed.
+  void send(pardis::Bytes frame);
+
+  /// Blocks for the next frame; nullopt on orderly close (EOF).
+  std::optional<pardis::Bytes> recv();
+
+  /// Like recv() but throws pardis::COMM_FAILURE on EOF.
+  pardis::Bytes recv_or_throw();
+
+  /// Non-blocking receive.
+  std::optional<pardis::Bytes> try_recv();
+
+  /// True iff a frame is queued (the ORB's work_pending probe).
+  bool has_frame() const;
+
+  /// True once the incoming direction is closed and drained: recv() would
+  /// report EOF without blocking.
+  bool eof() const { return in_->closed() && !in_->has_frame(); }
+
+  /// Half-closes the outgoing direction; the peer's recv() drains queued
+  /// frames and then reports EOF.
+  void close();
+
+  /// Diagnostic label ("clienthost->serverhost:7001").
+  const std::string& label() const noexcept { return label_; }
+
+ private:
+  Connection(std::shared_ptr<detail::Pipe> out,
+             std::shared_ptr<detail::Pipe> in, std::string label)
+      : out_(std::move(out)), in_(std::move(in)), label_(std::move(label)) {}
+
+  std::shared_ptr<detail::Pipe> out_;
+  std::shared_ptr<detail::Pipe> in_;
+  std::string label_;
+};
+
+}  // namespace pardis::net

@@ -1,0 +1,138 @@
+#include "pardis/net/fabric.hpp"
+
+#include <algorithm>
+
+#include "pardis/common/error.hpp"
+#include "pardis/common/log.hpp"
+
+namespace pardis::net {
+
+// ---- Acceptor --------------------------------------------------------------
+
+Acceptor::~Acceptor() { close(); }
+
+std::shared_ptr<Connection> Acceptor::accept() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !pending_.empty() || closed_; });
+  if (pending_.empty()) return nullptr;
+  auto conn = std::move(pending_.front());
+  pending_.pop_front();
+  return conn;
+}
+
+std::shared_ptr<Connection> Acceptor::try_accept() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.empty()) return nullptr;
+  auto conn = std::move(pending_.front());
+  pending_.pop_front();
+  return conn;
+}
+
+void Acceptor::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  cv_.notify_all();
+  if (fabric_ != nullptr) {
+    fabric_->unbind(address_);
+    fabric_ = nullptr;
+  }
+}
+
+void Acceptor::enqueue(std::shared_ptr<Connection> conn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      conn->close();
+      return;
+    }
+    pending_.push_back(std::move(conn));
+  }
+  cv_.notify_all();
+}
+
+// ---- Fabric ----------------------------------------------------------------
+
+void Fabric::set_default_link(LinkModel model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_link_ = model;
+}
+
+void Fabric::set_link(const std::string& host_a, const std::string& host_b,
+                      LinkModel model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::minmax(host_a, host_b);
+  link_models_[{key.first, key.second}] = model;
+}
+
+std::shared_ptr<Acceptor> Fabric::listen(const std::string& host, int port) {
+  if (host.empty()) {
+    throw BAD_PARAM("listen: empty host name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (port == 0) {
+    port = next_ephemeral_port_++;
+  }
+  Address address{host, port};
+  auto it = listeners_.find(address);
+  if (it != listeners_.end() && !it->second.expired()) {
+    throw BAD_PARAM("listen: address already bound: " + address.to_string());
+  }
+  auto acceptor =
+      std::shared_ptr<Acceptor>(new Acceptor(*this, address));
+  listeners_[address] = acceptor;
+  return acceptor;
+}
+
+std::shared_ptr<Connection> Fabric::connect(const std::string& from_host,
+                                            const Address& to) {
+  std::shared_ptr<Acceptor> acceptor;
+  std::shared_ptr<LinkGovernor> forward;
+  std::shared_ptr<LinkGovernor> backward;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = listeners_.find(to);
+    if (it != listeners_.end()) acceptor = it->second.lock();
+    if (!acceptor) {
+      throw COMM_FAILURE("connection refused: no listener at " +
+                         to.to_string());
+    }
+    forward = governor_for(from_host, to.host);
+    backward = governor_for(to.host, from_host);
+  }
+  auto [client_end, server_end] = Connection::make_pair(
+      std::move(forward), std::move(backward),
+      from_host + "->" + to.to_string());
+  acceptor->enqueue(std::move(server_end));
+  PARDIS_LOG_TRACE << "connect " << from_host << " -> " << to.to_string();
+  return client_end;
+}
+
+std::shared_ptr<LinkGovernor> Fabric::governor_for(const std::string& from,
+                                                   const std::string& to) {
+  // Loopback traffic is not paced unless an explicit link was configured.
+  auto key = std::minmax(from, to);
+  const auto model_it = link_models_.find({key.first, key.second});
+  LinkModel model;
+  if (model_it != link_models_.end()) {
+    model = model_it->second;
+  } else if (from != to) {
+    model = default_link_;
+  } else {
+    model = LinkModel::unlimited();
+  }
+  auto& governor = governors_[{from, to}];
+  if (!governor) {
+    governor = std::make_shared<LinkGovernor>(model);
+  }
+  return governor;
+}
+
+void Fabric::unbind(const Address& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.erase(address);
+}
+
+}  // namespace pardis::net

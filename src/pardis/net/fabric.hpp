@@ -1,0 +1,113 @@
+// The simulated network fabric: named hosts, listening ports, and
+// per-host-pair link models.
+//
+// Fabric is the deployment substitute for the paper's testbed (two SGI
+// machines joined by a dedicated ATM link): applications live on named
+// hosts; every connection between two hosts shares that pair's link
+// governor, one per direction (the ATM link is full duplex).  Connections
+// within one host are loopback (unlimited) unless configured otherwise.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "pardis/net/connection.hpp"
+#include "pardis/net/link.hpp"
+
+namespace pardis::net {
+
+/// A (host, port) listening address.
+struct Address {
+  std::string host;
+  int port = 0;
+
+  auto operator<=>(const Address&) const = default;
+  std::string to_string() const { return host + ":" + std::to_string(port); }
+};
+
+class Fabric;
+
+/// Server-side listener; accept() yields the peer endpoint of each
+/// connection established to this address.
+class Acceptor {
+ public:
+  ~Acceptor();
+
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  const Address& address() const noexcept { return address_; }
+
+  /// Blocks until a connection arrives; nullptr after close().
+  std::shared_ptr<Connection> accept();
+
+  /// Non-blocking accept.
+  std::shared_ptr<Connection> try_accept();
+
+  /// Stops listening; pending and future accept() calls return nullptr and
+  /// future connect() attempts are refused.
+  void close();
+
+ private:
+  friend class Fabric;
+
+  Acceptor(Fabric& fabric, Address address)
+      : fabric_(&fabric), address_(std::move(address)) {}
+
+  void enqueue(std::shared_ptr<Connection> conn);
+
+  Fabric* fabric_;
+  Address address_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Connection>> pending_;
+  bool closed_ = false;
+};
+
+class Fabric {
+ public:
+  Fabric() = default;
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Link used between distinct hosts with no explicit configuration.
+  void set_default_link(LinkModel model);
+
+  /// Configures the (symmetric) link between two hosts; one governor per
+  /// direction.  Must be called before connections are opened on that pair.
+  void set_link(const std::string& host_a, const std::string& host_b,
+                LinkModel model);
+
+  /// Starts listening on (host, port); port 0 picks an ephemeral port.
+  /// Throws pardis::BAD_PARAM if the address is already bound.
+  std::shared_ptr<Acceptor> listen(const std::string& host, int port = 0);
+
+  /// Connects from `from_host` to the listener at `to`.  Throws
+  /// pardis::COMM_FAILURE if nothing is listening there.
+  std::shared_ptr<Connection> connect(const std::string& from_host,
+                                      const Address& to);
+
+ private:
+  friend class Acceptor;
+
+  std::shared_ptr<LinkGovernor> governor_for(const std::string& from,
+                                             const std::string& to);
+  void unbind(const Address& address);
+
+  std::mutex mu_;
+  LinkModel default_link_{};  // unlimited
+  std::map<std::pair<std::string, std::string>, LinkModel> link_models_;
+  std::map<std::pair<std::string, std::string>, std::shared_ptr<LinkGovernor>>
+      governors_;  // keyed by ordered (from, to)
+  std::map<Address, std::weak_ptr<Acceptor>> listeners_;
+  int next_ephemeral_port_ = 40000;
+};
+
+}  // namespace pardis::net

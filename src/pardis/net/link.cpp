@@ -1,0 +1,73 @@
+#include "pardis/net/link.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace pardis::net {
+
+LinkModel LinkModel::atm_scaled(double bytes_per_second, Duration latency,
+                                double stream_fraction) {
+  LinkModel m;
+  m.bandwidth_bps = bytes_per_second;
+  if (stream_fraction > 0.0 && stream_fraction < 1.0) {
+    m.per_stream_bps = bytes_per_second * stream_fraction;
+  }
+  m.latency = latency;
+  return m;
+}
+
+void precise_sleep_until(Clock::time_point deadline) {
+  // Coarse sleep down to the last ~200us, then spin.
+  constexpr auto kSpinWindow = std::chrono::microseconds(200);
+  for (;;) {
+    const auto now = Clock::now();
+    if (now >= deadline) return;
+    const auto remaining = deadline - now;
+    if (remaining > kSpinWindow) {
+      std::this_thread::sleep_for(remaining - kSpinWindow);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void LinkGovernor::transmit(std::size_t payload_bytes, StreamPacer* pacer) {
+  if (model_.bandwidth_bps <= 0.0) return;
+
+  // Propagation / per-frame latency: concurrent frames overlap here.
+  if (model_.latency > Duration::zero()) {
+    precise_sleep_until(Clock::now() + model_.latency);
+  }
+
+  std::size_t remaining = payload_bytes + model_.frame_overhead_bytes;
+  const std::size_t chunk = std::max<std::size_t>(model_.chunk_bytes, 1);
+  const bool stream_capped = pacer != nullptr && model_.per_stream_bps > 0.0;
+  while (remaining > 0) {
+    const std::size_t this_chunk = std::min(remaining, chunk);
+    remaining -= this_chunk;
+    const auto chunk_time = std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(static_cast<double>(this_chunk) /
+                                      model_.bandwidth_bps));
+    Clock::time_point slot_end;
+    {
+      // Reserve the next free slot; the wait happens outside the lock so
+      // other senders can queue their chunks behind ours (interleaving).
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto now = Clock::now();
+      const auto start = std::max(now, next_free_);
+      slot_end = start + chunk_time;
+      next_free_ = slot_end;
+    }
+    if (stream_capped) {
+      const auto stream_time = std::chrono::duration_cast<Duration>(
+          std::chrono::duration<double>(static_cast<double>(this_chunk) /
+                                        model_.per_stream_bps));
+      const auto stream_end = pacer->reserve(Clock::now(), stream_time);
+      if (stream_end > slot_end) slot_end = stream_end;
+      pacer->defer_until(slot_end);
+    }
+    precise_sleep_until(slot_end);
+  }
+}
+
+}  // namespace pardis::net

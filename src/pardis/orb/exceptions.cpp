@@ -1,0 +1,94 @@
+#include "pardis/orb/exceptions.hpp"
+
+namespace pardis::orb {
+
+void ExceptionRegistry::register_user_exception(const std::string& repo_id,
+                                                Thrower thrower) {
+  std::lock_guard<std::mutex> lock(mu_);
+  throwers_[repo_id] = std::move(thrower);
+}
+
+bool ExceptionRegistry::knows(const std::string& repo_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return throwers_.contains(repo_id);
+}
+
+void ExceptionRegistry::rethrow_user(const std::string& repo_id,
+                                     const std::string& message,
+                                     cdr::Decoder& body) const {
+  Thrower thrower;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = throwers_.find(repo_id);
+    if (it != throwers_.end()) thrower = it->second;
+  }
+  if (thrower) {
+    thrower(body);
+    // A registered thrower must throw; reaching here is a stub bug.
+    throw INTERNAL("exception thrower for " + repo_id + " did not throw");
+  }
+  throw UserException(repo_id, message);
+}
+
+ExceptionRegistry& ExceptionRegistry::global() {
+  static ExceptionRegistry registry;
+  return registry;
+}
+
+namespace {
+
+constexpr char kSysPrefix[] = "SYS:";
+
+[[noreturn]] void throw_system(const std::string& kind,
+                               const std::string& detail,
+                               Completion completed) {
+  if (kind == "BAD_PARAM") throw BAD_PARAM(detail, completed);
+  if (kind == "COMM_FAILURE") throw COMM_FAILURE(detail, completed);
+  if (kind == "INV_OBJREF") throw INV_OBJREF(detail, completed);
+  if (kind == "MARSHAL") throw MARSHAL(detail, completed);
+  if (kind == "NO_IMPLEMENT") throw NO_IMPLEMENT(detail, completed);
+  if (kind == "OBJECT_NOT_EXIST") throw OBJECT_NOT_EXIST(detail, completed);
+  if (kind == "BAD_OPERATION") throw BAD_OPERATION(detail, completed);
+  if (kind == "INTERNAL") throw INTERNAL(detail, completed);
+  if (kind == "TIMEOUT") throw TIMEOUT(detail, completed);
+  if (kind == "INITIALIZE") throw INITIALIZE(detail, completed);
+  throw SystemException(kind, detail, completed);
+}
+
+}  // namespace
+
+pardis::Bytes marshal_system_exception(const SystemException& e) {
+  cdr::Encoder enc;
+  enc.put_string(kSysPrefix + e.kind());
+  enc.put_string(e.what());
+  enc.put_octet(static_cast<cdr::Octet>(e.completed()));
+  return enc.take();
+}
+
+pardis::Bytes marshal_user_exception(
+    const UserException& e,
+    const std::function<void(cdr::Encoder&)>& encode_body) {
+  cdr::Encoder enc;
+  enc.put_string(e.repo_id());
+  enc.put_string(e.what());
+  if (encode_body) encode_body(enc);
+  return enc.take();
+}
+
+void rethrow_reply_exception(ReplyStatus status, pardis::BytesView payload,
+                             const ExceptionRegistry& registry) {
+  cdr::Decoder dec{payload};
+  const std::string discriminator = dec.get_string();
+  const std::string message = dec.get_string();
+  if (status == ReplyStatus::kSystemException) {
+    if (discriminator.rfind(kSysPrefix, 0) != 0) {
+      throw MARSHAL("system exception reply without SYS discriminator");
+    }
+    const auto completed = static_cast<Completion>(dec.get_octet());
+    throw_system(discriminator.substr(sizeof(kSysPrefix) - 1), message,
+                 completed);
+  }
+  registry.rethrow_user(discriminator, message, dec);
+}
+
+}  // namespace pardis::orb

@@ -1,0 +1,74 @@
+// Exception marshaling across the broker.
+//
+// A servant failure travels in the Reply payload:
+//   string  discriminator ("SYS" kind, or the user exception's repo id)
+//   string  human-readable message
+//   <body>  user-exception members (CDR), absent for system exceptions
+//
+// System exceptions are rebuilt from a fixed kind table.  User exceptions
+// (declared in IDL) are rebuilt through the ExceptionRegistry: generated
+// stub code registers a thrower per repository id at static-init time, so a
+// client that links the stubs gets fully typed exceptions back.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "pardis/cdr/decoder.hpp"
+#include "pardis/cdr/encoder.hpp"
+#include "pardis/common/error.hpp"
+#include "pardis/orb/protocol.hpp"
+
+namespace pardis::orb {
+
+/// Base class for IDL-generated user exceptions: adds body marshaling so
+/// servant-side engines can encode the members without knowing the type.
+class TypedUserException : public UserException {
+ public:
+  using UserException::UserException;
+  virtual void encode_body(cdr::Encoder& enc) const { (void)enc; }
+};
+
+class ExceptionRegistry {
+ public:
+  /// A thrower decodes the exception body and throws the typed exception.
+  using Thrower = std::function<void(cdr::Decoder& body)>;
+
+  /// Registers (or replaces) the thrower for `repo_id`.
+  void register_user_exception(const std::string& repo_id, Thrower thrower);
+
+  bool knows(const std::string& repo_id) const;
+
+  /// Rethrows the typed exception for `repo_id` with the given body.
+  /// Falls back to a plain UserException when the id is unregistered.
+  [[noreturn]] void rethrow_user(const std::string& repo_id,
+                                 const std::string& message,
+                                 cdr::Decoder& body) const;
+
+  /// Process-wide registry used by generated code's static registrars.
+  static ExceptionRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Thrower> throwers_;
+};
+
+/// Encodes a system exception into a Reply payload.
+pardis::Bytes marshal_system_exception(const SystemException& e);
+
+/// Encodes a user exception; `encode_body` (from generated code) appends the
+/// exception members.
+pardis::Bytes marshal_user_exception(
+    const UserException& e,
+    const std::function<void(cdr::Encoder&)>& encode_body);
+
+/// Decodes a Reply payload with status kSystemException/kUserException and
+/// throws the reconstructed exception.
+[[noreturn]] void rethrow_reply_exception(ReplyStatus status,
+                                          pardis::BytesView payload,
+                                          const ExceptionRegistry& registry);
+
+}  // namespace pardis::orb

@@ -1,0 +1,186 @@
+// Futures for non-blocking invocations (paper §2.1).
+//
+// PARDIS stubs offer non-blocking variants of every operation, returning
+// futures (modeled on ABC++ futures) so a client can use remote resources
+// concurrently with its own.  Two completion styles are supported:
+//
+//   * promise-based: a broker thread fulfils the future when the reply
+//     arrives (used by single-threaded clients);
+//   * deferred-collective: the future holds the receive phase of a
+//     collective SPMD invocation and runs it on first get().  Per the
+//     paper's SPMD-style access convention (§2.2), all computing threads of
+//     a parallel client must call get() collectively.
+//
+// get() rethrows any exception the invocation produced.
+
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "pardis/common/error.hpp"
+
+namespace pardis::orb {
+
+namespace detail {
+
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<T> value;
+  std::exception_ptr error;
+  std::function<T()> deferred;  // runs on first get() if set
+  bool started = false;
+
+  bool settled() const { return value.has_value() || error != nullptr; }
+};
+
+}  // namespace detail
+
+template <typename T>
+class Future;
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<detail::FutureState<T>>()) {}
+
+  Future<T> get_future() const { return Future<T>(state_); }
+
+  void set_value(T value) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->settled()) {
+        throw INTERNAL("Promise already settled");
+      }
+      state_->value = std::move(value);
+    }
+    state_->cv.notify_all();
+  }
+
+  void set_exception(std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->settled()) {
+        throw INTERNAL("Promise already settled");
+      }
+      state_->error = error;
+    }
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  /// Default future: never ready; get() throws.
+  Future() = default;
+
+  /// Deferred completion: `completer` runs exactly once, inside the first
+  /// get(), on the calling thread (the collective SPMD style).
+  static Future from_deferred(std::function<T()> completer) {
+    Future f(std::make_shared<detail::FutureState<T>>());
+    f.state_->deferred = std::move(completer);
+    return f;
+  }
+
+  /// Already-resolved future.
+  static Future from_value(T value) {
+    Future f(std::make_shared<detail::FutureState<T>>());
+    f.state_->value = std::move(value);
+    return f;
+  }
+
+  /// True when a value or error is available without blocking.  A deferred
+  /// future is not ready until some thread ran get().
+  bool ready() const {
+    if (!state_) return false;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->settled();
+  }
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks (or runs the deferred completer) until the value is available;
+  /// rethrows the invocation's exception if it failed.  May be called more
+  /// than once.
+  T& get() {
+    if (!state_) {
+      throw BAD_PARAM("get() on an empty Future");
+    }
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (state_->deferred && !state_->started) {
+      state_->started = true;
+      auto completer = std::move(state_->deferred);
+      state_->deferred = nullptr;
+      lock.unlock();
+      // Run outside the lock: collective completers block on the runtime.
+      try {
+        T value = completer();
+        lock.lock();
+        state_->value = std::move(value);
+      } catch (...) {
+        lock.lock();
+        state_->error = std::current_exception();
+      }
+      state_->cv.notify_all();
+    }
+    state_->cv.wait(lock, [&] { return state_->settled(); });
+    if (state_->error) {
+      std::rethrow_exception(state_->error);
+    }
+    return *state_->value;
+  }
+
+ private:
+  friend class Promise<T>;
+
+  explicit Future(std::shared_ptr<detail::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+namespace detail {
+struct Unit {};
+}  // namespace detail
+
+/// Future<void>: same semantics, no value.
+template <>
+class Future<void> {
+ public:
+  Future() = default;
+
+  static Future from_deferred(std::function<void()> completer) {
+    Future f;
+    f.inner_ = Future<detail::Unit>::from_deferred([c = std::move(completer)] {
+      c();
+      return detail::Unit{};
+    });
+    return f;
+  }
+
+  static Future from_value() {
+    Future f;
+    f.inner_ = Future<detail::Unit>::from_value({});
+    return f;
+  }
+
+  bool ready() const { return inner_.ready(); }
+  bool valid() const { return inner_.valid(); }
+  void get() { inner_.get(); }
+
+ private:
+  Future<detail::Unit> inner_;
+};
+
+}  // namespace pardis::orb

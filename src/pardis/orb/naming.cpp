@@ -1,0 +1,68 @@
+#include "pardis/orb/naming.hpp"
+
+#include "pardis/common/error.hpp"
+
+namespace pardis::orb {
+
+void NameService::register_object(const ObjectRef& ref) {
+  if (ref.name.empty()) {
+    throw BAD_PARAM("register_object: empty object name");
+  }
+  if (!ref.valid()) {
+    throw BAD_PARAM("register_object: reference has no endpoints");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    objects_[{ref.name, ref.host}] = ref;
+  }
+  cv_.notify_all();
+}
+
+void NameService::unregister_object(const std::string& name,
+                                    const std::string& host) {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_.erase({name, host});
+}
+
+std::optional<ObjectRef> NameService::resolve(const std::string& name,
+                                              const std::string& host) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resolve_locked(name, host);
+}
+
+std::optional<ObjectRef> NameService::resolve_wait(
+    const std::string& name, const std::string& host,
+    std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::optional<ObjectRef> found;
+  cv_.wait_for(lock, timeout, [&] {
+    found = resolve_locked(name, host);
+    return found.has_value();
+  });
+  return found;
+}
+
+std::vector<ObjectRef> NameService::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectRef> out;
+  out.reserve(objects_.size());
+  for (const auto& [key, ref] : objects_) {
+    out.push_back(ref);
+  }
+  return out;
+}
+
+std::optional<ObjectRef> NameService::resolve_locked(
+    const std::string& name, const std::string& host) const {
+  if (!host.empty()) {
+    const auto it = objects_.find({name, host});
+    if (it == objects_.end()) return std::nullopt;
+    return it->second;
+  }
+  for (const auto& [key, ref] : objects_) {
+    if (key.first == name) return ref;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pardis::orb

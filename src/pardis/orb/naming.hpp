@@ -1,0 +1,53 @@
+// PARDIS naming domain (paper §2.1: "PARDIS provides a naming domain for
+// objects. At the time of binding the client has to identify which
+// particular object of a given type it wants to work with; specifying a
+// host is optional.")
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pardis/orb/objref.hpp"
+
+namespace pardis::orb {
+
+class NameService {
+ public:
+  /// Publishes `ref` under (ref.name, ref.host); replaces a previous
+  /// registration of the same name+host pair.
+  void register_object(const ObjectRef& ref);
+
+  void unregister_object(const std::string& name, const std::string& host);
+
+  /// Resolves by name; a non-empty `host` restricts the match.  If several
+  /// hosts serve the same name and no host is given, the first registered
+  /// wins.  Returns nullopt when absent.
+  std::optional<ObjectRef> resolve(const std::string& name,
+                                   const std::string& host = {}) const;
+
+  /// Blocks until the name resolves or the timeout elapses (covers the
+  /// client-starts-before-server race in scenarios).
+  std::optional<ObjectRef> resolve_wait(
+      const std::string& name, const std::string& host = {},
+      std::chrono::milliseconds timeout = std::chrono::seconds(10)) const;
+
+  /// All registrations, for diagnostics / browsing.
+  std::vector<ObjectRef> list() const;
+
+ private:
+  std::optional<ObjectRef> resolve_locked(const std::string& name,
+                                          const std::string& host) const;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  // Keyed by (name, host) to allow same-named objects on different hosts.
+  std::map<std::pair<std::string, std::string>, ObjectRef> objects_;
+};
+
+}  // namespace pardis::orb

@@ -1,0 +1,69 @@
+#include "pardis/orb/objref.hpp"
+
+#include "pardis/common/error.hpp"
+
+namespace pardis::orb {
+
+namespace {
+constexpr char kPrefix[] = "PARDIS:";
+constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+}  // namespace
+
+void ObjectRef::encode(cdr::Encoder& enc) const {
+  enc.put_string(type_id);
+  enc.put_string(name);
+  enc.put_string(host);
+  enc.put_ulong(static_cast<cdr::ULong>(endpoints.size()));
+  for (const net::Address& ep : endpoints) {
+    enc.put_string(ep.host);
+    enc.put_long(ep.port);
+  }
+}
+
+ObjectRef ObjectRef::decode(cdr::Decoder& dec) {
+  ObjectRef ref;
+  ref.type_id = dec.get_string();
+  ref.name = dec.get_string();
+  ref.host = dec.get_string();
+  const cdr::ULong count = dec.get_ulong();
+  if (count > 65536) {
+    throw INV_OBJREF("object reference with absurd endpoint count");
+  }
+  ref.endpoints.reserve(count);
+  for (cdr::ULong i = 0; i < count; ++i) {
+    net::Address ep;
+    ep.host = dec.get_string();
+    ep.port = dec.get_long();
+    ref.endpoints.push_back(std::move(ep));
+  }
+  return ref;
+}
+
+std::string ObjectRef::to_string() const {
+  cdr::Encoder body;
+  encode(body);
+  cdr::Encoder outer;
+  outer.put_encapsulation(body.bytes());
+  return kPrefix + to_hex(outer.bytes());
+}
+
+ObjectRef ObjectRef::from_string(const std::string& stringified) {
+  if (stringified.compare(0, kPrefixLen, kPrefix) != 0) {
+    throw INV_OBJREF("missing PARDIS: prefix");
+  }
+  Bytes raw;
+  try {
+    raw = from_hex(stringified.substr(kPrefixLen));
+  } catch (const BAD_PARAM& e) {
+    throw INV_OBJREF(e.what());
+  }
+  try {
+    cdr::Decoder outer{BytesView(raw)};
+    cdr::Decoder body = outer.get_encapsulation();
+    return decode(body);
+  } catch (const MARSHAL& e) {
+    throw INV_OBJREF(std::string("malformed reference body: ") + e.what());
+  }
+}
+
+}  // namespace pardis::orb

@@ -1,0 +1,51 @@
+// Object references.
+//
+// A PARDIS object reference extends the CORBA notion with the distributed
+// resources of an SPMD object (paper §2): it carries one network endpoint
+// per computing thread.  endpoints[0] belongs to the communicating thread
+// and receives all control traffic (bind, request headers, replies); the
+// remaining endpoints are the per-thread ports used by multi-port argument
+// transfer (§3.3: "these connections become a part of object reference for
+// this particular object").
+//
+// References are CDR-encodable and stringifiable ("PARDIS:<hex>"), the
+// analogue of CORBA's object_to_string/string_to_object.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pardis/cdr/decoder.hpp"
+#include "pardis/cdr/encoder.hpp"
+#include "pardis/net/fabric.hpp"
+
+namespace pardis::orb {
+
+struct ObjectRef {
+  /// IDL repository id, e.g. "IDL:diff_object:1.0".
+  std::string type_id;
+  /// Name under which the object is registered (the naming-domain key).
+  std::string name;
+  /// Host the object's application runs on.
+  std::string host;
+  /// One listening address per computing thread; [0] = communicating thread.
+  std::vector<net::Address> endpoints;
+
+  /// Number of computing threads backing the object.
+  int spmd_size() const noexcept { return static_cast<int>(endpoints.size()); }
+
+  bool valid() const noexcept { return !endpoints.empty(); }
+
+  void encode(cdr::Encoder& enc) const;
+  static ObjectRef decode(cdr::Decoder& dec);
+
+  /// "PARDIS:<hex-encapsulation>".
+  std::string to_string() const;
+  /// Throws pardis::INV_OBJREF on malformed input.
+  static ObjectRef from_string(const std::string& stringified);
+
+  bool operator==(const ObjectRef&) const = default;
+};
+
+}  // namespace pardis::orb

@@ -1,0 +1,13 @@
+#include "pardis/orb/orb.hpp"
+
+namespace pardis::orb {
+
+Orb::Orb(const OrbConfig& config) : config_(config) {
+  fabric_.set_default_link(config.default_link);
+}
+
+std::shared_ptr<Orb> Orb::create(const OrbConfig& config) {
+  return std::shared_ptr<Orb>(new Orb(config));
+}
+
+}  // namespace pardis::orb

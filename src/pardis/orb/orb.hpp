@@ -1,0 +1,56 @@
+// The Object Request Broker context.
+//
+// One Orb is the shared broker state of a PARDIS deployment: the network
+// fabric, the naming domain, the exception registry, and id generators.  In
+// the paper's deployment each machine runs its own broker libraries against
+// a shared naming/transport substrate; in this in-process reproduction one
+// Orb instance plays the substrate for all applications of a scenario,
+// while per-application state (teams, bindings, adapters) lives in the
+// transfer layer.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "pardis/common/config.hpp"
+#include "pardis/net/fabric.hpp"
+#include "pardis/orb/exceptions.hpp"
+#include "pardis/orb/naming.hpp"
+#include "pardis/orb/protocol.hpp"
+
+namespace pardis::orb {
+
+struct OrbConfig {
+  /// Link model between distinct hosts unless overridden via set_link.
+  net::LinkModel default_link = net::LinkModel::unlimited();
+  /// Default transfer method for invocations that don't specify one.
+  TransferMethod default_method = TransferMethod::kMultiPort;
+};
+
+class Orb {
+ public:
+  static std::shared_ptr<Orb> create(const OrbConfig& config = {});
+
+  net::Fabric& fabric() noexcept { return fabric_; }
+  NameService& naming() noexcept { return naming_; }
+  /// The process-wide user-exception registry (generated stubs register
+  /// their throwers there at static-initialization time).
+  ExceptionRegistry& exceptions() noexcept {
+    return ExceptionRegistry::global();
+  }
+  const OrbConfig& config() const noexcept { return config_; }
+
+  cdr::ULong next_binding_id() { return ++binding_ids_; }
+
+ private:
+  explicit Orb(const OrbConfig& config);
+
+  OrbConfig config_;
+  net::Fabric fabric_;
+  NameService naming_;
+  std::atomic<cdr::ULong> binding_ids_{0};
+};
+
+}  // namespace pardis::orb

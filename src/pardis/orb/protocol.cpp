@@ -1,0 +1,238 @@
+#include "pardis/orb/protocol.hpp"
+
+#include "pardis/common/endian.hpp"
+#include "pardis/common/error.hpp"
+
+namespace pardis::orb {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'P', 'D', 'I', 'S'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kPrologueSize = 8;
+constexpr cdr::ULong kMaxRanks = 1u << 16;
+}  // namespace
+
+const char* to_string(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kBindRequest: return "BindRequest";
+    case MsgType::kBindAck:     return "BindAck";
+    case MsgType::kRequest:     return "Request";
+    case MsgType::kReply:       return "Reply";
+    case MsgType::kArgTransfer: return "ArgTransfer";
+    case MsgType::kHello:       return "Hello";
+    case MsgType::kShutdown:    return "Shutdown";
+  }
+  return "?";
+}
+
+const char* to_string(TransferMethod m) noexcept {
+  switch (m) {
+    case TransferMethod::kCentralized: return "centralized";
+    case TransferMethod::kMultiPort:   return "multi-port";
+  }
+  return "?";
+}
+
+// ---- DSeqDescriptor --------------------------------------------------------
+
+void DSeqDescriptor::encode(cdr::Encoder& enc) const {
+  enc.put_ulong(arg_index);
+  enc.put_octet(static_cast<cdr::Octet>(dir));
+  enc.put_octet(static_cast<cdr::Octet>(elem_kind));
+  enc.put_ulong(elem_size);
+  enc.put_ulonglong(total_length);
+  enc.put_array(src_counts.data(), src_counts.size());
+}
+
+DSeqDescriptor DSeqDescriptor::decode(cdr::Decoder& dec) {
+  DSeqDescriptor d;
+  d.arg_index = dec.get_ulong();
+  d.dir = static_cast<ArgDir>(dec.get_octet());
+  d.elem_kind = static_cast<ElemKind>(dec.get_octet());
+  d.elem_size = dec.get_ulong();
+  d.total_length = dec.get_ulonglong();
+  d.src_counts = dec.get_array<cdr::ULongLong>(kMaxRanks);
+  if (d.elem_size == 0 || d.elem_size > 16) {
+    throw MARSHAL("DSeqDescriptor: bad element size");
+  }
+  cdr::ULongLong sum = 0;
+  for (cdr::ULongLong c : d.src_counts) sum += c;
+  if (sum != d.total_length) {
+    throw MARSHAL("DSeqDescriptor: src_counts do not sum to total_length");
+  }
+  return d;
+}
+
+// ---- BindRequest / BindAck / Hello -----------------------------------------
+
+void BindRequest::encode(cdr::Encoder& enc) const {
+  enc.put_ulong(binding_id);
+  enc.put_string(client_host);
+  enc.put_ulong(client_ranks);
+  enc.put_string(object_key);
+  enc.put_boolean(collective);
+}
+
+BindRequest BindRequest::decode(cdr::Decoder& dec) {
+  BindRequest r;
+  r.binding_id = dec.get_ulong();
+  r.client_host = dec.get_string();
+  r.client_ranks = dec.get_ulong();
+  r.object_key = dec.get_string();
+  r.collective = dec.get_boolean();
+  if (r.client_ranks == 0 || r.client_ranks > kMaxRanks) {
+    throw MARSHAL("BindRequest: bad client rank count");
+  }
+  return r;
+}
+
+void BindAck::encode(cdr::Encoder& enc) const {
+  enc.put_ulong(binding_id);
+  enc.put_octet(static_cast<cdr::Octet>(status));
+  enc.put_ulong(server_ranks);
+  enc.put_string(message);
+}
+
+BindAck BindAck::decode(cdr::Decoder& dec) {
+  BindAck a;
+  a.binding_id = dec.get_ulong();
+  a.status = static_cast<BindStatus>(dec.get_octet());
+  a.server_ranks = dec.get_ulong();
+  a.message = dec.get_string();
+  return a;
+}
+
+void Hello::encode(cdr::Encoder& enc) const {
+  enc.put_ulong(binding_id);
+  enc.put_ulong(client_rank);
+}
+
+Hello Hello::decode(cdr::Decoder& dec) {
+  Hello h;
+  h.binding_id = dec.get_ulong();
+  h.client_rank = dec.get_ulong();
+  return h;
+}
+
+// ---- RequestHeader / ReplyHeader -------------------------------------------
+
+void RequestHeader::encode(cdr::Encoder& enc) const {
+  enc.put_ulong(request_id);
+  enc.put_ulong(binding_id);
+  enc.put_string(operation);
+  enc.put_boolean(response_expected);
+  enc.put_boolean(collective);
+  enc.put_octet(static_cast<cdr::Octet>(method));
+  enc.put_octet_sequence(scalar_args);
+  enc.put_ulong(static_cast<cdr::ULong>(dseqs.size()));
+  for (const DSeqDescriptor& d : dseqs) {
+    d.encode(enc);
+  }
+}
+
+RequestHeader RequestHeader::decode(cdr::Decoder& dec) {
+  RequestHeader h;
+  h.request_id = dec.get_ulong();
+  h.binding_id = dec.get_ulong();
+  h.operation = dec.get_string();
+  h.response_expected = dec.get_boolean();
+  h.collective = dec.get_boolean();
+  h.method = static_cast<TransferMethod>(dec.get_octet());
+  h.scalar_args = dec.get_octet_sequence();
+  const cdr::ULong ndseq = dec.get_ulong();
+  if (ndseq > 256) {
+    throw MARSHAL("RequestHeader: too many sequence arguments");
+  }
+  h.dseqs.reserve(ndseq);
+  for (cdr::ULong i = 0; i < ndseq; ++i) {
+    h.dseqs.push_back(DSeqDescriptor::decode(dec));
+  }
+  return h;
+}
+
+void ReplyHeader::encode(cdr::Encoder& enc) const {
+  enc.put_ulong(request_id);
+  enc.put_octet(static_cast<cdr::Octet>(status));
+  enc.put_octet_sequence(payload);
+  enc.put_ulong(static_cast<cdr::ULong>(dseqs.size()));
+  for (const DSeqDescriptor& d : dseqs) {
+    d.encode(enc);
+  }
+  enc.put_array(server_stats_ms.data(), server_stats_ms.size());
+}
+
+ReplyHeader ReplyHeader::decode(cdr::Decoder& dec) {
+  ReplyHeader h;
+  h.request_id = dec.get_ulong();
+  h.status = static_cast<ReplyStatus>(dec.get_octet());
+  h.payload = dec.get_octet_sequence();
+  const cdr::ULong ndseq = dec.get_ulong();
+  if (ndseq > 256) {
+    throw MARSHAL("ReplyHeader: too many sequence results");
+  }
+  h.dseqs.reserve(ndseq);
+  for (cdr::ULong i = 0; i < ndseq; ++i) {
+    h.dseqs.push_back(DSeqDescriptor::decode(dec));
+  }
+  h.server_stats_ms = dec.get_array<double>(64);
+  return h;
+}
+
+// ---- ArgTransferHeader -----------------------------------------------------
+
+void ArgTransferHeader::encode(cdr::Encoder& enc) const {
+  enc.put_ulong(request_id);
+  enc.put_ulong(arg_index);
+  enc.put_ulong(src_rank);
+  enc.put_ulong(dst_rank);
+  enc.put_ulonglong(dst_offset);
+  enc.put_ulonglong(count);
+}
+
+ArgTransferHeader ArgTransferHeader::decode(cdr::Decoder& dec) {
+  ArgTransferHeader h;
+  h.request_id = dec.get_ulong();
+  h.arg_index = dec.get_ulong();
+  h.src_rank = dec.get_ulong();
+  h.dst_rank = dec.get_ulong();
+  h.dst_offset = dec.get_ulonglong();
+  h.count = dec.get_ulonglong();
+  return h;
+}
+
+// ---- framing ---------------------------------------------------------------
+
+void begin_frame(cdr::Encoder& enc, MsgType type) {
+  for (std::uint8_t b : kMagic) enc.put_octet(b);
+  enc.put_octet(kVersion);
+  enc.put_octet(pardis::host_is_little_endian() ? 1 : 0);
+  enc.put_octet(static_cast<cdr::Octet>(type));
+  enc.put_octet(0);  // reserved / pad to 8
+}
+
+Frame parse_frame(pardis::BytesView frame) {
+  if (frame.size() < kPrologueSize) {
+    throw MARSHAL("frame shorter than prologue");
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (frame[i] != kMagic[i]) {
+      throw MARSHAL("bad frame magic");
+    }
+  }
+  if (frame[4] != kVersion) {
+    throw MARSHAL("unsupported protocol version");
+  }
+  if (frame[6] > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+    throw MARSHAL("unknown message type");
+  }
+  return Frame{static_cast<MsgType>(frame[6]), frame[5] != 0, kPrologueSize};
+}
+
+cdr::Decoder body_decoder(pardis::BytesView frame, const Frame& info) {
+  cdr::Decoder dec(frame, info.little_endian);
+  dec.align(1);  // no-op; keeps the interface explicit
+  (void)dec.get_octets(info.body_offset);
+  return dec;
+}
+
+}  // namespace pardis::orb

@@ -1,0 +1,218 @@
+// PARDIS wire protocol (the GIOP analogue).
+//
+// Every frame on a fabric connection is a CDR stream with a fixed prologue:
+//
+//   octet[4]  magic "PDIS"
+//   octet     protocol version (1)
+//   octet     sender byte order (1 = little endian)
+//   octet     message type
+//   octet     reserved (alignment)
+//   ...       message body (CDR, sender's byte order)
+//
+// Message kinds:
+//   BindRequest / BindAck  — establish a binding between a (possibly
+//                            parallel) client and an SPMD object; carried on
+//                            the control connection to the communicating
+//                            thread (endpoint 0).
+//   Hello                  — first frame on each per-thread data connection,
+//                            identifying (binding, client rank).
+//   Request                — invocation header: operation, scalar arguments,
+//                            and one descriptor per distributed-sequence
+//                            argument.  In the CENTRALIZED method the packed
+//                            sequence data rides in the same frame (paper
+//                            §3.2: "all information associated with a
+//                            request is sent in one message"); in MULTIPORT
+//                            the header is still delivered centralized
+//                            (§3.3) and data follows on the data
+//                            connections.
+//   Reply                  — completion status, scalar results, descriptors
+//                            (and, centralized, packed data) for inout/out
+//                            sequences.
+//   ArgTransfer            — one segment of multi-port argument data.
+//   Shutdown               — ends a server's service loop.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pardis/cdr/decoder.hpp"
+#include "pardis/cdr/encoder.hpp"
+#include "pardis/common/bytes.hpp"
+
+namespace pardis::orb {
+
+enum class MsgType : std::uint8_t {
+  kBindRequest = 0,
+  kBindAck = 1,
+  kRequest = 2,
+  kReply = 3,
+  kArgTransfer = 4,
+  kHello = 5,
+  kShutdown = 6,
+};
+
+const char* to_string(MsgType t) noexcept;
+
+/// The two distributed-argument transfer methods of §3.
+enum class TransferMethod : std::uint8_t {
+  kCentralized = 0,
+  kMultiPort = 1,
+};
+
+const char* to_string(TransferMethod m) noexcept;
+
+enum class ArgDir : std::uint8_t { kIn = 0, kInOut = 1, kOut = 2 };
+
+/// Element type of a distributed sequence, for wire validation.
+enum class ElemKind : std::uint8_t {
+  kOctet = 0,
+  kShort,
+  kUShort,
+  kLong,
+  kULong,
+  kLongLong,
+  kULongLong,
+  kFloat,
+  kDouble,
+};
+
+template <typename T>
+constexpr ElemKind elem_kind_of();
+
+template <> constexpr ElemKind elem_kind_of<std::uint8_t>() { return ElemKind::kOctet; }
+template <> constexpr ElemKind elem_kind_of<std::int16_t>() { return ElemKind::kShort; }
+template <> constexpr ElemKind elem_kind_of<std::uint16_t>() { return ElemKind::kUShort; }
+template <> constexpr ElemKind elem_kind_of<std::int32_t>() { return ElemKind::kLong; }
+template <> constexpr ElemKind elem_kind_of<std::uint32_t>() { return ElemKind::kULong; }
+template <> constexpr ElemKind elem_kind_of<std::int64_t>() { return ElemKind::kLongLong; }
+template <> constexpr ElemKind elem_kind_of<std::uint64_t>() { return ElemKind::kULongLong; }
+template <> constexpr ElemKind elem_kind_of<float>() { return ElemKind::kFloat; }
+template <> constexpr ElemKind elem_kind_of<double>() { return ElemKind::kDouble; }
+
+/// Wire description of one distributed-sequence argument: its element type,
+/// total length, and the sender-side block distribution (element count per
+/// sending rank).  The receiver derives the routing plan from this plus its
+/// own distribution template.
+struct DSeqDescriptor {
+  cdr::ULong arg_index = 0;
+  ArgDir dir = ArgDir::kIn;
+  ElemKind elem_kind = ElemKind::kDouble;
+  cdr::ULong elem_size = 8;
+  cdr::ULongLong total_length = 0;
+  std::vector<cdr::ULongLong> src_counts;  // one per sender rank
+
+  void encode(cdr::Encoder& enc) const;
+  static DSeqDescriptor decode(cdr::Decoder& dec);
+  bool operator==(const DSeqDescriptor&) const = default;
+};
+
+struct BindRequest {
+  cdr::ULong binding_id = 0;
+  std::string client_host;
+  cdr::ULong client_ranks = 1;
+  std::string object_key;
+  bool collective = true;
+
+  void encode(cdr::Encoder& enc) const;
+  static BindRequest decode(cdr::Decoder& dec);
+};
+
+enum class BindStatus : std::uint8_t { kOk = 0, kUnknownObject = 1, kError = 2 };
+
+struct BindAck {
+  cdr::ULong binding_id = 0;
+  BindStatus status = BindStatus::kOk;
+  cdr::ULong server_ranks = 1;
+  std::string message;
+
+  void encode(cdr::Encoder& enc) const;
+  static BindAck decode(cdr::Decoder& dec);
+};
+
+struct Hello {
+  cdr::ULong binding_id = 0;
+  cdr::ULong client_rank = 0;
+
+  void encode(cdr::Encoder& enc) const;
+  static Hello decode(cdr::Decoder& dec);
+};
+
+struct RequestHeader {
+  cdr::ULong request_id = 0;
+  cdr::ULong binding_id = 0;
+  std::string operation;
+  bool response_expected = true;
+  bool collective = true;
+  TransferMethod method = TransferMethod::kCentralized;
+  /// CDR-encoded scalar (non-distributed) arguments; identical on every
+  /// invoking thread per the SPMD convention (paper §2.1).
+  pardis::Bytes scalar_args;
+  std::vector<DSeqDescriptor> dseqs;
+
+  void encode(cdr::Encoder& enc) const;
+  static RequestHeader decode(cdr::Decoder& dec);
+};
+
+enum class ReplyStatus : std::uint8_t {
+  kNoException = 0,
+  kUserException = 1,
+  kSystemException = 2,
+};
+
+struct ReplyHeader {
+  cdr::ULong request_id = 0;
+  ReplyStatus status = ReplyStatus::kNoException;
+  /// On kNoException: CDR-encoded scalar results.  On exceptions: the
+  /// marshaled exception (see exceptions.hpp).
+  pardis::Bytes payload;
+  /// Result descriptors for inout/out distributed sequences, with the
+  /// *server-side* distribution as src_counts.
+  std::vector<DSeqDescriptor> dseqs;
+  /// Server-side per-phase times in milliseconds (index = pardis::Phase),
+  /// reduced per the paper's convention (max over threads; barrier from the
+  /// communicating thread).  Used by the benchmark tables; empty when the
+  /// server does not report.
+  std::vector<double> server_stats_ms;
+
+  void encode(cdr::Encoder& enc) const;
+  static ReplyHeader decode(cdr::Decoder& dec);
+};
+
+struct ArgTransferHeader {
+  cdr::ULong request_id = 0;
+  cdr::ULong arg_index = 0;
+  cdr::ULong src_rank = 0;
+  cdr::ULong dst_rank = 0;
+  cdr::ULongLong dst_offset = 0;  // element offset into the receiver's chunk
+  cdr::ULongLong count = 0;       // elements in this segment
+
+  void encode(cdr::Encoder& enc) const;
+  static ArgTransferHeader decode(cdr::Decoder& dec);
+};
+
+// ---- framing ---------------------------------------------------------------
+
+/// Starts a frame of the given type; returns the encoder positioned after
+/// the prologue.
+void begin_frame(cdr::Encoder& enc, MsgType type);
+
+/// Validated view of a received frame.
+struct Frame {
+  MsgType type;
+  bool little_endian;
+  /// Byte offset where the body starts (prologue is 8 bytes).
+  std::size_t body_offset;
+};
+
+/// Parses and validates the prologue.  Throws pardis::MARSHAL on a bad
+/// magic/version.  Use body_decoder() to decode the rest.
+Frame parse_frame(pardis::BytesView frame);
+
+/// Decoder positioned at the body with the sender's byte order.  NOTE: CDR
+/// alignment is relative to the frame start, which is why the decoder spans
+/// the whole frame and skips the prologue.
+cdr::Decoder body_decoder(pardis::BytesView frame, const Frame& info);
+
+}  // namespace pardis::orb

@@ -1,0 +1,133 @@
+// Collective algorithms over the mailbox point-to-point layer.
+//
+// Algorithms follow the standard MPI playbook: dissemination barrier
+// (log2(P) rounds), binomial-tree broadcast, flat gather/scatter (the flat
+// shape is deliberate: the paper's analysis charges gather/scatter cost at
+// the communicating thread, which is exactly the flat root bottleneck).
+
+#include <bit>
+
+#include "pardis/common/error.hpp"
+#include "pardis/rts/communicator.hpp"
+#include "pardis/rts/team.hpp"
+
+namespace pardis::rts {
+
+void Communicator::barrier() {
+  const int p = size();
+  if (p == 1) return;
+  // Dissemination barrier: in round r, rank i signals (i + 2^r) mod p and
+  // waits for (i - 2^r) mod p.  After ceil(log2 p) rounds all ranks have
+  // transitively heard from everyone.
+  for (int dist = 1; dist < p; dist <<= 1) {
+    const int to = (rank_ + dist) % p;
+    const int from = (rank_ - dist % p + p) % p;
+    send_internal(to, kTagBarrier, {});
+    (void)recv_internal(from, kTagBarrier);
+  }
+}
+
+void Communicator::bcast_bytes(pardis::Bytes& data, int root) {
+  check_rank(root, "bcast root");
+  const int p = size();
+  if (p == 1) return;
+  // Binomial tree on ranks relative to the root.
+  const int vrank = (rank_ - root + p) % p;
+  // Receive from parent (unless root).
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int parent = ((vrank - mask) + root) % p;
+      data = recv_internal(parent, kTagBcast).payload;
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to children.
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) {
+      const int child = ((vrank + mask) + root) % p;
+      send_internal(child, kTagBcast, data);
+    }
+    mask >>= 1;
+  }
+}
+
+std::vector<pardis::Bytes> Communicator::gather_bytes(pardis::BytesView local,
+                                                      int root) {
+  check_rank(root, "gather root");
+  if (rank_ != root) {
+    send_internal(root, kTagGather, local);
+    return {};
+  }
+  std::vector<pardis::Bytes> parts(static_cast<std::size_t>(size()));
+  parts[static_cast<std::size_t>(rank_)] =
+      pardis::Bytes(local.begin(), local.end());
+  for (int src = 0; src < size(); ++src) {
+    if (src == root) continue;
+    parts[static_cast<std::size_t>(src)] =
+        recv_internal(src, kTagGather).payload;
+  }
+  return parts;
+}
+
+pardis::Bytes Communicator::scatter_bytes(
+    const std::vector<pardis::Bytes>& parts, int root) {
+  check_rank(root, "scatter root");
+  if (rank_ == root) {
+    if (parts.size() != static_cast<std::size_t>(size())) {
+      throw BAD_PARAM("scatter: parts.size() != team size");
+    }
+    for (int dst = 0; dst < size(); ++dst) {
+      if (dst == root) continue;
+      send_internal(dst, kTagScatter, parts[static_cast<std::size_t>(dst)]);
+    }
+    return parts[static_cast<std::size_t>(root)];
+  }
+  return recv_internal(root, kTagScatter).payload;
+}
+
+std::vector<pardis::Bytes> Communicator::allgather_bytes(
+    pardis::BytesView local) {
+  const int p = size();
+  std::vector<pardis::Bytes> parts(static_cast<std::size_t>(p));
+  parts[static_cast<std::size_t>(rank_)] =
+      pardis::Bytes(local.begin(), local.end());
+  // Flat exchange: post all sends (non-blocking), then drain receives.
+  for (int dst = 0; dst < p; ++dst) {
+    if (dst != rank_) send_internal(dst, kTagAllgather, local);
+  }
+  for (int src = 0; src < p; ++src) {
+    if (src != rank_) {
+      parts[static_cast<std::size_t>(src)] =
+          recv_internal(src, kTagAllgather).payload;
+    }
+  }
+  return parts;
+}
+
+std::vector<pardis::Bytes> Communicator::alltoall_bytes(
+    const std::vector<pardis::Bytes>& parts) {
+  const int p = size();
+  if (parts.size() != static_cast<std::size_t>(p)) {
+    throw BAD_PARAM("alltoall: parts.size() != team size");
+  }
+  std::vector<pardis::Bytes> received(static_cast<std::size_t>(p));
+  received[static_cast<std::size_t>(rank_)] =
+      parts[static_cast<std::size_t>(rank_)];
+  for (int dst = 0; dst < p; ++dst) {
+    if (dst != rank_) {
+      send_internal(dst, kTagAlltoall, parts[static_cast<std::size_t>(dst)]);
+    }
+  }
+  for (int src = 0; src < p; ++src) {
+    if (src != rank_) {
+      received[static_cast<std::size_t>(src)] =
+          recv_internal(src, kTagAlltoall).payload;
+    }
+  }
+  return received;
+}
+
+}  // namespace pardis::rts

@@ -1,0 +1,187 @@
+// Typed collective wrappers over the byte-level Communicator collectives.
+//
+// These are the operations the distributed-sequence layer and the transfer
+// engines use: value broadcast, variable-count gather/scatter of primitive
+// arrays, reductions, and personalized all-to-all (the redistribute engine).
+
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "pardis/common/bytes.hpp"
+#include "pardis/common/error.hpp"
+#include "pardis/rts/communicator.hpp"
+
+namespace pardis::rts {
+
+namespace detail {
+
+template <typename T>
+pardis::Bytes to_bytes(std::span<const T> values) {
+  pardis::Bytes out(values.size_bytes());
+  if (!values.empty()) {
+    std::memcpy(out.data(), values.data(), values.size_bytes());
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> from_bytes(pardis::BytesView bytes) {
+  if (bytes.size() % sizeof(T) != 0) {
+    throw MARSHAL("collective payload size not a multiple of element size");
+  }
+  std::vector<T> out(bytes.size() / sizeof(T));
+  if (!out.empty()) {
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Broadcasts a single trivially copyable value from root to all ranks.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T bcast_value(Communicator& comm, T value, int root) {
+  pardis::Bytes data(sizeof(T));
+  if (comm.rank() == root) {
+    std::memcpy(data.data(), &value, sizeof(T));
+  }
+  comm.bcast_bytes(data, root);
+  if (data.size() != sizeof(T)) {
+    throw MARSHAL("bcast_value: payload size mismatch");
+  }
+  T out;
+  std::memcpy(&out, data.data(), sizeof(T));
+  return out;
+}
+
+/// Broadcasts a vector (count + elements) from root.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void bcast_vector(Communicator& comm, std::vector<T>& values, int root) {
+  pardis::Bytes data;
+  if (comm.rank() == root) {
+    data = detail::to_bytes(std::span<const T>(values));
+  }
+  comm.bcast_bytes(data, root);
+  if (comm.rank() != root) {
+    values = detail::from_bytes<T>(data);
+  }
+}
+
+/// Variable-count gather: each rank contributes `local`; at root the
+/// contributions are concatenated in rank order.  Non-roots get {}.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> gatherv(Communicator& comm, std::span<const T> local,
+                       int root) {
+  auto parts = comm.gather_bytes(detail::to_bytes(local), root);
+  std::vector<T> out;
+  if (comm.rank() == root) {
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    out.reserve(total / sizeof(T));
+    for (const auto& p : parts) {
+      auto chunk = detail::from_bytes<T>(p);
+      out.insert(out.end(), chunk.begin(), chunk.end());
+    }
+  }
+  return out;
+}
+
+/// Variable-count scatter: root supplies `all` split by `counts` (one count
+/// per rank, summing to all.size()); every rank returns its own chunk.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> scatterv(Communicator& comm, std::span<const T> all,
+                        std::span<const std::size_t> counts, int root) {
+  std::vector<pardis::Bytes> parts;
+  if (comm.rank() == root) {
+    if (counts.size() != static_cast<std::size_t>(comm.size())) {
+      throw BAD_PARAM("scatterv: counts.size() != team size");
+    }
+    std::size_t offset = 0;
+    parts.reserve(counts.size());
+    for (std::size_t count : counts) {
+      if (offset + count > all.size()) {
+        throw BAD_PARAM("scatterv: counts exceed data size");
+      }
+      parts.push_back(detail::to_bytes(all.subspan(offset, count)));
+      offset += count;
+    }
+    if (offset != all.size()) {
+      throw BAD_PARAM("scatterv: counts do not cover data");
+    }
+  } else {
+    parts.resize(static_cast<std::size_t>(comm.size()));
+  }
+  return detail::from_bytes<T>(comm.scatter_bytes(parts, root));
+}
+
+/// Allgather of a single value; result indexed by rank.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> allgather_value(Communicator& comm, T value) {
+  auto parts =
+      comm.allgather_bytes(detail::to_bytes(std::span<const T>(&value, 1)));
+  std::vector<T> out;
+  out.reserve(parts.size());
+  for (const auto& p : parts) {
+    auto v = detail::from_bytes<T>(p);
+    if (v.size() != 1) throw MARSHAL("allgather_value: size mismatch");
+    out.push_back(v.front());
+  }
+  return out;
+}
+
+/// Reduces one value per rank with `op` at root (flat algorithm).
+template <typename T, typename Op = std::plus<T>>
+  requires std::is_trivially_copyable_v<T>
+T reduce_value(Communicator& comm, T local, int root, Op op = {}) {
+  auto parts =
+      comm.gather_bytes(detail::to_bytes(std::span<const T>(&local, 1)), root);
+  if (comm.rank() != root) return T{};
+  T acc{};
+  bool first = true;
+  for (const auto& p : parts) {
+    auto v = detail::from_bytes<T>(p);
+    if (v.size() != 1) throw MARSHAL("reduce_value: size mismatch");
+    acc = first ? v.front() : op(acc, v.front());
+    first = false;
+  }
+  return acc;
+}
+
+/// Allreduce = reduce at rank 0 + broadcast.
+template <typename T, typename Op = std::plus<T>>
+  requires std::is_trivially_copyable_v<T>
+T allreduce_value(Communicator& comm, T local, Op op = {}) {
+  T result = reduce_value(comm, local, 0, op);
+  return bcast_value(comm, result, 0);
+}
+
+/// Personalized all-to-all of typed chunks: parts[dst] is delivered to dst;
+/// returns chunks received, indexed by source rank.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<std::vector<T>> alltoallv(
+    Communicator& comm, const std::vector<std::vector<T>>& parts) {
+  std::vector<pardis::Bytes> raw;
+  raw.reserve(parts.size());
+  for (const auto& p : parts) {
+    raw.push_back(detail::to_bytes(std::span<const T>(p)));
+  }
+  auto got = comm.alltoall_bytes(raw);
+  std::vector<std::vector<T>> out;
+  out.reserve(got.size());
+  for (const auto& p : got) {
+    out.push_back(detail::from_bytes<T>(p));
+  }
+  return out;
+}
+
+}  // namespace pardis::rts

@@ -1,0 +1,55 @@
+#include "pardis/rts/communicator.hpp"
+
+#include "pardis/common/error.hpp"
+#include "pardis/rts/team.hpp"
+
+namespace pardis::rts {
+
+Communicator::Communicator(Team& team, int rank) : team_(&team), rank_(rank) {
+  if (rank < 0 || rank >= team.size()) {
+    throw BAD_PARAM("Communicator rank out of range");
+  }
+}
+
+int Communicator::size() const noexcept { return team_->size(); }
+
+const std::string& Communicator::team_name() const noexcept {
+  return team_->name();
+}
+
+void Communicator::send(int dst, int tag, pardis::BytesView payload) {
+  if (tag < 0 || tag >= kInternalTagBase) {
+    throw BAD_PARAM("user tag out of range [0, kInternalTagBase)");
+  }
+  send_internal(dst, tag, payload);
+}
+
+Message Communicator::recv(int src, int tag) {
+  if (tag != kAnyTag && (tag < 0 || tag >= kInternalTagBase)) {
+    throw BAD_PARAM("user tag out of range [0, kInternalTagBase)");
+  }
+  return recv_internal(src, tag);
+}
+
+bool Communicator::probe(int src, int tag) const {
+  return team_->mailbox(rank_).probe(src, tag);
+}
+
+void Communicator::send_internal(int dst, int tag, pardis::BytesView payload) {
+  check_rank(dst, "send destination");
+  team_->mailbox(dst).post(
+      Message{rank_, tag, pardis::Bytes(payload.begin(), payload.end())});
+}
+
+Message Communicator::recv_internal(int src, int tag) {
+  if (src != kAnySource) check_rank(src, "recv source");
+  return team_->mailbox(rank_).recv(src, tag);
+}
+
+void Communicator::check_rank(int rank, const char* what) const {
+  if (rank < 0 || rank >= size()) {
+    throw BAD_PARAM(std::string(what) + " out of range");
+  }
+}
+
+}  // namespace pardis::rts

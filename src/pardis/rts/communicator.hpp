@@ -1,0 +1,84 @@
+// The PARDIS runtime-system interface (paper §2.3).
+//
+// PARDIS interacts with a parallel application's runtime through a generic
+// message-passing interface; the paper tested MPI and Tulip beneath it.
+// Communicator is that interface: tagged point-to-point transfers plus the
+// collective operations the transfer engines and distributed sequences need
+// (barrier, broadcast, gather(v), scatter(v), allgather, reduce, all-to-all).
+//
+// One Communicator is handed to each computing thread (rank) of a Team.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pardis/common/bytes.hpp"
+#include "pardis/rts/mailbox.hpp"
+
+namespace pardis::rts {
+
+class Team;
+
+class Communicator {
+ public:
+  Communicator(Team& team, int rank);
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+  const std::string& team_name() const noexcept;
+  Team& team() noexcept { return *team_; }
+
+  // ---- point-to-point -----------------------------------------------------
+
+  /// Buffered send of `payload` to rank `dst` with user tag `tag`
+  /// (0 <= tag < kInternalTagBase).  Never blocks.
+  void send(int dst, int tag, pardis::BytesView payload);
+
+  /// Blocking receive matching (src, tag); wildcards kAnySource/kAnyTag.
+  Message recv(int src = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking probe for a matching queued message.
+  bool probe(int src = kAnySource, int tag = kAnyTag) const;
+
+  // ---- collectives (byte-level; typed wrappers in collectives.hpp) --------
+
+  /// Dissemination barrier across all ranks of the team.
+  void barrier();
+
+  /// Binomial-tree broadcast of root's bytes to every rank.
+  void bcast_bytes(pardis::Bytes& data, int root);
+
+  /// Flat gather: at root, returns the per-rank payloads indexed by rank
+  /// (root's own `local` included); elsewhere returns an empty vector.
+  std::vector<pardis::Bytes> gather_bytes(pardis::BytesView local, int root);
+
+  /// Flat scatter: root supplies one payload per rank (`parts.size() ==
+  /// size()`); every rank returns its own part.
+  pardis::Bytes scatter_bytes(const std::vector<pardis::Bytes>& parts,
+                              int root);
+
+  /// Every rank returns all ranks' payloads indexed by rank.
+  std::vector<pardis::Bytes> allgather_bytes(pardis::BytesView local);
+
+  /// Personalized all-to-all: `parts[dst]` goes to rank dst; returns the
+  /// payloads received, indexed by source rank.
+  std::vector<pardis::Bytes> alltoall_bytes(
+      const std::vector<pardis::Bytes>& parts);
+
+ private:
+  friend class Team;
+
+  void send_internal(int dst, int tag, pardis::BytesView payload);
+  Message recv_internal(int src, int tag);
+  void check_rank(int rank, const char* what) const;
+
+  Team* team_;
+  int rank_;
+};
+
+}  // namespace pardis::rts

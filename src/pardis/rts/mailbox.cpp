@@ -1,0 +1,55 @@
+#include "pardis/rts/mailbox.hpp"
+
+#include <algorithm>
+
+#include "pardis/common/error.hpp"
+
+namespace pardis::rts {
+
+void Mailbox::post(Message m) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::recv(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (poison_) {
+      throw COMM_FAILURE("mailbox poisoned: " + *poison_, Completion::kMaybe);
+    }
+    const auto it = std::find_if(
+        queue_.begin(), queue_.end(),
+        [&](const Message& m) { return matches(m, src, tag); });
+    if (it != queue_.end()) {
+      Message out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int src, int tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return matches(m, src, tag);
+  });
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Mailbox::poison(std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    poison_ = std::move(reason);
+  }
+  cv_.notify_all();
+}
+
+}  // namespace pardis::rts

@@ -1,0 +1,54 @@
+// Per-rank mailbox with MPI-style (source, tag) matching.
+//
+// Posting never blocks (buffered sends), so point-to-point exchange patterns
+// cannot deadlock inside one application.  Receives match the *earliest*
+// queued message satisfying the (src, tag) filter, preserving pairwise FIFO
+// order — the property MPI guarantees and our collectives rely on.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "pardis/rts/message.hpp"
+
+namespace pardis::rts {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+class Mailbox {
+ public:
+  /// Enqueues a message; never blocks.
+  void post(Message m);
+
+  /// Blocks until a message matching (src, tag) is available and removes it.
+  /// Throws pardis::COMM_FAILURE if the mailbox is poisoned.
+  Message recv(int src = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking: true iff a matching message is queued.
+  bool probe(int src = kAnySource, int tag = kAnyTag) const;
+
+  /// Number of queued messages (diagnostics).
+  std::size_t pending() const;
+
+  /// Wakes all waiters with COMM_FAILURE carrying `reason`; used when a
+  /// sibling rank dies so the team unwinds instead of deadlocking.
+  void poison(std::string reason);
+
+ private:
+  static bool matches(const Message& m, int src, int tag) {
+    return (src == kAnySource || m.src == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  std::optional<std::string> poison_;
+};
+
+}  // namespace pardis::rts

@@ -1,0 +1,35 @@
+// Intra-application message record.
+//
+// The runtime system models distributed memory even though ranks are threads
+// of one process (the paper ran MPICH compiled for shared memory on each
+// machine): payloads are always copied into the message, never shared.
+
+#pragma once
+
+#include <cstdint>
+
+#include "pardis/common/bytes.hpp"
+
+namespace pardis::rts {
+
+struct Message {
+  int src = -1;
+  int tag = -1;
+  pardis::Bytes payload;
+};
+
+/// User tags live in [0, kInternalTagBase); collectives use tags at or above
+/// kInternalTagBase so wildcard receives never steal collective traffic.
+inline constexpr int kInternalTagBase = 0x4000'0000;
+
+enum InternalTag : int {
+  kTagBarrier = kInternalTagBase + 0,
+  kTagBcast = kInternalTagBase + 1,
+  kTagGather = kInternalTagBase + 2,
+  kTagScatter = kInternalTagBase + 3,
+  kTagAllgather = kInternalTagBase + 4,
+  kTagReduce = kInternalTagBase + 5,
+  kTagAlltoall = kInternalTagBase + 6,
+};
+
+}  // namespace pardis::rts

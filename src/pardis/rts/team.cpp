@@ -1,0 +1,93 @@
+#include "pardis/rts/team.hpp"
+
+#include "pardis/common/error.hpp"
+#include "pardis/common/log.hpp"
+
+namespace pardis::rts {
+
+Team::Team(std::string name, int size) : name_(std::move(name)) {
+  if (size <= 0) {
+    throw BAD_PARAM("Team size must be positive");
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Team::~Team() {
+  if (!threads_.empty()) {
+    // A Team destroyed while running would leave threads referencing freed
+    // mailboxes; join defensively.
+    try {
+      join();
+    } catch (const std::exception& e) {
+      PARDIS_LOG_ERROR << "Team '" << name_
+                       << "' destroyed with failed run: " << e.what();
+    }
+  }
+}
+
+void Team::run(const Body& body) {
+  start(body);
+  join();
+}
+
+void Team::start(const Body& body) {
+  if (!threads_.empty()) {
+    throw INTERNAL("Team '" + name_ + "' already running");
+  }
+  first_error_ = nullptr;
+  threads_.reserve(mailboxes_.size());
+  for (int rank = 0; rank < size(); ++rank) {
+    threads_.emplace_back([this, rank, body] { rank_main(rank, body); });
+  }
+}
+
+void Team::join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+Mailbox& Team::mailbox(int rank) {
+  if (rank < 0 || rank >= size()) {
+    throw BAD_PARAM("Team '" + name_ + "': rank out of range");
+  }
+  return *mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+void Team::rank_main(int rank, const Body& body) {
+  Communicator comm(*this, rank);
+  try {
+    body(comm);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    try {
+      std::rethrow_exception(std::current_exception());
+    } catch (const std::exception& e) {
+      PARDIS_LOG_ERROR << "rank " << rank << " of team '" << name_
+                       << "' failed: " << e.what();
+    } catch (...) {
+      PARDIS_LOG_ERROR << "rank " << rank << " of team '" << name_
+                       << "' failed with a non-standard exception";
+    }
+    // Unblock siblings waiting in recv so the team unwinds.
+    std::string reason = "rank " + std::to_string(rank) + " of team '" +
+                         name_ + "' terminated with an exception";
+    for (auto& box : mailboxes_) {
+      box->poison(reason);
+    }
+  }
+}
+
+}  // namespace pardis::rts

@@ -1,0 +1,60 @@
+// Team: one SPMD application instance (the paper's "computing threads").
+//
+// A Team owns `size` mailboxes and runs a body function on `size` threads,
+// each receiving its own Communicator.  This is the in-process stand-in for
+// the paper's parallel applications (client on the 4-node Onyx, server on
+// the 10-node PowerChallenge), whose internal communication went through
+// shared-memory MPICH.
+
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pardis/rts/communicator.hpp"
+#include "pardis/rts/mailbox.hpp"
+
+namespace pardis::rts {
+
+class Team {
+ public:
+  using Body = std::function<void(Communicator&)>;
+
+  /// Creates a team of `size` ranks named `name` (used in diagnostics and as
+  /// the default "host" identity in the simulated fabric).
+  Team(std::string name, int size);
+  ~Team();
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Runs `body` on all ranks and blocks until every rank returns.  If any
+  /// rank throws, all mailboxes are poisoned (so sibling ranks blocked in
+  /// recv unwind) and the first exception is rethrown after the join.
+  void run(const Body& body);
+
+  /// Starts the ranks without blocking; call join() to wait.  At most one
+  /// run is active at a time.
+  void start(const Body& body);
+  void join();
+
+  Mailbox& mailbox(int rank);
+
+ private:
+  void rank_main(int rank, const Body& body);
+
+  std::string name_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::thread> threads_;
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace pardis::rts

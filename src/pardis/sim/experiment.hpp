@@ -1,0 +1,159 @@
+// Shared machinery for the paper-table benchmarks and shape tests
+// (the experiment harness of DESIGN.md's per-experiment index).
+//
+// Each table benchmark replays the paper's experiment (§3.1): a parallel
+// client on one simulated host invokes an operation with one "in"
+// distributed-sequence argument on an SPMD object on another host, over a
+// single shared link, and reports per-phase times averaged over many
+// blocking invocations.
+//
+// Environment knobs (see EXPERIMENTS.md):
+//   PARDIS_SEQLEN     sequence length in doubles (default 1<<17)
+//   PARDIS_REPS       invocations averaged per configuration (default 15)
+//   PARDIS_LINK_MBPS  link bandwidth in MB/s (default 100; 0 = unlimited)
+//   PARDIS_LAT_US     per-frame link latency in microseconds (default 200)
+
+#pragma once
+
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "pardis/common/config.hpp"
+#include "pardis/common/stats.hpp"
+#include "pardis/sim/scenario.hpp"
+#include "pardis/transfer/spmd_client.hpp"
+#include "pardis/transfer/spmd_server.hpp"
+
+namespace pardis::bench {
+
+/// The benchmark servant: a "diffusion"-shaped operation with one `in`
+/// distributed argument, mirroring the paper's measured invocation ("in our
+/// invocations we were including one `in' argument sent only from the
+/// client to the server", §3.1).
+class SinkServant : public transfer::SpmdServant {
+ public:
+  const char* type_id() const override { return "IDL:bench/sink:1.0"; }
+  void dispatch(transfer::ServerCall& call) override {
+    if (call.operation() != "consume") {
+      throw BAD_OPERATION(call.operation());
+    }
+    auto seq = call.take_dseq<double>(0);
+    // Touch the data so unmarshaling is not optimized away.
+    double acc = 0;
+    for (std::size_t i = 0; i < seq.local_length(); ++i) {
+      acc += seq.local_data()[i];
+    }
+    call.results().put_double(acc);
+  }
+};
+
+struct BenchConfig {
+  int client_ranks = 2;
+  int server_ranks = 2;
+  std::uint64_t seqlen = 1u << 17;
+  orb::TransferMethod method = orb::TransferMethod::kCentralized;
+  int reps = 15;
+  net::LinkModel link;
+};
+
+/// Per-phase means over the repetitions: client side reduced max-over-ranks
+/// (barrier from the communicating thread), server side as reported in the
+/// reply.
+struct BenchResult {
+  std::array<double, kPhaseCount> client{};
+  std::array<double, kPhaseCount> server{};
+
+  double client_ms(Phase p) const {
+    return client[static_cast<std::size_t>(p)];
+  }
+  double server_ms(Phase p) const {
+    return server[static_cast<std::size_t>(p)];
+  }
+};
+
+inline net::LinkModel link_from_env() {
+  const double mbps = env_double("PARDIS_LINK_MBPS", 100.0);
+  if (mbps <= 0) return net::LinkModel::unlimited();
+  // PARDIS_STREAM_FRAC: single-stream achievable fraction of the link
+  // (calibrated to the paper's 12.27/26.7 peak ratio); >= 1 disables it.
+  return net::LinkModel::atm_scaled(
+      mbps * 1e6, std::chrono::microseconds(env_u64("PARDIS_LAT_US", 200)),
+      env_double("PARDIS_STREAM_FRAC", 0.46));
+}
+
+/// Runs `reps` invocations of the paper's experiment and returns phase
+/// means.  One warm-up invocation is excluded from the averages.
+inline BenchResult run_config(const BenchConfig& cfg) {
+  sim::ScenarioConfig scfg;
+  scfg.server.nranks = cfg.server_ranks;
+  scfg.client.nranks = cfg.client_ranks;
+  scfg.link = cfg.link;
+  sim::Scenario scenario(scfg);
+
+  BenchResult result;
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        transfer::SpmdServer server(scenario.orb(), comm,
+                                    scfg.server.host);
+        SinkServant servant;
+        server.activate("sink", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        auto binding = transfer::SpmdBinding::bind(
+            scenario.orb(), comm, scfg.client.host, "sink",
+            "IDL:bench/sink:1.0");
+        dseq::DSequence<double> seq(comm, cfg.seqlen);
+        for (std::size_t i = 0; i < seq.local_length(); ++i) {
+          seq.local_data()[i] = static_cast<double>(i);
+        }
+        transfer::CallOptions opts;
+        opts.method = cfg.method;
+
+        std::array<double, kPhaseCount> client_sum{};
+        std::array<double, kPhaseCount> server_sum{};
+        for (int rep = -1; rep < cfg.reps; ++rep) {
+          transfer::TypedDSeqArg<double> arg(seq, orb::ArgDir::kIn);
+          cdr::Encoder enc;
+          enc.put_long(rep);
+          binding.invoke("consume", enc.take(), {&arg}, opts);
+          if (rep < 0) continue;  // warm-up
+          const auto client_now =
+              transfer::reduce_stats(comm, binding.last_stats());
+          for (std::size_t i = 0; i < kPhaseCount; ++i) {
+            client_sum[i] += client_now[i];
+            server_sum[i] += binding.last_server_stats().size() > i
+                                 ? binding.last_server_stats()[i]
+                                 : 0.0;
+          }
+        }
+        if (comm.rank() == 0) {
+          for (std::size_t i = 0; i < kPhaseCount; ++i) {
+            result.client[i] = client_sum[i] / cfg.reps;
+            result.server[i] = server_sum[i] / cfg.reps;
+          }
+        }
+        binding.unbind();
+      },
+      "sink");
+  return result;
+}
+
+inline void print_banner(const char* title, const BenchConfig& cfg) {
+  std::printf("%s\n", title);
+  std::string link = "unlimited";
+  if (cfg.link.bandwidth_bps > 0) {
+    link = format_fixed(cfg.link.bandwidth_bps / 1e6, 0) + " MB/s shared";
+  }
+  std::printf("  sequence: %llu doubles (%.1f KB)   reps: %d   link: %s\n",
+              static_cast<unsigned long long>(cfg.seqlen),
+              static_cast<double>(cfg.seqlen) * 8.0 / 1024.0, cfg.reps,
+              link.c_str());
+  std::printf(
+      "  (paper testbed: 2^19 doubles over a dedicated 155 Mb/s ATM link, "
+      "1000 reps;\n   shapes, not absolute times, are comparable -- see "
+      "EXPERIMENTS.md)\n\n");
+}
+
+}  // namespace pardis::bench

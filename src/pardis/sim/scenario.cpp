@@ -1,0 +1,68 @@
+#include "pardis/sim/scenario.hpp"
+
+#include <exception>
+
+#include "pardis/common/log.hpp"
+#include "pardis/transfer/spmd_client.hpp"
+
+namespace pardis::sim {
+
+Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
+  orb_ = orb::Orb::create(config_.orb);
+  orb_->fabric().set_link(config_.server.host, config_.client.host,
+                          config_.link);
+}
+
+void Scenario::run(const Body& server_body, const Body& client_body,
+                   const std::string& shutdown_object) {
+  run_impl(server_body, client_body, shutdown_object);
+}
+
+void Scenario::run(const Body& server_body, const Body& client_body) {
+  run_impl(server_body, client_body, {});
+}
+
+void Scenario::run_impl(const Body& server_body, const Body& client_body,
+                        const std::string& shutdown_object) {
+  rts::Team server_team("server:" + config_.server.host,
+                        config_.server.nranks);
+  rts::Team client_team("client:" + config_.client.host,
+                        config_.client.nranks);
+
+  server_team.start(server_body);
+
+  std::exception_ptr client_error;
+  try {
+    client_team.run(client_body);
+  } catch (...) {
+    client_error = std::current_exception();
+  }
+
+  // Wind the server down even when the client failed, so the join below
+  // cannot hang on a healthy server.
+  if (!shutdown_object.empty()) {
+    try {
+      auto ref = orb_->naming().resolve(shutdown_object);
+      if (ref) {
+        transfer::send_shutdown(*orb_, config_.client.host, *ref);
+      } else {
+        PARDIS_LOG_WARN << "scenario: shutdown object '" << shutdown_object
+                        << "' never registered";
+      }
+    } catch (const std::exception& e) {
+      PARDIS_LOG_WARN << "scenario: shutdown delivery failed: " << e.what();
+    }
+  }
+
+  std::exception_ptr server_error;
+  try {
+    server_team.join();
+  } catch (...) {
+    server_error = std::current_exception();
+  }
+
+  if (client_error) std::rethrow_exception(client_error);
+  if (server_error) std::rethrow_exception(server_error);
+}
+
+}  // namespace pardis::sim

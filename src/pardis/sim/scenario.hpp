@@ -1,0 +1,63 @@
+// Scenario harness: the stand-in for the paper's two-machine testbed.
+//
+// A Scenario wires one Orb, two named hosts joined by a configurable link
+// model (the 155 Mb/s ATM substitute), a server application of P computing
+// threads and a client application of K computing threads.  Examples,
+// integration tests and every benchmark table run through this harness.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "pardis/net/link.hpp"
+#include "pardis/orb/orb.hpp"
+#include "pardis/rts/communicator.hpp"
+#include "pardis/rts/team.hpp"
+
+namespace pardis::sim {
+
+struct AppConfig {
+  std::string host;
+  int nranks = 1;
+};
+
+struct ScenarioConfig {
+  AppConfig server{"powerchallenge", 4};  // the paper's server machine
+  AppConfig client{"onyx", 2};            // the paper's client machine
+  /// Link between the two hosts (unlimited by default; benches throttle).
+  net::LinkModel link = net::LinkModel::unlimited();
+  orb::OrbConfig orb;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config = {});
+
+  orb::Orb& orb() noexcept { return *orb_; }
+  const ScenarioConfig& config() const noexcept { return config_; }
+
+  using Body = std::function<void(rts::Communicator&)>;
+
+  /// Runs the server application (which must activate `shutdown_object`
+  /// and enter serve()) and the client application concurrently.  When the
+  /// client application finishes, a Shutdown is delivered to the server's
+  /// service loop.  The first exception from either application is
+  /// rethrown after both have wound down.
+  void run(const Body& server_body, const Body& client_body,
+           const std::string& shutdown_object);
+
+  /// Variant without automatic shutdown: the server body must return on
+  /// its own.
+  void run(const Body& server_body, const Body& client_body);
+
+ private:
+  void run_impl(const Body& server_body, const Body& client_body,
+                const std::string& shutdown_object);
+
+  ScenarioConfig config_;
+  std::shared_ptr<orb::Orb> orb_;
+};
+
+}  // namespace pardis::sim

@@ -1,0 +1,104 @@
+// Type-erased view of a distributed-sequence argument.
+//
+// The transfer engines move argument bytes between computing threads
+// without knowing the element type; generated stubs wrap each
+// DSequence<T> argument in a TypedDSeqArg<T> which supplies the
+// pack/unpack primitives at chunk granularity.
+
+#pragma once
+
+#include <cstring>
+
+#include "pardis/common/bytes.hpp"
+#include "pardis/common/endian.hpp"
+#include "pardis/common/error.hpp"
+#include "pardis/dseq/dsequence.hpp"
+#include "pardis/orb/protocol.hpp"
+
+namespace pardis::transfer {
+
+class DSeqArgBase {
+ public:
+  virtual ~DSeqArgBase() = default;
+
+  virtual orb::ArgDir direction() const = 0;
+  virtual orb::ElemKind elem_kind() const = 0;
+  virtual std::size_t elem_size() const = 0;
+  virtual std::uint64_t total_length() const = 0;
+  virtual const dseq::DistTempl& distribution() const = 0;
+
+  /// Appends raw bytes of `count` local elements starting at local element
+  /// `offset` to `out`.
+  virtual void pack_local(std::uint64_t offset, std::uint64_t count,
+                          pardis::Bytes& out) const = 0;
+
+  /// Collective: replaces contents with `dist` and zeroed local storage,
+  /// ready for unpack_segment writes.
+  virtual void prepare(const dseq::DistTempl& dist) = 0;
+
+  /// Writes `count` elements of raw data into local storage at local
+  /// element offset `elem_offset`; `swap` indicates a byte-order mismatch
+  /// with the sender.
+  virtual void unpack_segment(std::uint64_t elem_offset, std::uint64_t count,
+                              pardis::BytesView bytes, bool swap) = 0;
+};
+
+template <typename T>
+class TypedDSeqArg final : public DSeqArgBase {
+ public:
+  TypedDSeqArg(dseq::DSequence<T>& seq, orb::ArgDir dir)
+      : seq_(&seq), dir_(dir) {}
+
+  orb::ArgDir direction() const override { return dir_; }
+  orb::ElemKind elem_kind() const override {
+    return orb::elem_kind_of<T>();
+  }
+  std::size_t elem_size() const override { return sizeof(T); }
+  std::uint64_t total_length() const override { return seq_->length(); }
+  const dseq::DistTempl& distribution() const override {
+    return seq_->distribution();
+  }
+
+  void pack_local(std::uint64_t offset, std::uint64_t count,
+                  pardis::Bytes& out) const override {
+    if (offset + count > seq_->local_length()) {
+      throw INTERNAL("pack_local: range exceeds local chunk");
+    }
+    const auto* src =
+        reinterpret_cast<const std::uint8_t*>(seq_->local_data() + offset);
+    out.insert(out.end(), src, src + count * sizeof(T));
+  }
+
+  void prepare(const dseq::DistTempl& dist) override {
+    *seq_ = dseq::DSequence<T>::from_local_chunk(
+        seq_->comm(), dist,
+        std::vector<T>(dist.count(seq_->comm().rank())));
+  }
+
+  void unpack_segment(std::uint64_t elem_offset, std::uint64_t count,
+                      pardis::BytesView bytes, bool swap) override {
+    if (bytes.size() != count * sizeof(T)) {
+      throw MARSHAL("unpack_segment: byte count mismatch");
+    }
+    if (elem_offset + count > seq_->local_length()) {
+      throw MARSHAL("unpack_segment: range exceeds local chunk");
+    }
+    T* dst = seq_->local_data() + elem_offset;
+    if (count != 0) {
+      std::memcpy(dst, bytes.data(), bytes.size());
+    }
+    if (swap) {
+      for (std::uint64_t i = 0; i < count; ++i) {
+        dst[i] = pardis::byteswap_scalar(dst[i]);
+      }
+    }
+  }
+
+  dseq::DSequence<T>& sequence() { return *seq_; }
+
+ private:
+  dseq::DSequence<T>* seq_;
+  orb::ArgDir dir_;
+};
+
+}  // namespace pardis::transfer

@@ -1,0 +1,98 @@
+#include "pardis/transfer/engine.hpp"
+
+#include "pardis/common/error.hpp"
+
+namespace pardis::transfer {
+
+void ArgDistPolicy::set(const std::string& operation, cdr::ULong arg_index,
+                        dseq::Proportions proportions) {
+  preset_[{operation, arg_index}] = std::move(proportions);
+}
+
+dseq::DistTempl ArgDistPolicy::server_dist(const std::string& operation,
+                                           cdr::ULong arg_index,
+                                           std::uint64_t total_length,
+                                           int nranks) const {
+  const auto it = preset_.find({operation, arg_index});
+  if (it == preset_.end()) {
+    return dseq::DistTempl::block(total_length, nranks);
+  }
+  return dseq::DistTempl::proportional(total_length, it->second, nranks);
+}
+
+void ArgDistPolicy::encode(cdr::Encoder& enc) const {
+  enc.put_ulong(static_cast<cdr::ULong>(preset_.size()));
+  for (const auto& [key, proportions] : preset_) {
+    enc.put_string(key.first);
+    enc.put_ulong(key.second);
+    const auto& weights = proportions.weights();
+    enc.put_array(weights.data(), weights.size());
+  }
+}
+
+ArgDistPolicy ArgDistPolicy::decode(cdr::Decoder& dec) {
+  ArgDistPolicy policy;
+  const cdr::ULong count = dec.get_ulong();
+  if (count > 4096) {
+    throw MARSHAL("ArgDistPolicy: absurd preset count");
+  }
+  for (cdr::ULong i = 0; i < count; ++i) {
+    std::string operation = dec.get_string();
+    const cdr::ULong arg_index = dec.get_ulong();
+    auto weights = dec.get_array<double>(1u << 16);
+    policy.set(operation, arg_index,
+               weights.empty() ? dseq::Proportions{}
+                               : dseq::Proportions(std::move(weights)));
+  }
+  return policy;
+}
+
+orb::DSeqDescriptor make_request_descriptor(cdr::ULong arg_index,
+                                            const DSeqArgBase& arg) {
+  orb::DSeqDescriptor desc;
+  desc.arg_index = arg_index;
+  desc.dir = arg.direction();
+  desc.elem_kind = arg.elem_kind();
+  desc.elem_size = static_cast<cdr::ULong>(arg.elem_size());
+  if (arg.direction() == orb::ArgDir::kOut) {
+    // Out arguments carry no data, but the client may have initialized the
+    // sequence with a distribution template before the call (paper §2.2);
+    // ship it as the reply-routing hint.  It applies when the result's
+    // length matches (see client_reply_dist); otherwise the reply defaults
+    // to uniform blockwise.
+    desc.total_length = arg.total_length();
+    desc.src_counts = counts_of(arg.distribution());
+  } else {
+    desc.total_length = arg.total_length();
+    desc.src_counts = counts_of(arg.distribution());
+  }
+  return desc;
+}
+
+dseq::DistTempl client_reply_dist(const orb::DSeqDescriptor& request_desc,
+                                  std::uint64_t reply_length,
+                                  int client_ranks) {
+  if (request_desc.total_length == reply_length && reply_length > 0) {
+    return dist_from_counts(request_desc.src_counts);
+  }
+  return dseq::DistTempl::block(reply_length, client_ranks);
+}
+
+dseq::DistTempl dist_from_counts(const std::vector<cdr::ULongLong>& counts) {
+  return dseq::DistTempl::from_counts(
+      std::vector<std::uint64_t>(counts.begin(), counts.end()));
+}
+
+std::vector<cdr::ULongLong> counts_of(const dseq::DistTempl& dist) {
+  const auto span = dist.counts();
+  return std::vector<cdr::ULongLong>(span.begin(), span.end());
+}
+
+void check_elem_type(const orb::DSeqDescriptor& desc, const DSeqArgBase& arg) {
+  if (desc.elem_kind != arg.elem_kind() ||
+      desc.elem_size != arg.elem_size()) {
+    throw MARSHAL("distributed argument element type mismatch");
+  }
+}
+
+}  // namespace pardis::transfer

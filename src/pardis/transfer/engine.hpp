@@ -1,0 +1,70 @@
+// Shared machinery of the two transfer engines.
+//
+// Both the client (spmd_client) and server (spmd_server) sides of an
+// invocation need: the server's per-argument distribution policy (exported
+// at bind time so the client "based on information provided by the ORB"
+// can route multi-port segments, §3.3), descriptor construction, and the
+// deterministic rule for the client-side distribution of reply data.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pardis/dseq/dist_templ.hpp"
+#include "pardis/orb/protocol.hpp"
+#include "pardis/transfer/dseq_arg.hpp"
+
+namespace pardis::transfer {
+
+/// Server-side preset distributions for operation arguments (paper §2.2:
+/// "The server can set the distribution of a distributed sequence which is
+/// an `in' parameter to any of its operations before registering;
+/// otherwise, the distribution for that sequence will default to uniform
+/// blockwise.").  The table travels to clients in the BindAck so both sides
+/// derive identical server templates.
+class ArgDistPolicy {
+ public:
+  /// Presets the distribution of (operation, arg_index).
+  void set(const std::string& operation, cdr::ULong arg_index,
+           dseq::Proportions proportions);
+
+  /// The server-side template for an argument of `total_length` elements
+  /// over `nranks` server threads (uniform blockwise when not preset).
+  dseq::DistTempl server_dist(const std::string& operation,
+                              cdr::ULong arg_index,
+                              std::uint64_t total_length, int nranks) const;
+
+  void encode(cdr::Encoder& enc) const;
+  static ArgDistPolicy decode(cdr::Decoder& dec);
+
+  bool empty() const noexcept { return preset_.empty(); }
+
+ private:
+  std::map<std::pair<std::string, cdr::ULong>, dseq::Proportions> preset_;
+};
+
+/// Builds the request descriptor for one client-side argument.
+orb::DSeqDescriptor make_request_descriptor(cdr::ULong arg_index,
+                                            const DSeqArgBase& arg);
+
+/// The deterministic client-side distribution of inout/out reply data:
+/// reuse the distribution the client supplied in the request when its
+/// length still matches the reply; otherwise fall back to uniform blockwise
+/// (paper §2.2: "The distribution of return values is always assumed to be
+/// blockwise", and out arguments default to uniform blockwise unless preset).
+/// Both client and server compute this from the same inputs.
+dseq::DistTempl client_reply_dist(const orb::DSeqDescriptor& request_desc,
+                                  std::uint64_t reply_length,
+                                  int client_ranks);
+
+/// DistTempl <-> descriptor src_counts conversion.
+dseq::DistTempl dist_from_counts(const std::vector<cdr::ULongLong>& counts);
+std::vector<cdr::ULongLong> counts_of(const dseq::DistTempl& dist);
+
+/// Validates that a peer descriptor matches the local argument's type.
+void check_elem_type(const orb::DSeqDescriptor& desc, const DSeqArgBase& arg);
+
+}  // namespace pardis::transfer

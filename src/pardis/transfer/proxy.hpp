@@ -1,0 +1,108 @@
+// Common base of generated client proxies.
+//
+// A proxy is the client-side face of an interface (the paper's generated
+// stub class, e.g. `class diff_object : public PARDIS::Object`).  It holds
+// either a collective SpmdBinding (after `_spmd_bind`) or a per-thread
+// DirectBinding (after `_bind`) and funnels generated method bodies through
+// _invoke.  Proxies are cheap to copy; copies share the binding.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pardis/orb/future.hpp"
+#include "pardis/transfer/spmd_client.hpp"
+
+namespace pardis::transfer {
+
+class ProxyBase {
+ public:
+  /// Transfer method used by subsequent invocations with distributed
+  /// arguments (paper §3; default multi-port).
+  void _transfer_method(orb::TransferMethod m) { method_ = m; }
+  orb::TransferMethod _transfer_method() const { return method_; }
+
+  bool _is_spmd() const { return spmd_ != nullptr; }
+
+  const InvocationStats& _last_stats() const {
+    require_spmd();
+    return spmd_->last_stats();
+  }
+  const std::vector<double>& _last_server_stats() const {
+    require_spmd();
+    return spmd_->last_server_stats();
+  }
+
+  const orb::ObjectRef& _object() const {
+    return spmd_ ? spmd_->object() : direct_binding().object();
+  }
+
+  SpmdBinding& _spmd_binding() {
+    require_spmd();
+    return *spmd_;
+  }
+
+  void _unbind() {
+    if (spmd_) spmd_->unbind();
+    if (direct_) direct_->unbind();
+  }
+
+ protected:
+  ProxyBase() = default;
+
+  void _init_spmd(SpmdBinding binding) {
+    spmd_ = std::make_shared<SpmdBinding>(std::move(binding));
+  }
+  void _init_direct(DirectBinding binding) {
+    direct_ = std::make_shared<DirectBinding>(std::move(binding));
+  }
+
+  /// Invocation with distributed arguments; requires a collective binding.
+  pardis::Bytes _invoke(const std::string& operation, pardis::Bytes args,
+                        const std::vector<DSeqArgBase*>& dseqs,
+                        bool response_expected) {
+    if (dseqs.empty() && direct_) {
+      return direct_->invoke(operation, std::move(args), response_expected);
+    }
+    require_spmd();
+    CallOptions opts;
+    opts.method = method_;
+    opts.response_expected = response_expected;
+    return spmd_->invoke(operation, std::move(args), dseqs, opts);
+  }
+
+  orb::Future<pardis::Bytes> _invoke_nb(const std::string& operation,
+                                        pardis::Bytes args,
+                                        std::vector<DSeqArgBase*> dseqs,
+                                        bool response_expected) {
+    require_spmd();
+    CallOptions opts;
+    opts.method = method_;
+    opts.response_expected = response_expected;
+    return spmd_->invoke_nb(operation, std::move(args), std::move(dseqs),
+                            opts);
+  }
+
+ private:
+  const DirectBinding& direct_binding() const {
+    if (!direct_) {
+      throw BAD_PARAM("proxy is not bound");
+    }
+    return *direct_;
+  }
+  void require_spmd() const {
+    if (!spmd_) {
+      throw BAD_PARAM(
+          "operation requires a collective binding (_spmd_bind); this proxy "
+          "was bound with _bind or not bound at all");
+    }
+  }
+
+  std::shared_ptr<SpmdBinding> spmd_;
+  std::shared_ptr<DirectBinding> direct_;
+  orb::TransferMethod method_ = orb::TransferMethod::kMultiPort;
+};
+
+}  // namespace pardis::transfer

@@ -1,0 +1,564 @@
+#include "pardis/transfer/spmd_client.hpp"
+
+#include <algorithm>
+
+#include "pardis/common/config.hpp"
+#include "pardis/common/log.hpp"
+#include "pardis/dseq/plan.hpp"
+#include "pardis/orb/exceptions.hpp"
+#include "pardis/rts/collectives.hpp"
+
+namespace pardis::transfer {
+
+namespace {
+
+/// Sends a complete frame: prologue + body encoded by `encode_body`.
+template <typename Fn>
+void send_frame(net::Connection& conn, orb::MsgType type, Fn&& encode_body) {
+  cdr::Encoder enc;
+  orb::begin_frame(enc, type);
+  encode_body(enc);
+  conn.send(enc.take());
+}
+
+struct ReceivedFrame {
+  pardis::Bytes bytes;
+  orb::Frame info;
+};
+
+ReceivedFrame recv_frame(net::Connection& conn, orb::MsgType expected) {
+  ReceivedFrame f;
+  f.bytes = conn.recv_or_throw();
+  f.info = orb::parse_frame(f.bytes);
+  if (f.info.type != expected) {
+    throw MARSHAL(std::string("expected ") + orb::to_string(expected) +
+                  " frame, got " + orb::to_string(f.info.type));
+  }
+  return f;
+}
+
+/// Result of the collective reply-header exchange: rank 0 receives the
+/// header on the control connection and broadcasts the parts every rank
+/// needs.
+struct SharedReply {
+  orb::ReplyStatus status = orb::ReplyStatus::kNoException;
+  pardis::Bytes payload;
+  std::vector<orb::DSeqDescriptor> dseqs;
+  std::vector<double> server_stats;
+};
+
+void encode_shared_reply(cdr::Encoder& enc, const SharedReply& r) {
+  enc.put_octet(static_cast<cdr::Octet>(r.status));
+  enc.put_octet_sequence(r.payload);
+  enc.put_ulong(static_cast<cdr::ULong>(r.dseqs.size()));
+  for (const auto& d : r.dseqs) d.encode(enc);
+  enc.put_array(r.server_stats.data(), r.server_stats.size());
+}
+
+SharedReply decode_shared_reply(cdr::Decoder& dec) {
+  SharedReply r;
+  r.status = static_cast<orb::ReplyStatus>(dec.get_octet());
+  r.payload = dec.get_octet_sequence();
+  const cdr::ULong n = dec.get_ulong();
+  for (cdr::ULong i = 0; i < n; ++i) {
+    r.dseqs.push_back(orb::DSeqDescriptor::decode(dec));
+  }
+  r.server_stats = dec.get_array<double>(64);
+  return r;
+}
+
+}  // namespace
+
+// ---- SpmdBinding::bind -----------------------------------------------------
+
+SpmdBinding SpmdBinding::bind(orb::Orb& orb, rts::Communicator& comm,
+                              const std::string& client_host,
+                              const std::string& object_name,
+                              const std::string& type_id,
+                              const std::string& host_hint) {
+  SpmdBinding b;
+  b.orb_ = &orb;
+  b.comm_ = &comm;
+  b.client_host_ = client_host;
+
+  // Rank 0 resolves and shares the outcome so siblings never hang on a
+  // failed resolution.
+  const auto bind_timeout = std::chrono::milliseconds(
+      env_u64("PARDIS_BIND_TIMEOUT_MS", 10'000));
+  pardis::Bytes shared;
+  if (comm.rank() == 0) {
+    cdr::Encoder enc;
+    auto ref = orb.naming().resolve_wait(object_name, host_hint, bind_timeout);
+    if (!ref) {
+      enc.put_boolean(false);
+      enc.put_string("no object named '" + object_name + "'" +
+                     (host_hint.empty() ? "" : " on host " + host_hint));
+    } else if (!type_id.empty() && ref->type_id != type_id) {
+      enc.put_boolean(false);
+      enc.put_string("object '" + object_name + "' has type " +
+                     ref->type_id + ", expected " + type_id);
+    } else {
+      enc.put_boolean(true);
+      enc.put_ulong(orb.next_binding_id());
+      ref->encode(enc);
+    }
+    shared = enc.take();
+  }
+  comm.bcast_bytes(shared, 0);
+  {
+    cdr::Decoder dec{BytesView(shared)};
+    if (!dec.get_boolean()) {
+      throw OBJECT_NOT_EXIST(dec.get_string());
+    }
+    b.binding_id_ = dec.get_ulong();
+    b.object_ = orb::ObjectRef::decode(dec);
+  }
+
+  // Rank 0 opens the control connection and announces the binding.
+  if (comm.rank() == 0) {
+    b.control_ = orb.fabric().connect(client_host, b.object_.endpoints[0]);
+    send_frame(*b.control_, orb::MsgType::kBindRequest, [&](cdr::Encoder& e) {
+      orb::BindRequest req;
+      req.binding_id = b.binding_id_;
+      req.client_host = client_host;
+      req.client_ranks = static_cast<cdr::ULong>(comm.size());
+      req.object_key = object_name;
+      req.collective = true;
+      req.encode(e);
+    });
+  }
+
+  // Every rank opens a data connection to every server thread's port
+  // (paper §3.3: clients open multiple connections so each computing thread
+  // can communicate directly with each thread of the server).
+  b.data_conns_.reserve(b.object_.endpoints.size());
+  for (const net::Address& ep : b.object_.endpoints) {
+    auto conn = orb.fabric().connect(client_host, ep);
+    send_frame(*conn, orb::MsgType::kHello, [&](cdr::Encoder& e) {
+      orb::Hello hello;
+      hello.binding_id = b.binding_id_;
+      hello.client_rank = static_cast<cdr::ULong>(comm.rank());
+      hello.encode(e);
+    });
+    b.data_conns_.push_back(std::move(conn));
+  }
+
+  // Rank 0 awaits the acknowledgment (carrying the server's argument
+  // distribution policy) and shares it.
+  pardis::Bytes ack_shared;
+  if (comm.rank() == 0) {
+    auto frame = recv_frame(*b.control_, orb::MsgType::kBindAck);
+    auto dec = orb::body_decoder(frame.bytes, frame.info);
+    const orb::BindAck ack = orb::BindAck::decode(dec);
+    cdr::Encoder enc;
+    if (ack.status != orb::BindStatus::kOk) {
+      enc.put_boolean(false);
+      enc.put_string(ack.message);
+    } else {
+      enc.put_boolean(true);
+      ArgDistPolicy::decode(dec).encode(enc);
+    }
+    ack_shared = enc.take();
+  }
+  comm.bcast_bytes(ack_shared, 0);
+  {
+    cdr::Decoder dec{BytesView(ack_shared)};
+    if (!dec.get_boolean()) {
+      throw OBJECT_NOT_EXIST("bind rejected: " + dec.get_string());
+    }
+    b.policy_ = ArgDistPolicy::decode(dec);
+  }
+  PARDIS_LOG_DEBUG << "spmd_bind rank " << comm.rank() << " -> "
+                   << object_name << " (binding " << b.binding_id_ << ")";
+  return b;
+}
+
+// ---- SpmdBinding::invoke ---------------------------------------------------
+
+pardis::Bytes SpmdBinding::invoke(const std::string& operation,
+                                  pardis::Bytes scalar_args,
+                                  const std::vector<DSeqArgBase*>& dseq_args,
+                                  const CallOptions& opts) {
+  stats_.reset();
+  const auto t0 = Clock::now();
+
+  // Client threads synchronize on making the invocation (paper §3.2).
+  comm_->barrier();
+
+  const cdr::ULong request_id = ++next_request_;
+  std::vector<orb::DSeqDescriptor> descriptors;
+  descriptors.reserve(dseq_args.size());
+  for (std::size_t i = 0; i < dseq_args.size(); ++i) {
+    descriptors.push_back(
+        make_request_descriptor(static_cast<cdr::ULong>(i), *dseq_args[i]));
+  }
+
+  send_phase(operation, request_id, scalar_args, dseq_args, descriptors,
+             opts);
+  pardis::Bytes results;
+  if (opts.response_expected) {
+    results = receive_phase(request_id, dseq_args, descriptors, opts);
+  }
+
+  stats_.timer.time(Phase::kBarrier, [&] { comm_->barrier(); });
+  stats_.timer.add(Phase::kTotal, Clock::now() - t0);
+  PARDIS_LOG_DEBUG << "rank " << comm_->rank() << " invoke done ("
+                   << operation << ")";
+  return results;
+}
+
+orb::Future<pardis::Bytes> SpmdBinding::invoke_nb(
+    const std::string& operation, pardis::Bytes scalar_args,
+    std::vector<DSeqArgBase*> dseq_args, const CallOptions& opts) {
+  stats_.reset();
+  const auto t0 = Clock::now();
+  comm_->barrier();
+
+  const cdr::ULong request_id = ++next_request_;
+  std::vector<orb::DSeqDescriptor> descriptors;
+  descriptors.reserve(dseq_args.size());
+  for (std::size_t i = 0; i < dseq_args.size(); ++i) {
+    descriptors.push_back(
+        make_request_descriptor(static_cast<cdr::ULong>(i), *dseq_args[i]));
+  }
+  send_phase(operation, request_id, scalar_args, dseq_args, descriptors,
+             opts);
+
+  if (!opts.response_expected) {
+    stats_.timer.add(Phase::kTotal, Clock::now() - t0);
+    return orb::Future<pardis::Bytes>::from_value({});
+  }
+  // The receive phase runs inside the (collective) get().  The future must
+  // be collected before the next invocation on this binding.
+  return orb::Future<pardis::Bytes>::from_deferred(
+      [this, request_id, args = std::move(dseq_args), descriptors, opts,
+       t0]() mutable {
+        pardis::Bytes results =
+            receive_phase(request_id, args, descriptors, opts);
+        stats_.timer.time(Phase::kBarrier, [&] { comm_->barrier(); });
+        stats_.timer.add(Phase::kTotal, Clock::now() - t0);
+        return results;
+      });
+}
+
+void SpmdBinding::send_phase(
+    const std::string& operation, cdr::ULong request_id,
+    pardis::Bytes& scalar_args, const std::vector<DSeqArgBase*>& dseq_args,
+    const std::vector<orb::DSeqDescriptor>& descriptors,
+    const CallOptions& opts) {
+  const int rank = comm_->rank();
+  auto& timer = stats_.timer;
+
+  orb::RequestHeader header;
+  header.request_id = request_id;
+  header.binding_id = binding_id_;
+  header.operation = operation;
+  header.response_expected = opts.response_expected;
+  header.collective = true;
+  header.method = opts.method;
+  header.scalar_args = std::move(scalar_args);
+  header.dseqs = descriptors;
+
+  if (opts.method == orb::TransferMethod::kCentralized) {
+    // Gather every distributed in/inout argument at the communicating
+    // thread, then ship request + arguments as one message (§3.2).
+    std::vector<pardis::Bytes> gathered(dseq_args.size());
+    timer.time(Phase::kGather, [&] {
+      for (std::size_t i = 0; i < dseq_args.size(); ++i) {
+        const DSeqArgBase& arg = *dseq_args[i];
+        if (arg.direction() == orb::ArgDir::kOut) continue;
+        pardis::Bytes local;
+        arg.pack_local(0, arg.distribution().count(rank), local);
+        auto parts = comm_->gather_bytes(local, 0);
+        if (rank == 0) {
+          pardis::Bytes& all = gathered[i];
+          all.reserve(arg.total_length() * arg.elem_size());
+          for (auto& p : parts) append(all, p);
+        }
+      }
+    });
+    if (rank == 0) {
+      pardis::Bytes frame = timer.time(Phase::kPack, [&] {
+        cdr::Encoder enc;
+        orb::begin_frame(enc, orb::MsgType::kRequest);
+        header.encode(enc);
+        for (std::size_t i = 0; i < dseq_args.size(); ++i) {
+          if (dseq_args[i]->direction() == orb::ArgDir::kOut) continue;
+          enc.align(8);
+          enc.put_octets(gathered[i]);
+        }
+        return enc.take();
+      });
+      PARDIS_LOG_TRACE << "client rank 0 sending centralized request ("
+                       << frame.size() << " bytes)";
+      timer.time(Phase::kSend, [&] { control_->send(std::move(frame)); });
+      PARDIS_LOG_TRACE << "client rank 0 centralized request sent";
+    }
+    return;
+  }
+
+  // Multi-port: the invocation header still travels centralized to avoid
+  // contention between invoking clients (§3.3) ...
+  if (rank == 0) {
+    pardis::Bytes frame = timer.time(Phase::kPack, [&] {
+      cdr::Encoder enc;
+      orb::begin_frame(enc, orb::MsgType::kRequest);
+      header.encode(enc);
+      return enc.take();
+    });
+    timer.time(Phase::kSend, [&] { control_->send(std::move(frame)); });
+  }
+  // ... then every computing thread routes its share of each argument
+  // directly to the owning server threads.
+  for (std::size_t i = 0; i < dseq_args.size(); ++i) {
+    const DSeqArgBase& arg = *dseq_args[i];
+    if (arg.direction() == orb::ArgDir::kOut) continue;
+    const dseq::DistTempl server_dist = policy_.server_dist(
+        operation, static_cast<cdr::ULong>(i), arg.total_length(),
+        server_ranks());
+    const dseq::RedistributionPlan plan(arg.distribution(), server_dist);
+    for (const dseq::Segment& seg : plan.outgoing(rank)) {
+      pardis::Bytes frame = timer.time(Phase::kPack, [&] {
+        cdr::Encoder enc;
+        orb::begin_frame(enc, orb::MsgType::kArgTransfer);
+        orb::ArgTransferHeader h;
+        h.request_id = request_id;
+        h.arg_index = static_cast<cdr::ULong>(i);
+        h.src_rank = static_cast<cdr::ULong>(rank);
+        h.dst_rank = static_cast<cdr::ULong>(seg.dst_rank);
+        h.dst_offset = seg.dst_offset;
+        h.count = seg.count;
+        h.encode(enc);
+        enc.align(8);
+        pardis::Bytes data;
+        arg.pack_local(seg.src_offset, seg.count, data);
+        enc.put_octets(data);
+        return enc.take();
+      });
+      timer.time(Phase::kSend, [&] {
+        data_conns_[static_cast<std::size_t>(seg.dst_rank)]->send(
+            std::move(frame));
+      });
+    }
+  }
+}
+
+pardis::Bytes SpmdBinding::receive_phase(
+    cdr::ULong request_id, const std::vector<DSeqArgBase*>& dseq_args,
+    const std::vector<orb::DSeqDescriptor>& descriptors,
+    const CallOptions& opts) {
+  const int rank = comm_->rank();
+  auto& timer = stats_.timer;
+
+  // Rank 0 receives the reply header; everyone shares it.
+  SharedReply reply;
+  pardis::Bytes reply_frame;
+  orb::Frame reply_info{};
+  std::size_t data_cursor = 0;
+  {
+    pardis::Bytes shared;
+    if (rank == 0) {
+      auto frame = timer.time(Phase::kRecv, [&] {
+        return recv_frame(*control_, orb::MsgType::kReply);
+      });
+      reply_frame = std::move(frame.bytes);
+      reply_info = frame.info;
+      auto dec = orb::body_decoder(reply_frame, reply_info);
+      const orb::ReplyHeader header = orb::ReplyHeader::decode(dec);
+      if (header.request_id != request_id) {
+        throw MARSHAL("reply id mismatch (out-of-order reply?)");
+      }
+      reply.status = header.status;
+      reply.payload = header.payload;
+      reply.dseqs = header.dseqs;
+      reply.server_stats = header.server_stats_ms;
+      data_cursor = dec.position();
+      cdr::Encoder enc;
+      encode_shared_reply(enc, reply);
+      shared = enc.take();
+    }
+    comm_->bcast_bytes(shared, 0);
+    if (rank != 0) {
+      cdr::Decoder dec{BytesView(shared)};
+      reply = decode_shared_reply(dec);
+    } else {
+      // rank 0 already has `reply` populated.
+    }
+  }
+  server_stats_ = reply.server_stats;
+
+  if (reply.status != orb::ReplyStatus::kNoException) {
+    orb::rethrow_reply_exception(reply.status, reply.payload,
+                                 orb_->exceptions());
+  }
+
+  // Receive inout/out distributed results.
+  for (const orb::DSeqDescriptor& desc : reply.dseqs) {
+    if (desc.arg_index >= dseq_args.size()) {
+      throw MARSHAL("reply descriptor for unknown argument");
+    }
+    DSeqArgBase& arg = *dseq_args[desc.arg_index];
+    check_elem_type(desc, arg);
+    const dseq::DistTempl server_dist = dist_from_counts(desc.src_counts);
+    const dseq::DistTempl client_dist = client_reply_dist(
+        descriptors[desc.arg_index], desc.total_length, comm_->size());
+    arg.prepare(client_dist);
+
+    if (opts.method == orb::TransferMethod::kCentralized) {
+      // Data sections ride in the reply frame; rank 0 slices and scatters.
+      std::vector<pardis::Bytes> parts;
+      if (rank == 0) {
+        timer.time(Phase::kUnpack, [&] {
+          cdr::Decoder dec(BytesView(reply_frame), reply_info.little_endian);
+          (void)dec.get_octets(data_cursor);
+          dec.align(8);
+          const auto all = dec.get_octets(desc.total_length * desc.elem_size);
+          data_cursor = dec.position();
+          parts.resize(static_cast<std::size_t>(comm_->size()));
+          std::size_t offset = 0;
+          for (int r = 0; r < comm_->size(); ++r) {
+            const std::size_t bytes = client_dist.count(r) * desc.elem_size;
+            parts[static_cast<std::size_t>(r)].assign(
+                all.begin() + static_cast<std::ptrdiff_t>(offset),
+                all.begin() + static_cast<std::ptrdiff_t>(offset + bytes));
+            offset += bytes;
+          }
+        });
+      }
+      const pardis::Bytes mine = timer.time(
+          Phase::kScatter, [&] { return comm_->scatter_bytes(parts, 0); });
+      timer.time(Phase::kUnpack, [&] {
+        const bool swap =
+            (rank == 0 ? reply_info.little_endian
+                       : pardis::host_is_little_endian()) !=
+            pardis::host_is_little_endian();
+        arg.unpack_segment(0, client_dist.count(rank), mine, swap);
+      });
+    } else {
+      // Multi-port: receive direct transfers from the owning server ranks.
+      const dseq::RedistributionPlan plan(server_dist, client_dist);
+      auto expected = plan.incoming(rank);
+      // Group by source server rank; each connection delivers in order.
+      for (int j = 0; j < server_ranks(); ++j) {
+        for (const dseq::Segment& seg : expected) {
+          if (seg.src_rank != j || seg.count == 0) continue;
+          auto frame = timer.time(Phase::kRecv, [&] {
+            return recv_frame(*data_conns_[static_cast<std::size_t>(j)],
+                              orb::MsgType::kArgTransfer);
+          });
+          timer.time(Phase::kUnpack, [&] {
+            auto dec = orb::body_decoder(frame.bytes, frame.info);
+            const auto h = orb::ArgTransferHeader::decode(dec);
+            if (h.request_id != request_id ||
+                h.arg_index != desc.arg_index ||
+                h.dst_offset != seg.dst_offset || h.count != seg.count) {
+              throw MARSHAL("unexpected argument-transfer segment");
+            }
+            dec.align(8);
+            arg.unpack_segment(
+                seg.dst_offset, seg.count,
+                dec.get_octets(seg.count * desc.elem_size),
+                frame.info.little_endian != pardis::host_is_little_endian());
+          });
+        }
+      }
+    }
+  }
+
+  return reply.payload;
+}
+
+void SpmdBinding::unbind() {
+  comm_->barrier();
+  if (control_) control_->close();
+  for (auto& conn : data_conns_) {
+    if (conn) conn->close();
+  }
+  data_conns_.clear();
+  control_.reset();
+}
+
+// ---- DirectBinding ---------------------------------------------------------
+
+DirectBinding DirectBinding::bind(orb::Orb& orb,
+                                  const std::string& client_host,
+                                  const std::string& object_name,
+                                  const std::string& type_id,
+                                  const std::string& host_hint) {
+  DirectBinding b;
+  b.orb_ = &orb;
+  auto ref = orb.naming().resolve_wait(
+      object_name, host_hint,
+      std::chrono::milliseconds(env_u64("PARDIS_BIND_TIMEOUT_MS", 10'000)));
+  if (!ref) {
+    throw OBJECT_NOT_EXIST("no object named '" + object_name + "'");
+  }
+  if (!type_id.empty() && ref->type_id != type_id) {
+    throw INV_OBJREF("object '" + object_name + "' has type " +
+                     ref->type_id + ", expected " + type_id);
+  }
+  b.object_ = *ref;
+  b.binding_id_ = orb.next_binding_id();
+  b.control_ = orb.fabric().connect(client_host, b.object_.endpoints[0]);
+  send_frame(*b.control_, orb::MsgType::kBindRequest, [&](cdr::Encoder& e) {
+    orb::BindRequest req;
+    req.binding_id = b.binding_id_;
+    req.client_host = client_host;
+    req.client_ranks = 1;
+    req.object_key = object_name;
+    req.collective = false;
+    req.encode(e);
+  });
+  auto frame = recv_frame(*b.control_, orb::MsgType::kBindAck);
+  auto dec = orb::body_decoder(frame.bytes, frame.info);
+  const orb::BindAck ack = orb::BindAck::decode(dec);
+  if (ack.status != orb::BindStatus::kOk) {
+    throw OBJECT_NOT_EXIST("bind rejected: " + ack.message);
+  }
+  return b;
+}
+
+pardis::Bytes DirectBinding::invoke(const std::string& operation,
+                                    pardis::Bytes scalar_args,
+                                    bool response_expected) {
+  const cdr::ULong request_id = ++next_request_;
+  send_frame(*control_, orb::MsgType::kRequest, [&](cdr::Encoder& e) {
+    orb::RequestHeader header;
+    header.request_id = request_id;
+    header.binding_id = binding_id_;
+    header.operation = operation;
+    header.response_expected = response_expected;
+    header.collective = false;
+    header.method = orb::TransferMethod::kCentralized;
+    header.scalar_args = std::move(scalar_args);
+    header.encode(e);
+  });
+  if (!response_expected) return {};
+  auto frame = recv_frame(*control_, orb::MsgType::kReply);
+  auto dec = orb::body_decoder(frame.bytes, frame.info);
+  const orb::ReplyHeader reply = orb::ReplyHeader::decode(dec);
+  if (reply.request_id != request_id) {
+    throw MARSHAL("reply id mismatch");
+  }
+  if (reply.status != orb::ReplyStatus::kNoException) {
+    orb::rethrow_reply_exception(reply.status, reply.payload,
+                                 orb_->exceptions());
+  }
+  return reply.payload;
+}
+
+void DirectBinding::unbind() {
+  if (control_) {
+    control_->close();
+    control_.reset();
+  }
+}
+
+void send_shutdown(orb::Orb& orb, const std::string& from_host,
+                   const orb::ObjectRef& ref) {
+  auto conn = orb.fabric().connect(from_host, ref.endpoints[0]);
+  send_frame(*conn, orb::MsgType::kShutdown, [](cdr::Encoder&) {});
+  conn->close();
+}
+
+}  // namespace pardis::transfer

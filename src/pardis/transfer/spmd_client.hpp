@@ -1,0 +1,160 @@
+// Client-side binding and invocation on SPMD objects (paper §2.1, §3).
+//
+// Two binding styles mirror the paper's proxy API:
+//
+//   * SpmdBinding::bind — the collective `_spmd_bind`: called by all
+//     computing threads of a parallel client, which then act as one entity.
+//     Every invocation through the binding is collective and may carry
+//     distributed (DSequence) arguments using either transfer method.
+//
+//   * DirectBinding::bind — the non-collective `_bind`: one binding per
+//     calling thread; invocations are non-collective and use the
+//     non-distributed argument mapping (plain sequences marshaled into the
+//     scalar argument stream).
+//
+// Invocation phase timings are accumulated into InvocationStats, from which
+// the benchmark tables are printed.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pardis/net/connection.hpp"
+#include "pardis/orb/future.hpp"
+#include "pardis/orb/objref.hpp"
+#include "pardis/orb/orb.hpp"
+#include "pardis/rts/communicator.hpp"
+#include "pardis/transfer/engine.hpp"
+#include "pardis/transfer/stats.hpp"
+
+namespace pardis::transfer {
+
+struct CallOptions {
+  orb::TransferMethod method = orb::TransferMethod::kMultiPort;
+  bool response_expected = true;
+};
+
+/// The collective binding held by each computing thread of a parallel
+/// client.  All methods below marked *collective* must be called by every
+/// rank of the communicator with identical arguments.
+class SpmdBinding {
+ public:
+  /// Collective `_spmd_bind`: resolves `object_name` (optionally restricted
+  /// to `host_hint`), verifies the type, opens the control connection
+  /// (rank 0) and one data connection from every client rank to every
+  /// server thread's port.  Throws OBJECT_NOT_EXIST / INV_OBJREF.
+  static SpmdBinding bind(orb::Orb& orb, rts::Communicator& comm,
+                          const std::string& client_host,
+                          const std::string& object_name,
+                          const std::string& type_id,
+                          const std::string& host_hint = {});
+
+  SpmdBinding(SpmdBinding&&) = default;
+  SpmdBinding& operator=(SpmdBinding&&) = default;
+
+  /// Collective invocation.  `scalar_args` are the CDR-encoded
+  /// non-distributed arguments (identical on all ranks, per the SPMD
+  /// convention); `dseq_args` are the distributed arguments in signature
+  /// order.  Returns the CDR-encoded scalar results on every rank.
+  /// Rethrows server-raised exceptions on every rank.
+  pardis::Bytes invoke(const std::string& operation,
+                       pardis::Bytes scalar_args,
+                       const std::vector<DSeqArgBase*>& dseq_args,
+                       const CallOptions& opts = {});
+
+  /// Collective non-blocking invocation: the send phase runs now; the
+  /// returned future's get() — which must be called collectively by all
+  /// ranks — completes the receive phase and yields the scalar results.
+  orb::Future<pardis::Bytes> invoke_nb(
+      const std::string& operation, pardis::Bytes scalar_args,
+      std::vector<DSeqArgBase*> dseq_args, const CallOptions& opts = {});
+
+  /// Phase timings of this rank's most recent invocation.
+  const InvocationStats& last_stats() const noexcept { return stats_; }
+
+  /// Server-side phase times (ms, index = Phase) reported in the most
+  /// recent reply; reduced per the paper's convention.  Valid on all ranks.
+  const std::vector<double>& last_server_stats() const noexcept {
+    return server_stats_;
+  }
+
+  /// Collective: closes all connections of the binding.
+  void unbind();
+
+  const orb::ObjectRef& object() const noexcept { return object_; }
+  int server_ranks() const noexcept {
+    return static_cast<int>(data_conns_.size());
+  }
+  cdr::ULong binding_id() const noexcept { return binding_id_; }
+  const ArgDistPolicy& server_policy() const noexcept { return policy_; }
+  rts::Communicator& comm() const noexcept { return *comm_; }
+
+ private:
+  SpmdBinding() = default;
+
+  void send_phase(const std::string& operation, cdr::ULong request_id,
+                  pardis::Bytes& scalar_args,
+                  const std::vector<DSeqArgBase*>& dseq_args,
+                  const std::vector<orb::DSeqDescriptor>& descriptors,
+                  const CallOptions& opts);
+  pardis::Bytes receive_phase(
+      cdr::ULong request_id, const std::vector<DSeqArgBase*>& dseq_args,
+      const std::vector<orb::DSeqDescriptor>& descriptors,
+      const CallOptions& opts);
+
+  orb::Orb* orb_ = nullptr;
+  rts::Communicator* comm_ = nullptr;
+  std::string client_host_;
+  orb::ObjectRef object_;
+  cdr::ULong binding_id_ = 0;
+  ArgDistPolicy policy_;
+  std::shared_ptr<net::Connection> control_;  // rank 0 only
+  /// Data connection to each server rank (index = server rank).
+  std::vector<std::shared_ptr<net::Connection>> data_conns_;
+  cdr::ULong next_request_ = 0;  // replicated identically on every rank
+  InvocationStats stats_;
+  std::vector<double> server_stats_;
+};
+
+/// Non-collective `_bind`: a single thread's private binding.  Arguments use
+/// the non-distributed mapping and ride in the scalar stream; the transfer
+/// on the wire is the centralized method.
+class DirectBinding {
+ public:
+  static DirectBinding bind(orb::Orb& orb, const std::string& client_host,
+                            const std::string& object_name,
+                            const std::string& type_id,
+                            const std::string& host_hint = {});
+
+  DirectBinding(DirectBinding&&) = default;
+  DirectBinding& operator=(DirectBinding&&) = default;
+
+  /// Invokes `operation` with CDR-encoded arguments; returns the scalar
+  /// results.  Rethrows server exceptions.
+  pardis::Bytes invoke(const std::string& operation,
+                       pardis::Bytes scalar_args,
+                       bool response_expected = true);
+
+  void unbind();
+
+  const orb::ObjectRef& object() const noexcept { return object_; }
+  cdr::ULong binding_id() const noexcept { return binding_id_; }
+
+ private:
+  DirectBinding() = default;
+
+  orb::Orb* orb_ = nullptr;
+  orb::ObjectRef object_;
+  cdr::ULong binding_id_ = 0;
+  std::shared_ptr<net::Connection> control_;
+  cdr::ULong next_request_ = 0;
+};
+
+/// Administrative: asks the server application owning `ref` to leave its
+/// service loop (used by scenarios to wind down).
+void send_shutdown(orb::Orb& orb, const std::string& from_host,
+                   const orb::ObjectRef& ref);
+
+}  // namespace pardis::transfer

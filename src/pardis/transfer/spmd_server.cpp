@@ -1,0 +1,680 @@
+#include "pardis/transfer/spmd_server.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "pardis/common/log.hpp"
+#include "pardis/dseq/plan.hpp"
+#include "pardis/rts/collectives.hpp"
+
+namespace pardis::transfer {
+
+namespace {
+
+constexpr auto kIdlePollSleep = std::chrono::microseconds(30);
+
+template <typename Fn>
+void send_frame(net::Connection& conn, orb::MsgType type, Fn&& encode_body) {
+  cdr::Encoder enc;
+  orb::begin_frame(enc, type);
+  encode_body(enc);
+  conn.send(enc.take());
+}
+
+}  // namespace
+
+SpmdServer::SpmdServer(orb::Orb& orb, rts::Communicator& comm,
+                       std::string host)
+    : orb_(&orb), comm_(&comm), host_(std::move(host)) {}
+
+void SpmdServer::ensure_listening() {
+  if (acceptor_) return;
+  acceptor_ = orb_->fabric().listen(host_, 0);
+  // Collect every rank's port so the object reference can advertise one
+  // endpoint per computing thread.
+  const auto ports =
+      rts::allgather_value(*comm_, acceptor_->address().port);
+  endpoints_.clear();
+  endpoints_.reserve(ports.size());
+  for (int port : ports) {
+    endpoints_.push_back(net::Address{host_, port});
+  }
+}
+
+void SpmdServer::activate(const std::string& name, SpmdServant& servant,
+                          ArgDistPolicy policy) {
+  ensure_listening();
+  activations_[name] = Activation{&servant, std::move(policy)};
+  orb::ObjectRef ref;
+  ref.type_id = servant.type_id();
+  ref.name = name;
+  ref.host = host_;
+  ref.endpoints = endpoints_;
+  last_ref_ = ref;
+  comm_->barrier();  // all ranks ready before the object becomes visible
+  if (comm_->rank() == 0) {
+    orb_->naming().register_object(ref);
+  }
+}
+
+void SpmdServer::deactivate(const std::string& name) {
+  activations_.erase(name);
+  comm_->barrier();
+  if (comm_->rank() == 0) {
+    orb_->naming().unregister_object(name, host_);
+  }
+}
+
+const orb::ObjectRef& SpmdServer::object_ref() const {
+  if (!last_ref_) {
+    throw INTERNAL("object_ref() before activate()");
+  }
+  return *last_ref_;
+}
+
+void SpmdServer::serve() {
+  while (!shutdown_) {
+    const Event event = next_event(/*blocking=*/true);
+    handle_event(event);
+  }
+}
+
+bool SpmdServer::poll() {
+  if (shutdown_) return false;
+  const Event event = next_event(/*blocking=*/false);
+  if (event.kind == EventKind::kNone) return false;
+  handle_event(event);
+  return true;
+}
+
+void SpmdServer::handle_event(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kBind:
+      handle_bind(event);
+      break;
+    case EventKind::kRequest:
+      handle_request(event);
+      break;
+    case EventKind::kShutdown:
+      shutdown_ = true;
+      break;
+    case EventKind::kNone:
+      break;
+  }
+}
+
+// ---- event production --------------------------------------------------
+
+void SpmdServer::classify_new_connections() {
+  while (auto conn = acceptor_->try_accept()) {
+    unclassified_.push_back(std::move(conn));
+  }
+  for (auto it = unclassified_.begin(); it != unclassified_.end();) {
+    auto frame_bytes = (*it)->try_recv();
+    if (!frame_bytes) {
+      if ((*it)->eof()) {
+        it = unclassified_.erase(it);
+      } else {
+        ++it;
+      }
+      continue;
+    }
+    const orb::Frame info = orb::parse_frame(*frame_bytes);
+    auto dec = orb::body_decoder(*frame_bytes, info);
+    switch (info.type) {
+      case orb::MsgType::kBindRequest: {
+        Event event;
+        event.kind = EventKind::kBind;
+        event.bind = orb::BindRequest::decode(dec);
+        event.binding_id = event.bind.binding_id;
+        bind_controls_[event.binding_id] = *it;
+        pending_events_.push_back(std::move(event));
+        break;
+      }
+      case orb::MsgType::kHello: {
+        const orb::Hello hello = orb::Hello::decode(dec);
+        pending_hellos_[hello.binding_id][hello.client_rank] = *it;
+        break;
+      }
+      case orb::MsgType::kShutdown: {
+        Event event;
+        event.kind = EventKind::kShutdown;
+        pending_events_.push_back(std::move(event));
+        break;
+      }
+      default:
+        PARDIS_LOG_WARN << "unexpected first frame " << to_string(info.type)
+                        << " on new connection; dropping it";
+        break;
+    }
+    it = unclassified_.erase(it);
+  }
+}
+
+SpmdServer::Event SpmdServer::wait_event(bool blocking) {
+  // Runs on rank 0 only.
+  const auto t0 = Clock::now();
+  for (;;) {
+    classify_new_connections();
+    if (!pending_events_.empty()) {
+      Event event = std::move(pending_events_.front());
+      pending_events_.pop_front();
+      event.wait = Clock::now() - t0;
+      return event;
+    }
+    // Poll active control connections for requests.
+    for (auto it = bindings_.begin(); it != bindings_.end();) {
+      BindingState& bs = it->second;
+      if (!bs.control) {
+        ++it;
+        continue;
+      }
+      if (auto frame_bytes = bs.control->try_recv()) {
+        const orb::Frame info = orb::parse_frame(*frame_bytes);
+        PARDIS_LOG_TRACE << "server rank 0 got control frame "
+                         << to_string(info.type) << " (" << frame_bytes->size()
+                         << " bytes)";
+        if (info.type == orb::MsgType::kRequest) {
+          Event event;
+          event.kind = EventKind::kRequest;
+          event.binding_id = it->first;
+          event.frame = std::move(*frame_bytes);
+          event.frame_info = info;
+          event.wait = Clock::now() - t0;
+          return event;
+        }
+        if (info.type == orb::MsgType::kShutdown) {
+          Event event;
+          event.kind = EventKind::kShutdown;
+          event.wait = Clock::now() - t0;
+          return event;
+        }
+        PARDIS_LOG_WARN << "unexpected " << to_string(info.type)
+                        << " on control connection; ignoring";
+        ++it;
+        continue;
+      }
+      if (bs.control->eof()) {
+        // Client unbound; drop the binding on this rank.  (Sibling ranks
+        // keep their connection table entries; they are only touched by
+        // requests, which can no longer arrive for this binding.)
+        it = bindings_.erase(it);
+        continue;
+      }
+      ++it;
+    }
+    if (!blocking) {
+      return Event{};
+    }
+    std::this_thread::sleep_for(kIdlePollSleep);
+  }
+}
+
+SpmdServer::Event SpmdServer::next_event(bool blocking) {
+  // Rank 0 produces the event and broadcasts what siblings need.
+  Event event;
+  pardis::Bytes shared;
+  if (comm_->rank() == 0) {
+    event = wait_event(blocking);
+    cdr::Encoder enc;
+    enc.put_octet(static_cast<cdr::Octet>(event.kind));
+    enc.put_ulong(event.binding_id);
+    if (event.kind == EventKind::kBind) {
+      event.bind.encode(enc);
+    }
+    shared = enc.take();
+  }
+  comm_->bcast_bytes(shared, 0);
+  if (comm_->rank() != 0) {
+    cdr::Decoder dec{BytesView(shared)};
+    event.kind = static_cast<EventKind>(dec.get_octet());
+    event.binding_id = dec.get_ulong();
+    if (event.kind == EventKind::kBind) {
+      event.bind = orb::BindRequest::decode(dec);
+    }
+  }
+  return event;
+}
+
+// ---- bind handling -------------------------------------------------------
+
+void SpmdServer::collect_hellos(
+    cdr::ULong binding_id, int client_ranks,
+    std::vector<std::shared_ptr<net::Connection>>& out) {
+  out.assign(static_cast<std::size_t>(client_ranks), nullptr);
+  int have = 0;
+  // Adopt hellos that already arrived.
+  auto& stash = pending_hellos_[binding_id];
+  for (auto& [rank, conn] : stash) {
+    if (rank < static_cast<cdr::ULong>(client_ranks) &&
+        !out[rank]) {
+      out[rank] = std::move(conn);
+      ++have;
+    }
+  }
+  pending_hellos_.erase(binding_id);
+  // Accept until the full set arrived; stash anything unrelated.  Note:
+  // rank 0's classifier may already have accepted a data connection whose
+  // first frame was still in flight — drain `unclassified_` before blocking
+  // in accept(), or those connections would never be looked at again.
+  while (have < client_ranks) {
+    std::shared_ptr<net::Connection> conn;
+    if (!unclassified_.empty()) {
+      conn = std::move(unclassified_.front());
+      unclassified_.erase(unclassified_.begin());
+    } else {
+      conn = acceptor_->accept();
+    }
+    if (!conn) {
+      throw COMM_FAILURE("acceptor closed while collecting bind connections");
+    }
+    const pardis::Bytes frame_bytes = conn->recv_or_throw();
+    const orb::Frame info = orb::parse_frame(frame_bytes);
+    auto dec = orb::body_decoder(frame_bytes, info);
+    switch (info.type) {
+      case orb::MsgType::kHello: {
+        const orb::Hello hello = orb::Hello::decode(dec);
+        if (hello.binding_id == binding_id &&
+            hello.client_rank < static_cast<cdr::ULong>(client_ranks) &&
+            !out[hello.client_rank]) {
+          out[hello.client_rank] = std::move(conn);
+          ++have;
+        } else {
+          pending_hellos_[hello.binding_id][hello.client_rank] =
+              std::move(conn);
+        }
+        break;
+      }
+      case orb::MsgType::kBindRequest: {
+        // A concurrent bind from another client; queue it (rank 0 only —
+        // other ranks' acceptors never receive bind requests).
+        Event event;
+        event.kind = EventKind::kBind;
+        event.bind = orb::BindRequest::decode(dec);
+        event.binding_id = event.bind.binding_id;
+        bind_controls_[event.binding_id] = std::move(conn);
+        pending_events_.push_back(std::move(event));
+        break;
+      }
+      case orb::MsgType::kShutdown: {
+        Event event;
+        event.kind = EventKind::kShutdown;
+        pending_events_.push_back(std::move(event));
+        break;
+      }
+      default:
+        PARDIS_LOG_WARN << "unexpected " << to_string(info.type)
+                        << " while collecting hellos";
+        break;
+    }
+  }
+}
+
+void SpmdServer::handle_bind(const Event& event) {
+  const orb::BindRequest& req = event.bind;
+  BindingState bs;
+  bs.id = req.binding_id;
+  bs.client_ranks = static_cast<int>(req.client_ranks);
+  bs.collective = req.collective;
+  bs.object_key = req.object_key;
+
+  const auto activation = activations_.find(req.object_key);
+  const bool known = activation != activations_.end();
+
+  if (known && req.collective) {
+    // Every rank accepts one data connection per client rank.  A
+    // non-collective (_bind) client opens only the control connection.
+    collect_hellos(req.binding_id, bs.client_ranks, bs.data);
+  }
+
+  if (comm_->rank() == 0) {
+    auto control_it = bind_controls_.find(req.binding_id);
+    if (control_it == bind_controls_.end()) {
+      throw INTERNAL("bind event without control connection");
+    }
+    bs.control = std::move(control_it->second);
+    bind_controls_.erase(control_it);
+    send_frame(*bs.control, orb::MsgType::kBindAck, [&](cdr::Encoder& e) {
+      orb::BindAck ack;
+      ack.binding_id = req.binding_id;
+      ack.status =
+          known ? orb::BindStatus::kOk : orb::BindStatus::kUnknownObject;
+      ack.server_ranks = static_cast<cdr::ULong>(comm_->size());
+      ack.message = known ? "" : "unknown object '" + req.object_key + "'";
+      ack.encode(e);
+      if (known) {
+        activation->second.policy.encode(e);
+      }
+    });
+  }
+  if (known) {
+    bindings_[req.binding_id] = std::move(bs);
+    PARDIS_LOG_DEBUG << "rank " << comm_->rank() << " bound client ("
+                     << req.client_ranks << " ranks) to '" << req.object_key
+                     << "'";
+  }
+}
+
+// ---- request handling ------------------------------------------------------
+
+void SpmdServer::handle_request(const Event& event) {
+  PARDIS_LOG_DEBUG << "rank " << comm_->rank() << " handle_request begin";
+  stats_.reset();
+  auto& timer = stats_.timer;
+  const auto t0 = Clock::now();
+  const int rank = comm_->rank();
+  const int nranks = comm_->size();
+
+  // The event wait on the communicating thread overlaps the client's
+  // request transmission; charge it as receive time (§3.2's t_r starts
+  // when the server begins waiting for the request).
+  if (rank == 0) {
+    timer.add(Phase::kRecv, event.wait);
+  }
+
+  // Rank 0 re-broadcasts the header (scalars + descriptors, *not* the bulk
+  // data sections); siblings decode it.
+  orb::RequestHeader header;
+  bool frame_little_endian = pardis::host_is_little_endian();
+  std::size_t data_cursor = 0;
+  {
+    pardis::Bytes shared;
+    if (rank == 0) {
+      auto dec = orb::body_decoder(event.frame, event.frame_info);
+      header = orb::RequestHeader::decode(dec);
+      data_cursor = dec.position();
+      frame_little_endian = event.frame_info.little_endian;
+      cdr::Encoder enc;
+      enc.put_boolean(frame_little_endian);
+      header.encode(enc);
+      shared = enc.take();
+    }
+    comm_->bcast_bytes(shared, 0);
+    if (rank != 0) {
+      cdr::Decoder dec{BytesView(shared)};
+      frame_little_endian = dec.get_boolean();
+      header = orb::RequestHeader::decode(dec);
+    }
+  }
+
+  const auto binding_it = bindings_.find(header.binding_id);
+  if (binding_it == bindings_.end()) {
+    throw INTERNAL("request for unknown binding " +
+                   std::to_string(header.binding_id));
+  }
+  BindingState& binding = binding_it->second;
+  const auto activation_it = activations_.find(binding.object_key);
+
+  ServerCall call;
+  call.comm_ = comm_;
+  call.operation_ = header.operation;
+  call.collective_ = header.collective;
+  call.scalar_args_ = std::move(header.scalar_args);
+  call.args_little_endian_ = frame_little_endian;
+
+  // ---- receive distributed arguments ----
+  static const ArgDistPolicy kEmptyPolicy;
+  const ArgDistPolicy& policy = activation_it != activations_.end()
+                                    ? activation_it->second.policy
+                                    : kEmptyPolicy;
+  for (const orb::DSeqDescriptor& desc : header.dseqs) {
+    ServerCall::InArg arg;
+    arg.desc = desc;
+    arg.dist = policy.server_dist(header.operation, desc.arg_index,
+                                  desc.total_length, nranks);
+    arg.little_endian = frame_little_endian;
+    if (desc.dir == orb::ArgDir::kOut) {
+      call.in_args_.push_back(std::move(arg));
+      continue;
+    }
+    const std::size_t my_bytes = arg.dist.count(rank) * desc.elem_size;
+    arg.chunk.resize(my_bytes);
+
+    if (header.method == orb::TransferMethod::kCentralized) {
+      // Rank 0 slices the in-frame data section per the server template and
+      // scatters the pieces (§3.2).
+      std::vector<pardis::Bytes> parts;
+      if (rank == 0) {
+        timer.time(Phase::kUnpack, [&] {
+          cdr::Decoder dec(BytesView(event.frame),
+                           event.frame_info.little_endian);
+          (void)dec.get_octets(data_cursor);
+          dec.align(8);
+          const auto all =
+              dec.get_octets(desc.total_length * desc.elem_size);
+          data_cursor = dec.position();
+          parts.resize(static_cast<std::size_t>(nranks));
+          std::size_t offset = 0;
+          for (int r = 0; r < nranks; ++r) {
+            const std::size_t bytes = arg.dist.count(r) * desc.elem_size;
+            parts[static_cast<std::size_t>(r)].assign(
+                all.begin() + static_cast<std::ptrdiff_t>(offset),
+                all.begin() + static_cast<std::ptrdiff_t>(offset + bytes));
+            offset += bytes;
+          }
+        });
+      }
+      const pardis::Bytes mine = timer.time(
+          Phase::kScatter, [&] { return comm_->scatter_bytes(parts, 0); });
+      timer.time(Phase::kUnpack, [&] {
+        if (mine.size() != arg.chunk.size()) {
+          throw MARSHAL("scattered chunk size mismatch");
+        }
+        arg.chunk = mine;
+      });
+    } else {
+      // Multi-port: receive this rank's segments directly from the owning
+      // client threads (§3.3).
+      const dseq::RedistributionPlan plan(dist_from_counts(desc.src_counts),
+                                          arg.dist);
+      for (int i = 0; i < binding.client_ranks; ++i) {
+        for (const dseq::Segment& seg : plan.incoming(rank)) {
+          if (seg.src_rank != i) continue;
+          net::Connection& conn =
+              *binding.data[static_cast<std::size_t>(i)];
+          const pardis::Bytes frame_bytes =
+              timer.time(Phase::kRecv, [&] { return conn.recv_or_throw(); });
+          timer.time(Phase::kUnpack, [&] {
+            const orb::Frame info = orb::parse_frame(frame_bytes);
+            if (info.type != orb::MsgType::kArgTransfer) {
+              throw MARSHAL("expected ArgTransfer frame");
+            }
+            auto dec = orb::body_decoder(frame_bytes, info);
+            const auto h = orb::ArgTransferHeader::decode(dec);
+            if (h.request_id != header.request_id ||
+                h.arg_index != desc.arg_index ||
+                h.dst_offset != seg.dst_offset || h.count != seg.count) {
+              throw MARSHAL("unexpected argument-transfer segment");
+            }
+            dec.align(8);
+            const auto data = dec.get_octets(seg.count * desc.elem_size);
+            std::memcpy(arg.chunk.data() + seg.dst_offset * desc.elem_size,
+                        data.data(), data.size());
+            if (info.little_endian != frame_little_endian) {
+              // All transfer frames of one request share the sender's
+              // byte order; mixed orders within one argument are not
+              // representable in InArg.
+              throw MARSHAL("mixed byte orders in argument transfer");
+            }
+          });
+        }
+      }
+    }
+    call.in_args_.push_back(std::move(arg));
+  }
+
+  // ---- dispatch (every rank) ----
+  orb::ReplyStatus my_status = orb::ReplyStatus::kNoException;
+  pardis::Bytes my_payload;
+  try {
+    if (activation_it == activations_.end()) {
+      throw OBJECT_NOT_EXIST("object '" + binding.object_key +
+                             "' was deactivated");
+    }
+    activation_it->second.servant->dispatch(call);
+    my_payload = call.results_.take();
+  } catch (const orb::TypedUserException& e) {
+    my_status = orb::ReplyStatus::kUserException;
+    my_payload = orb::marshal_user_exception(
+        e, [&](cdr::Encoder& enc) { e.encode_body(enc); });
+  } catch (const UserException& e) {
+    my_status = orb::ReplyStatus::kUserException;
+    my_payload = orb::marshal_user_exception(e, nullptr);
+  } catch (const SystemException& e) {
+    my_status = orb::ReplyStatus::kSystemException;
+    my_payload = orb::marshal_system_exception(e);
+  } catch (const std::exception& e) {
+    my_status = orb::ReplyStatus::kSystemException;
+    my_payload = orb::marshal_system_exception(
+        INTERNAL(std::string("servant failure: ") + e.what(),
+                 Completion::kMaybe));
+  }
+
+  // The computing threads synchronize after the invocation (§3.2/§3.3);
+  // this is Table 2's exit barrier.
+  timer.time(Phase::kBarrier, [&] { comm_->barrier(); });
+
+  // Agree on the outcome: any failing rank fails the invocation.
+  cdr::Encoder outcome_enc;
+  outcome_enc.put_octet(static_cast<cdr::Octet>(my_status));
+  outcome_enc.put_octet_sequence(my_payload);
+  auto outcomes = comm_->gather_bytes(outcome_enc.bytes(), 0);
+  orb::ReplyStatus status = orb::ReplyStatus::kNoException;
+  pardis::Bytes payload;
+  if (rank == 0) {
+    for (auto& bytes : outcomes) {
+      cdr::Decoder dec{BytesView(bytes)};
+      const auto s = static_cast<orb::ReplyStatus>(dec.get_octet());
+      auto p = dec.get_octet_sequence();
+      if (s != orb::ReplyStatus::kNoException) {
+        status = s;
+        payload = std::move(p);
+        break;
+      }
+    }
+    if (status == orb::ReplyStatus::kNoException) {
+      status = my_status;
+      payload = std::move(my_payload);
+    }
+  }
+  status = rts::bcast_value(*comm_, status, 0);
+
+  if (!header.response_expected) {
+    timer.add(Phase::kTotal, Clock::now() - t0);
+    return;
+  }
+
+  // ---- reply ----
+  const bool ok = status == orb::ReplyStatus::kNoException;
+  std::vector<orb::DSeqDescriptor> reply_descs;
+  if (ok) {
+    for (const ServerCall::OutArg& out : call.out_args_) {
+      reply_descs.push_back(out.desc);
+    }
+  }
+
+  // Report server-side phases in the reply; the total-so-far stands in for
+  // kTotal (the reply's own send time cannot be part of its content).
+  InvocationStats snapshot = stats_;
+  snapshot.timer.add(Phase::kTotal, Clock::now() - t0);
+  const auto stats_now = reduce_stats(*comm_, snapshot);
+
+  if (header.method == orb::TransferMethod::kCentralized) {
+    // Gather result data at the communicating thread and piggyback it on
+    // the reply frame.
+    std::vector<pardis::Bytes> gathered(call.out_args_.size());
+    if (ok) {
+      timer.time(Phase::kGather, [&] {
+        for (std::size_t i = 0; i < call.out_args_.size(); ++i) {
+          auto parts = comm_->gather_bytes(call.out_args_[i].chunk, 0);
+          if (rank == 0) {
+            pardis::Bytes& all = gathered[i];
+            for (auto& p : parts) append(all, p);
+          }
+        }
+      });
+    }
+    if (rank == 0) {
+      pardis::Bytes frame = timer.time(Phase::kPack, [&] {
+        cdr::Encoder enc;
+        orb::begin_frame(enc, orb::MsgType::kReply);
+        orb::ReplyHeader reply;
+        reply.request_id = header.request_id;
+        reply.status = status;
+        reply.payload = std::move(payload);
+        reply.dseqs = reply_descs;
+        reply.server_stats_ms.assign(stats_now.begin(), stats_now.end());
+        reply.encode(enc);
+        for (const auto& data : gathered) {
+          enc.align(8);
+          enc.put_octets(data);
+        }
+        return enc.take();
+      });
+      timer.time(Phase::kSend, [&] { binding.control->send(std::move(frame)); });
+    }
+  } else {
+    // Multi-port: reply header first (so the client learns the result
+    // shapes), then every rank streams its segments directly.
+    if (rank == 0) {
+      send_frame(*binding.control, orb::MsgType::kReply,
+                 [&](cdr::Encoder& enc) {
+                   orb::ReplyHeader reply;
+                   reply.request_id = header.request_id;
+                   reply.status = status;
+                   reply.payload = std::move(payload);
+                   reply.dseqs = reply_descs;
+                   reply.server_stats_ms.assign(stats_now.begin(),
+                                                stats_now.end());
+                   reply.encode(enc);
+                 });
+    }
+    if (ok) {
+      for (const ServerCall::OutArg& out : call.out_args_) {
+        // Find the matching request descriptor for the reply-distribution
+        // rule.
+        const orb::DSeqDescriptor* req_desc = nullptr;
+        for (const auto& d : header.dseqs) {
+          if (d.arg_index == out.desc.arg_index) req_desc = &d;
+        }
+        if (req_desc == nullptr) {
+          throw INTERNAL("result for argument absent from request");
+        }
+        const dseq::DistTempl client_dist = client_reply_dist(
+            *req_desc, out.desc.total_length, binding.client_ranks);
+        const dseq::DistTempl server_dist =
+            dist_from_counts(out.desc.src_counts);
+        const dseq::RedistributionPlan plan(server_dist, client_dist);
+        for (const dseq::Segment& seg : plan.outgoing(rank)) {
+          pardis::Bytes frame = timer.time(Phase::kPack, [&] {
+            cdr::Encoder enc;
+            orb::begin_frame(enc, orb::MsgType::kArgTransfer);
+            orb::ArgTransferHeader h;
+            h.request_id = header.request_id;
+            h.arg_index = out.desc.arg_index;
+            h.src_rank = static_cast<cdr::ULong>(rank);
+            h.dst_rank = static_cast<cdr::ULong>(seg.dst_rank);
+            h.dst_offset = seg.dst_offset;
+            h.count = seg.count;
+            h.encode(enc);
+            enc.align(8);
+            enc.put_octets(BytesView(out.chunk).subspan(
+                seg.src_offset * out.desc.elem_size,
+                seg.count * out.desc.elem_size));
+            return enc.take();
+          });
+          timer.time(Phase::kSend, [&] {
+            binding.data[static_cast<std::size_t>(seg.dst_rank)]->send(
+                std::move(frame));
+          });
+        }
+      }
+    }
+  }
+
+  timer.add(Phase::kTotal, Clock::now() - t0);
+  PARDIS_LOG_DEBUG << "rank " << comm_->rank() << " handle_request end ("
+                   << header.operation << ")";
+}
+
+}  // namespace pardis::transfer

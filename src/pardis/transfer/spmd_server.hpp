@@ -1,0 +1,257 @@
+// Server-side SPMD object support (paper §2, §3).
+//
+// An SPMD object is "associated with a set of one or more computing threads
+// visible to the request broker, and capable of satisfying services if and
+// only if a request for them is delivered to all the computing threads."
+// Every rank of the server application constructs its own SpmdServer (and
+// servant instance), then calls the collective activate()/serve() —
+// delivery to all computing threads is the loop's invariant:
+//
+//   * the communicating thread (rank 0) owns the control traffic: it
+//     accepts connections, receives bind requests and invocation headers,
+//     and broadcasts every event to the sibling ranks;
+//   * each rank owns a listening port (multi-port transfer) and its own
+//     per-binding data connections;
+//   * argument data arrives either inside the request frame (centralized:
+//     rank 0 scatters) or directly on the per-rank connections (multi-port);
+//   * the servant's dispatch runs on every rank; ranks synchronize on a
+//     barrier after the invocation, and rank 0 reports completion.
+//
+// A server can host several named objects (activate() repeatedly) and can
+// interleave computation with request processing through the collective
+// poll() (paper §2.1: "PARDIS also allows the server to interrupt its
+// computation in order to process outstanding requests").
+
+#pragma once
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pardis/dseq/dsequence.hpp"
+#include "pardis/net/fabric.hpp"
+#include "pardis/orb/exceptions.hpp"
+#include "pardis/orb/objref.hpp"
+#include "pardis/orb/orb.hpp"
+#include "pardis/rts/communicator.hpp"
+#include "pardis/transfer/engine.hpp"
+#include "pardis/transfer/stats.hpp"
+
+namespace pardis::transfer {
+
+/// Everything a servant needs to process one invocation on one rank.
+/// Constructed by the engine; handed to SpmdServant::dispatch on every rank.
+class ServerCall {
+ public:
+  const std::string& operation() const noexcept { return operation_; }
+  bool collective() const noexcept { return collective_; }
+  rts::Communicator& comm() const noexcept { return *comm_; }
+
+  /// Fresh decoder over the scalar (non-distributed) arguments.
+  cdr::Decoder args() const {
+    return cdr::Decoder(BytesView(scalar_args_), args_little_endian_);
+  }
+
+  /// Encoder for the scalar results (the communicating thread's copy is
+  /// what travels back; all ranks should encode identically).
+  cdr::Encoder& results() noexcept { return results_; }
+
+  std::size_t dseq_count() const noexcept { return in_args_.size(); }
+
+  /// Materializes distributed argument `arg_index` as a typed sequence
+  /// (this rank's chunk + the server-side template).  Collective.
+  template <typename T>
+  dseq::DSequence<T> take_dseq(cdr::ULong arg_index) {
+    InArg& a = in_arg(arg_index);
+    if (a.desc.elem_kind != orb::elem_kind_of<T>() ||
+        a.desc.elem_size != sizeof(T)) {
+      throw MARSHAL("take_dseq: element type mismatch");
+    }
+    std::vector<T> local(a.chunk.size() / sizeof(T));
+    if (!local.empty()) {
+      std::memcpy(local.data(), a.chunk.data(), a.chunk.size());
+    }
+    if (a.little_endian != pardis::host_is_little_endian()) {
+      for (T& v : local) v = pardis::byteswap_scalar(v);
+    }
+    a.chunk.clear();
+    a.chunk.shrink_to_fit();
+    return dseq::DSequence<T>::from_local_chunk(*comm_, a.dist,
+                                                std::move(local));
+  }
+
+  /// Registers the result value of an inout/out distributed argument.
+  /// Collective; the sequence's current distribution becomes the
+  /// server-side source distribution of the reply transfer.
+  template <typename T>
+  void put_dseq(cdr::ULong arg_index, const dseq::DSequence<T>& seq) {
+    OutArg out;
+    out.desc.arg_index = arg_index;
+    out.desc.dir = dir_of(arg_index);
+    out.desc.elem_kind = orb::elem_kind_of<T>();
+    out.desc.elem_size = sizeof(T);
+    out.desc.total_length = seq.length();
+    out.desc.src_counts = counts_of(seq.distribution());
+    const auto* bytes =
+        reinterpret_cast<const std::uint8_t*>(seq.local_data());
+    out.chunk.assign(bytes, bytes + seq.local_length() * sizeof(T));
+    out_args_.push_back(std::move(out));
+  }
+
+ private:
+  friend class SpmdServer;
+
+  struct InArg {
+    orb::DSeqDescriptor desc;   // from the request (client-side counts)
+    dseq::DistTempl dist;       // server-side template
+    pardis::Bytes chunk;        // this rank's raw data
+    bool little_endian = true;  // byte order of `chunk`
+  };
+  struct OutArg {
+    orb::DSeqDescriptor desc;  // server-side counts
+    pardis::Bytes chunk;       // this rank's raw result data
+  };
+
+  InArg& in_arg(cdr::ULong arg_index) {
+    for (InArg& a : in_args_) {
+      if (a.desc.arg_index == arg_index) return a;
+    }
+    throw BAD_PARAM("no distributed argument with index " +
+                    std::to_string(arg_index));
+  }
+
+  orb::ArgDir dir_of(cdr::ULong arg_index) const {
+    for (const InArg& a : in_args_) {
+      if (a.desc.arg_index == arg_index) return a.desc.dir;
+    }
+    return orb::ArgDir::kOut;
+  }
+
+  rts::Communicator* comm_ = nullptr;
+  std::string operation_;
+  bool collective_ = true;
+  pardis::Bytes scalar_args_;
+  bool args_little_endian_ = true;
+  cdr::Encoder results_;
+  std::vector<InArg> in_args_;   // in/inout/out descriptors + data
+  std::vector<OutArg> out_args_;
+};
+
+/// Implemented by generated skeletons (or directly by applications).
+class SpmdServant {
+ public:
+  virtual ~SpmdServant() = default;
+
+  /// IDL repository id, e.g. "IDL:diff_object:1.0".
+  virtual const char* type_id() const = 0;
+
+  /// Processes one invocation on this rank.  Runs collectively on every
+  /// rank of the object.  Throw BAD_OPERATION for unknown operations;
+  /// TypedUserException subclasses and SystemExceptions propagate to the
+  /// client.
+  virtual void dispatch(ServerCall& call) = 0;
+};
+
+class SpmdServer {
+ public:
+  /// Per-rank construction; `host` is the application's fabric identity.
+  SpmdServer(orb::Orb& orb, rts::Communicator& comm, std::string host);
+
+  /// Collective: registers `servant` under `name`, with optional preset
+  /// argument distributions (paper §2.2).  The first activation opens this
+  /// rank's listening port; rank 0 publishes the object reference.
+  /// The servant must outlive the server.
+  void activate(const std::string& name, SpmdServant& servant,
+                ArgDistPolicy policy = {});
+
+  /// Collective: removes `name` from the naming service.
+  void deactivate(const std::string& name);
+
+  /// Collective service loop: handles binds and requests until a Shutdown
+  /// frame arrives.
+  void serve();
+
+  /// Collective: processes at most one pending event without blocking
+  /// (bind, request, or shutdown).  Returns false when nothing was pending.
+  /// After a shutdown event, shutdown_seen() is true and serve() would
+  /// return immediately.
+  bool poll();
+
+  bool shutdown_seen() const noexcept { return shutdown_; }
+
+  /// Reference for the most recently activated object (valid on all ranks).
+  const orb::ObjectRef& object_ref() const;
+
+  /// This rank's phase timings for the most recent request.
+  const InvocationStats& last_stats() const noexcept { return stats_; }
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kNone = 0,
+    kBind = 1,
+    kRequest = 2,
+    kShutdown = 3,
+  };
+
+  struct Event {
+    EventKind kind = EventKind::kNone;
+    cdr::ULong binding_id = 0;
+    // kBind: decoded request.  kRequest: the full frame (rank 0).
+    orb::BindRequest bind;
+    pardis::Bytes frame;
+    orb::Frame frame_info{};
+    Duration wait = Duration::zero();
+  };
+
+  struct BindingState {
+    cdr::ULong id = 0;
+    int client_ranks = 0;
+    bool collective = true;
+    std::string object_key;
+    std::shared_ptr<net::Connection> control;  // rank 0 only
+    /// This rank's data connection from each client rank.
+    std::vector<std::shared_ptr<net::Connection>> data;
+  };
+
+  struct Activation {
+    SpmdServant* servant = nullptr;
+    ArgDistPolicy policy;
+  };
+
+  void ensure_listening();
+  Event wait_event(bool blocking);
+  Event next_event(bool blocking);   // rank 0 produces, all ranks receive
+  void classify_new_connections();   // rank 0
+  void handle_event(const Event& event);
+  void handle_bind(const Event& event);
+  void handle_request(const Event& event);
+  void collect_hellos(cdr::ULong binding_id, int client_ranks,
+                      std::vector<std::shared_ptr<net::Connection>>& out);
+
+  orb::Orb* orb_;
+  rts::Communicator* comm_;
+  std::string host_;
+  std::shared_ptr<net::Acceptor> acceptor_;
+  std::vector<net::Address> endpoints_;  // all ranks' ports
+  std::map<std::string, Activation> activations_;
+  std::optional<orb::ObjectRef> last_ref_;
+  bool shutdown_ = false;
+  InvocationStats stats_;
+
+  // rank 0 connection bookkeeping.
+  std::vector<std::shared_ptr<net::Connection>> unclassified_;
+  /// Bind events discovered while busy with another event.
+  std::deque<Event> pending_events_;
+  /// Control connection of each not-yet-acknowledged bind, by binding id.
+  std::map<cdr::ULong, std::shared_ptr<net::Connection>> bind_controls_;
+  // Hellos that arrived before their bind was processed, any rank.
+  std::map<cdr::ULong, std::map<cdr::ULong, std::shared_ptr<net::Connection>>>
+      pending_hellos_;
+  std::map<cdr::ULong, BindingState> bindings_;
+};
+
+}  // namespace pardis::transfer

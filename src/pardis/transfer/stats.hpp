@@ -1,0 +1,49 @@
+// Per-invocation phase statistics (what Tables 1 and 2 report).
+//
+// Each computing thread accumulates its own PhaseTimer during an
+// invocation.  The paper reports the *maximum over all threads* for send,
+// pack and receive+unpack, and the *communicating thread's* time for the
+// exit barrier; reduce_stats implements exactly that convention.
+
+#pragma once
+
+#include <array>
+
+#include "pardis/common/timing.hpp"
+#include "pardis/rts/collectives.hpp"
+#include "pardis/rts/communicator.hpp"
+
+namespace pardis::transfer {
+
+struct InvocationStats {
+  PhaseTimer timer;
+
+  void reset() { timer.reset(); }
+  double ms(Phase p) const { return timer.ms(p); }
+  InvocationStats& operator+=(const InvocationStats& other) {
+    timer += other.timer;
+    return *this;
+  }
+};
+
+/// Collective: per-phase milliseconds reduced over the team — max over all
+/// ranks for every phase except kBarrier, which is taken from rank 0 (the
+/// communicating thread), matching the paper's reporting convention.
+/// Every rank receives the reduced array.
+inline std::array<double, kPhaseCount> reduce_stats(
+    rts::Communicator& comm, const InvocationStats& stats) {
+  std::array<double, kPhaseCount> out{};
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    const double mine = stats.ms(p);
+    if (p == Phase::kBarrier) {
+      out[i] = rts::bcast_value(comm, mine, 0);
+    } else {
+      out[i] = rts::allreduce_value(
+          comm, mine, [](double a, double b) { return a > b ? a : b; });
+    }
+  }
+  return out;
+}
+
+}  // namespace pardis::transfer

@@ -1,0 +1,348 @@
+// Unit and property tests for the CDR codec: alignment rules, round trips,
+// receiver-makes-right byte-order handling, encapsulations, and hostile
+// input.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+#include "pardis/cdr/decoder.hpp"
+#include "pardis/cdr/encoder.hpp"
+#include "pardis/common/error.hpp"
+
+namespace pardis::cdr {
+namespace {
+
+// ---- alignment --------------------------------------------------------------
+
+TEST(CdrAlignment, PrimitivesAlignToTheirSize) {
+  Encoder enc;
+  enc.put_octet(1);    // offset 0
+  enc.put_long(2);     // aligns to 4 -> offset 4
+  EXPECT_EQ(enc.size(), 8u);
+  enc.put_octet(3);    // offset 8
+  enc.put_double(4.0); // aligns to 8 -> offset 16
+  EXPECT_EQ(enc.size(), 24u);
+  enc.put_short(5);    // offset 24 already aligned
+  EXPECT_EQ(enc.size(), 26u);
+}
+
+TEST(CdrAlignment, PaddingBytesAreZero) {
+  Encoder enc;
+  enc.put_octet(0xFF);
+  enc.put_ulong(0xFFFFFFFF);
+  const Bytes& b = enc.bytes();
+  EXPECT_EQ(b[1], 0);
+  EXPECT_EQ(b[2], 0);
+  EXPECT_EQ(b[3], 0);
+}
+
+TEST(CdrAlignment, DecoderSkipsSamePadding) {
+  Encoder enc;
+  enc.put_octet(7);
+  enc.put_double(1.25);
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_EQ(dec.get_octet(), 7);
+  EXPECT_EQ(dec.get_double(), 1.25);
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(CdrAlignment, ExplicitAlign) {
+  Encoder enc;
+  enc.put_octet(1);
+  enc.align(8);
+  EXPECT_EQ(enc.size(), 8u);
+  enc.align(8);  // already aligned: no-op
+  EXPECT_EQ(enc.size(), 8u);
+}
+
+// ---- scalar round trips -----------------------------------------------------
+
+TEST(CdrRoundTrip, AllScalarKinds) {
+  Encoder enc;
+  enc.put_octet(0xAB);
+  enc.put_boolean(true);
+  enc.put_boolean(false);
+  enc.put_char('z');
+  enc.put_short(-1234);
+  enc.put_ushort(65535);
+  enc.put_long(-100000);
+  enc.put_ulong(4000000000u);
+  enc.put_longlong(-1234567890123456789ll);
+  enc.put_ulonglong(18000000000000000000ull);
+  enc.put_float(1.5f);
+  enc.put_double(-2.25);
+
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_EQ(dec.get_octet(), 0xAB);
+  EXPECT_TRUE(dec.get_boolean());
+  EXPECT_FALSE(dec.get_boolean());
+  EXPECT_EQ(dec.get_char(), 'z');
+  EXPECT_EQ(dec.get_short(), -1234);
+  EXPECT_EQ(dec.get_ushort(), 65535);
+  EXPECT_EQ(dec.get_long(), -100000);
+  EXPECT_EQ(dec.get_ulong(), 4000000000u);
+  EXPECT_EQ(dec.get_longlong(), -1234567890123456789ll);
+  EXPECT_EQ(dec.get_ulonglong(), 18000000000000000000ull);
+  EXPECT_EQ(dec.get_float(), 1.5f);
+  EXPECT_EQ(dec.get_double(), -2.25);
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(CdrRoundTrip, ExtremeValues) {
+  Encoder enc;
+  enc.put_long(std::numeric_limits<Long>::min());
+  enc.put_long(std::numeric_limits<Long>::max());
+  enc.put_double(std::numeric_limits<double>::infinity());
+  enc.put_double(std::numeric_limits<double>::denorm_min());
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_EQ(dec.get_long(), std::numeric_limits<Long>::min());
+  EXPECT_EQ(dec.get_long(), std::numeric_limits<Long>::max());
+  EXPECT_EQ(dec.get_double(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dec.get_double(), std::numeric_limits<double>::denorm_min());
+}
+
+// ---- strings ----------------------------------------------------------------
+
+TEST(CdrString, RoundTrip) {
+  Encoder enc;
+  enc.put_string("diffusion");
+  enc.put_string("");
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_EQ(dec.get_string(), "diffusion");
+  EXPECT_EQ(dec.get_string(), "");
+}
+
+TEST(CdrString, LengthIncludesNul) {
+  Encoder enc;
+  enc.put_string("ab");
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_EQ(dec.get_ulong(), 3u);  // 'a','b','\0'
+}
+
+TEST(CdrString, RejectsMissingNul) {
+  Encoder enc;
+  enc.put_ulong(2);
+  enc.put_octet('a');
+  enc.put_octet('b');  // no NUL
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_THROW(dec.get_string(), MARSHAL);
+}
+
+TEST(CdrString, RejectsZeroLength) {
+  Encoder enc;
+  enc.put_ulong(0);
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_THROW(dec.get_string(), MARSHAL);
+}
+
+// ---- arrays & sequences -------------------------------------------------------
+
+TEST(CdrArray, RoundTripDoubles) {
+  std::vector<double> values{1.0, -2.5, 3.75};
+  Encoder enc;
+  enc.put_array(values.data(), values.size());
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_EQ(dec.get_array<double>(), values);
+}
+
+TEST(CdrArray, EmptyArray) {
+  Encoder enc;
+  enc.put_array(static_cast<const double*>(nullptr), 0);
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_TRUE(dec.get_array<double>().empty());
+}
+
+TEST(CdrArray, LengthLimitEnforced) {
+  std::vector<std::int32_t> values(100, 7);
+  Encoder enc;
+  enc.put_array(values.data(), values.size());
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_THROW(dec.get_array<std::int32_t>(50), MARSHAL);
+}
+
+TEST(CdrArray, GetArrayIntoMatchingCount) {
+  std::vector<float> values{1.f, 2.f, 3.f, 4.f};
+  Encoder enc;
+  enc.put_array(values.data(), values.size());
+  Decoder dec{BytesView(enc.bytes())};
+  std::vector<float> out(4);
+  dec.get_array_into(out.data(), 4);
+  EXPECT_EQ(out, values);
+}
+
+TEST(CdrArray, GetArrayIntoCountMismatchThrows) {
+  std::vector<float> values{1.f, 2.f};
+  Encoder enc;
+  enc.put_array(values.data(), values.size());
+  Decoder dec{BytesView(enc.bytes())};
+  std::vector<float> out(3);
+  EXPECT_THROW(dec.get_array_into(out.data(), 3), MARSHAL);
+}
+
+TEST(CdrOctets, SequenceRoundTrip) {
+  const Bytes payload{9, 8, 7, 6};
+  Encoder enc;
+  enc.put_octet_sequence(payload);
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_EQ(dec.get_octet_sequence(), payload);
+}
+
+// ---- byte order -------------------------------------------------------------
+
+TEST(CdrByteOrder, ForeignOrderScalarsAreSwapped) {
+  // Encode in host order, then lie about the source order: the decoder must
+  // produce byteswapped values.
+  Encoder enc;
+  enc.put_ulong(0x01020304u);
+  Decoder dec{BytesView(enc.bytes()), !host_is_little_endian()};
+  EXPECT_EQ(dec.get_ulong(), 0x04030201u);
+}
+
+TEST(CdrByteOrder, ForeignOrderArraysAreSwapped) {
+  std::vector<std::uint16_t> values{0x1122, 0x3344};
+  Encoder enc;
+  enc.put_array(values.data(), values.size());
+  Decoder dec{BytesView(enc.bytes()), !host_is_little_endian()};
+  // The count prefix itself is also swapped, so rebuild what the decoder
+  // sees: count 2 swapped is 0x02000000, which would fail the limit.  Use
+  // matching count via handcrafted buffer instead.
+  (void)dec;
+  Encoder raw;
+  raw.put_ulong(byteswap(std::uint32_t{2}));
+  raw.put_ushort(0x2211);
+  raw.put_ushort(0x4433);
+  Decoder dec2{BytesView(raw.bytes()), !host_is_little_endian()};
+  EXPECT_EQ(dec2.get_array<std::uint16_t>(), values);
+}
+
+TEST(CdrByteOrder, SameOrderIsPassThrough) {
+  Encoder enc;
+  enc.put_double(6.25);
+  Decoder dec{BytesView(enc.bytes()), host_is_little_endian()};
+  EXPECT_EQ(dec.get_double(), 6.25);
+}
+
+// ---- encapsulation ----------------------------------------------------------
+
+TEST(CdrEncapsulation, RoundTrip) {
+  Encoder body;
+  body.put_long(42);
+  body.put_string("inner");
+  Encoder outer;
+  outer.put_encapsulation(body.bytes());
+  Decoder dec{BytesView(outer.bytes())};
+  Decoder inner = dec.get_encapsulation();
+  EXPECT_EQ(inner.get_long(), 42);
+  EXPECT_EQ(inner.get_string(), "inner");
+}
+
+TEST(CdrEncapsulation, EmptyBodyThrows) {
+  Encoder outer;
+  outer.put_ulong(0);
+  Decoder dec{BytesView(outer.bytes())};
+  EXPECT_THROW(dec.get_encapsulation(), MARSHAL);
+}
+
+// ---- hostile input ----------------------------------------------------------
+
+TEST(CdrHostile, TruncatedScalar) {
+  Encoder enc;
+  enc.put_ulong(7);
+  Bytes bytes = enc.take();
+  bytes.resize(2);
+  Decoder dec{BytesView(bytes)};
+  EXPECT_THROW(dec.get_ulong(), MARSHAL);
+}
+
+TEST(CdrHostile, TruncatedString) {
+  Encoder enc;
+  enc.put_ulong(100);  // claims 100 bytes follow
+  enc.put_octet('x');
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_THROW(dec.get_string(), MARSHAL);
+}
+
+TEST(CdrHostile, TruncatedArray) {
+  Encoder enc;
+  enc.put_ulong(1000);
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_THROW(dec.get_array<double>(), MARSHAL);
+}
+
+TEST(CdrHostile, EmptyStream) {
+  Decoder dec{BytesView()};
+  EXPECT_THROW(dec.get_octet(), MARSHAL);
+  EXPECT_TRUE(dec.exhausted());
+}
+
+// ---- property sweep: random round trips ---------------------------------------
+
+template <typename T>
+class CdrScalarSweep : public ::testing::Test {};
+
+using ScalarTypes =
+    ::testing::Types<std::int16_t, std::uint16_t, std::int32_t,
+                     std::uint32_t, std::int64_t, std::uint64_t, float,
+                     double>;
+TYPED_TEST_SUITE(CdrScalarSweep, ScalarTypes);
+
+TYPED_TEST(CdrScalarSweep, RandomRoundTrip) {
+  std::mt19937_64 rng(1234);
+  for (int i = 0; i < 200; ++i) {
+    TypeParam value;
+    if constexpr (std::is_floating_point_v<TypeParam>) {
+      std::uniform_real_distribution<double> dist(-1e9, 1e9);
+      value = static_cast<TypeParam>(dist(rng));
+    } else {
+      value = static_cast<TypeParam>(rng());
+    }
+    Encoder enc;
+    // Random leading octets exercise every alignment phase.
+    const int lead = static_cast<int>(rng() % 8);
+    for (int j = 0; j < lead; ++j) enc.put_octet(0);
+    if constexpr (std::is_same_v<TypeParam, float>) {
+      enc.put_float(value);
+    } else if constexpr (std::is_same_v<TypeParam, double>) {
+      enc.put_double(value);
+    } else {
+      enc.put_array(&value, 1);
+    }
+    Decoder dec{BytesView(enc.bytes())};
+    for (int j = 0; j < lead; ++j) (void)dec.get_octet();
+    if constexpr (std::is_same_v<TypeParam, float>) {
+      EXPECT_EQ(dec.get_float(), value);
+    } else if constexpr (std::is_same_v<TypeParam, double>) {
+      EXPECT_EQ(dec.get_double(), value);
+    } else {
+      const auto out = dec.get_array<TypeParam>();
+      ASSERT_EQ(out.size(), 1u);
+      EXPECT_EQ(out[0], value);
+    }
+  }
+}
+
+class CdrArraySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CdrArraySweep, RandomDoubleArrays) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  std::vector<double> values(GetParam());
+  for (double& v : values) v = dist(rng);
+  Encoder enc;
+  enc.put_string("header");
+  enc.put_array(values.data(), values.size());
+  enc.put_long(-1);
+  Decoder dec{BytesView(enc.bytes())};
+  EXPECT_EQ(dec.get_string(), "header");
+  EXPECT_EQ(dec.get_array<double>(), values);
+  EXPECT_EQ(dec.get_long(), -1);
+  EXPECT_TRUE(dec.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CdrArraySweep,
+                         ::testing::Values(0, 1, 2, 3, 7, 64, 1000, 4096));
+
+}  // namespace
+}  // namespace pardis::cdr

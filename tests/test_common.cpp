@@ -1,0 +1,247 @@
+// Unit tests for pardis/common: bytes, endian, config, stats, timing,
+// error model.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "pardis/common/bytes.hpp"
+#include "pardis/common/config.hpp"
+#include "pardis/common/endian.hpp"
+#include "pardis/common/error.hpp"
+#include "pardis/common/stats.hpp"
+#include "pardis/common/timing.hpp"
+
+namespace pardis {
+namespace {
+
+// ---- bytes -----------------------------------------------------------------
+
+TEST(Bytes, AppendConcatenates) {
+  Bytes out{1, 2};
+  const Bytes extra{3, 4, 5};
+  append(out, extra);
+  EXPECT_EQ(out, (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(Bytes, AppendRawCopiesObjectRepresentation) {
+  Bytes out;
+  const std::uint32_t v = 0x01020304;
+  append_raw(out, v);
+  ASSERT_EQ(out.size(), 4u);
+  std::uint32_t back;
+  std::memcpy(&back, out.data(), 4);
+  EXPECT_EQ(back, v);
+}
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data{0x00, 0x7f, 0x80, 0xff, 0xde, 0xad};
+  EXPECT_EQ(to_hex(data), "007f80ffdead");
+  EXPECT_EQ(from_hex("007f80ffdead"), data);
+  EXPECT_EQ(from_hex("007F80FFDEAD"), data);  // upper case accepted
+}
+
+TEST(Bytes, FromHexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), BAD_PARAM);
+}
+
+TEST(Bytes, FromHexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), BAD_PARAM);
+}
+
+TEST(Bytes, FromHexEmpty) { EXPECT_TRUE(from_hex("").empty()); }
+
+TEST(Bytes, HexDumpTruncates) {
+  Bytes data(100, 0xab);
+  const std::string dump = hex_dump(data, 4);
+  EXPECT_EQ(dump, "ab ab ab ab ...");
+}
+
+// ---- endian ----------------------------------------------------------------
+
+TEST(Endian, Swap16) { EXPECT_EQ(byteswap(std::uint16_t{0x1234}), 0x3412); }
+
+TEST(Endian, Swap32) {
+  EXPECT_EQ(byteswap(std::uint32_t{0x12345678}), 0x78563412u);
+}
+
+TEST(Endian, Swap64) {
+  EXPECT_EQ(byteswap(std::uint64_t{0x0102030405060708ull}),
+            0x0807060504030201ull);
+}
+
+TEST(Endian, SwapIsInvolution) {
+  const std::uint32_t v = 0xdeadbeef;
+  EXPECT_EQ(byteswap(byteswap(v)), v);
+}
+
+TEST(Endian, ScalarSwapDouble) {
+  const double v = 3.14159;
+  const double twice = byteswap_scalar(byteswap_scalar(v));
+  EXPECT_EQ(twice, v);
+  EXPECT_NE(byteswap_scalar(v), v);
+}
+
+TEST(Endian, ScalarSwapSingleByteIsIdentity) {
+  EXPECT_EQ(byteswap_scalar(std::uint8_t{0xab}), 0xab);
+}
+
+// ---- config ----------------------------------------------------------------
+
+class ConfigTest : public ::testing::Test {
+ protected:
+  void SetEnv(const char* name, const char* value) {
+    setenv(name, value, 1);
+    names_.push_back(name);
+  }
+  void TearDown() override {
+    for (const char* name : names_) unsetenv(name);
+  }
+  std::vector<const char*> names_;
+};
+
+TEST_F(ConfigTest, U64Fallback) {
+  EXPECT_EQ(env_u64("PARDIS_TEST_UNSET", 42), 42u);
+}
+
+TEST_F(ConfigTest, U64Plain) {
+  SetEnv("PARDIS_TEST_U64", "123");
+  EXPECT_EQ(env_u64("PARDIS_TEST_U64", 0), 123u);
+}
+
+TEST_F(ConfigTest, U64Suffixes) {
+  SetEnv("PARDIS_TEST_U64", "64k");
+  EXPECT_EQ(env_u64("PARDIS_TEST_U64", 0), 64u * 1024);
+  SetEnv("PARDIS_TEST_U64", "2m");
+  EXPECT_EQ(env_u64("PARDIS_TEST_U64", 0), 2u * 1024 * 1024);
+  SetEnv("PARDIS_TEST_U64", "1g");
+  EXPECT_EQ(env_u64("PARDIS_TEST_U64", 0), 1024u * 1024 * 1024);
+}
+
+TEST_F(ConfigTest, U64Malformed) {
+  SetEnv("PARDIS_TEST_U64", "12q");
+  EXPECT_THROW(env_u64("PARDIS_TEST_U64", 0), BAD_PARAM);
+  SetEnv("PARDIS_TEST_U64", "abc");
+  EXPECT_THROW(env_u64("PARDIS_TEST_U64", 0), BAD_PARAM);
+}
+
+TEST_F(ConfigTest, DoubleParses) {
+  SetEnv("PARDIS_TEST_D", "2.5");
+  EXPECT_DOUBLE_EQ(env_double("PARDIS_TEST_D", 0), 2.5);
+  EXPECT_DOUBLE_EQ(env_double("PARDIS_TEST_D_UNSET", 1.5), 1.5);
+}
+
+TEST_F(ConfigTest, BoolParses) {
+  SetEnv("PARDIS_TEST_B", "true");
+  EXPECT_TRUE(env_bool("PARDIS_TEST_B", false));
+  SetEnv("PARDIS_TEST_B", "0");
+  EXPECT_FALSE(env_bool("PARDIS_TEST_B", true));
+  SetEnv("PARDIS_TEST_B", "sometimes");
+  EXPECT_THROW(env_bool("PARDIS_TEST_B", true), BAD_PARAM);
+}
+
+// ---- stats -----------------------------------------------------------------
+
+TEST(RunningStat, Basics) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergePreservesMoments) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    const double v = i * 1.3;
+    (i < 5 ? a : b).add(v);
+    all.add(v);
+  }
+  a += b;
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Stats, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+// ---- timing ----------------------------------------------------------------
+
+TEST(PhaseTimer, AccumulatesPerPhase) {
+  PhaseTimer t;
+  t.add(Phase::kPack, std::chrono::milliseconds(5));
+  t.add(Phase::kPack, std::chrono::milliseconds(7));
+  t.add(Phase::kSend, std::chrono::milliseconds(3));
+  EXPECT_DOUBLE_EQ(t.ms(Phase::kPack), 12.0);
+  EXPECT_DOUBLE_EQ(t.ms(Phase::kSend), 3.0);
+  EXPECT_DOUBLE_EQ(t.ms(Phase::kRecv), 0.0);
+}
+
+TEST(PhaseTimer, TimeReturnsResult) {
+  PhaseTimer t;
+  const int x = t.time(Phase::kPack, [] { return 41 + 1; });
+  EXPECT_EQ(x, 42);
+  EXPECT_GE(t.get(Phase::kPack).count(), 0);
+}
+
+TEST(PhaseTimer, PlusEquals) {
+  PhaseTimer a, b;
+  a.add(Phase::kSend, std::chrono::milliseconds(1));
+  b.add(Phase::kSend, std::chrono::milliseconds(2));
+  a += b;
+  EXPECT_DOUBLE_EQ(a.ms(Phase::kSend), 3.0);
+}
+
+TEST(PhaseTimer, ResetClearsAll) {
+  PhaseTimer t;
+  t.add(Phase::kTotal, std::chrono::seconds(1));
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.ms(Phase::kTotal), 0.0);
+}
+
+TEST(Timing, PhaseNames) {
+  EXPECT_STREQ(to_string(Phase::kGather), "gather");
+  EXPECT_STREQ(to_string(Phase::kBarrier), "barrier");
+}
+
+// ---- error model -----------------------------------------------------------
+
+TEST(Errors, SystemExceptionCarriesKindAndCompletion) {
+  try {
+    throw COMM_FAILURE("link down", Completion::kMaybe);
+  } catch (const SystemException& e) {
+    EXPECT_EQ(e.kind(), "COMM_FAILURE");
+    EXPECT_EQ(e.completed(), Completion::kMaybe);
+    EXPECT_NE(std::string(e.what()).find("link down"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("COMPLETED_MAYBE"),
+              std::string::npos);
+  }
+}
+
+TEST(Errors, HierarchyCatchableAsException) {
+  EXPECT_THROW(throw BAD_PARAM("x"), Exception);
+  EXPECT_THROW(throw UserException("IDL:X:1.0"), Exception);
+}
+
+TEST(Errors, UserExceptionRepoId) {
+  const UserException e("IDL:M/E:1.0", "boom");
+  EXPECT_EQ(e.repo_id(), "IDL:M/E:1.0");
+  EXPECT_STREQ(e.what(), "boom");
+}
+
+}  // namespace
+}  // namespace pardis

@@ -1,0 +1,373 @@
+// Tests for the distributed-sequence layer: Proportions splitting,
+// distribution templates (including the paper's grow/shrink semantics),
+// redistribution plans (property-tested), and DSequence behavior.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "pardis/common/error.hpp"
+#include "pardis/dseq/dsequence.hpp"
+#include "pardis/dseq/plan.hpp"
+#include "pardis/rts/team.hpp"
+
+namespace pardis::dseq {
+namespace {
+
+// ---- Proportions -------------------------------------------------------------
+
+TEST(Proportions, UniformSplitIsBlockwise) {
+  const Proportions p;
+  EXPECT_EQ(p.split(10, 4), (std::vector<std::uint64_t>{3, 3, 2, 2}));
+  EXPECT_EQ(p.split(8, 4), (std::vector<std::uint64_t>{2, 2, 2, 2}));
+  EXPECT_EQ(p.split(3, 4), (std::vector<std::uint64_t>{1, 1, 1, 0}));
+  EXPECT_EQ(p.split(0, 3), (std::vector<std::uint64_t>{0, 0, 0}));
+}
+
+TEST(Proportions, PaperExample2424) {
+  // Paper §2.2: Proportions(2,4,2,4) distributes over threads 0..3 in
+  // proportions 2:4:2:4.
+  const Proportions p(2, 4, 2, 4);
+  EXPECT_EQ(p.split(12, 4), (std::vector<std::uint64_t>{2, 4, 2, 4}));
+  EXPECT_EQ(p.split(24, 4), (std::vector<std::uint64_t>{4, 8, 4, 8}));
+}
+
+TEST(Proportions, LargestRemainderConservesTotal) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int p = 1 + static_cast<int>(rng() % 16);
+    std::vector<double> weights(static_cast<std::size_t>(p));
+    for (double& w : weights) w = 0.1 + (rng() % 1000) / 100.0;
+    const std::uint64_t n = rng() % 100000;
+    const auto counts = Proportions(weights).split(n, p);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(),
+                              std::uint64_t{0}),
+              n);
+  }
+}
+
+TEST(Proportions, RejectsBadWeights) {
+  EXPECT_THROW(Proportions(std::vector<double>{}), BAD_PARAM);
+  EXPECT_THROW(Proportions({1.0, 0.0}), BAD_PARAM);
+  EXPECT_THROW(Proportions({1.0, -2.0}), BAD_PARAM);
+}
+
+TEST(Proportions, WeightCountMustMatchRanks) {
+  EXPECT_THROW(Proportions(1, 2).split(10, 3), BAD_PARAM);
+}
+
+// ---- DistTempl ----------------------------------------------------------------
+
+TEST(DistTempl, BlockBasics) {
+  const auto d = DistTempl::block(10, 4);
+  EXPECT_EQ(d.length(), 10u);
+  EXPECT_EQ(d.nranks(), 4);
+  EXPECT_EQ(d.count(0), 3u);
+  EXPECT_EQ(d.offset(0), 0u);
+  EXPECT_EQ(d.offset(1), 3u);
+  EXPECT_EQ(d.offset(3), 8u);
+  EXPECT_EQ(d.local_range(2), std::make_pair(std::uint64_t{6},
+                                             std::uint64_t{8}));
+}
+
+TEST(DistTempl, OwnerIsConsistentWithRanges) {
+  const auto d = DistTempl::proportional(100, Proportions(1, 3, 2), 3);
+  for (std::uint64_t i = 0; i < d.length(); ++i) {
+    const int o = d.owner(i);
+    const auto [lo, hi] = d.local_range(o);
+    EXPECT_GE(i, lo);
+    EXPECT_LT(i, hi);
+  }
+}
+
+TEST(DistTempl, OwnerSkipsEmptyRanks) {
+  const auto d = DistTempl::from_counts({0, 5, 0, 5});
+  EXPECT_EQ(d.owner(0), 1);
+  EXPECT_EQ(d.owner(4), 1);
+  EXPECT_EQ(d.owner(5), 3);
+  EXPECT_EQ(d.owner(9), 3);
+}
+
+TEST(DistTempl, OwnerOutOfRangeThrows) {
+  const auto d = DistTempl::block(10, 2);
+  EXPECT_THROW(d.owner(10), BAD_PARAM);
+}
+
+TEST(DistTempl, RankOutOfRangeThrows) {
+  const auto d = DistTempl::block(10, 2);
+  EXPECT_THROW(d.count(2), BAD_PARAM);
+  EXPECT_THROW(d.offset(-1), BAD_PARAM);
+}
+
+TEST(DistTempl, ResizeShrinkDiscardsFromTop) {
+  // Paper §2.2: "if a sequence is shrunk, the data above the length value
+  // will be discarded".
+  const auto d = DistTempl::from_counts({4, 4, 4});
+  const auto s = d.resized(6);
+  EXPECT_EQ(s.count(0), 4u);
+  EXPECT_EQ(s.count(1), 2u);
+  EXPECT_EQ(s.count(2), 0u);
+  EXPECT_EQ(s.length(), 6u);
+}
+
+TEST(DistTempl, ResizeGrowExtendsLastOwner) {
+  // Paper §2.2: "new elements will be added to the ownership of the
+  // computing thread which owned the last elements of the old sequence".
+  const auto d = DistTempl::from_counts({4, 4, 0});  // rank 1 owns the tail
+  const auto g = d.resized(12);
+  EXPECT_EQ(g.count(0), 4u);
+  EXPECT_EQ(g.count(1), 8u);
+  EXPECT_EQ(g.count(2), 0u);
+}
+
+TEST(DistTempl, ResizeGrowFromEmptyGoesToRankZero) {
+  const auto d = DistTempl::block(0, 3);
+  const auto g = d.resized(9);
+  EXPECT_EQ(g.count(0), 9u);
+}
+
+TEST(DistTempl, ResizeToZero) {
+  const auto d = DistTempl::block(10, 3);
+  const auto z = d.resized(0);
+  EXPECT_EQ(z.length(), 0u);
+  EXPECT_EQ(z.nranks(), 3);
+}
+
+// ---- RedistributionPlan ----------------------------------------------------------
+
+TEST(Plan, IdentityPlanIsLocalOnly) {
+  const auto d = DistTempl::block(100, 4);
+  const RedistributionPlan plan(d, d);
+  for (const Segment& s : plan.segments()) {
+    EXPECT_EQ(s.src_rank, s.dst_rank);
+  }
+}
+
+TEST(Plan, LengthMismatchThrows) {
+  EXPECT_THROW(RedistributionPlan(DistTempl::block(10, 2),
+                                  DistTempl::block(11, 2)),
+               BAD_PARAM);
+}
+
+TEST(Plan, KnownIntersection) {
+  // src: [0,5) rank0, [5,10) rank1;  dst: [0,2) r0, [2,8) r1, [8,10) r2.
+  const RedistributionPlan plan(DistTempl::from_counts({5, 5}),
+                                DistTempl::from_counts({2, 6, 2}));
+  const auto segs = plan.segments();
+  ASSERT_EQ(segs.size(), 4u);
+  EXPECT_EQ(segs[0], (Segment{0, 0, 0, 0, 2}));
+  EXPECT_EQ(segs[1], (Segment{0, 1, 2, 0, 3}));
+  EXPECT_EQ(segs[2], (Segment{1, 1, 0, 3, 3}));
+  EXPECT_EQ(segs[3], (Segment{1, 2, 3, 0, 2}));
+}
+
+/// Property: a plan covers every element exactly once, with in-bounds
+/// offsets on both sides, and moving data through it equals a direct
+/// re-slice.
+void check_plan_properties(const DistTempl& src, const DistTempl& dst) {
+  const RedistributionPlan plan(src, dst);
+  const std::uint64_t n = src.length();
+  std::vector<int> covered(n, 0);
+  for (const Segment& s : plan.segments()) {
+    ASSERT_LT(s.src_rank, src.nranks());
+    ASSERT_LT(s.dst_rank, dst.nranks());
+    ASSERT_LE(s.src_offset + s.count, src.count(s.src_rank));
+    ASSERT_LE(s.dst_offset + s.count, dst.count(s.dst_rank));
+    ASSERT_GT(s.count, 0u);
+    const std::uint64_t global_src = src.offset(s.src_rank) + s.src_offset;
+    const std::uint64_t global_dst = dst.offset(s.dst_rank) + s.dst_offset;
+    EXPECT_EQ(global_src, global_dst);  // plans preserve global order
+    for (std::uint64_t i = 0; i < s.count; ++i) ++covered[global_src + i];
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(covered[i], 1) << "element " << i;
+  }
+  // incoming/outgoing views partition the segment list.
+  std::size_t via_views = 0;
+  for (int r = 0; r < src.nranks(); ++r) via_views += plan.outgoing(r).size();
+  EXPECT_EQ(via_views, plan.segments().size());
+}
+
+TEST(Plan, PropertyRandomDistributions) {
+  std::mt19937_64 rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint64_t n = rng() % 5000;
+    const int k = 1 + static_cast<int>(rng() % 8);
+    const int p = 1 + static_cast<int>(rng() % 8);
+    auto random_dist = [&](int ranks) {
+      if (rng() % 3 == 0) return DistTempl::block(n, ranks);
+      std::vector<double> w(static_cast<std::size_t>(ranks));
+      for (double& x : w) x = 0.05 + (rng() % 100) / 10.0;
+      return DistTempl::proportional(n, Proportions(w), ranks);
+    };
+    check_plan_properties(random_dist(k), random_dist(p));
+  }
+}
+
+TEST(Plan, IncomingCountsMatchDistribution) {
+  const auto src = DistTempl::block(1000, 3);
+  const auto dst = DistTempl::proportional(1000, Proportions(5, 1, 1, 1), 4);
+  const RedistributionPlan plan(src, dst);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(plan.incoming_count(r), dst.count(r));
+  }
+}
+
+// ---- DSequence ------------------------------------------------------------------
+
+class DSeqTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DSeqTest, ConstructionDistributesBlockwise) {
+  rts::Team team("t", GetParam());
+  team.run([](rts::Communicator& comm) {
+    DSequence<double> s(comm, 100);
+    EXPECT_EQ(s.length(), 100u);
+    EXPECT_EQ(s.local_length(),
+              DistTempl::block(100, comm.size()).count(comm.rank()));
+    // Zero-initialized.
+    for (std::size_t i = 0; i < s.local_length(); ++i) {
+      EXPECT_EQ(s.local_data()[i], 0.0);
+    }
+  });
+}
+
+TEST_P(DSeqTest, GatherAllReassemblesGlobalOrder) {
+  rts::Team team("t", GetParam());
+  team.run([](rts::Communicator& comm) {
+    DSequence<int> s(comm, 53);
+    for (std::size_t i = 0; i < s.local_length(); ++i) {
+      s.local_data()[i] = static_cast<int>(s.local_offset() + i);
+    }
+    const auto all = s.gather_all();
+    ASSERT_EQ(all.size(), 53u);
+    for (int i = 0; i < 53; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+  });
+}
+
+TEST_P(DSeqTest, ElementProxyReadsAndWritesCollectively) {
+  rts::Team team("t", GetParam());
+  team.run([](rts::Communicator& comm) {
+    DSequence<double> s(comm, 20);
+    s[7] = 3.5;                    // collective write
+    const double v = s[7];         // collective read: every rank sees it
+    EXPECT_EQ(v, 3.5);
+    EXPECT_EQ(s.get(19), 0.0);
+  });
+}
+
+TEST_P(DSeqTest, LengthGrowAndShrink) {
+  rts::Team team("t", GetParam());
+  team.run([](rts::Communicator& comm) {
+    DSequence<int> s(comm, 10);
+    for (std::size_t i = 0; i < s.local_length(); ++i) {
+      s.local_data()[i] = static_cast<int>(s.local_offset() + i);
+    }
+    s.length(6);  // shrink: discard the top
+    auto all = s.gather_all();
+    EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+    s.length(9);  // grow: zeros appended at the tail owner
+    all = s.gather_all();
+    EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3, 4, 5, 0, 0, 0}));
+  });
+}
+
+TEST_P(DSeqTest, RedistributePreservesContents) {
+  const int p = GetParam();
+  rts::Team team("t", p);
+  team.run([&](rts::Communicator& comm) {
+    DSequence<double> s(comm, 97);
+    for (std::size_t i = 0; i < s.local_length(); ++i) {
+      s.local_data()[i] = static_cast<double>(s.local_offset() + i) * 1.5;
+    }
+    std::vector<double> w(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) w[static_cast<std::size_t>(r)] = r + 1;
+    s.redistribute(Proportions(w));
+    EXPECT_EQ(s.local_length(),
+              DistTempl::proportional(97, Proportions(w), p)
+                  .count(comm.rank()));
+    const auto all = s.gather_all();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(all[i], static_cast<double>(i) * 1.5);
+    }
+  });
+}
+
+TEST_P(DSeqTest, CopyIsDeep) {
+  rts::Team team("t", GetParam());
+  team.run([](rts::Communicator& comm) {
+    DSequence<int> a(comm, 12);
+    for (std::size_t i = 0; i < a.local_length(); ++i) a.local_data()[i] = 1;
+    DSequence<int> b = a;
+    for (std::size_t i = 0; i < b.local_length(); ++i) b.local_data()[i] = 2;
+    for (std::size_t i = 0; i < a.local_length(); ++i) {
+      EXPECT_EQ(a.local_data()[i], 1);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(TeamSizes, DSeqTest, ::testing::Values(1, 2, 3, 5));
+
+TEST(DSeqConversion, BorrowedMemoryIsNotOwned) {
+  // Paper §2.2: "The conversion constructor ... allows the programmer to
+  // create a sequence based on his or her memory management scheme, with no
+  // data ownership."
+  rts::Team team("t", 2);
+  team.run([](rts::Communicator& comm) {
+    std::vector<double> mine(5, comm.rank() + 1.0);
+    {
+      DSequence<double> s(comm, mine.size(), mine.data(), /*release=*/false);
+      EXPECT_EQ(s.length(), 10u);
+      EXPECT_EQ(s.local_data(), mine.data());  // borrows, does not copy
+      EXPECT_EQ(s.local_offset(), comm.rank() == 0 ? 0u : 5u);
+      // Writes through the sequence hit the user's memory.
+      s.local_data()[0] = 42.0;
+    }
+    EXPECT_EQ(mine[0], 42.0);  // still valid after the sequence died
+  });
+}
+
+TEST(DSeqConversion, AdoptedMemoryIsFreed) {
+  rts::Team team("t", 2);
+  team.run([](rts::Communicator& comm) {
+    auto* raw = new double[4]{1, 2, 3, 4};
+    DSequence<double> s(comm, 4, raw, /*release=*/true);
+    EXPECT_EQ(s.length(), 8u);
+    EXPECT_EQ(s.local_data(), raw);
+    // Destructor frees `raw`; asan/valgrind would flag a double free or leak.
+    (void)comm;
+  });
+}
+
+TEST(DSeqConversion, UnequalLocalLengthsFormValidTemplate) {
+  rts::Team team("t", 3);
+  team.run([](rts::Communicator& comm) {
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()) * 2 + 1, 7);
+    DSequence<int> s(comm, mine.size(), mine.data(), false);
+    EXPECT_EQ(s.length(), 1u + 3u + 5u);
+    EXPECT_EQ(s.distribution().count(0), 1u);
+    EXPECT_EQ(s.distribution().count(1), 3u);
+    EXPECT_EQ(s.distribution().count(2), 5u);
+  });
+}
+
+TEST(DSeqErrors, FromLocalChunkSizeMismatch) {
+  rts::Team team("t", 2);
+  EXPECT_THROW(
+      team.run([](rts::Communicator& comm) {
+        (void)DSequence<int>::from_local_chunk(
+            comm, DistTempl::block(10, 2), std::vector<int>(3));
+      }),
+      Exception);
+}
+
+TEST(DSeqErrors, TemplateRankCountMustMatchTeam) {
+  rts::Team team("t", 2);
+  EXPECT_THROW(team.run([](rts::Communicator& comm) {
+                 DSequence<int> s(comm, 10, DistTempl::block(10, 3));
+               }),
+               Exception);
+}
+
+}  // namespace
+}  // namespace pardis::dseq

@@ -1,0 +1,180 @@
+// Tests for the STL-style collective algorithms over distributed
+// sequences (the HPC++ PSTL-direction layer, DESIGN.md substitution
+// table).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pardis/dseq/algorithms.hpp"
+#include "pardis/rts/team.hpp"
+
+namespace pardis::dseq {
+namespace {
+
+class AlgoTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgoTest, FillAndCount) {
+  rts::Team team("t", GetParam());
+  team.run([](rts::Communicator& comm) {
+    DSequence<int> s(comm, 101);
+    fill(s, 7);
+    EXPECT_EQ(count_if(s, [](int v) { return v == 7; }), 101u);
+    EXPECT_EQ(count_if(s, [](int v) { return v != 7; }), 0u);
+  });
+}
+
+TEST_P(AlgoTest, IotaAndReduce) {
+  rts::Team team("t", GetParam());
+  team.run([](rts::Communicator& comm) {
+    DSequence<long long> s(comm, 100);
+    iota(s, 1ll);  // 1..100
+    EXPECT_EQ(reduce(s), 5050);
+    EXPECT_EQ(reduce(s, 10ll), 5060);
+    const auto mx = reduce(s, std::numeric_limits<long long>::min(),
+                           [](long long a, long long b) {
+                             return a > b ? a : b;
+                           });
+    EXPECT_EQ(mx, 100);
+  });
+}
+
+TEST_P(AlgoTest, GenerateAndTransform) {
+  rts::Team team("t", GetParam());
+  team.run([](rts::Communicator& comm) {
+    DSequence<double> in(comm, 64);
+    generate(in, [](std::uint64_t g) { return static_cast<double>(g); });
+    DSequence<double> out(comm, 64);
+    transform(in, out, [](double v) { return v * v; });
+    const auto all = out.gather_all();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(all[i], static_cast<double>(i) * static_cast<double>(i));
+    }
+  });
+}
+
+TEST_P(AlgoTest, DotProduct) {
+  rts::Team team("t", GetParam());
+  team.run([](rts::Communicator& comm) {
+    DSequence<double> a(comm, 50);
+    DSequence<double> b(comm, 50);
+    fill(a, 2.0);
+    iota(b, 1.0);  // 1..50
+    EXPECT_DOUBLE_EQ(dot(a, b), 2.0 * 50 * 51 / 2);
+  });
+}
+
+TEST_P(AlgoTest, MinMaxElementWithIndices) {
+  rts::Team team("t", GetParam());
+  team.run([](rts::Communicator& comm) {
+    DSequence<double> s(comm, 40);
+    iota(s, 0.0);
+    s.set(17, -5.0);
+    s.set(31, 99.0);
+    const auto lo = min_element(s);
+    EXPECT_EQ(lo.index, 17u);
+    EXPECT_EQ(lo.value, -5.0);
+    const auto hi = max_element(s);
+    EXPECT_EQ(hi.index, 31u);
+    EXPECT_EQ(hi.value, 99.0);
+  });
+}
+
+TEST_P(AlgoTest, ExtremumTieGoesToLowestIndex) {
+  rts::Team team("t", GetParam());
+  team.run([](rts::Communicator& comm) {
+    DSequence<int> s(comm, 30);
+    fill(s, 4);  // every element ties
+    EXPECT_EQ(min_element(s).index, 0u);
+    EXPECT_EQ(max_element(s).index, 0u);
+  });
+}
+
+TEST_P(AlgoTest, AssignAndAxpy) {
+  rts::Team team("t", GetParam());
+  team.run([](rts::Communicator& comm) {
+    std::vector<double> values(25);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = static_cast<double>(i);
+    }
+    DSequence<double> x(comm, 25);
+    DSequence<double> y(comm, 25);
+    assign(x, values);
+    fill(y, 1.0);
+    axpy(3.0, x, y);  // y = 1 + 3i
+    const auto all = y.gather_all();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(all[i], 1.0 + 3.0 * static_cast<double>(i));
+    }
+  });
+}
+
+TEST_P(AlgoTest, ReduceSurvivesEmptyChunks) {
+  const int p = GetParam();
+  rts::Team team("t", p);
+  team.run([&](rts::Communicator& comm) {
+    // Fewer elements than ranks: some chunks are empty.
+    DSequence<int> s(comm, 2);
+    fill(s, 5);
+    EXPECT_EQ(reduce(s), 10);
+    EXPECT_EQ(min_element(s).value, 5);
+  });
+}
+
+TEST_P(AlgoTest, ReduceOnUnevenDistribution) {
+  const int p = GetParam();
+  rts::Team team("t", p);
+  team.run([&](rts::Communicator& comm) {
+    std::vector<double> w(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) w[static_cast<std::size_t>(r)] = r + 1;
+    DSequence<long long> s(comm, 60,
+                           DistTempl::proportional(60, Proportions(w), p));
+    iota(s, 1ll);
+    EXPECT_EQ(reduce(s), 60 * 61 / 2);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(TeamSizes, AlgoTest, ::testing::Values(1, 2, 3, 6));
+
+TEST(AlgoErrors, MismatchedDistributionsRejected) {
+  rts::Team team("t", 2);
+  EXPECT_THROW(team.run([](rts::Communicator& comm) {
+                 DSequence<double> a(comm, 10);
+                 DSequence<double> b(comm, 10, Proportions(1, 3));
+                 (void)dot(a, b);
+               }),
+               Exception);
+}
+
+TEST(AlgoErrors, EmptySequenceExtremumThrows) {
+  rts::Team team("t", 2);
+  EXPECT_THROW(team.run([](rts::Communicator& comm) {
+                 DSequence<int> s(comm, 0);
+                 (void)min_element(s);
+               }),
+               Exception);
+}
+
+TEST(AlgoErrors, AssignSizeMismatchRejected) {
+  rts::Team team("t", 2);
+  EXPECT_THROW(team.run([](rts::Communicator& comm) {
+                 DSequence<int> s(comm, 10);
+                 assign(s, std::vector<int>(9));
+               }),
+               Exception);
+}
+
+TEST(AlgoLocal, ForEachLocalSeesGlobalIndices) {
+  rts::Team team("t", 3);
+  team.run([](rts::Communicator& comm) {
+    DSequence<std::uint64_t> s(comm, 20);
+    for_each_local(s, [](std::uint64_t g, std::uint64_t& v) { v = g; });
+    const auto span = local_span(s);
+    for (std::size_t i = 0; i < span.size(); ++i) {
+      EXPECT_EQ(span[i], s.local_offset() + i);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pardis::dseq

@@ -1,0 +1,369 @@
+// Tests for the IDL compiler: lexer, parser, semantic analysis and code
+// generation (string-level; compile-and-run coverage lives in
+// test_integration.cpp, which links pardisc-generated stubs).
+
+#include <gtest/gtest.h>
+
+#include "pardis/idl/codegen.hpp"
+#include "pardis/idl/lexer.hpp"
+#include "pardis/idl/parser.hpp"
+#include "pardis/idl/sema.hpp"
+
+namespace pardis::idl {
+namespace {
+
+// ---- lexer ----------------------------------------------------------------
+
+std::vector<Token> lex_ok(const std::string& src) {
+  DiagnosticSink sink;
+  auto tokens = lex(src, sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.to_string();
+  return tokens;
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  const auto tokens = lex_ok("interface diffusion dsequence foo_1");
+  ASSERT_EQ(tokens.size(), 5u);  // + EOF
+  EXPECT_EQ(tokens[0].kind, TokKind::kKeyword);
+  EXPECT_EQ(tokens[1].kind, TokKind::kIdentifier);
+  EXPECT_EQ(tokens[2].kind, TokKind::kKeyword);
+  EXPECT_EQ(tokens[3].kind, TokKind::kIdentifier);
+  EXPECT_EQ(tokens[4].kind, TokKind::kEof);
+}
+
+TEST(Lexer, NumbersAndLiterals) {
+  const auto tokens = lex_ok("1024 0x40 3.5 1e-3 \"hi\\n\"");
+  EXPECT_EQ(tokens[0].kind, TokKind::kIntLiteral);
+  EXPECT_EQ(tokens[1].kind, TokKind::kIntLiteral);
+  EXPECT_EQ(tokens[1].text, "0x40");
+  EXPECT_EQ(tokens[2].kind, TokKind::kFloatLiteral);
+  EXPECT_EQ(tokens[3].kind, TokKind::kFloatLiteral);
+  EXPECT_EQ(tokens[4].kind, TokKind::kStringLiteral);
+  EXPECT_EQ(tokens[4].text, "hi\n");
+}
+
+TEST(Lexer, CommentsAndPreprocessorLinesSkipped) {
+  const auto tokens = lex_ok(
+      "// line comment\n#include <x>\n/* block\ncomment */ typedef");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].is_keyword("typedef"));
+}
+
+TEST(Lexer, ScopeOperatorIsOneToken) {
+  const auto tokens = lex_ok("A::B");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[1].is_punct("::"));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = lex_ok("module\n  interface");
+  EXPECT_EQ(tokens[0].loc.line, 1);
+  EXPECT_EQ(tokens[0].loc.column, 1);
+  EXPECT_EQ(tokens[1].loc.line, 2);
+  EXPECT_EQ(tokens[1].loc.column, 3);
+}
+
+TEST(Lexer, ReportsUnterminatedConstructs) {
+  DiagnosticSink sink;
+  lex("\"never closed", sink);
+  EXPECT_TRUE(sink.has_errors());
+  DiagnosticSink sink2;
+  lex("/* never closed", sink2);
+  EXPECT_TRUE(sink2.has_errors());
+  DiagnosticSink sink3;
+  lex("@", sink3);
+  EXPECT_TRUE(sink3.has_errors());
+}
+
+// ---- parser ---------------------------------------------------------------
+
+TranslationUnit parse_ok(const std::string& src) {
+  DiagnosticSink sink;
+  auto tu = parse(src, sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.to_string();
+  return tu;
+}
+
+std::string parse_errors(const std::string& src) {
+  DiagnosticSink sink;
+  (void)parse(src, sink);
+  EXPECT_TRUE(sink.has_errors());
+  return sink.to_string();
+}
+
+TEST(Parser, PaperInterface) {
+  // The exact interface from paper §2.1.
+  const auto tu = parse_ok(
+      "typedef dsequence<double, 1024> diff_array;\n"
+      "interface diff_object {\n"
+      "  void diffusion(in long timestep, inout diff_array darray);\n"
+      "};\n");
+  ASSERT_EQ(tu.definitions.size(), 2u);
+  const auto& iface = std::get<InterfaceDef>(tu.definitions[1]);
+  EXPECT_EQ(iface.name, "diff_object");
+  ASSERT_EQ(iface.operations.size(), 1u);
+  const Operation& op = iface.operations[0];
+  EXPECT_EQ(op.name, "diffusion");
+  EXPECT_EQ(op.return_type.kind, TypeKind::kVoid);
+  ASSERT_EQ(op.params.size(), 2u);
+  EXPECT_EQ(op.params[0].dir, ParamDir::kIn);
+  EXPECT_EQ(op.params[1].dir, ParamDir::kInOut);
+  EXPECT_EQ(op.params[1].type.kind, TypeKind::kNamed);
+  const auto& td = std::get<TypedefDef>(tu.definitions[0]);
+  EXPECT_EQ(td.type.kind, TypeKind::kDSequence);
+  EXPECT_EQ(td.type.bound, 1024u);
+  EXPECT_EQ(td.type.element->basic, BasicKind::kDouble);
+}
+
+TEST(Parser, AllBasicTypes) {
+  const auto tu = parse_ok(
+      "struct S { short a; unsigned short b; long c; unsigned long d;\n"
+      "  long long e; unsigned long long f; float g; double h;\n"
+      "  boolean i; char j; octet k; string l; sequence<long> m; };");
+  const auto& s = std::get<StructDef>(tu.definitions[0]);
+  ASSERT_EQ(s.fields.size(), 13u);
+  EXPECT_EQ(s.fields[1].type.basic, BasicKind::kUShort);
+  EXPECT_EQ(s.fields[5].type.basic, BasicKind::kULongLong);
+  EXPECT_EQ(s.fields[11].type.kind, TypeKind::kString);
+  EXPECT_EQ(s.fields[12].type.kind, TypeKind::kSequence);
+}
+
+TEST(Parser, ModulesNestAndEnumsConstsExceptions) {
+  const auto tu = parse_ok(
+      "module Outer { module Inner {\n"
+      "  enum Color { kRed, kGreen };\n"
+      "  const double kPi = 3.14;\n"
+      "  const boolean kOn = TRUE;\n"
+      "  const string kName = \"x\";\n"
+      "  exception Oops { long code; };\n"
+      "}; };");
+  const auto& outer =
+      *std::get<std::shared_ptr<ModuleDef>>(tu.definitions[0]);
+  const auto& inner =
+      *std::get<std::shared_ptr<ModuleDef>>(outer.definitions[0]);
+  EXPECT_EQ(inner.definitions.size(), 5u);
+}
+
+TEST(Parser, InterfaceInheritanceOnewayAttributesRaises) {
+  const auto tu = parse_ok(
+      "exception E {};\n"
+      "interface Base { void f(); };\n"
+      "interface Derived : Base {\n"
+      "  oneway void notify(in long t);\n"
+      "  readonly attribute long count;\n"
+      "  attribute double rate;\n"
+      "  long g(out long result) raises (E);\n"
+      "};");
+  const auto& derived = std::get<InterfaceDef>(tu.definitions[2]);
+  EXPECT_EQ(derived.bases, std::vector<std::string>{"Base"});
+  EXPECT_TRUE(derived.operations[0].oneway);
+  ASSERT_EQ(derived.attributes.size(), 2u);
+  EXPECT_TRUE(derived.attributes[0].readonly);
+  EXPECT_EQ(derived.operations[1].raises, std::vector<std::string>{"E"});
+}
+
+TEST(Parser, ErrorsNameTheLocation) {
+  const std::string report =
+      parse_errors("interface X {\n  void f(in long);\n};");
+  EXPECT_NE(report.find("2:"), std::string::npos);  // line 2
+}
+
+TEST(Parser, RecoversAndReportsMultipleErrors) {
+  DiagnosticSink sink;
+  (void)parse("struct A { long }; struct B { oops x; };\n"
+              "interface C { void ok(); };",
+              sink);
+  EXPECT_GE(sink.error_count(), 1u);
+}
+
+TEST(Parser, RejectsMissingSemicolons) {
+  parse_errors("interface X { void f() }");
+  parse_errors("struct S { long a; }");
+}
+
+TEST(Parser, RejectsBadParamDirection) {
+  parse_errors("interface X { void f(sideways long x); };");
+}
+
+// ---- sema ----------------------------------------------------------------
+
+std::string analyze_errors(const std::string& src) {
+  DiagnosticSink sink;
+  auto tu = parse(src, sink);
+  EXPECT_FALSE(sink.has_errors()) << "parse failed: " << sink.to_string();
+  (void)analyze(tu, sink);
+  EXPECT_TRUE(sink.has_errors()) << "expected sema errors";
+  return sink.to_string();
+}
+
+void analyze_ok(const std::string& src) {
+  DiagnosticSink sink;
+  auto tu = parse(src, sink);
+  ASSERT_FALSE(sink.has_errors()) << sink.to_string();
+  (void)analyze(tu, sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.to_string();
+}
+
+TEST(Sema, AcceptsTheExampleIdl) {
+  analyze_ok(
+      "module Sim {\n"
+      "  typedef dsequence<double> arr;\n"
+      "  exception Bad { long t; };\n"
+      "  interface obj {\n"
+      "    void run(in long steps, inout arr a) raises (Bad);\n"
+      "  };\n"
+      "};");
+}
+
+TEST(Sema, DuplicateDefinitionsReported) {
+  const auto report =
+      analyze_errors("struct X { long a; }; enum X { kA };");
+  EXPECT_NE(report.find("duplicate"), std::string::npos);
+}
+
+TEST(Sema, UnknownTypesReported) {
+  analyze_errors("interface I { void f(in Mystery m); };");
+  analyze_errors("struct S { Ghost g; };");
+}
+
+TEST(Sema, DSequencePlacementRules) {
+  // dsequence is only valid as an operation parameter (or typedef of one).
+  analyze_errors("struct S { dsequence<double> d; };");
+  analyze_errors("interface I { dsequence<double> f(); };");
+  analyze_ok("interface I { void f(in dsequence<double> d); };");
+}
+
+TEST(Sema, DSequenceElementMustBeNumeric) {
+  analyze_errors("interface I { void f(in dsequence<string> d); };");
+  analyze_errors("interface I { void f(in dsequence<boolean> d); };");
+  analyze_errors(
+      "struct S { long a; };\n"
+      "interface I { void f(in dsequence<S> d); };");
+  analyze_ok("interface I { void f(in dsequence<octet> d); };");
+}
+
+TEST(Sema, RaisesMustNameExceptions) {
+  analyze_errors("interface I { void f() raises (Unknown); };");
+  analyze_errors(
+      "struct S { long a; };\n"
+      "interface I { void f() raises (S); };");
+}
+
+TEST(Sema, ConstTypeChecking) {
+  analyze_errors("const long x = 3.5;");
+  analyze_errors("const boolean b = 42;");
+  analyze_errors("const string s = 42;");
+  analyze_ok("const double d = 3.5; const long n = 42;\n"
+             "const boolean b = FALSE; const string s = \"ok\";");
+}
+
+TEST(Sema, InheritanceChecks) {
+  analyze_errors("interface D : Missing { };");
+  analyze_errors("struct S { long a; }; interface D : S { };");
+  analyze_errors(
+      "interface B { void f(); };\n"
+      "interface D : B { void f(); };");  // duplicate member via base
+}
+
+TEST(Sema, OnewayRestrictions) {
+  analyze_errors("interface I { oneway long f(); };");
+  analyze_errors("interface I { oneway void f(out long x); };");
+}
+
+TEST(Sema, ScopedLookupAcrossModules) {
+  analyze_ok(
+      "module A { struct S { long x; }; };\n"
+      "module B { interface I { void f(in A::S s); }; };");
+  analyze_errors("module B { interface I { void f(in A::S s); }; };");
+}
+
+TEST(Sema, FlattenedOperationsIncludeBases) {
+  DiagnosticSink sink;
+  auto tu = parse(
+      "interface A { void fa(); };\n"
+      "interface B : A { void fb(); };\n"
+      "interface C : B { void fc(); };",
+      sink);
+  const auto model = analyze(tu, sink);
+  ASSERT_FALSE(sink.has_errors());
+  const auto& c = std::get<InterfaceDef>(tu.definitions[2]);
+  const auto ops = model.flattened_operations("", c);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].name, "fa");
+  EXPECT_EQ(ops[1].name, "fb");
+  EXPECT_EQ(ops[2].name, "fc");
+}
+
+// ---- codegen (string level) -----------------------------------------------
+
+GeneratedCode gen(const std::string& src) {
+  CodegenOptions options;
+  options.stem = "t";
+  return compile(src, options);
+}
+
+TEST(Codegen, EmitsProxyAndSkeleton) {
+  const auto code = gen(
+      "typedef dsequence<double> arr;\n"
+      "interface diff { void run(in long steps, inout arr a); };");
+  EXPECT_NE(code.header.find("class diff : public "
+                             "pardis::transfer::ProxyBase"),
+            std::string::npos);
+  EXPECT_NE(code.header.find("class POA_diff"), std::string::npos);
+  EXPECT_NE(code.header.find("_spmd_bind"), std::string::npos);
+  EXPECT_NE(code.header.find("run_nb"), std::string::npos);
+  // Distributed and non-distributed mappings.
+  EXPECT_NE(code.header.find("pardis::dseq::DSequence<pardis::cdr::Double>"),
+            std::string::npos);
+  EXPECT_NE(code.header.find("std::vector<pardis::cdr::Double>"),
+            std::string::npos);
+  // Repository id.
+  EXPECT_NE(code.header.find("IDL:diff:1.0"), std::string::npos);
+}
+
+TEST(Codegen, RepoIdsIncludeModulePath) {
+  const auto code =
+      gen("module M { interface I { void f(); }; };");
+  EXPECT_NE(code.header.find("IDL:M/I:1.0"), std::string::npos);
+  EXPECT_NE(code.header.find("namespace M {"), std::string::npos);
+}
+
+TEST(Codegen, ExceptionRegistrarEmitted) {
+  const auto code = gen("exception Bad { long code; string why; };");
+  EXPECT_NE(code.header.find(
+                "class Bad : public pardis::orb::TypedUserException"),
+            std::string::npos);
+  EXPECT_NE(code.source.find("register_user_exception"), std::string::npos);
+}
+
+TEST(Codegen, StructGetsMarshalHelpers) {
+  const auto code = gen("struct P { double x; double y; };");
+  EXPECT_NE(code.source.find("_pardis_encode"), std::string::npos);
+  EXPECT_NE(code.source.find("_pardis_decode"), std::string::npos);
+}
+
+TEST(Codegen, ConstantsAndEnums) {
+  const auto code = gen(
+      "const long kMax = 64;\n"
+      "const string kName = \"pardis\";\n"
+      "enum Mode { kA, kB };");
+  EXPECT_NE(code.header.find("inline constexpr pardis::cdr::Long kMax = 64"),
+            std::string::npos);
+  EXPECT_NE(code.header.find("enum class Mode"), std::string::npos);
+}
+
+TEST(Codegen, CompileRejectsBadIdl) {
+  CodegenOptions options;
+  EXPECT_THROW(compile("interface X { void f(in Missing m); };", options),
+               CompileError);
+  EXPECT_THROW(compile("garbage $$$", options), CompileError);
+}
+
+TEST(Codegen, OnewayUsesNoResponse) {
+  const auto code =
+      gen("interface I { oneway void fire(in long t); };");
+  EXPECT_NE(code.source.find(", {}, false)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pardis::idl

@@ -1,0 +1,291 @@
+// Tests for the simulated network fabric: addressing, accept/connect,
+// framed delivery, EOF semantics, and the shared-link governor's bandwidth,
+// latency, per-stream cap, and interleaving behavior.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "pardis/common/error.hpp"
+#include "pardis/net/fabric.hpp"
+
+namespace pardis::net {
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// ---- fabric addressing --------------------------------------------------------
+
+TEST(Fabric, ListenAssignsEphemeralPorts) {
+  Fabric fabric;
+  auto a = fabric.listen("host", 0);
+  auto b = fabric.listen("host", 0);
+  EXPECT_NE(a->address().port, b->address().port);
+  EXPECT_EQ(a->address().host, "host");
+}
+
+TEST(Fabric, ExplicitPortHonored) {
+  Fabric fabric;
+  auto a = fabric.listen("host", 7001);
+  EXPECT_EQ(a->address().port, 7001);
+}
+
+TEST(Fabric, DoubleBindRejected) {
+  Fabric fabric;
+  auto a = fabric.listen("host", 7001);
+  EXPECT_THROW(fabric.listen("host", 7001), BAD_PARAM);
+}
+
+TEST(Fabric, PortFreedAfterAcceptorCloses) {
+  Fabric fabric;
+  {
+    auto a = fabric.listen("host", 7002);
+    a->close();
+  }
+  auto b = fabric.listen("host", 7002);
+  EXPECT_EQ(b->address().port, 7002);
+}
+
+TEST(Fabric, ConnectToNothingRefused) {
+  Fabric fabric;
+  EXPECT_THROW(fabric.connect("client", Address{"host", 9999}),
+               COMM_FAILURE);
+}
+
+TEST(Fabric, EmptyHostRejected) {
+  Fabric fabric;
+  EXPECT_THROW(fabric.listen("", 0), BAD_PARAM);
+}
+
+// ---- connection semantics -------------------------------------------------------
+
+TEST(Connection, FramesArriveIntactAndInOrder) {
+  Fabric fabric;
+  auto acceptor = fabric.listen("server");
+  auto client = fabric.connect("client", acceptor->address());
+  auto server = acceptor->accept();
+  ASSERT_NE(server, nullptr);
+
+  client->send(bytes_of("frame-1"));
+  client->send(bytes_of("frame-2"));
+  EXPECT_EQ(server->recv_or_throw(), bytes_of("frame-1"));
+  EXPECT_EQ(server->recv_or_throw(), bytes_of("frame-2"));
+}
+
+TEST(Connection, FullDuplex) {
+  Fabric fabric;
+  auto acceptor = fabric.listen("server");
+  auto client = fabric.connect("client", acceptor->address());
+  auto server = acceptor->accept();
+  client->send(bytes_of("ping"));
+  EXPECT_EQ(server->recv_or_throw(), bytes_of("ping"));
+  server->send(bytes_of("pong"));
+  EXPECT_EQ(client->recv_or_throw(), bytes_of("pong"));
+}
+
+TEST(Connection, LargeFrameSurvives) {
+  Fabric fabric;
+  auto acceptor = fabric.listen("server");
+  auto client = fabric.connect("client", acceptor->address());
+  auto server = acceptor->accept();
+  Bytes big(4u << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  client->send(big);
+  EXPECT_EQ(server->recv_or_throw(), big);
+}
+
+TEST(Connection, EofAfterCloseDrainsQueuedFrames) {
+  Fabric fabric;
+  auto acceptor = fabric.listen("server");
+  auto client = fabric.connect("client", acceptor->address());
+  auto server = acceptor->accept();
+  client->send(bytes_of("last"));
+  client->close();
+  EXPECT_EQ(server->recv_or_throw(), bytes_of("last"));  // drained first
+  EXPECT_EQ(server->recv(), std::nullopt);               // then EOF
+  EXPECT_TRUE(server->eof());
+  EXPECT_THROW(server->recv_or_throw(), COMM_FAILURE);
+}
+
+TEST(Connection, SendOnClosedThrows) {
+  Fabric fabric;
+  auto acceptor = fabric.listen("server");
+  auto client = fabric.connect("client", acceptor->address());
+  client->close();
+  EXPECT_THROW(client->send(bytes_of("x")), COMM_FAILURE);
+}
+
+TEST(Connection, TryRecvNonBlocking) {
+  Fabric fabric;
+  auto acceptor = fabric.listen("server");
+  auto client = fabric.connect("client", acceptor->address());
+  auto server = acceptor->accept();
+  EXPECT_EQ(server->try_recv(), std::nullopt);
+  EXPECT_FALSE(server->has_frame());
+  client->send(bytes_of("x"));
+  EXPECT_TRUE(server->has_frame());
+  EXPECT_EQ(server->try_recv(), bytes_of("x"));
+}
+
+TEST(Acceptor, TryAcceptNonBlocking) {
+  Fabric fabric;
+  auto acceptor = fabric.listen("server");
+  EXPECT_EQ(acceptor->try_accept(), nullptr);
+  auto client = fabric.connect("client", acceptor->address());
+  EXPECT_NE(acceptor->try_accept(), nullptr);
+}
+
+TEST(Acceptor, CloseWakesBlockedAccept) {
+  Fabric fabric;
+  auto acceptor = fabric.listen("server");
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    acceptor->close();
+  });
+  EXPECT_EQ(acceptor->accept(), nullptr);
+  closer.join();
+}
+
+// ---- link governor --------------------------------------------------------------
+
+TEST(LinkGovernor, UnlimitedIsInstant) {
+  LinkGovernor gov(LinkModel::unlimited());
+  const StopWatch w;
+  gov.transmit(100u << 20);
+  EXPECT_LT(w.elapsed_ms(), 5.0);
+}
+
+TEST(LinkGovernor, BandwidthPacesTransfers) {
+  // 10 MB at 100 MB/s should take ~100 ms.
+  LinkModel model;
+  model.bandwidth_bps = 100e6;
+  LinkGovernor gov(model);
+  const StopWatch w;
+  gov.transmit(10u << 20);
+  const double ms = w.elapsed_ms();
+  EXPECT_GT(ms, 80.0);
+  EXPECT_LT(ms, 160.0);
+}
+
+TEST(LinkGovernor, LatencyChargedPerFrame) {
+  LinkModel model;
+  model.bandwidth_bps = 1e9;
+  model.latency = std::chrono::milliseconds(5);
+  LinkGovernor gov(model);
+  const StopWatch w;
+  gov.transmit(10);
+  gov.transmit(10);
+  EXPECT_GE(w.elapsed_ms(), 10.0);
+}
+
+TEST(LinkGovernor, ConcurrentSendersShareBandwidth) {
+  // Two 5 MB transfers over a 100 MB/s link: aggregate ~100 ms, and both
+  // must finish at roughly the same time (chunk interleaving).
+  LinkModel model;
+  model.bandwidth_bps = 100e6;
+  LinkGovernor gov(model);
+  const auto start = Clock::now();
+  double done[2];
+  std::thread a([&] {
+    gov.transmit(5u << 20);
+    done[0] = to_ms(Clock::now() - start);
+  });
+  std::thread b([&] {
+    gov.transmit(5u << 20);
+    done[1] = to_ms(Clock::now() - start);
+  });
+  a.join();
+  b.join();
+  const double total = std::max(done[0], done[1]);
+  EXPECT_GT(total, 85.0);
+  EXPECT_LT(total, 200.0);
+  // Interleaved: the completion spread is a small fraction of the total.
+  EXPECT_LT(std::abs(done[0] - done[1]), 0.35 * total);
+}
+
+TEST(LinkGovernor, PerStreamCapLimitsOneStream) {
+  // One stream on a 100 MB/s link capped at 40 MB/s per stream: 4 MB takes
+  // ~100 ms instead of ~40 ms.
+  LinkModel model;
+  model.bandwidth_bps = 100e6;
+  model.per_stream_bps = 40e6;
+  LinkGovernor gov(model);
+  StreamPacer pacer;
+  const StopWatch w;
+  gov.transmit(4u << 20, &pacer);
+  const double ms = w.elapsed_ms();
+  EXPECT_GT(ms, 85.0);
+  EXPECT_LT(ms, 180.0);
+}
+
+TEST(LinkGovernor, ManyStreamsSaturateAggregate) {
+  // Four capped streams (40 MB/s each) on a 100 MB/s link move 4x2 MB in
+  // aggregate-bound ~80 ms, not stream-bound ~200 ms.
+  LinkModel model;
+  model.bandwidth_bps = 100e6;
+  model.per_stream_bps = 40e6;
+  LinkGovernor gov(model);
+  const StopWatch w;
+  std::vector<std::thread> threads;
+  std::vector<StreamPacer> pacers(4);
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] { gov.transmit(2u << 20, &pacers[i]); });
+  }
+  for (auto& t : threads) t.join();
+  const double ms = w.elapsed_ms();
+  EXPECT_GT(ms, 65.0);
+  EXPECT_LT(ms, 160.0);
+}
+
+TEST(Fabric, LoopbackIsUnlimitedByDefault) {
+  Fabric fabric;
+  fabric.set_default_link(LinkModel::atm_scaled(1e6));  // slow default
+  auto acceptor = fabric.listen("samehost");
+  auto client = fabric.connect("samehost", acceptor->address());
+  auto server = acceptor->accept();
+  const StopWatch w;
+  client->send(Bytes(1u << 20));
+  (void)server->recv_or_throw();
+  EXPECT_LT(w.elapsed_ms(), 50.0);  // 1 MB at 1 MB/s would be ~1000 ms
+}
+
+TEST(Fabric, ConfiguredLinkAppliesToHostPair) {
+  Fabric fabric;
+  LinkModel model;
+  model.bandwidth_bps = 10e6;  // 10 MB/s
+  fabric.set_link("a", "b", model);
+  auto acceptor = fabric.listen("b");
+  auto client = fabric.connect("a", acceptor->address());
+  auto server = acceptor->accept();
+  const StopWatch w;
+  client->send(Bytes(1u << 20));  // 1 MB -> ~100 ms
+  (void)server->recv_or_throw();
+  const double ms = w.elapsed_ms();
+  EXPECT_GT(ms, 80.0);
+  EXPECT_LT(ms, 200.0);
+}
+
+TEST(Fabric, DirectionsArePacedIndependently) {
+  // Full duplex: simultaneous 1 MB each way over a 10 MB/s link completes
+  // in ~100 ms (not ~200 ms as half-duplex would).
+  Fabric fabric;
+  LinkModel model;
+  model.bandwidth_bps = 10e6;
+  fabric.set_link("a", "b", model);
+  auto acceptor = fabric.listen("b");
+  auto client = fabric.connect("a", acceptor->address());
+  auto server = acceptor->accept();
+  const StopWatch w;
+  std::thread forward([&] { client->send(Bytes(1u << 20)); });
+  std::thread backward([&] { server->send(Bytes(1u << 20)); });
+  forward.join();
+  backward.join();
+  (void)server->recv_or_throw();
+  (void)client->recv_or_throw();
+  EXPECT_LT(w.elapsed_ms(), 170.0);
+}
+
+}  // namespace
+}  // namespace pardis::net

@@ -1,0 +1,396 @@
+// Tests for the broker core: object references (stringification), the
+// naming domain, wire-protocol encode/decode, exception marshaling, and
+// futures.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "pardis/orb/exceptions.hpp"
+#include "pardis/orb/future.hpp"
+#include "pardis/orb/naming.hpp"
+#include "pardis/orb/objref.hpp"
+#include "pardis/orb/orb.hpp"
+#include "pardis/orb/protocol.hpp"
+
+namespace pardis::orb {
+namespace {
+
+ObjectRef sample_ref(int endpoints = 3) {
+  ObjectRef ref;
+  ref.type_id = "IDL:diff_object:1.0";
+  ref.name = "example";
+  ref.host = "powerchallenge";
+  for (int i = 0; i < endpoints; ++i) {
+    ref.endpoints.push_back(net::Address{"powerchallenge", 40000 + i});
+  }
+  return ref;
+}
+
+// ---- ObjectRef ----------------------------------------------------------------
+
+TEST(ObjectRef, EncodeDecodeRoundTrip) {
+  const ObjectRef ref = sample_ref();
+  cdr::Encoder enc;
+  ref.encode(enc);
+  cdr::Decoder dec{BytesView(enc.bytes())};
+  EXPECT_EQ(ObjectRef::decode(dec), ref);
+}
+
+TEST(ObjectRef, StringifyRoundTrip) {
+  const ObjectRef ref = sample_ref(8);
+  const std::string s = ref.to_string();
+  EXPECT_EQ(s.rfind("PARDIS:", 0), 0u);
+  EXPECT_EQ(ObjectRef::from_string(s), ref);
+}
+
+TEST(ObjectRef, SpmdSizeIsEndpointCount) {
+  EXPECT_EQ(sample_ref(5).spmd_size(), 5);
+  EXPECT_FALSE(ObjectRef{}.valid());
+}
+
+TEST(ObjectRef, FromStringRejectsGarbage) {
+  EXPECT_THROW(ObjectRef::from_string("IOR:0042"), INV_OBJREF);
+  EXPECT_THROW(ObjectRef::from_string("PARDIS:zz"), INV_OBJREF);
+  EXPECT_THROW(ObjectRef::from_string("PARDIS:00"), INV_OBJREF);
+}
+
+// ---- NameService ----------------------------------------------------------------
+
+TEST(NameService, RegisterResolveUnregister) {
+  NameService ns;
+  ns.register_object(sample_ref());
+  auto found = ns.resolve("example");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->type_id, "IDL:diff_object:1.0");
+  ns.unregister_object("example", "powerchallenge");
+  EXPECT_FALSE(ns.resolve("example").has_value());
+}
+
+TEST(NameService, HostFilter) {
+  NameService ns;
+  ObjectRef a = sample_ref();
+  ObjectRef b = sample_ref();
+  b.host = "onyx";
+  b.endpoints[0].host = "onyx";
+  ns.register_object(a);
+  ns.register_object(b);
+  EXPECT_EQ(ns.resolve("example", "onyx")->host, "onyx");
+  EXPECT_EQ(ns.resolve("example", "powerchallenge")->host, "powerchallenge");
+  EXPECT_FALSE(ns.resolve("example", "nowhere").has_value());
+  EXPECT_TRUE(ns.resolve("example").has_value());  // host optional (§2.1)
+}
+
+TEST(NameService, ReRegistrationReplaces) {
+  NameService ns;
+  ObjectRef ref = sample_ref();
+  ns.register_object(ref);
+  ref.endpoints[0].port = 50000;
+  ns.register_object(ref);
+  EXPECT_EQ(ns.resolve("example")->endpoints[0].port, 50000);
+  EXPECT_EQ(ns.list().size(), 1u);
+}
+
+TEST(NameService, RejectsInvalidRegistrations) {
+  NameService ns;
+  ObjectRef ref = sample_ref();
+  ref.name.clear();
+  EXPECT_THROW(ns.register_object(ref), BAD_PARAM);
+  ObjectRef no_eps = sample_ref();
+  no_eps.endpoints.clear();
+  EXPECT_THROW(ns.register_object(no_eps), BAD_PARAM);
+}
+
+TEST(NameService, ResolveWaitSeesLateRegistration) {
+  NameService ns;
+  std::thread registrar([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ns.register_object(sample_ref());
+  });
+  const auto found =
+      ns.resolve_wait("example", "", std::chrono::seconds(5));
+  registrar.join();
+  EXPECT_TRUE(found.has_value());
+}
+
+TEST(NameService, ResolveWaitTimesOut) {
+  NameService ns;
+  const auto found =
+      ns.resolve_wait("ghost", "", std::chrono::milliseconds(50));
+  EXPECT_FALSE(found.has_value());
+}
+
+// ---- protocol -------------------------------------------------------------------
+
+TEST(Protocol, FramePrologueRoundTrip) {
+  cdr::Encoder enc;
+  begin_frame(enc, MsgType::kRequest);
+  enc.put_long(7);
+  const Bytes frame = enc.take();
+  const Frame info = parse_frame(frame);
+  EXPECT_EQ(info.type, MsgType::kRequest);
+  EXPECT_EQ(info.little_endian, host_is_little_endian());
+  auto dec = body_decoder(frame, info);
+  EXPECT_EQ(dec.get_long(), 7);
+}
+
+TEST(Protocol, BadMagicRejected) {
+  Bytes junk{'X', 'X', 'X', 'X', 1, 1, 0, 0};
+  EXPECT_THROW(parse_frame(junk), MARSHAL);
+}
+
+TEST(Protocol, ShortFrameRejected) {
+  Bytes junk{'P', 'D'};
+  EXPECT_THROW(parse_frame(junk), MARSHAL);
+}
+
+TEST(Protocol, UnknownTypeRejected) {
+  Bytes junk{'P', 'D', 'I', 'S', 1, 1, 99, 0};
+  EXPECT_THROW(parse_frame(junk), MARSHAL);
+}
+
+TEST(Protocol, RequestHeaderRoundTrip) {
+  RequestHeader h;
+  h.request_id = 17;
+  h.binding_id = 3;
+  h.operation = "diffusion";
+  h.response_expected = true;
+  h.collective = true;
+  h.method = TransferMethod::kMultiPort;
+  h.scalar_args = Bytes{1, 2, 3};
+  DSeqDescriptor d;
+  d.arg_index = 0;
+  d.dir = ArgDir::kInOut;
+  d.elem_kind = ElemKind::kDouble;
+  d.elem_size = 8;
+  d.total_length = 10;
+  d.src_counts = {6, 4};
+  h.dseqs.push_back(d);
+
+  cdr::Encoder enc;
+  h.encode(enc);
+  cdr::Decoder dec{BytesView(enc.bytes())};
+  const RequestHeader back = RequestHeader::decode(dec);
+  EXPECT_EQ(back.request_id, 17u);
+  EXPECT_EQ(back.operation, "diffusion");
+  EXPECT_EQ(back.method, TransferMethod::kMultiPort);
+  EXPECT_EQ(back.scalar_args, (Bytes{1, 2, 3}));
+  ASSERT_EQ(back.dseqs.size(), 1u);
+  EXPECT_EQ(back.dseqs[0], d);
+}
+
+TEST(Protocol, DescriptorCountsMustSumToLength) {
+  DSeqDescriptor d;
+  d.elem_size = 8;
+  d.total_length = 10;
+  d.src_counts = {4, 4};  // sums to 8, not 10
+  cdr::Encoder enc;
+  d.encode(enc);
+  cdr::Decoder dec{BytesView(enc.bytes())};
+  EXPECT_THROW(DSeqDescriptor::decode(dec), MARSHAL);
+}
+
+TEST(Protocol, ReplyHeaderCarriesServerStats) {
+  ReplyHeader r;
+  r.request_id = 9;
+  r.status = ReplyStatus::kNoException;
+  r.payload = Bytes{5};
+  r.server_stats_ms = {1.0, 2.0, 3.0};
+  cdr::Encoder enc;
+  r.encode(enc);
+  cdr::Decoder dec{BytesView(enc.bytes())};
+  const ReplyHeader back = ReplyHeader::decode(dec);
+  EXPECT_EQ(back.server_stats_ms, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Protocol, BindHandshakeRoundTrip) {
+  BindRequest req;
+  req.binding_id = 11;
+  req.client_host = "onyx";
+  req.client_ranks = 4;
+  req.object_key = "example";
+  req.collective = true;
+  cdr::Encoder enc;
+  req.encode(enc);
+  cdr::Decoder dec{BytesView(enc.bytes())};
+  const BindRequest back = BindRequest::decode(dec);
+  EXPECT_EQ(back.client_host, "onyx");
+  EXPECT_EQ(back.client_ranks, 4u);
+  EXPECT_TRUE(back.collective);
+}
+
+TEST(Protocol, BindRequestRejectsZeroRanks) {
+  BindRequest req;
+  req.client_ranks = 0;
+  req.client_host = "x";
+  req.object_key = "y";
+  cdr::Encoder enc;
+  req.encode(enc);
+  cdr::Decoder dec{BytesView(enc.bytes())};
+  EXPECT_THROW(BindRequest::decode(dec), MARSHAL);
+}
+
+// ---- exception marshaling -----------------------------------------------------
+
+TEST(Exceptions, SystemExceptionRoundTrip) {
+  const Bytes payload =
+      marshal_system_exception(OBJECT_NOT_EXIST("gone", Completion::kNo));
+  ExceptionRegistry registry;
+  try {
+    rethrow_reply_exception(ReplyStatus::kSystemException, payload,
+                            registry);
+    FAIL() << "did not throw";
+  } catch (const OBJECT_NOT_EXIST& e) {
+    EXPECT_NE(std::string(e.what()).find("gone"), std::string::npos);
+    EXPECT_EQ(e.completed(), Completion::kNo);
+  }
+}
+
+TEST(Exceptions, UnknownSystemKindStillThrowsSystemException) {
+  cdr::Encoder enc;
+  enc.put_string("SYS:FUTURE_KIND");
+  enc.put_string("msg");
+  enc.put_octet(0);
+  ExceptionRegistry registry;
+  EXPECT_THROW(rethrow_reply_exception(ReplyStatus::kSystemException,
+                                       enc.bytes(), registry),
+               SystemException);
+}
+
+TEST(Exceptions, RegisteredUserExceptionRethrownTyped) {
+  class Custom : public TypedUserException {
+   public:
+    int code = 0;
+    Custom() : TypedUserException("IDL:Test/Custom:1.0") {}
+    void encode_body(cdr::Encoder& enc) const override {
+      enc.put_long(code);
+    }
+  };
+  ExceptionRegistry registry;
+  registry.register_user_exception(
+      "IDL:Test/Custom:1.0", [](cdr::Decoder& dec) {
+        Custom e;
+        e.code = dec.get_long();
+        throw e;
+      });
+  Custom original;
+  original.code = 99;
+  const Bytes payload = marshal_user_exception(
+      original, [&](cdr::Encoder& enc) { original.encode_body(enc); });
+  try {
+    rethrow_reply_exception(ReplyStatus::kUserException, payload, registry);
+    FAIL() << "did not throw";
+  } catch (const Custom& e) {
+    EXPECT_EQ(e.code, 99);
+  }
+}
+
+TEST(Exceptions, UnregisteredUserExceptionFallsBack) {
+  const Bytes payload =
+      marshal_user_exception(UserException("IDL:Nobody/Knows:1.0", "eh"),
+                             nullptr);
+  ExceptionRegistry registry;
+  try {
+    rethrow_reply_exception(ReplyStatus::kUserException, payload, registry);
+    FAIL() << "did not throw";
+  } catch (const UserException& e) {
+    EXPECT_EQ(e.repo_id(), "IDL:Nobody/Knows:1.0");
+  }
+}
+
+// ---- futures -------------------------------------------------------------------
+
+TEST(Future, PromiseFulfillment) {
+  Promise<int> promise;
+  Future<int> future = promise.get_future();
+  EXPECT_FALSE(future.ready());
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    promise.set_value(42);
+  });
+  EXPECT_EQ(future.get(), 42);
+  EXPECT_TRUE(future.ready());
+  EXPECT_EQ(future.get(), 42);  // get is repeatable
+  producer.join();
+}
+
+TEST(Future, PromiseError) {
+  Promise<int> promise;
+  Future<int> future = promise.get_future();
+  promise.set_exception(std::make_exception_ptr(TIMEOUT("late")));
+  EXPECT_THROW(future.get(), TIMEOUT);
+  EXPECT_THROW(future.get(), TIMEOUT);  // errors are sticky
+}
+
+TEST(Future, DeferredRunsOnceOnFirstGet) {
+  int runs = 0;
+  auto future = Future<int>::from_deferred([&] {
+    ++runs;
+    return 7;
+  });
+  EXPECT_FALSE(future.ready());
+  EXPECT_EQ(future.get(), 7);
+  EXPECT_EQ(future.get(), 7);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Future, DeferredErrorPropagates) {
+  auto future = Future<int>::from_deferred(
+      []() -> int { throw BAD_PARAM("deferred boom"); });
+  EXPECT_THROW(future.get(), BAD_PARAM);
+}
+
+TEST(Future, FromValueIsImmediatelyReady) {
+  auto future = Future<std::string>::from_value("done");
+  EXPECT_TRUE(future.ready());
+  EXPECT_EQ(future.get(), "done");
+}
+
+TEST(Future, EmptyFutureGetThrows) {
+  Future<int> future;
+  EXPECT_FALSE(future.valid());
+  EXPECT_THROW(future.get(), BAD_PARAM);
+}
+
+TEST(Future, DoubleSettleRejected) {
+  Promise<int> promise;
+  promise.set_value(1);
+  EXPECT_THROW(promise.set_value(2), INTERNAL);
+}
+
+TEST(FutureVoid, DeferredCompletion) {
+  bool ran = false;
+  auto future = Future<void>::from_deferred([&] { ran = true; });
+  future.get();
+  EXPECT_TRUE(ran);
+  future.get();  // repeatable
+}
+
+TEST(FutureVoid, ErrorPropagates) {
+  auto future =
+      Future<void>::from_deferred([] { throw COMM_FAILURE("void boom"); });
+  EXPECT_THROW(future.get(), COMM_FAILURE);
+}
+
+// ---- Orb ----------------------------------------------------------------------
+
+TEST(Orb, BindingIdsAreUnique) {
+  auto orb = Orb::create();
+  EXPECT_NE(orb->next_binding_id(), orb->next_binding_id());
+}
+
+TEST(Orb, ConfigDefaultLinkApplied) {
+  OrbConfig config;
+  config.default_link = net::LinkModel::atm_scaled(5e6);
+  auto orb = Orb::create(config);
+  auto acceptor = orb->fabric().listen("b");
+  auto client = orb->fabric().connect("a", acceptor->address());
+  auto server = acceptor->accept();
+  const StopWatch w;
+  client->send(Bytes(1u << 19));  // 512 KB at ~5 MB/s -> ~100 ms
+  (void)server->recv_or_throw();
+  EXPECT_GT(w.elapsed_ms(), 60.0);
+}
+
+}  // namespace
+}  // namespace pardis::orb

@@ -1,0 +1,398 @@
+// Robustness and stress tests: hostile bytes never crash the broker (they
+// throw typed exceptions), heavy concurrency on mailboxes and connections,
+// contention between concurrently bound clients (the §3.3 motivation for
+// keeping the invocation header centralized), and lifecycle edges such as
+// deactivation.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+#include "pardis/orb/protocol.hpp"
+#include "pardis/sim/scenario.hpp"
+#include "pardis/transfer/spmd_client.hpp"
+#include "pardis/transfer/spmd_server.hpp"
+
+namespace pardis {
+namespace {
+
+// ---- hostile bytes ------------------------------------------------------------
+
+TEST(Hostile, TruncatedFramesAlwaysThrowMarshal) {
+  // Build a valid request frame, then decode every truncation of it: the
+  // decoder must throw MARSHAL (never crash, never accept).
+  cdr::Encoder enc;
+  orb::begin_frame(enc, orb::MsgType::kRequest);
+  orb::RequestHeader h;
+  h.request_id = 1;
+  h.operation = "diffusion";
+  h.scalar_args = Bytes{1, 2, 3, 4};
+  orb::DSeqDescriptor d;
+  d.elem_size = 8;
+  d.total_length = 4;
+  d.src_counts = {2, 2};
+  h.dseqs.push_back(d);
+  h.encode(enc);
+  const Bytes frame = enc.take();
+
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    Bytes truncated(frame.begin(),
+                    frame.begin() + static_cast<std::ptrdiff_t>(cut));
+    try {
+      const orb::Frame info = orb::parse_frame(truncated);
+      auto dec = orb::body_decoder(truncated, info);
+      (void)orb::RequestHeader::decode(dec);
+      // Decoding a strict prefix must not succeed: every field of the
+      // header is load-bearing.
+      ADD_FAILURE() << "truncation at " << cut << " decoded successfully";
+    } catch (const MARSHAL&) {
+      // expected
+    }
+  }
+}
+
+TEST(Hostile, RandomBytesNeverCrashFrameParser) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes junk(rng() % 64);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    try {
+      const orb::Frame info = orb::parse_frame(junk);
+      auto dec = orb::body_decoder(junk, info);
+      (void)orb::ReplyHeader::decode(dec);
+    } catch (const MARSHAL&) {
+    } catch (const BAD_PARAM&) {
+    }
+  }
+}
+
+TEST(Hostile, BitflippedValidFrameThrowsOrDecodes) {
+  // Flipping any single byte of a valid frame must either still decode
+  // (payload bytes) or throw MARSHAL — never crash or hang.
+  cdr::Encoder enc;
+  orb::begin_frame(enc, orb::MsgType::kReply);
+  orb::ReplyHeader r;
+  r.request_id = 3;
+  r.payload = Bytes{9, 9};
+  r.encode(enc);
+  const Bytes frame = enc.take();
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (std::uint8_t flip : {std::uint8_t{0xFF}, std::uint8_t{0x01}}) {
+      Bytes mutated = frame;
+      mutated[i] ^= flip;
+      try {
+        const orb::Frame info = orb::parse_frame(mutated);
+        auto dec = orb::body_decoder(mutated, info);
+        (void)orb::ReplyHeader::decode(dec);
+      } catch (const MARSHAL&) {
+      }
+    }
+  }
+}
+
+TEST(Hostile, StringifiedRefFuzz) {
+  std::mt19937_64 rng(21);
+  const std::string prefix = "PARDIS:";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string s = prefix;
+    const std::size_t n = rng() % 40;
+    for (std::size_t i = 0; i < n; ++i) {
+      s.push_back("0123456789abcdefzz"[rng() % 18]);
+    }
+    try {
+      (void)orb::ObjectRef::from_string(s);
+    } catch (const INV_OBJREF&) {
+    }
+  }
+}
+
+// ---- stress --------------------------------------------------------------------
+
+TEST(Stress, MailboxManyProducersOneConsumer) {
+  rts::Team team("t", 8);
+  team.run([](rts::Communicator& comm) {
+    constexpr int kPerRank = 300;
+    if (comm.rank() == 0) {
+      std::vector<int> seen(8, 0);
+      for (int i = 0; i < 7 * kPerRank; ++i) {
+        const auto m = comm.recv(rts::kAnySource, 1);
+        // Per-source payloads must arrive in order.
+        EXPECT_EQ(static_cast<int>(m.payload[0]),
+                  seen[static_cast<std::size_t>(m.src)] % 256);
+        ++seen[static_cast<std::size_t>(m.src)];
+      }
+      for (int r = 1; r < 8; ++r) {
+        EXPECT_EQ(seen[static_cast<std::size_t>(r)], kPerRank);
+      }
+    } else {
+      for (int i = 0; i < kPerRank; ++i) {
+        comm.send(0, 1, Bytes{static_cast<std::uint8_t>(i % 256)});
+      }
+    }
+  });
+}
+
+TEST(Stress, ConnectionPingPongBurst) {
+  net::Fabric fabric;
+  auto acceptor = fabric.listen("s");
+  auto client = fabric.connect("c", acceptor->address());
+  auto server = acceptor->accept();
+  std::thread echo([&] {
+    while (auto frame = server->recv()) {
+      server->send(std::move(*frame));
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    client->send(Bytes{static_cast<std::uint8_t>(i & 0xFF)});
+    const Bytes back = client->recv_or_throw();
+    ASSERT_EQ(back[0], i & 0xFF);
+  }
+  client->close();
+  echo.join();
+}
+
+TEST(Stress, ManyInvocationsOnOneBinding) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 2;
+  cfg.server.nranks = 2;
+  sim::Scenario scenario(cfg);
+
+  class EchoServant : public transfer::SpmdServant {
+   public:
+    const char* type_id() const override { return "IDL:test/echo:1.0"; }
+    void dispatch(transfer::ServerCall& call) override {
+      auto args = call.args();
+      call.results().put_long(args.get_long() * 2);
+    }
+  };
+
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        transfer::SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        EchoServant servant;
+        server.activate("echo", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        auto binding =
+            transfer::SpmdBinding::bind(scenario.orb(), comm,
+                                        cfg.client.host, "echo",
+                                        "IDL:test/echo:1.0");
+        for (int i = 0; i < 200; ++i) {
+          cdr::Encoder enc;
+          enc.put_long(i);
+          const Bytes r = binding.invoke("echo", enc.take(), {}, {});
+          cdr::Decoder dec{BytesView(r)};
+          ASSERT_EQ(dec.get_long(), 2 * i);
+        }
+        binding.unbind();
+      },
+      "echo");
+}
+
+// ---- multi-client contention (§3.3 motivation) ---------------------------------
+
+TEST(Contention, ConcurrentSpmdClientsSerializeCorrectly) {
+  // Two independent parallel client applications bind to one SPMD object
+  // concurrently and fire interleaved invocations.  The header-centralized
+  // design must keep every invocation atomic: no request may observe
+  // another client's arguments.
+  auto orb = orb::Orb::create();
+
+  class CheckServant : public transfer::SpmdServant {
+   public:
+    const char* type_id() const override { return "IDL:test/check:1.0"; }
+    void dispatch(transfer::ServerCall& call) override {
+      auto args = call.args();
+      const auto client_id = args.get_long();
+      auto seq = call.take_dseq<double>(0);
+      // Every element must carry the invoking client's id.
+      for (std::size_t i = 0; i < seq.local_length(); ++i) {
+        if (seq.local_data()[i] != static_cast<double>(client_id)) {
+          throw INTERNAL("argument mixed between clients");
+        }
+      }
+      call.results().put_long(client_id);
+    }
+  };
+
+  rts::Team server_team("server", 3);
+  server_team.start([&](rts::Communicator& comm) {
+    transfer::SpmdServer server(*orb, comm, "serverhost");
+    CheckServant servant;
+    server.activate("check", servant);
+    server.serve();
+  });
+
+  auto client_app = [&](int client_id, const std::string& host) {
+    rts::Team team("client" + std::to_string(client_id), 2);
+    team.run([&](rts::Communicator& comm) {
+      auto binding = transfer::SpmdBinding::bind(
+          *orb, comm, host, "check", "IDL:test/check:1.0");
+      for (int i = 0; i < 30; ++i) {
+        dseq::DSequence<double> seq(comm, 256);
+        for (std::size_t j = 0; j < seq.local_length(); ++j) {
+          seq.local_data()[j] = static_cast<double>(client_id);
+        }
+        transfer::CallOptions opts;
+        opts.method = (i % 2 == 0) ? orb::TransferMethod::kCentralized
+                                   : orb::TransferMethod::kMultiPort;
+        transfer::TypedDSeqArg<double> arg(seq, orb::ArgDir::kIn);
+        cdr::Encoder enc;
+        enc.put_long(client_id);
+        const Bytes r = binding.invoke("check", enc.take(), {&arg}, opts);
+        cdr::Decoder dec{BytesView(r)};
+        ASSERT_EQ(dec.get_long(), client_id);
+      }
+      binding.unbind();
+    });
+  };
+
+  std::thread c1([&] { client_app(1, "hostA"); });
+  std::thread c2([&] { client_app(2, "hostB"); });
+  c1.join();
+  c2.join();
+
+  transfer::send_shutdown(*orb, "hostA", *orb->naming().resolve("check"));
+  server_team.join();
+}
+
+TEST(Contention, ManyDirectClientsInParallel) {
+  auto orb = orb::Orb::create();
+
+  class CounterServant : public transfer::SpmdServant {
+   public:
+    const char* type_id() const override { return "IDL:test/ctr:1.0"; }
+    void dispatch(transfer::ServerCall& call) override {
+      call.results().put_long(++count_);
+    }
+   private:
+    cdr::Long count_ = 0;
+  };
+
+  rts::Team server_team("server", 1);
+  server_team.start([&](rts::Communicator& comm) {
+    transfer::SpmdServer server(*orb, comm, "s");
+    CounterServant servant;
+    server.activate("ctr", servant);
+    server.serve();
+  });
+
+  constexpr int kClients = 6;
+  constexpr int kCallsEach = 25;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        auto binding = transfer::DirectBinding::bind(
+            *orb, "client" + std::to_string(c), "ctr", "IDL:test/ctr:1.0");
+        cdr::Long prev = 0;
+        for (int i = 0; i < kCallsEach; ++i) {
+          const Bytes r = binding.invoke("bump", {});
+          cdr::Decoder dec{BytesView(r)};
+          const auto v = dec.get_long();
+          if (v <= prev) ++failures;  // strictly increasing per client
+          prev = v;
+        }
+        binding.unbind();
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The counter saw every call exactly once.
+  auto binding =
+      transfer::DirectBinding::bind(*orb, "probe", "ctr", "IDL:test/ctr:1.0");
+  const Bytes r = binding.invoke("bump", {});
+  cdr::Decoder final_dec{BytesView(r)};
+  EXPECT_EQ(final_dec.get_long(), kClients * kCallsEach + 1);
+  binding.unbind();
+
+  transfer::send_shutdown(*orb, "probe", *orb->naming().resolve("ctr"));
+  server_team.join();
+}
+
+// ---- lifecycle edges --------------------------------------------------------------
+
+TEST(Lifecycle, DeactivatedObjectRejectsNewBinds) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 1;
+  sim::Scenario scenario(cfg);
+
+  class NopServant : public transfer::SpmdServant {
+   public:
+    const char* type_id() const override { return "IDL:test/nop:1.0"; }
+    void dispatch(transfer::ServerCall&) override {}
+  };
+
+  setenv("PARDIS_BIND_TIMEOUT_MS", "100", 1);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        transfer::SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        NopServant keep;
+        NopServant gone;
+        server.activate("keeper", keep);
+        server.activate("victim", gone);
+        server.deactivate("victim");
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        (void)comm;
+        // The deactivated name no longer resolves.
+        EXPECT_THROW((void)transfer::DirectBinding::bind(
+                         scenario.orb(), cfg.client.host, "victim",
+                         "IDL:test/nop:1.0"),
+                     OBJECT_NOT_EXIST);
+        // The surviving object still works.
+        auto ok = transfer::DirectBinding::bind(
+            scenario.orb(), cfg.client.host, "keeper", "IDL:test/nop:1.0");
+        ok.invoke("anything", {});
+        ok.unbind();
+      },
+      "keeper");
+  unsetenv("PARDIS_BIND_TIMEOUT_MS");
+}
+
+TEST(Lifecycle, UnbindThenRebindWorks) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 2;
+  cfg.server.nranks = 2;
+  sim::Scenario scenario(cfg);
+
+  class NopServant : public transfer::SpmdServant {
+   public:
+    const char* type_id() const override { return "IDL:test/nop:1.0"; }
+    void dispatch(transfer::ServerCall& call) override {
+      call.results().put_boolean(true);
+    }
+  };
+
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        transfer::SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        NopServant servant;
+        server.activate("nop", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        for (int round = 0; round < 3; ++round) {
+          auto binding = transfer::SpmdBinding::bind(
+              scenario.orb(), comm, cfg.client.host, "nop",
+              "IDL:test/nop:1.0");
+          const Bytes r = binding.invoke("f", {}, {}, {});
+          cdr::Decoder dec{BytesView(r)};
+          EXPECT_TRUE(dec.get_boolean());
+          binding.unbind();
+        }
+      },
+      "nop");
+}
+
+}  // namespace
+}  // namespace pardis

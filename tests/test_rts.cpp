@@ -1,0 +1,375 @@
+// Tests for the message-passing runtime: tagged point-to-point semantics,
+// pairwise FIFO, collectives across team sizes (parameterized sweeps), and
+// failure injection (poisoned mailboxes unwind the team).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "pardis/common/error.hpp"
+#include "pardis/rts/collectives.hpp"
+#include "pardis/rts/team.hpp"
+
+namespace pardis::rts {
+namespace {
+
+Bytes bytes_of(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+std::string str_of(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+// ---- point-to-point ---------------------------------------------------------
+
+TEST(RtsP2P, SendRecvDeliversPayload) {
+  Team team("t", 2);
+  team.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 5, bytes_of("hello"));
+    } else {
+      const Message m = comm.recv(0, 5);
+      EXPECT_EQ(m.src, 0);
+      EXPECT_EQ(m.tag, 5);
+      EXPECT_EQ(str_of(m.payload), "hello");
+    }
+  });
+}
+
+TEST(RtsP2P, TagMatchingSelectsCorrectMessage) {
+  Team team("t", 2);
+  team.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, bytes_of("one"));
+      comm.send(1, 2, bytes_of("two"));
+    } else {
+      // Receive out of arrival order by tag.
+      EXPECT_EQ(str_of(comm.recv(0, 2).payload), "two");
+      EXPECT_EQ(str_of(comm.recv(0, 1).payload), "one");
+    }
+  });
+}
+
+TEST(RtsP2P, PairwiseFifoPerTag) {
+  Team team("t", 2);
+  team.run([](Communicator& comm) {
+    constexpr int kCount = 100;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) {
+        comm.send(1, 9, Bytes{static_cast<std::uint8_t>(i)});
+      }
+    } else {
+      for (int i = 0; i < kCount; ++i) {
+        EXPECT_EQ(comm.recv(0, 9).payload[0], i);
+      }
+    }
+  });
+}
+
+TEST(RtsP2P, WildcardSourceAndTag) {
+  Team team("t", 3);
+  team.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      int seen_src[3] = {0, 0, 0};
+      for (int i = 0; i < 2; ++i) {
+        const Message m = comm.recv(kAnySource, kAnyTag);
+        ++seen_src[m.src];
+      }
+      EXPECT_EQ(seen_src[1], 1);
+      EXPECT_EQ(seen_src[2], 1);
+    } else {
+      comm.send(0, comm.rank(), bytes_of("x"));
+    }
+  });
+}
+
+TEST(RtsP2P, SelfSendWorks) {
+  Team team("t", 1);
+  team.run([](Communicator& comm) {
+    comm.send(0, 3, bytes_of("me"));
+    EXPECT_EQ(str_of(comm.recv(0, 3).payload), "me");
+  });
+}
+
+TEST(RtsP2P, ProbeIsNonBlocking) {
+  Team team("t", 2);
+  team.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_FALSE(comm.probe(1, 4));
+      comm.barrier();       // rank 1 sends before this completes on both
+      comm.barrier();
+      EXPECT_TRUE(comm.probe(1, 4));
+      (void)comm.recv(1, 4);
+    } else {
+      comm.barrier();
+      comm.send(0, 4, bytes_of("p"));
+      comm.barrier();
+    }
+  });
+}
+
+TEST(RtsP2P, InvalidRanksAndTagsRejected) {
+  Team team("t", 2);
+  team.run([](Communicator& comm) {
+    EXPECT_THROW(comm.send(7, 1, {}), BAD_PARAM);
+    EXPECT_THROW(comm.send(-1, 1, {}), BAD_PARAM);
+    EXPECT_THROW(comm.send(0, -3, {}), BAD_PARAM);
+    EXPECT_THROW(comm.send(0, kInternalTagBase, {}), BAD_PARAM);
+  });
+}
+
+TEST(RtsP2P, PayloadIsCopiedNotShared) {
+  // Distributed-memory model: mutating the sender's buffer after send must
+  // not affect the delivered message.
+  Team team("t", 2);
+  team.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      Bytes data = bytes_of("AAAA");
+      comm.send(1, 1, data);
+      data[0] = 'Z';
+      comm.barrier();
+    } else {
+      comm.barrier();
+      EXPECT_EQ(str_of(comm.recv(0, 1).payload), "AAAA");
+    }
+  });
+}
+
+// ---- team lifecycle ----------------------------------------------------------
+
+TEST(Team, RejectsNonPositiveSize) {
+  EXPECT_THROW(Team("t", 0), BAD_PARAM);
+  EXPECT_THROW(Team("t", -2), BAD_PARAM);
+}
+
+TEST(Team, RunsEveryRankExactlyOnce) {
+  Team team("t", 6);
+  std::atomic<int> mask{0};
+  team.run([&](Communicator& comm) { mask |= 1 << comm.rank(); });
+  EXPECT_EQ(mask.load(), 0b111111);
+}
+
+TEST(Team, RankExceptionPropagatesAfterJoin) {
+  Team team("t", 3);
+  EXPECT_THROW(team.run([](Communicator& comm) {
+                 if (comm.rank() == 1) {
+                   throw BAD_PARAM("rank 1 fails");
+                 }
+                 // Other ranks block; the poison must unwind them instead
+                 // of deadlocking the join.
+                 (void)comm.recv(kAnySource, 0);
+               }),
+               Exception);
+}
+
+TEST(Team, CanRunTwiceSequentially) {
+  Team team("t", 2);
+  for (int round = 0; round < 2; ++round) {
+    team.run([&](Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.send(1, round, bytes_of("r"));
+      } else {
+        EXPECT_EQ(comm.recv(0, round).tag, round);
+      }
+    });
+  }
+}
+
+// ---- collectives, parameterized over team size --------------------------------
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives, BarrierCompletes) {
+  Team team("t", GetParam());
+  team.run([](Communicator& comm) {
+    for (int i = 0; i < 20; ++i) comm.barrier();
+  });
+}
+
+TEST_P(Collectives, BarrierSeparatesPhases) {
+  // No rank may observe phase-2 work from a peer before it finished its
+  // own phase 1.
+  const int p = GetParam();
+  Team team("t", p);
+  std::vector<std::atomic<int>> phase(static_cast<std::size_t>(p));
+  for (auto& ph : phase) ph = 0;
+  team.run([&](Communicator& comm) {
+    phase[static_cast<std::size_t>(comm.rank())] = 1;
+    comm.barrier();
+    for (int r = 0; r < comm.size(); ++r) {
+      EXPECT_GE(phase[static_cast<std::size_t>(r)].load(), 1);
+    }
+  });
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  const int p = GetParam();
+  Team team("t", p);
+  team.run([&](Communicator& comm) {
+    for (int root = 0; root < p; ++root) {
+      Bytes data;
+      if (comm.rank() == root) data = bytes_of("root=" + std::to_string(root));
+      comm.bcast_bytes(data, root);
+      EXPECT_EQ(str_of(data), "root=" + std::to_string(root));
+    }
+  });
+}
+
+TEST_P(Collectives, BcastValueAndVector) {
+  Team team("t", GetParam());
+  team.run([](Communicator& comm) {
+    const double v = bcast_value(comm, comm.rank() == 0 ? 2.5 : -1.0, 0);
+    EXPECT_EQ(v, 2.5);
+    std::vector<int> values;
+    if (comm.rank() == 0) values = {1, 2, 3};
+    bcast_vector(comm, values, 0);
+    EXPECT_EQ(values, (std::vector<int>{1, 2, 3}));
+  });
+}
+
+TEST_P(Collectives, GatherOrdersByRank) {
+  Team team("t", GetParam());
+  team.run([](Communicator& comm) {
+    const auto parts =
+        comm.gather_bytes(bytes_of(std::to_string(comm.rank())), 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(parts.size(), static_cast<std::size_t>(comm.size()));
+      for (int r = 0; r < comm.size(); ++r) {
+        EXPECT_EQ(str_of(parts[static_cast<std::size_t>(r)]),
+                  std::to_string(r));
+      }
+    } else {
+      EXPECT_TRUE(parts.empty());
+    }
+  });
+}
+
+TEST_P(Collectives, ScatterDeliversPerRankPart) {
+  const int p = GetParam();
+  Team team("t", p);
+  team.run([&](Communicator& comm) {
+    std::vector<Bytes> parts;
+    if (comm.rank() == 0) {
+      for (int r = 0; r < p; ++r) parts.push_back(bytes_of("part" + std::to_string(r)));
+    }
+    const Bytes mine = comm.scatter_bytes(parts, 0);
+    EXPECT_EQ(str_of(mine), "part" + std::to_string(comm.rank()));
+  });
+}
+
+TEST_P(Collectives, GathervScattervRoundTrip) {
+  const int p = GetParam();
+  Team team("t", p);
+  team.run([&](Communicator& comm) {
+    // Variable chunk sizes: rank r contributes r+1 doubles.
+    std::vector<double> local(static_cast<std::size_t>(comm.rank()) + 1,
+                              comm.rank() * 1.5);
+    auto all = gatherv<double>(comm, local, 0);
+    std::vector<std::size_t> counts;
+    if (comm.rank() == 0) {
+      std::size_t expected = 0;
+      for (int r = 0; r < p; ++r) expected += static_cast<std::size_t>(r) + 1;
+      EXPECT_EQ(all.size(), expected);
+      for (int r = 0; r < p; ++r) {
+        counts.push_back(static_cast<std::size_t>(r) + 1);
+      }
+    } else {
+      counts.resize(static_cast<std::size_t>(p));
+    }
+    auto back = scatterv<double>(comm, all, counts, 0);
+    EXPECT_EQ(back, local);
+  });
+}
+
+TEST_P(Collectives, AllgatherValue) {
+  Team team("t", GetParam());
+  team.run([](Communicator& comm) {
+    const auto all = allgather_value(comm, comm.rank() * 10);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 10);
+    }
+  });
+}
+
+TEST_P(Collectives, ReduceAndAllreduce) {
+  const int p = GetParam();
+  Team team("t", p);
+  team.run([&](Communicator& comm) {
+    const int sum = reduce_value(comm, comm.rank() + 1, 0);
+    if (comm.rank() == 0) EXPECT_EQ(sum, p * (p + 1) / 2);
+    const int total = allreduce_value(comm, comm.rank() + 1);
+    EXPECT_EQ(total, p * (p + 1) / 2);
+    const int mx = allreduce_value(comm, comm.rank(),
+                                   [](int a, int b) { return std::max(a, b); });
+    EXPECT_EQ(mx, p - 1);
+  });
+}
+
+TEST_P(Collectives, AlltoallPersonalized) {
+  const int p = GetParam();
+  Team team("t", p);
+  team.run([&](Communicator& comm) {
+    std::vector<std::vector<int>> parts(static_cast<std::size_t>(p));
+    for (int dst = 0; dst < p; ++dst) {
+      parts[static_cast<std::size_t>(dst)] = {comm.rank() * 100 + dst};
+    }
+    auto got = alltoallv(comm, parts);
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(p));
+    for (int src = 0; src < p; ++src) {
+      ASSERT_EQ(got[static_cast<std::size_t>(src)].size(), 1u);
+      EXPECT_EQ(got[static_cast<std::size_t>(src)][0],
+                src * 100 + comm.rank());
+    }
+  });
+}
+
+TEST_P(Collectives, BackToBackCollectivesDoNotCrossTalk) {
+  Team team("t", GetParam());
+  team.run([](Communicator& comm) {
+    for (int i = 0; i < 25; ++i) {
+      const int v = bcast_value(comm, comm.rank() == 0 ? i : -1, 0);
+      EXPECT_EQ(v, i);
+      const int s = allreduce_value(comm, 1);
+      EXPECT_EQ(s, comm.size());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(TeamSizes, Collectives,
+                         ::testing::Values(1, 2, 3, 4, 7, 8));
+
+// ---- collective argument validation -------------------------------------------
+
+TEST(CollectiveErrors, ScatterPartsSizeMismatch) {
+  Team team("t", 2);
+  EXPECT_THROW(team.run([](Communicator& comm) {
+                 std::vector<Bytes> parts(1);  // wrong: needs 2 at root
+                 (void)comm.scatter_bytes(parts, 0);
+               }),
+               Exception);
+}
+
+TEST(CollectiveErrors, ScattervCountsMustCoverData) {
+  Team team("t", 2);
+  EXPECT_THROW(
+      team.run([](Communicator& comm) {
+        std::vector<double> all(10);
+        std::vector<std::size_t> counts{3, 3};  // covers only 6 of 10
+        (void)scatterv<double>(comm, all, counts, 0);
+      }),
+      Exception);
+}
+
+TEST(CollectiveErrors, BadRootRejected) {
+  Team team("t", 2);
+  EXPECT_THROW(team.run([](Communicator& comm) {
+                 Bytes b;
+                 comm.bcast_bytes(b, 5);
+               }),
+               Exception);
+}
+
+}  // namespace
+}  // namespace pardis::rts

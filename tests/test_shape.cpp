@@ -1,0 +1,145 @@
+// Shape tests: the paper's qualitative performance claims, asserted with
+// generous tolerances over the throttled link model.  These are the
+// repository's regression guard for the evaluation section — if a change
+// breaks one of the paper's orderings, a table would silently stop
+// reproducing.
+//
+// All tests here are wall-clock sensitive and registered RUN_SERIAL.
+
+#include <gtest/gtest.h>
+
+#include "pardis/sim/experiment.hpp"
+
+namespace pardis {
+namespace {
+
+using bench::BenchConfig;
+using bench::BenchResult;
+using bench::run_config;
+
+net::LinkModel test_link() {
+  // 100 MB/s aggregate, 0.46 per-stream, 200 us latency: the bench default.
+  return net::LinkModel::atm_scaled(100e6, std::chrono::microseconds(200),
+                                    0.46);
+}
+
+BenchConfig base_config() {
+  BenchConfig cfg;
+  cfg.seqlen = 1u << 16;  // 512 KB: solidly bandwidth-bound
+  cfg.reps = 5;
+  cfg.link = test_link();
+  return cfg;
+}
+
+TEST(Shape, MultiPortNeverLosesToCentralized) {
+  // Paper §3.4: "we have not found a case in which it would underperform
+  // the centralized method" (large-argument regime).
+  for (const auto [k, p] : {std::pair{2, 2}, std::pair{4, 8}}) {
+    BenchConfig cfg = base_config();
+    cfg.client_ranks = k;
+    cfg.server_ranks = p;
+    cfg.method = orb::TransferMethod::kCentralized;
+    const double central = run_config(cfg).client_ms(Phase::kTotal);
+    cfg.method = orb::TransferMethod::kMultiPort;
+    const double multi = run_config(cfg).client_ms(Phase::kTotal);
+    EXPECT_LT(multi, central * 1.15)
+        << "K=" << k << " P=" << p << " central=" << central
+        << "ms multi=" << multi << "ms";
+  }
+}
+
+TEST(Shape, MultiPortGainsFromClientThreads) {
+  // Paper Table 2: total invocation time decreases as K grows (K=1 is
+  // stream-capped; K=4 saturates the aggregate link).
+  BenchConfig cfg = base_config();
+  cfg.server_ranks = 4;
+  cfg.method = orb::TransferMethod::kMultiPort;
+  cfg.client_ranks = 1;
+  const double k1 = run_config(cfg).client_ms(Phase::kTotal);
+  cfg.client_ranks = 4;
+  const double k4 = run_config(cfg).client_ms(Phase::kTotal);
+  EXPECT_LT(k4, k1 * 0.85) << "k1=" << k1 << "ms k4=" << k4 << "ms";
+}
+
+TEST(Shape, CentralizedDoesNotGainFromThreads) {
+  // Paper Table 1: adding threads never speeds the centralized method up
+  // (the single stream is the bottleneck and gather/scatter only grow).
+  BenchConfig cfg = base_config();
+  cfg.method = orb::TransferMethod::kCentralized;
+  cfg.client_ranks = 2;
+  cfg.server_ranks = 1;
+  const double small = run_config(cfg).client_ms(Phase::kTotal);
+  cfg.client_ranks = 4;
+  cfg.server_ranks = 8;
+  const double big = run_config(cfg).client_ms(Phase::kTotal);
+  EXPECT_GT(big, small * 0.8)
+      << "small=" << small << "ms big=" << big << "ms";
+}
+
+TEST(Shape, ExitBarrierRevealsSerializedSends) {
+  // Paper §3.3's diagnostic: with K=1,P=2 the lone client thread
+  // serializes two transfers, so the server's exit barrier absorbs
+  // roughly half the send; with K=P=2 the transfers interleave and the
+  // barrier nearly vanishes.
+  BenchConfig cfg = base_config();
+  cfg.method = orb::TransferMethod::kMultiPort;
+  cfg.client_ranks = 1;
+  cfg.server_ranks = 2;
+  const BenchResult serial = run_config(cfg);
+  const double send = serial.client_ms(Phase::kSend);
+  const double barrier = serial.server_ms(Phase::kBarrier);
+  EXPECT_GT(barrier, 0.25 * send);
+  EXPECT_LT(barrier, 0.75 * send);
+
+  cfg.client_ranks = 2;
+  const BenchResult parallel = run_config(cfg);
+  EXPECT_LT(parallel.server_ms(Phase::kBarrier), 0.25 * send);
+}
+
+TEST(Shape, EffectiveBandwidthRatioAtPeak) {
+  // Paper Figure 4: multi-port peak / centralized peak = 26.7/12.27 ~ 2.2.
+  BenchConfig cfg = base_config();
+  cfg.client_ranks = 4;
+  cfg.server_ranks = 8;
+  cfg.seqlen = 1u << 17;
+  cfg.method = orb::TransferMethod::kCentralized;
+  const double central = run_config(cfg).client_ms(Phase::kTotal);
+  cfg.method = orb::TransferMethod::kMultiPort;
+  const double multi = run_config(cfg).client_ms(Phase::kTotal);
+  const double ratio = central / multi;
+  EXPECT_GT(ratio, 1.5) << "ratio=" << ratio;
+  EXPECT_LT(ratio, 3.5) << "ratio=" << ratio;
+}
+
+TEST(Shape, SmallMessagesConverge) {
+  // Paper Figure 4: for small data sizes the two methods are nearly the
+  // same (both latency-bound).
+  BenchConfig cfg = base_config();
+  cfg.client_ranks = 4;
+  cfg.server_ranks = 8;
+  cfg.seqlen = 16;
+  cfg.reps = 10;
+  cfg.method = orb::TransferMethod::kCentralized;
+  const double central = run_config(cfg).client_ms(Phase::kTotal);
+  cfg.method = orb::TransferMethod::kMultiPort;
+  const double multi = run_config(cfg).client_ms(Phase::kTotal);
+  EXPECT_LT(multi, central * 3.0);
+  EXPECT_LT(central, multi * 3.0);
+}
+
+TEST(Shape, CentralizedRecvTracksSend) {
+  // Paper Table 1: the server's receive time tracks the client's
+  // pack+send (the transfers overlap on the wire).
+  BenchConfig cfg = base_config();
+  cfg.client_ranks = 2;
+  cfg.server_ranks = 4;
+  cfg.method = orb::TransferMethod::kCentralized;
+  const BenchResult r = run_config(cfg);
+  const double t_ps = r.client_ms(Phase::kPack) + r.client_ms(Phase::kSend);
+  const double t_r = r.server_ms(Phase::kRecv) + r.server_ms(Phase::kUnpack);
+  EXPECT_GT(t_r, 0.5 * t_ps);
+  EXPECT_LT(t_r, 2.5 * t_ps);
+}
+
+}  // namespace
+}  // namespace pardis

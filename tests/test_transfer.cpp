@@ -1,0 +1,692 @@
+// End-to-end tests of the transfer layer: both argument-transfer methods
+// across client/server shape sweeps, all argument directions, preset
+// distributions, oneway and non-blocking invocations, exception
+// propagation, non-collective bindings, multiple objects, sequential
+// clients, and the server poll() API.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pardis/sim/scenario.hpp"
+#include "pardis/transfer/spmd_client.hpp"
+#include "pardis/transfer/spmd_server.hpp"
+
+namespace pardis::transfer {
+namespace {
+
+/// Servant exercising every argument direction:
+///   scale:   in long, inout dseq<double>   -> multiplies, returns sum
+///   iota:    in long n, out dseq<long long> -> emits 0..n-1
+///   checksum: in dseq<float>               -> returns sum
+///   boom:    throws BAD_PARAM
+///   notify:  oneway, records token
+class KitchenSinkServant : public SpmdServant {
+ public:
+  const char* type_id() const override { return "IDL:test/kitchen:1.0"; }
+
+  void dispatch(ServerCall& call) override {
+    if (call.operation() == "scale") {
+      auto args = call.args();
+      const auto factor = args.get_long();
+      auto seq = call.take_dseq<double>(0);
+      double local = 0;
+      for (std::size_t i = 0; i < seq.local_length(); ++i) {
+        seq.local_data()[i] *= factor;
+        local += seq.local_data()[i];
+      }
+      call.put_dseq(0, seq);
+      call.results().put_double(rts::allreduce_value(call.comm(), local));
+      return;
+    }
+    if (call.operation() == "iota") {
+      auto args = call.args();
+      const auto n = args.get_long();
+      dseq::DSequence<cdr::LongLong> out(call.comm(),
+                                         static_cast<std::uint64_t>(n));
+      for (std::size_t i = 0; i < out.local_length(); ++i) {
+        out.local_data()[i] =
+            static_cast<cdr::LongLong>(out.local_offset() + i);
+      }
+      call.put_dseq(0, out);
+      return;
+    }
+    if (call.operation() == "checksum") {
+      auto seq = call.take_dseq<float>(0);
+      float local = 0;
+      for (std::size_t i = 0; i < seq.local_length(); ++i) {
+        local += seq.local_data()[i];
+      }
+      call.results().put_float(rts::allreduce_value(call.comm(), local));
+      return;
+    }
+    if (call.operation() == "boom") {
+      throw BAD_PARAM("requested failure");
+    }
+    if (call.operation() == "notify") {
+      auto args = call.args();
+      last_token_ = args.get_long();
+      return;
+    }
+    if (call.operation() == "token") {
+      call.results().put_long(last_token_);
+      return;
+    }
+    throw BAD_OPERATION(call.operation());
+  }
+
+ private:
+  cdr::Long last_token_ = -1;
+};
+
+struct Shape {
+  int client_ranks;
+  int server_ranks;
+  orb::TransferMethod method;
+  std::uint64_t len;
+};
+
+std::string shape_name(const ::testing::TestParamInfo<Shape>& info) {
+  const Shape& s = info.param;
+  return "K" + std::to_string(s.client_ranks) + "_P" +
+         std::to_string(s.server_ranks) + "_" +
+         (s.method == orb::TransferMethod::kCentralized ? "central"
+                                                        : "multiport") +
+         "_n" + std::to_string(s.len);
+}
+
+class TransferSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(TransferSweep, InOutArgumentRoundTrip) {
+  const Shape shape = GetParam();
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = shape.client_ranks;
+  cfg.server.nranks = shape.server_ranks;
+  sim::Scenario scenario(cfg);
+
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant servant;
+        server.activate("kitchen", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        auto binding =
+            SpmdBinding::bind(scenario.orb(), comm, cfg.client.host,
+                              "kitchen", "IDL:test/kitchen:1.0");
+        dseq::DSequence<double> seq(comm, shape.len);
+        double expected_sum = 0;
+        for (std::size_t i = 0; i < seq.local_length(); ++i) {
+          seq.local_data()[i] =
+              static_cast<double>(seq.local_offset() + i);
+        }
+        for (std::uint64_t i = 0; i < shape.len; ++i) {
+          expected_sum += 3.0 * static_cast<double>(i);
+        }
+        CallOptions opts;
+        opts.method = shape.method;
+        cdr::Encoder enc;
+        enc.put_long(3);
+        TypedDSeqArg<double> arg(seq, orb::ArgDir::kInOut);
+        const Bytes results =
+            binding.invoke("scale", enc.take(), {&arg}, opts);
+        cdr::Decoder dec{BytesView(results)};
+        EXPECT_DOUBLE_EQ(dec.get_double(), expected_sum);
+        const auto all = seq.gather_all();
+        ASSERT_EQ(all.size(), shape.len);
+        for (std::size_t i = 0; i < all.size(); ++i) {
+          ASSERT_EQ(all[i], 3.0 * static_cast<double>(i)) << "index " << i;
+        }
+        binding.unbind();
+      },
+      "kitchen");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TransferSweep,
+    ::testing::Values(
+        Shape{1, 1, orb::TransferMethod::kCentralized, 100},
+        Shape{1, 1, orb::TransferMethod::kMultiPort, 100},
+        Shape{2, 4, orb::TransferMethod::kCentralized, 1000},
+        Shape{2, 4, orb::TransferMethod::kMultiPort, 1000},
+        Shape{4, 2, orb::TransferMethod::kCentralized, 997},
+        Shape{4, 2, orb::TransferMethod::kMultiPort, 997},
+        Shape{3, 5, orb::TransferMethod::kMultiPort, 1024},
+        Shape{4, 8, orb::TransferMethod::kMultiPort, 4096},
+        Shape{2, 2, orb::TransferMethod::kCentralized, 0},
+        Shape{2, 2, orb::TransferMethod::kMultiPort, 0},
+        Shape{2, 3, orb::TransferMethod::kMultiPort, 1},
+        Shape{5, 2, orb::TransferMethod::kCentralized, 64}),
+    shape_name);
+
+/// One scenario covering out-args, float element types, exceptions, oneway,
+/// futures and stats, for both methods.
+class TransferFeatures
+    : public ::testing::TestWithParam<orb::TransferMethod> {};
+
+TEST_P(TransferFeatures, OutArgumentDelivered) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 3;
+  cfg.server.nranks = 2;
+  sim::Scenario scenario(cfg);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant servant;
+        server.activate("kitchen", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        auto binding =
+            SpmdBinding::bind(scenario.orb(), comm, cfg.client.host,
+                              "kitchen", "IDL:test/kitchen:1.0");
+        dseq::DSequence<cdr::LongLong> out(comm);
+        CallOptions opts;
+        opts.method = GetParam();
+        cdr::Encoder enc;
+        enc.put_long(500);
+        TypedDSeqArg<cdr::LongLong> arg(out, orb::ArgDir::kOut);
+        binding.invoke("iota", enc.take(), {&arg}, opts);
+        EXPECT_EQ(out.length(), 500u);
+        const auto all = out.gather_all();
+        for (std::size_t i = 0; i < all.size(); ++i) {
+          EXPECT_EQ(all[i], static_cast<cdr::LongLong>(i));
+        }
+        binding.unbind();
+      },
+      "kitchen");
+}
+
+TEST_P(TransferFeatures, FloatElementsAndInOnlyArg) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 2;
+  cfg.server.nranks = 3;
+  sim::Scenario scenario(cfg);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant servant;
+        server.activate("kitchen", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        auto binding =
+            SpmdBinding::bind(scenario.orb(), comm, cfg.client.host,
+                              "kitchen", "IDL:test/kitchen:1.0");
+        dseq::DSequence<float> seq(comm, 256);
+        for (std::size_t i = 0; i < seq.local_length(); ++i) {
+          seq.local_data()[i] = 0.5f;
+        }
+        CallOptions opts;
+        opts.method = GetParam();
+        TypedDSeqArg<float> arg(seq, orb::ArgDir::kIn);
+        const Bytes results = binding.invoke("checksum", {}, {&arg}, opts);
+        cdr::Decoder dec{BytesView(results)};
+        EXPECT_FLOAT_EQ(dec.get_float(), 128.0f);
+        binding.unbind();
+      },
+      "kitchen");
+}
+
+TEST_P(TransferFeatures, ServerExceptionReachesEveryRank) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 3;
+  cfg.server.nranks = 2;
+  sim::Scenario scenario(cfg);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant servant;
+        server.activate("kitchen", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        auto binding =
+            SpmdBinding::bind(scenario.orb(), comm, cfg.client.host,
+                              "kitchen", "IDL:test/kitchen:1.0");
+        CallOptions opts;
+        opts.method = GetParam();
+        bool caught = false;
+        try {
+          binding.invoke("boom", {}, {}, opts);
+        } catch (const BAD_PARAM& e) {
+          caught = true;
+          EXPECT_NE(std::string(e.what()).find("requested failure"),
+                    std::string::npos);
+        }
+        EXPECT_TRUE(caught);  // on every rank
+        // The binding survives an exception: next invocation works.
+        binding.invoke("notify", [] {
+          cdr::Encoder enc;
+          enc.put_long(5);
+          return enc.take();
+        }(), {}, opts);
+        binding.unbind();
+      },
+      "kitchen");
+}
+
+TEST_P(TransferFeatures, StatsArePopulated) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 2;
+  cfg.server.nranks = 2;
+  sim::Scenario scenario(cfg);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant servant;
+        server.activate("kitchen", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        auto binding =
+            SpmdBinding::bind(scenario.orb(), comm, cfg.client.host,
+                              "kitchen", "IDL:test/kitchen:1.0");
+        dseq::DSequence<double> seq(comm, 10000);
+        CallOptions opts;
+        opts.method = GetParam();
+        cdr::Encoder enc;
+        enc.put_long(1);
+        TypedDSeqArg<double> arg(seq, orb::ArgDir::kInOut);
+        binding.invoke("scale", enc.take(), {&arg}, opts);
+        EXPECT_GT(binding.last_stats().ms(Phase::kTotal), 0.0);
+        ASSERT_EQ(binding.last_server_stats().size(), kPhaseCount);
+        EXPECT_GT(binding.last_server_stats()[static_cast<std::size_t>(
+                      Phase::kTotal)],
+                  0.0);
+        binding.unbind();
+      },
+      "kitchen");
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, TransferFeatures,
+                         ::testing::Values(
+                             orb::TransferMethod::kCentralized,
+                             orb::TransferMethod::kMultiPort),
+                         [](const auto& info) {
+                           return info.param ==
+                                          orb::TransferMethod::kCentralized
+                                      ? "centralized"
+                                      : "multiport";
+                         });
+
+// ---- preset distributions ------------------------------------------------------
+
+TEST(TransferPolicy, ServerPresetDistributionIsApplied) {
+  // Paper §2.2: the server presets Proportions(2,4,2,4) for an argument
+  // before registration; the elements must land in those proportions.
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 2;
+  cfg.server.nranks = 4;
+  sim::Scenario scenario(cfg);
+
+  class ProbeServant : public SpmdServant {
+   public:
+    const char* type_id() const override { return "IDL:test/probe:1.0"; }
+    void dispatch(ServerCall& call) override {
+      auto seq = call.take_dseq<double>(0);
+      const auto counts =
+          rts::allgather_value(call.comm(), seq.local_length());
+      auto& res = call.results();
+      for (auto c : counts) res.put_ulonglong(c);
+    }
+  };
+
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        ProbeServant servant;
+        ArgDistPolicy policy;
+        policy.set("probe", 0, dseq::Proportions(2, 4, 2, 4));
+        server.activate("probe", servant, policy);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        auto binding = SpmdBinding::bind(scenario.orb(), comm,
+                                         cfg.client.host, "probe",
+                                         "IDL:test/probe:1.0");
+        // Both methods must respect the preset.
+        for (auto method : {orb::TransferMethod::kCentralized,
+                            orb::TransferMethod::kMultiPort}) {
+          dseq::DSequence<double> seq(comm, 120);
+          CallOptions opts;
+          opts.method = method;
+          TypedDSeqArg<double> arg(seq, orb::ArgDir::kIn);
+          const Bytes results = binding.invoke("probe", {}, {&arg}, opts);
+          cdr::Decoder dec{BytesView(results)};
+          EXPECT_EQ(dec.get_ulonglong(), 20u);  // 120 * 2/12
+          EXPECT_EQ(dec.get_ulonglong(), 40u);  // 120 * 4/12
+          EXPECT_EQ(dec.get_ulonglong(), 20u);
+          EXPECT_EQ(dec.get_ulonglong(), 40u);
+        }
+        binding.unbind();
+      },
+      "probe");
+}
+
+// ---- oneway / futures ------------------------------------------------------------
+
+TEST(TransferAsync, OnewayAndFuture) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 2;
+  cfg.server.nranks = 2;
+  sim::Scenario scenario(cfg);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant servant;
+        server.activate("kitchen", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        auto binding =
+            SpmdBinding::bind(scenario.orb(), comm, cfg.client.host,
+                              "kitchen", "IDL:test/kitchen:1.0");
+        // Oneway invocation: no reply awaited.
+        cdr::Encoder enc;
+        enc.put_long(77);
+        CallOptions oneway;
+        oneway.response_expected = false;
+        binding.invoke("notify", enc.take(), {}, oneway);
+        // A later synchronous call observes its effect (same control
+        // connection, FIFO).
+        const Bytes results = binding.invoke("token", {}, {}, {});
+        cdr::Decoder dec{BytesView(results)};
+        EXPECT_EQ(dec.get_long(), 77);
+
+        // Non-blocking invocation with a distributed inout argument.
+        dseq::DSequence<double> seq(comm, 64);
+        for (std::size_t i = 0; i < seq.local_length(); ++i) {
+          seq.local_data()[i] = 1.0;
+        }
+        cdr::Encoder enc2;
+        enc2.put_long(2);
+        TypedDSeqArg<double> arg(seq, orb::ArgDir::kInOut);
+        auto future = binding.invoke_nb("scale", enc2.take(), {&arg}, {});
+        EXPECT_FALSE(future.ready());
+        const Bytes r = future.get();  // collective
+        cdr::Decoder dec2{BytesView(r)};
+        EXPECT_DOUBLE_EQ(dec2.get_double(), 128.0);
+        for (std::size_t i = 0; i < seq.local_length(); ++i) {
+          EXPECT_EQ(seq.local_data()[i], 2.0);
+        }
+        binding.unbind();
+      },
+      "kitchen");
+}
+
+// ---- bindings / naming errors ---------------------------------------------------
+
+TEST(TransferBinding, UnknownObjectThrowsOnAllRanks) {
+  setenv("PARDIS_BIND_TIMEOUT_MS", "100", 1);
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 2;
+  cfg.server.nranks = 1;
+  sim::Scenario scenario(cfg);
+  std::atomic<int> throws{0};
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant servant;
+        server.activate("kitchen", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        try {
+          // A short naming wait happens inside bind; "ghost" never appears.
+          (void)SpmdBinding::bind(scenario.orb(), comm, cfg.client.host,
+                                  "ghost", "IDL:test/kitchen:1.0");
+        } catch (const OBJECT_NOT_EXIST&) {
+          ++throws;
+        }
+        comm.barrier();
+      },
+      "kitchen");
+  unsetenv("PARDIS_BIND_TIMEOUT_MS");
+  EXPECT_EQ(throws.load(), 2);
+}
+
+TEST(TransferBinding, TypeMismatchRejected) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 1;
+  sim::Scenario scenario(cfg);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant servant;
+        server.activate("kitchen", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        EXPECT_THROW((void)SpmdBinding::bind(scenario.orb(), comm,
+                                             cfg.client.host, "kitchen",
+                                             "IDL:other/type:1.0"),
+                     OBJECT_NOT_EXIST);
+      },
+      "kitchen");
+}
+
+TEST(TransferBinding, DirectBindingNonCollective) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 3;
+  cfg.server.nranks = 2;
+  sim::Scenario scenario(cfg);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant servant;
+        server.activate("kitchen", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        // Every client thread binds and invokes independently.
+        auto direct = DirectBinding::bind(scenario.orb(), cfg.client.host,
+                                          "kitchen",
+                                          "IDL:test/kitchen:1.0");
+        cdr::Encoder enc;
+        enc.put_long(comm.rank());
+        direct.invoke("notify", enc.take());
+        const Bytes r = direct.invoke("token", {});
+        cdr::Decoder dec{BytesView(r)};
+        (void)dec.get_long();  // some rank's token; server serializes
+        direct.unbind();
+        comm.barrier();
+      },
+      "kitchen");
+}
+
+TEST(TransferBinding, SequentialClientsServed) {
+  // Two collective bindings one after the other on the same object.
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 2;
+  cfg.server.nranks = 2;
+  sim::Scenario scenario(cfg);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant servant;
+        server.activate("kitchen", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        for (int round = 0; round < 2; ++round) {
+          auto binding =
+              SpmdBinding::bind(scenario.orb(), comm, cfg.client.host,
+                                "kitchen", "IDL:test/kitchen:1.0");
+          dseq::DSequence<double> seq(comm, 32);
+          cdr::Encoder enc;
+          enc.put_long(1);
+          TypedDSeqArg<double> arg(seq, orb::ArgDir::kInOut);
+          binding.invoke("scale", enc.take(), {&arg}, {});
+          binding.unbind();
+        }
+      },
+      "kitchen");
+}
+
+TEST(TransferServer, MultipleObjectsOneServer) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 2;
+  sim::Scenario scenario(cfg);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant a;
+        KitchenSinkServant b;
+        server.activate("alpha", a);
+        server.activate("beta", b);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        (void)comm;
+        auto bind_a = DirectBinding::bind(scenario.orb(), cfg.client.host,
+                                          "alpha", "IDL:test/kitchen:1.0");
+        auto bind_b = DirectBinding::bind(scenario.orb(), cfg.client.host,
+                                          "beta", "IDL:test/kitchen:1.0");
+        cdr::Encoder e1;
+        e1.put_long(1);
+        bind_a.invoke("notify", e1.take());
+        cdr::Encoder e2;
+        e2.put_long(2);
+        bind_b.invoke("notify", e2.take());
+        const Bytes ra = bind_a.invoke("token", {});
+        const Bytes rb = bind_b.invoke("token", {});
+        cdr::Decoder da{BytesView(ra)};
+        cdr::Decoder db{BytesView(rb)};
+        EXPECT_EQ(da.get_long(), 1);  // objects hold independent state
+        EXPECT_EQ(db.get_long(), 2);
+        bind_a.unbind();
+        bind_b.unbind();
+      },
+      "alpha");
+}
+
+TEST(TransferServer, PollProcessesOutstandingRequests) {
+  // Paper §2.1: the server can interrupt its computation to process
+  // outstanding requests.  The server loops on poll() between slices of
+  // its own work instead of blocking in serve().
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 2;
+  sim::Scenario scenario(cfg);
+  std::atomic<long> compute_slices{0};
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant servant;
+        server.activate("kitchen", servant);
+        while (!server.shutdown_seen()) {
+          ++compute_slices;  // the server's own computation
+          (void)server.poll();
+        }
+      },
+      [&](rts::Communicator& comm) {
+        (void)comm;
+        auto direct = DirectBinding::bind(scenario.orb(), cfg.client.host,
+                                          "kitchen",
+                                          "IDL:test/kitchen:1.0");
+        cdr::Encoder enc;
+        enc.put_long(123);
+        direct.invoke("notify", enc.take());
+        const Bytes r = direct.invoke("token", {});
+        cdr::Decoder dec{BytesView(r)};
+        EXPECT_EQ(dec.get_long(), 123);
+        direct.unbind();
+      },
+      "kitchen");
+  EXPECT_GT(compute_slices.load(), 0);
+}
+
+}  // namespace
+}  // namespace pardis::transfer
+
+namespace pardis::transfer {
+namespace {
+
+// Paper §2.2: "An `out' argument ... should be initialized by a
+// distribution template before calling the operation which returns it;
+// otherwise a uniform blockwise distribution will be assumed."
+class OutTemplateTest
+    : public ::testing::TestWithParam<orb::TransferMethod> {};
+
+TEST_P(OutTemplateTest, PresetTemplateGovernsOutArgument) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 4;
+  cfg.server.nranks = 2;
+  sim::Scenario scenario(cfg);
+
+  class IotaServant : public SpmdServant {
+   public:
+    const char* type_id() const override { return "IDL:test/iota2:1.0"; }
+    void dispatch(ServerCall& call) override {
+      auto args = call.args();
+      const auto n = args.get_long();
+      dseq::DSequence<double> out(call.comm(),
+                                  static_cast<std::uint64_t>(n));
+      for (std::size_t i = 0; i < out.local_length(); ++i) {
+        out.local_data()[i] = static_cast<double>(out.local_offset() + i);
+      }
+      call.put_dseq(0, out);
+    }
+  };
+
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        IotaServant servant;
+        server.activate("iota2", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        auto binding = SpmdBinding::bind(scenario.orb(), comm,
+                                         cfg.client.host, "iota2",
+                                         "IDL:test/iota2:1.0");
+        CallOptions opts;
+        opts.method = GetParam();
+
+        // Case 1: preset template of the matching length -> honored.
+        {
+          const auto preset = dseq::DistTempl::proportional(
+              120, dseq::Proportions(1, 2, 3, 4), comm.size());
+          dseq::DSequence<double> out(comm, 120, preset);
+          TypedDSeqArg<double> arg(out, orb::ArgDir::kOut);
+          cdr::Encoder enc;
+          enc.put_long(120);
+          binding.invoke("iota", enc.take(), {&arg}, opts);
+          EXPECT_EQ(out.distribution(), preset);
+          const auto all = out.gather_all();
+          for (std::size_t i = 0; i < all.size(); ++i) {
+            EXPECT_EQ(all[i], static_cast<double>(i));
+          }
+        }
+        // Case 2: no preset (or mismatched length) -> uniform blockwise.
+        {
+          dseq::DSequence<double> out(comm);
+          TypedDSeqArg<double> arg(out, orb::ArgDir::kOut);
+          cdr::Encoder enc;
+          enc.put_long(90);
+          binding.invoke("iota", enc.take(), {&arg}, opts);
+          EXPECT_EQ(out.distribution(),
+                    dseq::DistTempl::block(90, comm.size()));
+        }
+        binding.unbind();
+      },
+      "iota2");
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, OutTemplateTest,
+                         ::testing::Values(
+                             orb::TransferMethod::kCentralized,
+                             orb::TransferMethod::kMultiPort),
+                         [](const auto& info) {
+                           return info.param ==
+                                          orb::TransferMethod::kCentralized
+                                      ? "centralized"
+                                      : "multiport";
+                         });
+
+}  // namespace
+}  // namespace pardis::transfer

@@ -1,0 +1,99 @@
+// pardisc — the PARDIS IDL compiler driver.
+//
+// Usage: pardisc <input.idl> [-o <outdir>]
+//
+// Emits <stem>.pardis.hpp and <stem>.pardis.cpp into the output directory
+// (default: the current directory).  Exits non-zero and prints diagnostics
+// on any error.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "pardis/idl/codegen.hpp"
+#include "pardis/idl/parser.hpp"
+#include "pardis/idl/sema.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: pardisc <input.idl> [-o <outdir>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string outdir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o") {
+      if (i + 1 >= argc) return usage();
+      outdir = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "pardisc: unknown option '%s'\n", arg.c_str());
+      return usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty()) return usage();
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "pardisc: cannot open '%s'\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const std::filesystem::path source_path(input);
+  pardis::idl::CodegenOptions options;
+  options.stem = source_path.stem().string();
+  options.source_name = source_path.filename().string();
+
+  pardis::idl::DiagnosticSink sink;
+  const auto tu = pardis::idl::parse(buffer.str(), sink);
+  const auto model = pardis::idl::analyze(tu, sink);
+  for (const auto& diag : sink.all()) {
+    std::fprintf(stderr, "%s: %s\n", input.c_str(),
+                 diag.to_string().c_str());
+  }
+  if (sink.has_errors()) {
+    return 1;
+  }
+  const auto code = pardis::idl::generate(tu, model, options);
+
+  std::filesystem::create_directories(outdir);
+  const auto hpp_path =
+      std::filesystem::path(outdir) / (options.stem + ".pardis.hpp");
+  const auto cpp_path =
+      std::filesystem::path(outdir) / (options.stem + ".pardis.cpp");
+  {
+    std::ofstream out(hpp_path);
+    if (!out) {
+      std::fprintf(stderr, "pardisc: cannot write '%s'\n",
+                   hpp_path.c_str());
+      return 1;
+    }
+    out << code.header;
+  }
+  {
+    std::ofstream out(cpp_path);
+    if (!out) {
+      std::fprintf(stderr, "pardisc: cannot write '%s'\n",
+                   cpp_path.c_str());
+      return 1;
+    }
+    out << code.source;
+  }
+  return 0;
+}
