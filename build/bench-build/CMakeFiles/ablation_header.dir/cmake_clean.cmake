@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_header"
+  "../bench/ablation_header.pdb"
+  "CMakeFiles/ablation_header.dir/ablation_header.cpp.o"
+  "CMakeFiles/ablation_header.dir/ablation_header.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

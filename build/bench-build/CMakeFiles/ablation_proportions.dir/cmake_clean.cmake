@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_proportions"
+  "../bench/ablation_proportions.pdb"
+  "CMakeFiles/ablation_proportions.dir/ablation_proportions.cpp.o"
+  "CMakeFiles/ablation_proportions.dir/ablation_proportions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_proportions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_rts"
+  "../bench/micro_rts.pdb"
+  "CMakeFiles/micro_rts.dir/micro_rts.cpp.o"
+  "CMakeFiles/micro_rts.dir/micro_rts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_centralized"
+  "../bench/table1_centralized.pdb"
+  "CMakeFiles/table1_centralized.dir/table1_centralized.cpp.o"
+  "CMakeFiles/table1_centralized.dir/table1_centralized.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

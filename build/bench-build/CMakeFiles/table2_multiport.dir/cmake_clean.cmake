@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_multiport"
+  "../bench/table2_multiport.pdb"
+  "CMakeFiles/table2_multiport.dir/table2_multiport.cpp.o"
+  "CMakeFiles/table2_multiport.dir/table2_multiport.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_multiport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

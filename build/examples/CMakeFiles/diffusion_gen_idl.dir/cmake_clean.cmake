@@ -1,0 +1,10 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_gen_idl"
+  "pardis_generated/diffusion.pardis.cpp"
+  "pardis_generated/diffusion.pardis.hpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/diffusion_gen_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

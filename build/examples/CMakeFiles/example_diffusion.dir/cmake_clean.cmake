@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_diffusion.dir/diffusion.cpp.o"
+  "CMakeFiles/example_diffusion.dir/diffusion.cpp.o.d"
+  "CMakeFiles/example_diffusion.dir/pardis_generated/diffusion.pardis.cpp.o"
+  "CMakeFiles/example_diffusion.dir/pardis_generated/diffusion.pardis.cpp.o.d"
+  "example_diffusion"
+  "example_diffusion.pdb"
+  "pardis_generated/diffusion.pardis.cpp"
+  "pardis_generated/diffusion.pardis.hpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

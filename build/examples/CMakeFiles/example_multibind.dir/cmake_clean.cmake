@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multibind.dir/multibind.cpp.o"
+  "CMakeFiles/example_multibind.dir/multibind.cpp.o.d"
+  "CMakeFiles/example_multibind.dir/pardis_generated/diffusion.pardis.cpp.o"
+  "CMakeFiles/example_multibind.dir/pardis_generated/diffusion.pardis.cpp.o.d"
+  "example_multibind"
+  "example_multibind.pdb"
+  "pardis_generated/diffusion.pardis.cpp"
+  "pardis_generated/diffusion.pardis.hpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multibind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipeline_monitor.dir/pardis_generated/diffusion.pardis.cpp.o"
+  "CMakeFiles/example_pipeline_monitor.dir/pardis_generated/diffusion.pardis.cpp.o.d"
+  "CMakeFiles/example_pipeline_monitor.dir/pardis_generated/monitor.pardis.cpp.o"
+  "CMakeFiles/example_pipeline_monitor.dir/pardis_generated/monitor.pardis.cpp.o.d"
+  "CMakeFiles/example_pipeline_monitor.dir/pipeline_monitor.cpp.o"
+  "CMakeFiles/example_pipeline_monitor.dir/pipeline_monitor.cpp.o.d"
+  "example_pipeline_monitor"
+  "example_pipeline_monitor.pdb"
+  "pardis_generated/diffusion.pardis.cpp"
+  "pardis_generated/diffusion.pardis.hpp"
+  "pardis_generated/monitor.pardis.cpp"
+  "pardis_generated/monitor.pardis.hpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipeline_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_quickstart.dir/pardis_generated/quickstart.pardis.cpp.o"
+  "CMakeFiles/example_quickstart.dir/pardis_generated/quickstart.pardis.cpp.o.d"
+  "CMakeFiles/example_quickstart.dir/quickstart.cpp.o"
+  "CMakeFiles/example_quickstart.dir/quickstart.cpp.o.d"
+  "example_quickstart"
+  "example_quickstart.pdb"
+  "pardis_generated/quickstart.pardis.cpp"
+  "pardis_generated/quickstart.pardis.hpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

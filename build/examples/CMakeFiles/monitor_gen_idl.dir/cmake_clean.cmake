@@ -1,0 +1,10 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_gen_idl"
+  "pardis_generated/monitor.pardis.cpp"
+  "pardis_generated/monitor.pardis.hpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/monitor_gen_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

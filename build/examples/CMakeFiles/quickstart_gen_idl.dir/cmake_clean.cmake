@@ -1,0 +1,10 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quickstart_gen_idl"
+  "pardis_generated/quickstart.pardis.cpp"
+  "pardis_generated/quickstart.pardis.hpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/quickstart_gen_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_cdr.dir/pardis/cdr/decoder.cpp.o"
+  "CMakeFiles/pardis_cdr.dir/pardis/cdr/decoder.cpp.o.d"
+  "CMakeFiles/pardis_cdr.dir/pardis/cdr/encoder.cpp.o"
+  "CMakeFiles/pardis_cdr.dir/pardis/cdr/encoder.cpp.o.d"
+  "libpardis_cdr.a"
+  "libpardis_cdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_cdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pardis/common/bytes.cpp" "src/CMakeFiles/pardis_common.dir/pardis/common/bytes.cpp.o" "gcc" "src/CMakeFiles/pardis_common.dir/pardis/common/bytes.cpp.o.d"
+  "/root/repo/src/pardis/common/config.cpp" "src/CMakeFiles/pardis_common.dir/pardis/common/config.cpp.o" "gcc" "src/CMakeFiles/pardis_common.dir/pardis/common/config.cpp.o.d"
+  "/root/repo/src/pardis/common/error.cpp" "src/CMakeFiles/pardis_common.dir/pardis/common/error.cpp.o" "gcc" "src/CMakeFiles/pardis_common.dir/pardis/common/error.cpp.o.d"
+  "/root/repo/src/pardis/common/log.cpp" "src/CMakeFiles/pardis_common.dir/pardis/common/log.cpp.o" "gcc" "src/CMakeFiles/pardis_common.dir/pardis/common/log.cpp.o.d"
+  "/root/repo/src/pardis/common/stats.cpp" "src/CMakeFiles/pardis_common.dir/pardis/common/stats.cpp.o" "gcc" "src/CMakeFiles/pardis_common.dir/pardis/common/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

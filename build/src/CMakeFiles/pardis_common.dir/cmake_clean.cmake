@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_common.dir/pardis/common/bytes.cpp.o"
+  "CMakeFiles/pardis_common.dir/pardis/common/bytes.cpp.o.d"
+  "CMakeFiles/pardis_common.dir/pardis/common/config.cpp.o"
+  "CMakeFiles/pardis_common.dir/pardis/common/config.cpp.o.d"
+  "CMakeFiles/pardis_common.dir/pardis/common/error.cpp.o"
+  "CMakeFiles/pardis_common.dir/pardis/common/error.cpp.o.d"
+  "CMakeFiles/pardis_common.dir/pardis/common/log.cpp.o"
+  "CMakeFiles/pardis_common.dir/pardis/common/log.cpp.o.d"
+  "CMakeFiles/pardis_common.dir/pardis/common/stats.cpp.o"
+  "CMakeFiles/pardis_common.dir/pardis/common/stats.cpp.o.d"
+  "libpardis_common.a"
+  "libpardis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_dseq.dir/pardis/dseq/dist_templ.cpp.o"
+  "CMakeFiles/pardis_dseq.dir/pardis/dseq/dist_templ.cpp.o.d"
+  "CMakeFiles/pardis_dseq.dir/pardis/dseq/plan.cpp.o"
+  "CMakeFiles/pardis_dseq.dir/pardis/dseq/plan.cpp.o.d"
+  "CMakeFiles/pardis_dseq.dir/pardis/dseq/proportions.cpp.o"
+  "CMakeFiles/pardis_dseq.dir/pardis/dseq/proportions.cpp.o.d"
+  "libpardis_dseq.a"
+  "libpardis_dseq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_dseq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pardis/idl/ast.cpp" "src/CMakeFiles/pardis_idl.dir/pardis/idl/ast.cpp.o" "gcc" "src/CMakeFiles/pardis_idl.dir/pardis/idl/ast.cpp.o.d"
+  "/root/repo/src/pardis/idl/codegen.cpp" "src/CMakeFiles/pardis_idl.dir/pardis/idl/codegen.cpp.o" "gcc" "src/CMakeFiles/pardis_idl.dir/pardis/idl/codegen.cpp.o.d"
+  "/root/repo/src/pardis/idl/diagnostics.cpp" "src/CMakeFiles/pardis_idl.dir/pardis/idl/diagnostics.cpp.o" "gcc" "src/CMakeFiles/pardis_idl.dir/pardis/idl/diagnostics.cpp.o.d"
+  "/root/repo/src/pardis/idl/lexer.cpp" "src/CMakeFiles/pardis_idl.dir/pardis/idl/lexer.cpp.o" "gcc" "src/CMakeFiles/pardis_idl.dir/pardis/idl/lexer.cpp.o.d"
+  "/root/repo/src/pardis/idl/parser.cpp" "src/CMakeFiles/pardis_idl.dir/pardis/idl/parser.cpp.o" "gcc" "src/CMakeFiles/pardis_idl.dir/pardis/idl/parser.cpp.o.d"
+  "/root/repo/src/pardis/idl/sema.cpp" "src/CMakeFiles/pardis_idl.dir/pardis/idl/sema.cpp.o" "gcc" "src/CMakeFiles/pardis_idl.dir/pardis/idl/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pardis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

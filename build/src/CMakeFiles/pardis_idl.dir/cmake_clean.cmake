@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_idl.dir/pardis/idl/ast.cpp.o"
+  "CMakeFiles/pardis_idl.dir/pardis/idl/ast.cpp.o.d"
+  "CMakeFiles/pardis_idl.dir/pardis/idl/codegen.cpp.o"
+  "CMakeFiles/pardis_idl.dir/pardis/idl/codegen.cpp.o.d"
+  "CMakeFiles/pardis_idl.dir/pardis/idl/diagnostics.cpp.o"
+  "CMakeFiles/pardis_idl.dir/pardis/idl/diagnostics.cpp.o.d"
+  "CMakeFiles/pardis_idl.dir/pardis/idl/lexer.cpp.o"
+  "CMakeFiles/pardis_idl.dir/pardis/idl/lexer.cpp.o.d"
+  "CMakeFiles/pardis_idl.dir/pardis/idl/parser.cpp.o"
+  "CMakeFiles/pardis_idl.dir/pardis/idl/parser.cpp.o.d"
+  "CMakeFiles/pardis_idl.dir/pardis/idl/sema.cpp.o"
+  "CMakeFiles/pardis_idl.dir/pardis/idl/sema.cpp.o.d"
+  "libpardis_idl.a"
+  "libpardis_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

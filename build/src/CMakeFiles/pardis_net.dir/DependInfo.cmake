@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pardis/net/connection.cpp" "src/CMakeFiles/pardis_net.dir/pardis/net/connection.cpp.o" "gcc" "src/CMakeFiles/pardis_net.dir/pardis/net/connection.cpp.o.d"
+  "/root/repo/src/pardis/net/fabric.cpp" "src/CMakeFiles/pardis_net.dir/pardis/net/fabric.cpp.o" "gcc" "src/CMakeFiles/pardis_net.dir/pardis/net/fabric.cpp.o.d"
+  "/root/repo/src/pardis/net/link.cpp" "src/CMakeFiles/pardis_net.dir/pardis/net/link.cpp.o" "gcc" "src/CMakeFiles/pardis_net.dir/pardis/net/link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pardis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_net.dir/pardis/net/connection.cpp.o"
+  "CMakeFiles/pardis_net.dir/pardis/net/connection.cpp.o.d"
+  "CMakeFiles/pardis_net.dir/pardis/net/fabric.cpp.o"
+  "CMakeFiles/pardis_net.dir/pardis/net/fabric.cpp.o.d"
+  "CMakeFiles/pardis_net.dir/pardis/net/link.cpp.o"
+  "CMakeFiles/pardis_net.dir/pardis/net/link.cpp.o.d"
+  "libpardis_net.a"
+  "libpardis_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_orb.dir/pardis/orb/exceptions.cpp.o"
+  "CMakeFiles/pardis_orb.dir/pardis/orb/exceptions.cpp.o.d"
+  "CMakeFiles/pardis_orb.dir/pardis/orb/naming.cpp.o"
+  "CMakeFiles/pardis_orb.dir/pardis/orb/naming.cpp.o.d"
+  "CMakeFiles/pardis_orb.dir/pardis/orb/objref.cpp.o"
+  "CMakeFiles/pardis_orb.dir/pardis/orb/objref.cpp.o.d"
+  "CMakeFiles/pardis_orb.dir/pardis/orb/orb.cpp.o"
+  "CMakeFiles/pardis_orb.dir/pardis/orb/orb.cpp.o.d"
+  "CMakeFiles/pardis_orb.dir/pardis/orb/protocol.cpp.o"
+  "CMakeFiles/pardis_orb.dir/pardis/orb/protocol.cpp.o.d"
+  "libpardis_orb.a"
+  "libpardis_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pardis/rts/collectives.cpp" "src/CMakeFiles/pardis_rts.dir/pardis/rts/collectives.cpp.o" "gcc" "src/CMakeFiles/pardis_rts.dir/pardis/rts/collectives.cpp.o.d"
+  "/root/repo/src/pardis/rts/communicator.cpp" "src/CMakeFiles/pardis_rts.dir/pardis/rts/communicator.cpp.o" "gcc" "src/CMakeFiles/pardis_rts.dir/pardis/rts/communicator.cpp.o.d"
+  "/root/repo/src/pardis/rts/mailbox.cpp" "src/CMakeFiles/pardis_rts.dir/pardis/rts/mailbox.cpp.o" "gcc" "src/CMakeFiles/pardis_rts.dir/pardis/rts/mailbox.cpp.o.d"
+  "/root/repo/src/pardis/rts/team.cpp" "src/CMakeFiles/pardis_rts.dir/pardis/rts/team.cpp.o" "gcc" "src/CMakeFiles/pardis_rts.dir/pardis/rts/team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pardis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_rts.dir/pardis/rts/collectives.cpp.o"
+  "CMakeFiles/pardis_rts.dir/pardis/rts/collectives.cpp.o.d"
+  "CMakeFiles/pardis_rts.dir/pardis/rts/communicator.cpp.o"
+  "CMakeFiles/pardis_rts.dir/pardis/rts/communicator.cpp.o.d"
+  "CMakeFiles/pardis_rts.dir/pardis/rts/mailbox.cpp.o"
+  "CMakeFiles/pardis_rts.dir/pardis/rts/mailbox.cpp.o.d"
+  "CMakeFiles/pardis_rts.dir/pardis/rts/team.cpp.o"
+  "CMakeFiles/pardis_rts.dir/pardis/rts/team.cpp.o.d"
+  "libpardis_rts.a"
+  "libpardis_rts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_rts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpardis_rts.a"
+)

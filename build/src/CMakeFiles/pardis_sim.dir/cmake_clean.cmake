@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_sim.dir/pardis/sim/scenario.cpp.o"
+  "CMakeFiles/pardis_sim.dir/pardis/sim/scenario.cpp.o.d"
+  "libpardis_sim.a"
+  "libpardis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

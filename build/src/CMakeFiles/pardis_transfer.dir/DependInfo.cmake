@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pardis/transfer/engine.cpp" "src/CMakeFiles/pardis_transfer.dir/pardis/transfer/engine.cpp.o" "gcc" "src/CMakeFiles/pardis_transfer.dir/pardis/transfer/engine.cpp.o.d"
+  "/root/repo/src/pardis/transfer/spmd_client.cpp" "src/CMakeFiles/pardis_transfer.dir/pardis/transfer/spmd_client.cpp.o" "gcc" "src/CMakeFiles/pardis_transfer.dir/pardis/transfer/spmd_client.cpp.o.d"
+  "/root/repo/src/pardis/transfer/spmd_server.cpp" "src/CMakeFiles/pardis_transfer.dir/pardis/transfer/spmd_server.cpp.o" "gcc" "src/CMakeFiles/pardis_transfer.dir/pardis/transfer/spmd_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pardis_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pardis_dseq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pardis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pardis_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pardis_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pardis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

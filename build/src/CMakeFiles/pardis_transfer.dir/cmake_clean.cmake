@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_transfer.dir/pardis/transfer/engine.cpp.o"
+  "CMakeFiles/pardis_transfer.dir/pardis/transfer/engine.cpp.o.d"
+  "CMakeFiles/pardis_transfer.dir/pardis/transfer/spmd_client.cpp.o"
+  "CMakeFiles/pardis_transfer.dir/pardis/transfer/spmd_client.cpp.o.d"
+  "CMakeFiles/pardis_transfer.dir/pardis/transfer/spmd_server.cpp.o"
+  "CMakeFiles/pardis_transfer.dir/pardis/transfer/spmd_server.cpp.o.d"
+  "libpardis_transfer.a"
+  "libpardis_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

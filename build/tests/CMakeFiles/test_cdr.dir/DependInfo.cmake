@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cdr.cpp" "tests/CMakeFiles/test_cdr.dir/test_cdr.cpp.o" "gcc" "tests/CMakeFiles/test_cdr.dir/test_cdr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pardis_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pardis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pardis_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pardis_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pardis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pardis_dseq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pardis_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pardis_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pardis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdr.dir/test_cdr.cpp.o"
+  "CMakeFiles/test_cdr.dir/test_cdr.cpp.o.d"
+  "test_cdr"
+  "test_cdr.pdb"
+  "test_cdr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

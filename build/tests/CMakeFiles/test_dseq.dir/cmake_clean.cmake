@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dseq.dir/test_dseq.cpp.o"
+  "CMakeFiles/test_dseq.dir/test_dseq.cpp.o.d"
+  "test_dseq"
+  "test_dseq.pdb"
+  "test_dseq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dseq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rts.dir/test_rts.cpp.o"
+  "CMakeFiles/test_rts.dir/test_rts.cpp.o.d"
+  "test_rts"
+  "test_rts.pdb"
+  "test_rts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testsuite_gen_idl"
+  "pardis_generated/testsuite.pardis.cpp"
+  "pardis_generated/testsuite.pardis.hpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/testsuite_gen_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

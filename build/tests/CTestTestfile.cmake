@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_cdr[1]_include.cmake")
+include("/root/repo/build/tests/test_rts[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_dseq_algorithms[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_shape[1]_include.cmake")
+include("/root/repo/build/tests/test_dseq[1]_include.cmake")
+include("/root/repo/build/tests/test_orb[1]_include.cmake")
+include("/root/repo/build/tests/test_idl[1]_include.cmake")
+include("/root/repo/build/tests/test_transfer[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+add_test([=[pardisc_usage_without_args]=] "/root/repo/build/tools/pardisc")
+set_tests_properties([=[pardisc_usage_without_args]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[pardisc_missing_file_fails]=] "/root/repo/build/tools/pardisc" "/nonexistent/void.idl")
+set_tests_properties([=[pardisc_missing_file_fails]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[pardisc_generates_outputs]=] "/usr/bin/cmake" "-DPARDISC=/root/repo/build/tools/pardisc" "-DIDL=/root/repo/tests/idl/testsuite.idl" "-DOUT=/root/repo/build/tests/pardisc_cli_out" "-P" "/root/repo/tests/check_pardisc.cmake")
+set_tests_properties([=[pardisc_generates_outputs]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[pardisc_rejects_bad_idl]=] "/usr/bin/cmake" "-DPARDISC=/root/repo/build/tools/pardisc" "-DIDL=/root/repo/tests/idl/broken.idl" "-DOUT=/root/repo/build/tests/pardisc_cli_bad" "-DEXPECT_FAIL=1" "-P" "/root/repo/tests/check_pardisc.cmake")
+set_tests_properties([=[pardisc_rejects_bad_idl]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;55;add_test;/root/repo/tests/CMakeLists.txt;0;")

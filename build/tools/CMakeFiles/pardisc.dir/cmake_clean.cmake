@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardisc.dir/pardisc/main.cpp.o"
+  "CMakeFiles/pardisc.dir/pardisc/main.cpp.o.d"
+  "pardisc"
+  "pardisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
