@@ -19,7 +19,9 @@
 using namespace pardis;
 using namespace pardis::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceSession trace(argc, argv);
+
   BenchConfig base;
   base.client_ranks = 4;
   base.server_ranks = 8;

@@ -29,7 +29,9 @@
 using namespace pardis;
 using namespace pardis::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceSession trace(argc, argv);
+
   BenchConfig base;
   base.seqlen = env_u64("PARDIS_SEQLEN", 1u << 17);
   base.reps = static_cast<int>(env_u64("PARDIS_REPS", 15));

@@ -15,6 +15,10 @@ void Pipe::send(pardis::Bytes frame) {
   // Pace the frame on the shared link *before* delivery: the receiver sees
   // the frame when its last chunk has crossed the wire.
   if (governor_) governor_->transmit(frame.size(), &pacer_);
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+  if (agg_frames_ != nullptr) agg_frames_->add(1);
+  if (agg_bytes_ != nullptr) agg_bytes_->add(frame.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) {
@@ -65,9 +69,15 @@ bool Pipe::closed() const {
 std::pair<std::shared_ptr<Connection>, std::shared_ptr<Connection>>
 Connection::make_pair(std::shared_ptr<LinkGovernor> a_to_b,
                       std::shared_ptr<LinkGovernor> b_to_a,
-                      std::string label) {
-  auto forward = std::make_shared<detail::Pipe>(std::move(a_to_b));
-  auto backward = std::make_shared<detail::Pipe>(std::move(b_to_a));
+                      std::string label, obs::MetricsRegistry* metrics) {
+  obs::Counter* agg_frames =
+      metrics != nullptr ? &metrics->counter("net.frames") : nullptr;
+  obs::Counter* agg_bytes =
+      metrics != nullptr ? &metrics->counter("net.bytes") : nullptr;
+  auto forward = std::make_shared<detail::Pipe>(std::move(a_to_b),
+                                                agg_frames, agg_bytes);
+  auto backward = std::make_shared<detail::Pipe>(std::move(b_to_a),
+                                                 agg_frames, agg_bytes);
   auto a = std::shared_ptr<Connection>(
       new Connection(forward, backward, label));
   auto b = std::shared_ptr<Connection>(

@@ -8,7 +8,9 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -17,16 +19,22 @@
 
 #include "pardis/common/bytes.hpp"
 #include "pardis/net/link.hpp"
+#include "pardis/obs/metrics.hpp"
 
 namespace pardis::net {
 
 namespace detail {
 
 /// One direction of a connection: a frame queue plus link pacing.
+/// `agg_frames`/`agg_bytes` (optional) are fabric-wide aggregate counters
+/// in the owning ORB's MetricsRegistry.
 class Pipe {
  public:
-  explicit Pipe(std::shared_ptr<LinkGovernor> governor)
-      : governor_(std::move(governor)) {}
+  Pipe(std::shared_ptr<LinkGovernor> governor, obs::Counter* agg_frames,
+       obs::Counter* agg_bytes)
+      : governor_(std::move(governor)),
+        agg_frames_(agg_frames),
+        agg_bytes_(agg_bytes) {}
 
   void send(pardis::Bytes frame);
   std::optional<pardis::Bytes> recv();
@@ -35,13 +43,24 @@ class Pipe {
   void close();
   bool closed() const;
 
+  std::uint64_t frames() const noexcept {
+    return frames_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::shared_ptr<LinkGovernor> governor_;
+  obs::Counter* agg_frames_;
+  obs::Counter* agg_bytes_;
   StreamPacer pacer_;  // per-stream throughput cap state
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<pardis::Bytes> queue_;
   bool closed_ = false;
+  std::atomic<std::uint64_t> frames_{0};  // frames that crossed the wire
+  std::atomic<std::uint64_t> bytes_{0};
 };
 
 }  // namespace detail
@@ -49,10 +68,13 @@ class Pipe {
 class Connection {
  public:
   /// Creates a connected pair of endpoints sharing the given governors
-  /// (`a_to_b` paces frames sent by the first endpoint).
+  /// (`a_to_b` paces frames sent by the first endpoint).  When `metrics` is
+  /// given, both directions also feed the aggregate "net.frames" /
+  /// "net.bytes" counters of that registry.
   static std::pair<std::shared_ptr<Connection>, std::shared_ptr<Connection>>
   make_pair(std::shared_ptr<LinkGovernor> a_to_b,
-            std::shared_ptr<LinkGovernor> b_to_a, std::string label);
+            std::shared_ptr<LinkGovernor> b_to_a, std::string label,
+            obs::MetricsRegistry* metrics = nullptr);
 
   /// Sends one frame; blocks for its simulated wire time.  Throws
   /// pardis::COMM_FAILURE if the connection is closed.
@@ -80,6 +102,19 @@ class Connection {
 
   /// Diagnostic label ("clienthost->serverhost:7001").
   const std::string& label() const noexcept { return label_; }
+
+  /// Per-connection traffic counters from this endpoint's perspective.
+  /// "Received" counts frames/bytes that crossed the wire inbound (sent by
+  /// the peer), whether or not they have been read yet.
+  struct Counters {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t bytes_received = 0;
+  };
+  Counters counters() const noexcept {
+    return {out_->frames(), out_->bytes(), in_->frames(), in_->bytes()};
+  }
 
  private:
   Connection(std::shared_ptr<detail::Pipe> out,

@@ -1,6 +1,7 @@
 #include "pardis/net/fabric.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "pardis/common/error.hpp"
 #include "pardis/common/log.hpp"
@@ -55,6 +56,37 @@ void Acceptor::enqueue(std::shared_ptr<Connection> conn) {
 
 // ---- Fabric ----------------------------------------------------------------
 
+void Fabric::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+}
+
+void Fabric::collect_metrics() {
+  // Snapshot under the lock, publish outside it (gauge creation may
+  // allocate in the registry, which takes its own lock).
+  std::vector<std::pair<std::string, LinkGovernor::Counters>> snapshots;
+  obs::MetricsRegistry* metrics = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics = metrics_;
+    if (metrics == nullptr) return;
+    snapshots.reserve(governors_.size());
+    for (const auto& [key, governor] : governors_) {
+      snapshots.emplace_back("link." + key.first + "->" + key.second,
+                             governor->counters());
+    }
+  }
+  for (const auto& [prefix, c] : snapshots) {
+    metrics->gauge(prefix + ".frames").set(static_cast<std::int64_t>(c.frames));
+    metrics->gauge(prefix + ".bytes")
+        .set(static_cast<std::int64_t>(c.payload_bytes));
+    metrics->gauge(prefix + ".contended")
+        .set(static_cast<std::int64_t>(c.contended_frames));
+    metrics->gauge(prefix + ".wait_us")
+        .set(static_cast<std::int64_t>(c.contention_wait_us));
+  }
+}
+
 void Fabric::set_default_link(LinkModel model) {
   std::lock_guard<std::mutex> lock(mu_);
   default_link_ = model;
@@ -91,6 +123,7 @@ std::shared_ptr<Connection> Fabric::connect(const std::string& from_host,
   std::shared_ptr<Acceptor> acceptor;
   std::shared_ptr<LinkGovernor> forward;
   std::shared_ptr<LinkGovernor> backward;
+  obs::MetricsRegistry* metrics = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = listeners_.find(to);
@@ -101,10 +134,11 @@ std::shared_ptr<Connection> Fabric::connect(const std::string& from_host,
     }
     forward = governor_for(from_host, to.host);
     backward = governor_for(to.host, from_host);
+    metrics = metrics_;
   }
   auto [client_end, server_end] = Connection::make_pair(
       std::move(forward), std::move(backward),
-      from_host + "->" + to.to_string());
+      from_host + "->" + to.to_string(), metrics);
   acceptor->enqueue(std::move(server_end));
   PARDIS_LOG_TRACE << "connect " << from_host << " -> " << to.to_string();
   return client_end;

@@ -77,6 +77,16 @@ class Fabric {
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
+  /// Registry receiving aggregate traffic counters ("net.frames",
+  /// "net.bytes") and link counters via collect_metrics().  Owned by the
+  /// Orb; must outlive the fabric.  Null disables registry feeding.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// Publishes every link governor's contention/arbitration counters into
+  /// the registry as gauges ("link.<from>-><to>.frames", ".bytes",
+  /// ".contended", ".wait_us").  Call at dump points, not on hot paths.
+  void collect_metrics();
+
   /// Link used between distinct hosts with no explicit configuration.
   void set_default_link(LinkModel model);
 
@@ -102,6 +112,7 @@ class Fabric {
   void unbind(const Address& address);
 
   std::mutex mu_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   LinkModel default_link_{};  // unlimited
   std::map<std::pair<std::string, std::string>, LinkModel> link_models_;
   std::map<std::pair<std::string, std::string>, std::shared_ptr<LinkGovernor>>

@@ -32,6 +32,8 @@ void precise_sleep_until(Clock::time_point deadline) {
 }
 
 void LinkGovernor::transmit(std::size_t payload_bytes, StreamPacer* pacer) {
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  payload_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
   if (model_.bandwidth_bps <= 0.0) return;
 
   // Propagation / per-frame latency: concurrent frames overlap here.
@@ -42,6 +44,7 @@ void LinkGovernor::transmit(std::size_t payload_bytes, StreamPacer* pacer) {
   std::size_t remaining = payload_bytes + model_.frame_overhead_bytes;
   const std::size_t chunk = std::max<std::size_t>(model_.chunk_bytes, 1);
   const bool stream_capped = pacer != nullptr && model_.per_stream_bps > 0.0;
+  bool first_chunk = true;
   while (remaining > 0) {
     const std::size_t this_chunk = std::min(remaining, chunk);
     remaining -= this_chunk;
@@ -55,6 +58,15 @@ void LinkGovernor::transmit(std::size_t payload_bytes, StreamPacer* pacer) {
       std::lock_guard<std::mutex> lock(mu_);
       const auto now = Clock::now();
       const auto start = std::max(now, next_free_);
+      if (first_chunk && next_free_ > now) {
+        // The link was mid-transmission for other senders when this frame
+        // arrived: arbitration delayed its admission.
+        contended_frames_.fetch_add(1, std::memory_order_relaxed);
+        contention_wait_us_.fetch_add(
+            static_cast<std::uint64_t>(to_us(next_free_ - now)),
+            std::memory_order_relaxed);
+      }
+      first_chunk = false;
       slot_end = start + chunk_time;
       next_free_ = slot_end;
     }

@@ -19,7 +19,9 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 
@@ -94,10 +96,31 @@ class LinkGovernor {
 
   const LinkModel& model() const noexcept { return model_; }
 
+  /// Contention/arbitration counters (always on; relaxed atomics).  A frame
+  /// counts as contended when its first chunk finds the link occupied by
+  /// other senders; `contention_wait_us` is the queueing delay those first
+  /// chunks suffered — the signal behind Table 2's exit-barrier analysis.
+  struct Counters {
+    std::uint64_t frames = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t contended_frames = 0;
+    std::uint64_t contention_wait_us = 0;
+  };
+  Counters counters() const noexcept {
+    return {frames_.load(std::memory_order_relaxed),
+            payload_bytes_.load(std::memory_order_relaxed),
+            contended_frames_.load(std::memory_order_relaxed),
+            contention_wait_us_.load(std::memory_order_relaxed)};
+  }
+
  private:
   LinkModel model_;
   std::mutex mu_;
   Clock::time_point next_free_{};  // virtual time: when the link frees up
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> payload_bytes_{0};
+  std::atomic<std::uint64_t> contended_frames_{0};
+  std::atomic<std::uint64_t> contention_wait_us_{0};
 };
 
 /// Sleeps with sub-millisecond accuracy (sleep_for for the bulk, then a

@@ -1,0 +1,83 @@
+#include "pardis/obs/metrics.hpp"
+
+#include <sstream>
+
+#include "pardis/common/error.hpp"
+
+namespace pardis::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.gauge || e.histogram) {
+    throw BAD_PARAM("metric '" + name + "' already exists with another kind");
+  }
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter || e.histogram) {
+    throw BAD_PARAM("metric '" + name + "' already exists with another kind");
+  }
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter || e.gauge) {
+    throw BAD_PARAM("metric '" + name + "' already exists with another kind");
+  }
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>();
+  return *e.histogram;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    Sample s;
+    s.name = name;
+    if (e.counter) {
+      s.kind = Sample::Kind::kCounter;
+      s.count = e.counter->value();
+    } else if (e.gauge) {
+      s.kind = Sample::Kind::kGauge;
+      s.level = e.gauge->value();
+    } else {
+      s.kind = Sample::Kind::kHistogram;
+      s.stat = e.histogram->snapshot();
+      s.count = s.stat.count();
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::dump() const {
+  std::ostringstream os;
+  for (const Sample& s : snapshot()) {
+    switch (s.kind) {
+      case Sample::Kind::kCounter:
+        os << s.name << " " << s.count << "\n";
+        break;
+      case Sample::Kind::kGauge:
+        os << s.name << " " << s.level << "\n";
+        break;
+      case Sample::Kind::kHistogram:
+        os << s.name << " n=" << s.stat.count()
+           << " mean=" << format_fixed(s.stat.mean(), 3)
+           << " min=" << format_fixed(s.stat.min(), 3)
+           << " max=" << format_fixed(s.stat.max(), 3) << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pardis::obs

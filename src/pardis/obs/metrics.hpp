@@ -1,0 +1,112 @@
+// Always-on, lock-cheap metrics (DESIGN-level goal: give every layer a
+// measurement substrate that is safe to leave enabled in production).
+//
+// Three instrument kinds, mirroring what the paper's evaluation needs:
+//
+//   * Counter   — monotonically increasing event/byte counts (atomic add);
+//   * Gauge     — last-written level, e.g. active bindings (atomic store);
+//   * Histogram — value distributions (mutex + RunningStat), used for the
+//                 per-phase invocation latencies behind Tables 1-2.
+//
+// A MetricsRegistry owns named instruments; instrument references returned
+// by counter()/gauge()/histogram() stay valid for the registry's lifetime,
+// so hot paths resolve a name once and then touch only an atomic.  Each Orb
+// owns one registry (per-broker isolation); nothing here is process-global.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pardis/common/stats.hpp"
+
+namespace pardis::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Thread-safe wrapper over RunningStat.  Updates are mutex-guarded; the
+/// expected feed rate is per-invocation (ms scale), not per-frame.
+class Histogram {
+ public:
+  void add(double x) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stat_.add(x);
+  }
+  RunningStat snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stat_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  RunningStat stat_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named instrument.  Returned references remain
+  /// valid until the registry is destroyed.  A name identifies exactly one
+  /// instrument kind; reusing it with a different kind throws BAD_PARAM.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// One materialized instrument for dumps/tests.
+  struct Sample {
+    std::string name;
+    enum class Kind { kCounter, kGauge, kHistogram } kind;
+    std::uint64_t count = 0;   // counter value / histogram sample count
+    std::int64_t level = 0;    // gauge value
+    RunningStat stat;          // histogram distribution
+  };
+
+  /// Snapshot of every instrument, sorted by name.
+  std::vector<Sample> snapshot() const;
+
+  /// Human-readable multi-line dump ("name value" / "name n mean min max").
+  std::string dump() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace pardis::obs

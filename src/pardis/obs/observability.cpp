@@ -1,0 +1,17 @@
+#include "pardis/obs/observability.hpp"
+
+#include "pardis/common/config.hpp"
+
+namespace pardis::obs {
+
+std::string trace_path_from_env() {
+  return env_string("PARDIS_TRACE").value_or("");
+}
+
+Observability::Observability() : tracer_(&Tracer::global()) {
+  if (!trace_path_from_env().empty()) {
+    tracer_->enable();
+  }
+}
+
+}  // namespace pardis::obs

@@ -1,0 +1,39 @@
+// Per-ORB observability bundle: a MetricsRegistry plus the tracer wired
+// through every layer the broker touches (net connections and links, the
+// transfer engines, the service loop).
+//
+// Environment knobs (see docs/configuration.md):
+//   PARDIS_TRACE         path; when set, span tracing starts enabled and
+//                        bench binaries write the chrome-trace JSON there
+//   PARDIS_METRICS_DUMP  1 to print the metrics registry to stderr when a
+//                        scenario winds down
+
+#pragma once
+
+#include <string>
+
+#include "pardis/obs/metrics.hpp"
+#include "pardis/obs/trace.hpp"
+
+namespace pardis::obs {
+
+/// The PARDIS_TRACE path; empty when unset.
+std::string trace_path_from_env();
+
+class Observability {
+ public:
+  /// Points at the process-global tracer and enables it when PARDIS_TRACE
+  /// is set, so any application traced via the environment needs no code
+  /// changes.
+  Observability();
+
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  Tracer& tracer() noexcept { return *tracer_; }
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer* tracer_;
+};
+
+}  // namespace pardis::obs

@@ -1,0 +1,118 @@
+#include "pardis/obs/sink.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "pardis/common/log.hpp"
+#include "pardis/common/stats.hpp"
+
+namespace pardis::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void TraceSink::add_events(std::vector<TraceEvent> events) {
+  events_.reserve(events_.size() + events.size());
+  for (TraceEvent& e : events) events_.push_back(std::move(e));
+}
+
+void TraceSink::set_process_name(std::uint32_t pid, std::string name) {
+  process_names_[pid] = std::move(name);
+}
+
+void TraceSink::set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                                std::string name) {
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+void TraceSink::name_scenario_processes() {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (const TraceEvent& e : events_) seen.insert({e.pid, e.tid});
+  for (const auto& [pid, tid] : seen) {
+    if (process_names_.find(pid) == process_names_.end()) {
+      if (pid == kClientPid) {
+        process_names_[pid] = "client app";
+      } else if (pid == kServerPid) {
+        process_names_[pid] = "server app";
+      }
+    }
+    if (thread_names_.find({pid, tid}) == thread_names_.end()) {
+      thread_names_[{pid, tid}] = "rank " + std::to_string(tid);
+    }
+  }
+}
+
+namespace {
+
+void write_metadata(std::ostream& os, const char* name, std::uint32_t pid,
+                    const std::uint32_t* tid, const std::string& value,
+                    bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"name\":\"" << name << "\",\"ph\":\"M\",\"pid\":" << pid;
+  if (tid != nullptr) os << ",\"tid\":" << *tid;
+  os << ",\"args\":{\"name\":\"" << json_escape(value) << "\"}}";
+}
+
+}  // namespace
+
+void TraceSink::write(std::ostream& os) const {
+  os << "{\n\"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& [pid, name] : process_names_) {
+    write_metadata(os, "process_name", pid, nullptr, name, first);
+  }
+  for (const auto& [key, name] : thread_names_) {
+    write_metadata(os, "thread_name", key.first, &key.second, name, first);
+  }
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.cat) << "\",\"ph\":\"X\",\"pid\":" << e.pid
+       << ",\"tid\":" << e.tid << ",\"ts\":" << format_fixed(e.ts_us, 3)
+       << ",\"dur\":" << format_fixed(e.dur_us, 3) << "}";
+  }
+  os << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+bool TraceSink::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    PARDIS_LOG_ERROR << "trace sink: cannot open " << path;
+    return false;
+  }
+  write(out);
+  out.flush();
+  if (!out) {
+    PARDIS_LOG_ERROR << "trace sink: write failed: " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pardis::obs

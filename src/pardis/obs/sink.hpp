@@ -1,0 +1,54 @@
+// Trace export in the chrome://tracing (Trace Event Format) JSON shape.
+//
+// A TraceSink accumulates events — typically one Tracer snapshot per
+// scenario — plus process/thread display names, and serializes everything
+// as {"traceEvents": [...]} with "X" (complete) events and "M" (metadata)
+// events.  The output loads directly in chrome://tracing and Perfetto.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "pardis/obs/trace.hpp"
+
+namespace pardis::obs {
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+class TraceSink {
+ public:
+  void add_events(std::vector<TraceEvent> events);
+  /// Convenience: appends a snapshot of `tracer`.
+  void add(const Tracer& tracer) { add_events(tracer.snapshot()); }
+
+  void set_process_name(std::uint32_t pid, std::string name);
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                       std::string name);
+
+  /// Names the standard scenario processes ("client app"/"server app") and
+  /// their ranks for every (pid, tid) present in the accumulated events.
+  void name_scenario_processes();
+
+  std::size_t event_count() const noexcept { return events_.size(); }
+
+  void write(std::ostream& os) const;
+
+  /// Writes to `path`; returns false (and logs) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::map<std::uint32_t, std::string> process_names_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string>
+      thread_names_;
+};
+
+}  // namespace pardis::obs

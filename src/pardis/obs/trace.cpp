@@ -1,0 +1,40 @@
+#include "pardis/obs/trace.hpp"
+
+namespace pardis::obs {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::record(std::string name, std::string cat, std::uint32_t pid,
+                    std::uint32_t tid, Clock::time_point begin,
+                    Clock::time_point end) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.cat = std::move(cat);
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = to_us(begin - origin_);
+  event.dur_us = to_us(end - begin);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+}  // namespace pardis::obs

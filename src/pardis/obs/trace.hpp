@@ -1,0 +1,108 @@
+// Span-based invocation tracer.
+//
+// One span covers one timed region on one rank: the whole invocation
+// ("invoke consume"), or one Phase of it (gather, pack, send, recv, unpack,
+// scatter, barrier).  Spans carry the chrome://tracing coordinates —
+// (pid, tid, start, duration) — where pid identifies the application
+// (client vs. server, matching the paper's two machines) and tid the
+// computing-thread rank, so a captured timeline shows the per-rank phase
+// structure of Tables 1-2 directly.
+//
+// Cost discipline: when tracing is disabled every instrumentation point is
+// a single relaxed atomic load (Tracer::enabled()); nothing is allocated
+// and no clock is read.  Enabled recording appends to a mutex-guarded
+// buffer; export happens after the run through TraceSink.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pardis/common/timing.hpp"
+
+namespace pardis::obs {
+
+/// Chrome-trace "process" ids for the two applications of a scenario.
+inline constexpr std::uint32_t kClientPid = 1;
+inline constexpr std::uint32_t kServerPid = 2;
+
+struct TraceEvent {
+  std::string name;   // e.g. "invoke consume", "send"
+  std::string cat;    // e.g. "invoke", "phase", "link"
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;   // start, microseconds since the tracer's origin
+  double dur_us = 0.0;  // duration, microseconds
+};
+
+class Tracer {
+ public:
+  Tracer() : origin_(Clock::now()) {}
+
+  /// The process-wide tracer.  Orb instances point at it by default so one
+  /// bench process accumulates a single timeline across scenarios.
+  static Tracer& global();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void enable(bool on = true) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Appends one complete span.  Callers should gate on enabled() so the
+  /// disabled path stays allocation-free; record() itself also drops the
+  /// event when disabled (the flag may flip between check and call).
+  void record(std::string name, std::string cat, std::uint32_t pid,
+              std::uint32_t tid, Clock::time_point begin,
+              Clock::time_point end);
+
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  Clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: opens at construction, records into `tracer` at destruction.
+/// A default-constructed or disabled-tracer guard does nothing.
+class SpanGuard {
+ public:
+  SpanGuard() = default;
+  SpanGuard(Tracer* tracer, std::string name, std::string cat,
+            std::uint32_t pid, std::uint32_t tid)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(std::move(name)),
+        cat_(std::move(cat)),
+        pid_(pid),
+        tid_(tid),
+        begin_(tracer_ != nullptr ? Clock::now() : Clock::time_point{}) {}
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  ~SpanGuard() {
+    if (tracer_ != nullptr) {
+      tracer_->record(std::move(name_), std::move(cat_), pid_, tid_, begin_,
+                      Clock::now());
+    }
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::string name_;
+  std::string cat_;
+  std::uint32_t pid_ = 0;
+  std::uint32_t tid_ = 0;
+  Clock::time_point begin_{};
+};
+
+}  // namespace pardis::obs

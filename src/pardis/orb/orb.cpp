@@ -4,6 +4,7 @@ namespace pardis::orb {
 
 Orb::Orb(const OrbConfig& config) : config_(config) {
   fabric_.set_default_link(config.default_link);
+  fabric_.set_metrics(&obs_.metrics());
 }
 
 std::shared_ptr<Orb> Orb::create(const OrbConfig& config) {

@@ -16,6 +16,7 @@
 
 #include "pardis/common/config.hpp"
 #include "pardis/net/fabric.hpp"
+#include "pardis/obs/observability.hpp"
 #include "pardis/orb/exceptions.hpp"
 #include "pardis/orb/naming.hpp"
 #include "pardis/orb/protocol.hpp"
@@ -42,12 +43,26 @@ class Orb {
   }
   const OrbConfig& config() const noexcept { return config_; }
 
+  /// This broker's observability state: the metrics registry every layer
+  /// feeds and the invocation tracer.
+  obs::Observability& obs() noexcept { return obs_; }
+  obs::MetricsRegistry& metrics() noexcept { return obs_.metrics(); }
+  obs::Tracer& tracer() noexcept { return obs_.tracer(); }
+
+  /// Pulls layer-local counters (per-link traffic/contention) into the
+  /// registry and returns it, ready for dumping.
+  obs::MetricsRegistry& collect_metrics() {
+    fabric_.collect_metrics();
+    return obs_.metrics();
+  }
+
   cdr::ULong next_binding_id() { return ++binding_ids_; }
 
  private:
   explicit Orb(const OrbConfig& config);
 
   OrbConfig config_;
+  obs::Observability obs_;
   net::Fabric fabric_;
   NameService naming_;
   std::atomic<cdr::ULong> binding_ids_{0};

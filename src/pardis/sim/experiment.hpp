@@ -17,10 +17,14 @@
 
 #include <array>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "pardis/common/config.hpp"
 #include "pardis/common/stats.hpp"
+#include "pardis/obs/observability.hpp"
+#include "pardis/obs/sink.hpp"
 #include "pardis/sim/scenario.hpp"
 #include "pardis/transfer/spmd_client.hpp"
 #include "pardis/transfer/spmd_server.hpp"
@@ -119,8 +123,9 @@ inline BenchResult run_config(const BenchConfig& cfg) {
           enc.put_long(rep);
           binding.invoke("consume", enc.take(), {&arg}, opts);
           if (rep < 0) continue;  // warm-up
-          const auto client_now =
-              transfer::reduce_stats(comm, binding.last_stats());
+          const auto client_now = transfer::reduce_stats(
+              comm, binding.last_stats(), &scenario.orb().metrics(),
+              "client.phase.");
           for (std::size_t i = 0; i < kPhaseCount; ++i) {
             client_sum[i] += client_now[i];
             server_sum[i] += binding.last_server_stats().size() > i
@@ -139,6 +144,42 @@ inline BenchResult run_config(const BenchConfig& cfg) {
       "sink");
   return result;
 }
+
+/// Bench-binary tracing session (README "Observability").  `--trace
+/// out.json` on the command line, or PARDIS_TRACE=out.json in the
+/// environment, turns span tracing on for the whole run; the destructor
+/// writes the accumulated timeline as chrome://tracing JSON.  Without a
+/// path this is inert and the binaries behave exactly as before.
+class TraceSession {
+ public:
+  TraceSession(int argc, char** argv)
+      : path_(obs::trace_path_from_env()) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace") == 0) path_ = argv[i + 1];
+    }
+    if (!path_.empty()) obs::Tracer::global().enable();
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  ~TraceSession() {
+    if (path_.empty()) return;
+    obs::TraceSink sink;
+    sink.add(obs::Tracer::global());
+    sink.name_scenario_processes();
+    if (sink.write_file(path_)) {
+      std::printf(
+          "trace: %zu spans -> %s (load in chrome://tracing or Perfetto)\n",
+          sink.event_count(), path_.c_str());
+    }
+  }
+
+  bool active() const noexcept { return !path_.empty(); }
+
+ private:
+  std::string path_;
+};
 
 inline void print_banner(const char* title, const BenchConfig& cfg) {
   std::printf("%s\n", title);

@@ -1,13 +1,19 @@
 #include "pardis/sim/scenario.hpp"
 
+#include <cstdio>
 #include <exception>
 
+#include "pardis/common/config.hpp"
 #include "pardis/common/log.hpp"
 #include "pardis/transfer/spmd_client.hpp"
 
 namespace pardis::sim {
 
-Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)),
+      // Read (and validate) the dump flag up front so a malformed value
+      // fails before the run, not at wind-down.
+      metrics_dump_(env_bool("PARDIS_METRICS_DUMP", false)) {
   orb_ = orb::Orb::create(config_.orb);
   orb_->fabric().set_link(config_.server.host, config_.client.host,
                           config_.link);
@@ -59,6 +65,13 @@ void Scenario::run_impl(const Body& server_body, const Body& client_body,
     server_team.join();
   } catch (...) {
     server_error = std::current_exception();
+  }
+
+  // Operational visibility at wind-down (docs/configuration.md).
+  if (metrics_dump_) {
+    std::fprintf(stderr, "--- metrics (%s <-> %s) ---\n%s",
+                 config_.client.host.c_str(), config_.server.host.c_str(),
+                 orb_->collect_metrics().dump().c_str());
   }
 
   if (client_error) std::rethrow_exception(client_error);

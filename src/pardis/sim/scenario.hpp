@@ -57,6 +57,7 @@ class Scenario {
                 const std::string& shutdown_object);
 
   ScenarioConfig config_;
+  bool metrics_dump_;
   std::shared_ptr<orb::Orb> orb_;
 };
 

@@ -5,6 +5,7 @@
 #include "pardis/common/config.hpp"
 #include "pardis/common/log.hpp"
 #include "pardis/dseq/plan.hpp"
+#include "pardis/obs/phase_trace.hpp"
 #include "pardis/orb/exceptions.hpp"
 #include "pardis/rts/collectives.hpp"
 
@@ -181,6 +182,10 @@ pardis::Bytes SpmdBinding::invoke(const std::string& operation,
                                   const CallOptions& opts) {
   stats_.reset();
   const auto t0 = Clock::now();
+  orb_->metrics().counter("client.invocations").add();
+  const obs::SpanGuard span(&orb_->tracer(), "invoke " + operation, "invoke",
+                            obs::kClientPid,
+                            static_cast<std::uint32_t>(comm_->rank()));
 
   // Client threads synchronize on making the invocation (paper §3.2).
   comm_->barrier();
@@ -193,11 +198,22 @@ pardis::Bytes SpmdBinding::invoke(const std::string& operation,
         make_request_descriptor(static_cast<cdr::ULong>(i), *dseq_args[i]));
   }
 
-  send_phase(operation, request_id, scalar_args, dseq_args, descriptors,
-             opts);
   pardis::Bytes results;
-  if (opts.response_expected) {
-    results = receive_phase(request_id, dseq_args, descriptors, opts);
+  try {
+    send_phase(operation, request_id, scalar_args, dseq_args, descriptors,
+               opts);
+    if (opts.response_expected) {
+      results = receive_phase(request_id, dseq_args, descriptors, opts);
+    }
+  } catch (const SystemException& e) {
+    orb_->metrics().counter("client.errors").add();
+    if (e.kind() == "MARSHAL") {
+      orb_->metrics().counter("client.marshal_errors").add();
+    }
+    throw;
+  } catch (...) {
+    orb_->metrics().counter("client.errors").add();
+    throw;
   }
 
   stats_.timer.time(Phase::kBarrier, [&] { comm_->barrier(); });
@@ -212,6 +228,7 @@ orb::Future<pardis::Bytes> SpmdBinding::invoke_nb(
     std::vector<DSeqArgBase*> dseq_args, const CallOptions& opts) {
   stats_.reset();
   const auto t0 = Clock::now();
+  orb_->metrics().counter("client.invocations").add();
   comm_->barrier();
 
   const cdr::ULong request_id = ++next_request_;
@@ -247,7 +264,8 @@ void SpmdBinding::send_phase(
     const std::vector<orb::DSeqDescriptor>& descriptors,
     const CallOptions& opts) {
   const int rank = comm_->rank();
-  auto& timer = stats_.timer;
+  obs::TracedTimer timer(stats_.timer, &orb_->tracer(), obs::kClientPid,
+                         static_cast<std::uint32_t>(rank));
 
   orb::RequestHeader header;
   header.request_id = request_id;
@@ -348,7 +366,8 @@ pardis::Bytes SpmdBinding::receive_phase(
     const std::vector<orb::DSeqDescriptor>& descriptors,
     const CallOptions& opts) {
   const int rank = comm_->rank();
-  auto& timer = stats_.timer;
+  obs::TracedTimer timer(stats_.timer, &orb_->tracer(), obs::kClientPid,
+                         static_cast<std::uint32_t>(rank));
 
   // Rank 0 receives the reply header; everyone shares it.
   SharedReply reply;

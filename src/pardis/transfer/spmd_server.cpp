@@ -5,6 +5,7 @@
 
 #include "pardis/common/log.hpp"
 #include "pardis/dseq/plan.hpp"
+#include "pardis/obs/phase_trace.hpp"
 #include "pardis/rts/collectives.hpp"
 
 namespace pardis::transfer {
@@ -348,6 +349,7 @@ void SpmdServer::handle_bind(const Event& event) {
     });
   }
   if (known) {
+    orb_->metrics().counter("server.binds").add();
     bindings_[req.binding_id] = std::move(bs);
     PARDIS_LOG_DEBUG << "rank " << comm_->rank() << " bound client ("
                      << req.client_ranks << " ranks) to '" << req.object_key
@@ -360,10 +362,12 @@ void SpmdServer::handle_bind(const Event& event) {
 void SpmdServer::handle_request(const Event& event) {
   PARDIS_LOG_DEBUG << "rank " << comm_->rank() << " handle_request begin";
   stats_.reset();
-  auto& timer = stats_.timer;
   const auto t0 = Clock::now();
   const int rank = comm_->rank();
   const int nranks = comm_->size();
+  orb_->metrics().counter("server.requests").add();
+  obs::TracedTimer timer(stats_.timer, &orb_->tracer(), obs::kServerPid,
+                         static_cast<std::uint32_t>(rank));
 
   // The event wait on the communicating thread overlaps the client's
   // request transmission; charge it as receive time (§3.2's t_r starts
@@ -396,6 +400,12 @@ void SpmdServer::handle_request(const Event& event) {
       header = orb::RequestHeader::decode(dec);
     }
   }
+
+  // The request span opens once the operation is known; the preceding
+  // event-wait is already charged (and traced) as receive time.
+  const obs::SpanGuard span(&orb_->tracer(), "request " + header.operation,
+                            "request", obs::kServerPid,
+                            static_cast<std::uint32_t>(rank));
 
   const auto binding_it = bindings_.find(header.binding_id);
   if (binding_it == bindings_.end()) {
@@ -517,17 +527,24 @@ void SpmdServer::handle_request(const Event& event) {
     my_status = orb::ReplyStatus::kUserException;
     my_payload = orb::marshal_user_exception(
         e, [&](cdr::Encoder& enc) { e.encode_body(enc); });
+    orb_->metrics().counter("server.user_exceptions").add();
   } catch (const UserException& e) {
     my_status = orb::ReplyStatus::kUserException;
     my_payload = orb::marshal_user_exception(e, nullptr);
+    orb_->metrics().counter("server.user_exceptions").add();
   } catch (const SystemException& e) {
     my_status = orb::ReplyStatus::kSystemException;
     my_payload = orb::marshal_system_exception(e);
+    orb_->metrics().counter("server.system_exceptions").add();
+    if (e.kind() == "MARSHAL") {
+      orb_->metrics().counter("server.marshal_errors").add();
+    }
   } catch (const std::exception& e) {
     my_status = orb::ReplyStatus::kSystemException;
     my_payload = orb::marshal_system_exception(
         INTERNAL(std::string("servant failure: ") + e.what(),
                  Completion::kMaybe));
+    orb_->metrics().counter("server.system_exceptions").add();
   }
 
   // The computing threads synchronize after the invocation (§3.2/§3.3);
@@ -577,7 +594,8 @@ void SpmdServer::handle_request(const Event& event) {
   // kTotal (the reply's own send time cannot be part of its content).
   InvocationStats snapshot = stats_;
   snapshot.timer.add(Phase::kTotal, Clock::now() - t0);
-  const auto stats_now = reduce_stats(*comm_, snapshot);
+  const auto stats_now =
+      reduce_stats(*comm_, snapshot, &orb_->metrics(), "server.phase.");
 
   if (header.method == orb::TransferMethod::kCentralized) {
     // Gather result data at the communicating thread and piggyback it on

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <array>
+#include <string>
 
 #include "pardis/common/timing.hpp"
+#include "pardis/obs/metrics.hpp"
 #include "pardis/rts/collectives.hpp"
 #include "pardis/rts/communicator.hpp"
 
@@ -30,8 +32,14 @@ struct InvocationStats {
 /// ranks for every phase except kBarrier, which is taken from rank 0 (the
 /// communicating thread), matching the paper's reporting convention.
 /// Every rank receives the reduced array.
+///
+/// When `metrics` is given, rank 0 also feeds each reduced phase time into
+/// the histogram `<prefix><phase>` (e.g. "server.phase.send"), so always-on
+/// deployments accumulate the Table 1/2 distributions invocation by
+/// invocation.
 inline std::array<double, kPhaseCount> reduce_stats(
-    rts::Communicator& comm, const InvocationStats& stats) {
+    rts::Communicator& comm, const InvocationStats& stats,
+    obs::MetricsRegistry* metrics = nullptr, const char* prefix = "") {
   std::array<double, kPhaseCount> out{};
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
     const Phase p = static_cast<Phase>(i);
@@ -41,6 +49,13 @@ inline std::array<double, kPhaseCount> reduce_stats(
     } else {
       out[i] = rts::allreduce_value(
           comm, mine, [](double a, double b) { return a > b ? a : b; });
+    }
+  }
+  if (metrics != nullptr && comm.rank() == 0) {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      metrics->histogram(std::string(prefix) +
+                         to_string(static_cast<Phase>(i)))
+          .add(out[i]);
     }
   }
   return out;

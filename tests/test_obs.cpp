@@ -1,0 +1,482 @@
+// Unit and integration tests for pardis/obs: RunningStat merging (the
+// substrate under Histogram), MetricsRegistry under concurrency, the span
+// tracer, and chrome://tracing JSON export well-formedness.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pardis/common/error.hpp"
+#include "pardis/common/stats.hpp"
+#include "pardis/obs/metrics.hpp"
+#include "pardis/obs/phase_trace.hpp"
+#include "pardis/obs/sink.hpp"
+#include "pardis/obs/trace.hpp"
+#include "pardis/sim/experiment.hpp"
+
+namespace pardis {
+namespace {
+
+// ---- minimal JSON validator ------------------------------------------------
+// Recursive-descent acceptance check, enough to assert the trace export is
+// syntactically valid JSON without depending on an external parser.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default:  return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonChecker, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonChecker(R"({"a":[1,-2.5e3,"x\n",true,null]})").valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":1)").valid());
+  EXPECT_FALSE(JsonChecker("{\"a\":\"\n\"}").valid());  // raw newline
+  EXPECT_FALSE(JsonChecker(R"({"a":1} trailing)").valid());
+}
+
+// ---- RunningStat merge -----------------------------------------------------
+
+TEST(RunningStat, MergeMatchesSingleStream) {
+  std::mt19937 rng(42);
+  std::normal_distribution<double> dist(5.0, 2.0);
+
+  RunningStat whole;
+  RunningStat parts[3];
+  for (int i = 0; i < 999; ++i) {
+    const double x = dist(rng);
+    whole.add(x);
+    parts[i % 3].add(x);
+  }
+  RunningStat merged;
+  for (auto& p : parts) merged += p;
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmptyIsIdentity) {
+  RunningStat a;
+  a.add(1.0);
+  a.add(3.0);
+
+  RunningStat b = a;
+  b += RunningStat{};  // right identity
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+
+  RunningStat c;
+  c += a;  // left identity
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(c.min(), 1.0);
+  EXPECT_DOUBLE_EQ(c.max(), 3.0);
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+TEST(MetricsRegistry, ConcurrentCounterUpdates) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10'000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Shared instrument plus a per-thread one: exercises both the atomic
+      // hot path and concurrent name creation.
+      auto& shared = reg.counter("shared");
+      auto& own = reg.counter("own." + std::to_string(t));
+      for (int i = 0; i < kIters; ++i) {
+        shared.add();
+        own.add(2);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(reg.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter("own." + std::to_string(t)).value(), 2u * kIters);
+  }
+}
+
+TEST(MetricsRegistry, ConcurrentHistogramUpdates) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2'000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      auto& h = reg.histogram("latency");
+      for (int i = 0; i < kIters; ++i) h.add(1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const RunningStat s = reg.histogram("latency").snapshot();
+  EXPECT_EQ(s.count(), static_cast<std::size_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1.0);
+}
+
+TEST(MetricsRegistry, KindConflictThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), BAD_PARAM);
+  EXPECT_THROW(reg.histogram("x"), BAD_PARAM);
+  EXPECT_NO_THROW(reg.counter("x"));  // same kind is a lookup
+}
+
+TEST(MetricsRegistry, SnapshotAndDump) {
+  obs::MetricsRegistry reg;
+  reg.counter("b.count").add(7);
+  reg.gauge("a.level").set(-3);
+  reg.histogram("c.dist").add(2.5);
+
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a.level");  // sorted by name
+  EXPECT_EQ(samples[0].level, -3);
+  EXPECT_EQ(samples[1].name, "b.count");
+  EXPECT_EQ(samples[1].count, 7u);
+  EXPECT_EQ(samples[2].name, "c.dist");
+  EXPECT_DOUBLE_EQ(samples[2].stat.mean(), 2.5);
+
+  const std::string dump = reg.dump();
+  EXPECT_NE(dump.find("b.count"), std::string::npos);
+  EXPECT_NE(dump.find("7"), std::string::npos);
+}
+
+// ---- Tracer / SpanGuard / TracedTimer --------------------------------------
+
+TEST(Tracer, DisabledRecordsNothing) {
+  obs::Tracer tracer;  // disabled by default
+  const auto t0 = Clock::now();
+  tracer.record("x", "c", 1, 0, t0, t0);
+  { const obs::SpanGuard span(&tracer, "y", "c", 1, 0); }
+  { const obs::SpanGuard inactive; }
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Tracer, SpanGuardRecordsCompleteSpan) {
+  obs::Tracer tracer;
+  tracer.enable();
+  { const obs::SpanGuard span(&tracer, "op", "invoke", obs::kClientPid, 3); }
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "op");
+  EXPECT_EQ(events[0].cat, "invoke");
+  EXPECT_EQ(events[0].pid, obs::kClientPid);
+  EXPECT_EQ(events[0].tid, 3u);
+  EXPECT_GE(events[0].ts_us, 0.0);
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST(Tracer, TracedTimerAccumulatesAndEmits) {
+  obs::Tracer tracer;
+  tracer.enable();
+  PhaseTimer timer;
+  obs::TracedTimer traced(timer, &tracer, obs::kServerPid, 1);
+
+  const int result = traced.time(Phase::kPack, [] { return 41 + 1; });
+  EXPECT_EQ(result, 42);
+  traced.time(Phase::kSend, [] {});
+
+  EXPECT_GE(timer.get(Phase::kPack).count(), 0);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "pack");
+  EXPECT_EQ(events[1].name, "send");
+  EXPECT_EQ(events[0].cat, "phase");
+  EXPECT_EQ(events[0].pid, obs::kServerPid);
+
+  // Disabled tracer: still accumulates, no spans.
+  tracer.enable(false);
+  tracer.clear();
+  traced.time(Phase::kRecv, [] {});
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+// ---- JSON export -----------------------------------------------------------
+
+TEST(TraceSink, JsonEscape) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(obs::json_escape(std::string("a\1b", 3)), "a\\u0001b");
+}
+
+TEST(TraceSink, WritesWellFormedJson) {
+  obs::Tracer tracer;
+  tracer.enable();
+  // Hostile span names: must survive escaping.
+  { const obs::SpanGuard s(&tracer, "invoke \"evil\"\n\\", "invoke", 1, 0); }
+  { const obs::SpanGuard s(&tracer, "send", "phase", 2, 1); }
+
+  obs::TraceSink sink;
+  sink.add(tracer);
+  sink.name_scenario_processes();
+
+  std::ostringstream os;
+  sink.write(os);
+  const std::string json = os.str();
+
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("client app"), std::string::npos);
+  EXPECT_NE(json.find("server app"), std::string::npos);
+}
+
+TEST(TraceSink, EmptySinkStillValidJson) {
+  obs::TraceSink sink;
+  std::ostringstream os;
+  sink.write(os);
+  EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+}
+
+// ---- end-to-end: traced invocation through the full stack ------------------
+
+TEST(ObsIntegration, ScenarioEmitsPhaseSpansForBothApps) {
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+
+  bench::BenchConfig cfg;
+  cfg.client_ranks = 2;
+  cfg.server_ranks = 2;
+  cfg.seqlen = 1024;
+  cfg.reps = 1;
+  cfg.method = orb::TransferMethod::kMultiPort;
+  cfg.link = net::LinkModel::unlimited();
+  bench::run_config(cfg);
+
+  tracer.enable(false);
+  const auto events = tracer.snapshot();
+  tracer.clear();
+
+  ASSERT_FALSE(events.empty());
+  bool client_invoke = false, server_request = false;
+  bool client_send = false, server_unpack = false;
+  std::uint32_t max_client_tid = 0;
+  for (const auto& e : events) {
+    if (e.pid == obs::kClientPid) {
+      max_client_tid = std::max(max_client_tid, e.tid);
+      if (e.cat == "invoke") client_invoke = true;
+      if (e.name == "send") client_send = true;
+    } else if (e.pid == obs::kServerPid) {
+      if (e.cat == "request") server_request = true;
+      if (e.name == "unpack") server_unpack = true;
+    }
+  }
+  EXPECT_TRUE(client_invoke);
+  EXPECT_TRUE(server_request);
+  EXPECT_TRUE(client_send);
+  EXPECT_TRUE(server_unpack);
+  EXPECT_EQ(max_client_tid, 1u);  // both client ranks produced spans
+
+  // The exported file is what chrome://tracing loads; check it end to end.
+  obs::TraceSink sink;
+  sink.add_events(events);
+  sink.name_scenario_processes();
+  const std::string path = "obs_test.trace.json";
+  ASSERT_TRUE(sink.write_file(path));
+  std::ostringstream os;
+  sink.write(os);
+  EXPECT_TRUE(JsonChecker(os.str()).valid());
+  std::remove(path.c_str());
+}
+
+TEST(ObsIntegration, ScenarioPopulatesMetrics) {
+  bench::BenchConfig cfg;
+  cfg.client_ranks = 2;
+  cfg.server_ranks = 1;
+  cfg.seqlen = 512;
+  cfg.reps = 2;
+  cfg.method = orb::TransferMethod::kCentralized;
+  cfg.link = net::LinkModel::unlimited();
+
+  sim::ScenarioConfig scfg;
+  scfg.server.nranks = cfg.server_ranks;
+  scfg.client.nranks = cfg.client_ranks;
+  scfg.link = cfg.link;
+  sim::Scenario scenario(scfg);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        transfer::SpmdServer server(scenario.orb(), comm, scfg.server.host);
+        bench::SinkServant servant;
+        server.activate("sink", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        auto binding = transfer::SpmdBinding::bind(
+            scenario.orb(), comm, scfg.client.host, "sink",
+            "IDL:bench/sink:1.0");
+        dseq::DSequence<double> seq(comm, cfg.seqlen);
+        transfer::CallOptions opts;
+        opts.method = cfg.method;
+        for (int rep = 0; rep < cfg.reps; ++rep) {
+          transfer::TypedDSeqArg<double> arg(seq, orb::ArgDir::kIn);
+          cdr::Encoder enc;
+          enc.put_long(rep);
+          binding.invoke("consume", enc.take(), {&arg}, opts);
+          transfer::reduce_stats(comm, binding.last_stats(),
+                                 &scenario.orb().metrics(), "client.phase.");
+        }
+        binding.unbind();
+      },
+      "sink");
+
+  auto& m = scenario.orb().collect_metrics();
+  // +1: the shutdown message is also an invocation.
+  EXPECT_GE(m.counter("client.invocations").value(),
+            static_cast<std::uint64_t>(cfg.reps));
+  EXPECT_GE(m.counter("server.requests").value(),
+            static_cast<std::uint64_t>(cfg.reps));
+  EXPECT_GE(m.counter("server.binds").value(), 1u);
+  EXPECT_GT(m.counter("net.frames").value(), 0u);
+  EXPECT_GT(m.counter("net.bytes").value(), 0u);
+  EXPECT_EQ(m.histogram("client.phase.send").snapshot().count(),
+            static_cast<std::size_t>(cfg.reps));
+  EXPECT_EQ(m.histogram("server.phase.total").snapshot().count(),
+            static_cast<std::size_t>(cfg.reps));
+
+  // The fabric publishes per-link gauges on collect_metrics().
+  bool link_gauge = false;
+  for (const auto& s : m.snapshot()) {
+    if (s.name.rfind("link.", 0) == 0) link_gauge = true;
+  }
+  EXPECT_TRUE(link_gauge);
+}
+
+}  // namespace
+}  // namespace pardis

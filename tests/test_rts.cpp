@@ -298,7 +298,9 @@ TEST_P(Collectives, ReduceAndAllreduce) {
   Team team("t", p);
   team.run([&](Communicator& comm) {
     const int sum = reduce_value(comm, comm.rank() + 1, 0);
-    if (comm.rank() == 0) EXPECT_EQ(sum, p * (p + 1) / 2);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(sum, p * (p + 1) / 2);
+    }
     const int total = allreduce_value(comm, comm.rank() + 1);
     EXPECT_EQ(total, p * (p + 1) / 2);
     const int mx = allreduce_value(comm, comm.rank(),

@@ -34,7 +34,7 @@ BenchConfig base_config() {
 TEST(Shape, MultiPortNeverLosesToCentralized) {
   // Paper §3.4: "we have not found a case in which it would underperform
   // the centralized method" (large-argument regime).
-  for (const auto [k, p] : {std::pair{2, 2}, std::pair{4, 8}}) {
+  for (const auto& [k, p] : {std::pair{2, 2}, std::pair{4, 8}}) {
     BenchConfig cfg = base_config();
     cfg.client_ranks = k;
     cfg.server_ranks = p;
