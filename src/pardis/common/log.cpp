@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "pardis/common/ranked_mutex.hpp"
+
 namespace pardis {
 namespace {
 
@@ -52,9 +54,11 @@ bool log_enabled(LogLevel level) noexcept {
 }
 
 void log_line(LogLevel level, const std::string& message) {
-  static std::mutex mu;
+  // The log sink ranks last (kCommonLog): any thread may log while holding
+  // any other lock.
+  static common::RankedMutex mu{common::LockRank::kCommonLog};
   const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
-  std::lock_guard<std::mutex> lock(mu);
+  std::lock_guard<common::RankedMutex> lock(mu);
   std::fprintf(stderr, "[pardis %-5s %04zx] %s\n", level_name(level),
                tid & 0xFFFF, message.c_str());
 }

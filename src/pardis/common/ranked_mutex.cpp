@@ -1,0 +1,87 @@
+#include "pardis/common/ranked_mutex.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace pardis::common {
+
+const char* to_string(LockRank rank) {
+  switch (rank) {
+    case LockRank::kNetFabric:
+      return "kNetFabric";
+    case LockRank::kNetAcceptor:
+      return "kNetAcceptor";
+    case LockRank::kNetConnection:
+      return "kNetConnection";
+    case LockRank::kNetLink:
+      return "kNetLink";
+    case LockRank::kNetStreamPacer:
+      return "kNetStreamPacer";
+    case LockRank::kRtsMailbox:
+      return "kRtsMailbox";
+    case LockRank::kRtsTeamError:
+      return "kRtsTeamError";
+    case LockRank::kOrbFuture:
+      return "kOrbFuture";
+    case LockRank::kOrbNaming:
+      return "kOrbNaming";
+    case LockRank::kOrbExceptions:
+      return "kOrbExceptions";
+    case LockRank::kObsMetrics:
+      return "kObsMetrics";
+    case LockRank::kObsHistogram:
+      return "kObsHistogram";
+    case LockRank::kObsTrace:
+      return "kObsTrace";
+    case LockRank::kCommonLog:
+      return "kCommonLog";
+  }
+  return "<unknown rank>";
+}
+
+namespace {
+
+// Ranks currently held by this thread, in acquisition order.  Unlocks may
+// be out of order (unique_lock juggling), so unlock erases by value, not by
+// popping.  Function-local so first use from any thread initializes it.
+std::vector<LockRank>& held_ranks() {
+  thread_local std::vector<LockRank> held;
+  return held;
+}
+
+}  // namespace
+
+void CheckedRankedMutex::lock() {
+  for (LockRank h : held_ranks()) {
+    if (h >= rank_) {
+      std::fprintf(stderr,
+                   "pardis: lock-rank violation: acquiring %s (%d) while "
+                   "holding %s (%d); acquisition order must be strictly "
+                   "increasing\n",
+                   to_string(rank_), static_cast<int>(rank_), to_string(h),
+                   static_cast<int>(h));
+      std::abort();
+    }
+  }
+  mu_.lock();
+  held_ranks().push_back(rank_);
+}
+
+bool CheckedRankedMutex::try_lock() {
+  if (!mu_.try_lock()) return false;
+  held_ranks().push_back(rank_);
+  return true;
+}
+
+void CheckedRankedMutex::unlock() {
+  auto& held = held_ranks();
+  const auto it = std::find(held.rbegin(), held.rend(), rank_);
+  if (it != held.rend()) {
+    held.erase(std::next(it).base());
+  }
+  mu_.unlock();
+}
+
+}  // namespace pardis::common

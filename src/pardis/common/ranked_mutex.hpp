@@ -1,0 +1,107 @@
+// Lock-rank deadlock checker.
+//
+// Every mutex in the repository carries a static LockRank.  A thread may
+// only acquire mutexes in strictly increasing rank order; violating the
+// order — the necessary condition for a lock-ordering deadlock — aborts
+// immediately with both ranks named, turning a potential hang into a
+// deterministic test failure.
+//
+// Two implementations are always compiled (so either path can be unit
+// tested from any configuration):
+//
+//   * CheckedRankedMutex — std::mutex plus a thread-local stack of held
+//     ranks, validated on every lock();
+//   * PlainRankedMutex   — a zero-overhead std::mutex wrapper (same size,
+//     the rank argument is discarded).
+//
+// `RankedMutex` aliases the checked flavor when PARDIS_LOCK_RANK_CHECKS is
+// nonzero (the default; release builds configure with
+// -DPARDIS_LOCK_RANK_CHECKS=OFF) and the plain flavor otherwise.  Waiters
+// must pair RankedMutex with std::condition_variable_any, which drives the
+// rank bookkeeping through lock()/unlock() transparently.
+//
+// The rank table below is the repository's documented acquisition order;
+// docs/concurrency.md explains which thread owns what.  New mutexes must
+// be added here, ranked after everything they may be acquired under.
+
+#pragma once
+
+#include <mutex>
+
+#ifndef PARDIS_LOCK_RANK_CHECKS
+#define PARDIS_LOCK_RANK_CHECKS 1
+#endif
+
+namespace pardis::common {
+
+/// One rank per mutex *role*.  Ordered by legal acquisition: a thread
+/// holding rank r may only acquire ranks strictly greater than r.  Gaps
+/// leave room for future locks without renumbering.
+enum class LockRank : int {
+  kNetFabric = 10,        // net::Fabric registry (listeners, links)
+  kNetAcceptor = 20,      // net::Acceptor pending-connection queue
+  kNetConnection = 30,    // net::detail::Pipe frame queue
+  kNetLink = 40,          // net::LinkGovernor virtual-time slot queue
+  kNetStreamPacer = 50,   // net::StreamPacer per-stream admission time
+  kRtsMailbox = 60,       // rts::Mailbox message queue
+  kRtsTeamError = 70,     // rts::Team first-error slot
+  kOrbFuture = 80,        // orb::detail::FutureState completion state
+  kOrbNaming = 90,        // orb::NameService registration map
+  kOrbExceptions = 100,   // orb::ExceptionRegistry thrower map
+  kObsMetrics = 110,      // obs::MetricsRegistry instrument map
+  kObsHistogram = 120,    // obs::Histogram running stat
+  kObsTrace = 130,        // obs::Tracer event buffer
+  kCommonLog = 140,       // common log sink (leaf: loggable anywhere)
+};
+
+/// Human-readable rank name for diagnostics ("kNetFabric" etc.).
+const char* to_string(LockRank rank);
+
+/// std::mutex plus acquisition-order validation.  lock() aborts (after
+/// printing both rank names to stderr) when the calling thread already
+/// holds a rank >= this mutex's rank.  try_lock() records but does not
+/// validate: a non-blocking acquire cannot contribute a deadlock edge.
+class CheckedRankedMutex {
+ public:
+  explicit CheckedRankedMutex(LockRank rank) noexcept : rank_(rank) {}
+
+  CheckedRankedMutex(const CheckedRankedMutex&) = delete;
+  CheckedRankedMutex& operator=(const CheckedRankedMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  LockRank rank() const noexcept { return rank_; }
+
+ private:
+  std::mutex mu_;
+  LockRank rank_;
+};
+
+/// Zero-overhead flavor: layout-identical to std::mutex, rank discarded.
+class PlainRankedMutex {
+ public:
+  explicit PlainRankedMutex(LockRank) noexcept {}
+
+  PlainRankedMutex(const PlainRankedMutex&) = delete;
+  PlainRankedMutex& operator=(const PlainRankedMutex&) = delete;
+
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+static_assert(sizeof(PlainRankedMutex) == sizeof(std::mutex),
+              "release-mode RankedMutex must add no state over std::mutex");
+
+#if PARDIS_LOCK_RANK_CHECKS
+using RankedMutex = CheckedRankedMutex;
+#else
+using RankedMutex = PlainRankedMutex;
+#endif
+
+}  // namespace pardis::common

@@ -7,7 +7,7 @@ namespace detail {
 
 void Pipe::send(pardis::Bytes frame) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     if (closed_) {
       throw COMM_FAILURE("send on closed connection", Completion::kNo);
     }
@@ -20,7 +20,7 @@ void Pipe::send(pardis::Bytes frame) {
   if (agg_frames_ != nullptr) agg_frames_->add(1);
   if (agg_bytes_ != nullptr) agg_bytes_->add(frame.size());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     if (closed_) {
       throw COMM_FAILURE("connection closed during send", Completion::kMaybe);
     }
@@ -30,7 +30,7 @@ void Pipe::send(pardis::Bytes frame) {
 }
 
 std::optional<pardis::Bytes> Pipe::recv() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<common::RankedMutex> lock(mu_);
   cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
   if (queue_.empty()) return std::nullopt;  // EOF
   pardis::Bytes frame = std::move(queue_.front());
@@ -39,7 +39,7 @@ std::optional<pardis::Bytes> Pipe::recv() {
 }
 
 std::optional<pardis::Bytes> Pipe::try_recv() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   if (queue_.empty()) return std::nullopt;
   pardis::Bytes frame = std::move(queue_.front());
   queue_.pop_front();
@@ -47,20 +47,20 @@ std::optional<pardis::Bytes> Pipe::try_recv() {
 }
 
 bool Pipe::has_frame() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   return !queue_.empty();
 }
 
 void Pipe::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool Pipe::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   return closed_;
 }
 

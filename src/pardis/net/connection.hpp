@@ -18,6 +18,7 @@
 #include <string>
 
 #include "pardis/common/bytes.hpp"
+#include "pardis/common/ranked_mutex.hpp"
 #include "pardis/net/link.hpp"
 #include "pardis/obs/metrics.hpp"
 
@@ -55,8 +56,8 @@ class Pipe {
   obs::Counter* agg_frames_;
   obs::Counter* agg_bytes_;
   StreamPacer pacer_;  // per-stream throughput cap state
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable common::RankedMutex mu_{common::LockRank::kNetConnection};
+  std::condition_variable_any cv_;
   std::deque<pardis::Bytes> queue_;
   bool closed_ = false;
   std::atomic<std::uint64_t> frames_{0};  // frames that crossed the wire

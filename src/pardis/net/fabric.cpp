@@ -13,7 +13,7 @@ namespace pardis::net {
 Acceptor::~Acceptor() { close(); }
 
 std::shared_ptr<Connection> Acceptor::accept() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<common::RankedMutex> lock(mu_);
   cv_.wait(lock, [&] { return !pending_.empty() || closed_; });
   if (pending_.empty()) return nullptr;
   auto conn = std::move(pending_.front());
@@ -22,7 +22,7 @@ std::shared_ptr<Connection> Acceptor::accept() {
 }
 
 std::shared_ptr<Connection> Acceptor::try_accept() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   if (pending_.empty()) return nullptr;
   auto conn = std::move(pending_.front());
   pending_.pop_front();
@@ -31,7 +31,7 @@ std::shared_ptr<Connection> Acceptor::try_accept() {
 
 void Acceptor::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     if (closed_) return;
     closed_ = true;
   }
@@ -44,7 +44,7 @@ void Acceptor::close() {
 
 void Acceptor::enqueue(std::shared_ptr<Connection> conn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     if (closed_) {
       conn->close();
       return;
@@ -57,7 +57,7 @@ void Acceptor::enqueue(std::shared_ptr<Connection> conn) {
 // ---- Fabric ----------------------------------------------------------------
 
 void Fabric::set_metrics(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   metrics_ = metrics;
 }
 
@@ -67,7 +67,7 @@ void Fabric::collect_metrics() {
   std::vector<std::pair<std::string, LinkGovernor::Counters>> snapshots;
   obs::MetricsRegistry* metrics = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     metrics = metrics_;
     if (metrics == nullptr) return;
     snapshots.reserve(governors_.size());
@@ -88,13 +88,13 @@ void Fabric::collect_metrics() {
 }
 
 void Fabric::set_default_link(LinkModel model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   default_link_ = model;
 }
 
 void Fabric::set_link(const std::string& host_a, const std::string& host_b,
                       LinkModel model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   auto key = std::minmax(host_a, host_b);
   link_models_[{key.first, key.second}] = model;
 }
@@ -103,7 +103,7 @@ std::shared_ptr<Acceptor> Fabric::listen(const std::string& host, int port) {
   if (host.empty()) {
     throw BAD_PARAM("listen: empty host name");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   if (port == 0) {
     port = next_ephemeral_port_++;
   }
@@ -125,7 +125,7 @@ std::shared_ptr<Connection> Fabric::connect(const std::string& from_host,
   std::shared_ptr<LinkGovernor> backward;
   obs::MetricsRegistry* metrics = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     auto it = listeners_.find(to);
     if (it != listeners_.end()) acceptor = it->second.lock();
     if (!acceptor) {
@@ -165,7 +165,7 @@ std::shared_ptr<LinkGovernor> Fabric::governor_for(const std::string& from,
 }
 
 void Fabric::unbind(const Address& address) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   listeners_.erase(address);
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <utility>
 
+#include "pardis/common/ranked_mutex.hpp"
 #include "pardis/net/connection.hpp"
 #include "pardis/net/link.hpp"
 
@@ -64,8 +65,8 @@ class Acceptor {
 
   Fabric* fabric_;
   Address address_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  common::RankedMutex mu_{common::LockRank::kNetAcceptor};
+  std::condition_variable_any cv_;
   std::deque<std::shared_ptr<Connection>> pending_;
   bool closed_ = false;
 };
@@ -111,7 +112,7 @@ class Fabric {
                                              const std::string& to);
   void unbind(const Address& address);
 
-  std::mutex mu_;
+  common::RankedMutex mu_{common::LockRank::kNetFabric};
   obs::MetricsRegistry* metrics_ = nullptr;
   LinkModel default_link_{};  // unlimited
   std::map<std::pair<std::string, std::string>, LinkModel> link_models_;

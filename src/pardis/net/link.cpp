@@ -55,7 +55,7 @@ void LinkGovernor::transmit(std::size_t payload_bytes, StreamPacer* pacer) {
     {
       // Reserve the next free slot; the wait happens outside the lock so
       // other senders can queue their chunks behind ours (interleaving).
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<common::RankedMutex> lock(mu_);
       const auto now = Clock::now();
       const auto start = std::max(now, next_free_);
       if (first_chunk && next_free_ > now) {

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <string>
 
+#include "pardis/common/ranked_mutex.hpp"
 #include "pardis/common/timing.hpp"
 
 namespace pardis::net {
@@ -65,7 +66,7 @@ struct LinkModel {
 class StreamPacer {
  public:
   Clock::time_point reserve(Clock::time_point now, Duration chunk_time) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     const auto start = std::max(now, next_free_);
     next_free_ = start + chunk_time;
     return next_free_;
@@ -74,12 +75,12 @@ class StreamPacer {
   /// Pushes the stream's next admission out to `t` (after waiting on the
   /// shared link, the stream cannot start its next chunk earlier).
   void defer_until(Clock::time_point t) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     if (t > next_free_) next_free_ = t;
   }
 
  private:
-  std::mutex mu_;
+  common::RankedMutex mu_{common::LockRank::kNetStreamPacer};
   Clock::time_point next_free_{};
 };
 
@@ -115,7 +116,7 @@ class LinkGovernor {
 
  private:
   LinkModel model_;
-  std::mutex mu_;
+  common::RankedMutex mu_{common::LockRank::kNetLink};
   Clock::time_point next_free_{};  // virtual time: when the link frees up
   std::atomic<std::uint64_t> frames_{0};
   std::atomic<std::uint64_t> payload_bytes_{0};

@@ -7,7 +7,7 @@
 namespace pardis::obs {
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   Entry& e = entries_[name];
   if (e.gauge || e.histogram) {
     throw BAD_PARAM("metric '" + name + "' already exists with another kind");
@@ -17,7 +17,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   Entry& e = entries_[name];
   if (e.counter || e.histogram) {
     throw BAD_PARAM("metric '" + name + "' already exists with another kind");
@@ -27,7 +27,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   Entry& e = entries_[name];
   if (e.counter || e.gauge) {
     throw BAD_PARAM("metric '" + name + "' already exists with another kind");
@@ -37,7 +37,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 }
 
 std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   std::vector<Sample> out;
   out.reserve(entries_.size());
   for (const auto& [name, e] : entries_) {

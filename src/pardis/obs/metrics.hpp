@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "pardis/common/ranked_mutex.hpp"
 #include "pardis/common/stats.hpp"
 
 namespace pardis::obs {
@@ -61,16 +62,16 @@ class Gauge {
 class Histogram {
  public:
   void add(double x) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     stat_.add(x);
   }
   RunningStat snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     return stat_;
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable common::RankedMutex mu_{common::LockRank::kObsHistogram};
   RunningStat stat_;
 };
 
@@ -105,7 +106,7 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
+  mutable common::RankedMutex mu_{common::LockRank::kObsMetrics};
   std::map<std::string, Entry> entries_;
 };
 

@@ -18,22 +18,22 @@ void Tracer::record(std::string name, std::string cat, std::uint32_t pid,
   event.tid = tid;
   event.ts_us = to_us(begin - origin_);
   event.dur_us = to_us(end - begin);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   events_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> Tracer::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   return events_;
 }
 
 std::size_t Tracer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   return events_.size();
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   events_.clear();
 }
 

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "pardis/common/ranked_mutex.hpp"
 #include "pardis/common/timing.hpp"
 
 namespace pardis::obs {
@@ -68,7 +69,7 @@ class Tracer {
  private:
   std::atomic<bool> enabled_{false};
   Clock::time_point origin_;
-  mutable std::mutex mu_;
+  mutable common::RankedMutex mu_{common::LockRank::kObsTrace};
   std::vector<TraceEvent> events_;
 };
 

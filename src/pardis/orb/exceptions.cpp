@@ -4,12 +4,12 @@ namespace pardis::orb {
 
 void ExceptionRegistry::register_user_exception(const std::string& repo_id,
                                                 Thrower thrower) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   throwers_[repo_id] = std::move(thrower);
 }
 
 bool ExceptionRegistry::knows(const std::string& repo_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   return throwers_.contains(repo_id);
 }
 
@@ -18,7 +18,7 @@ void ExceptionRegistry::rethrow_user(const std::string& repo_id,
                                      cdr::Decoder& body) const {
   Thrower thrower;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     const auto it = throwers_.find(repo_id);
     if (it != throwers_.end()) thrower = it->second;
   }

@@ -20,6 +20,7 @@
 #include "pardis/cdr/decoder.hpp"
 #include "pardis/cdr/encoder.hpp"
 #include "pardis/common/error.hpp"
+#include "pardis/common/ranked_mutex.hpp"
 #include "pardis/orb/protocol.hpp"
 
 namespace pardis::orb {
@@ -52,7 +53,7 @@ class ExceptionRegistry {
   static ExceptionRegistry& global();
 
  private:
-  mutable std::mutex mu_;
+  mutable common::RankedMutex mu_{common::LockRank::kOrbExceptions};
   std::map<std::string, Thrower> throwers_;
 };
 

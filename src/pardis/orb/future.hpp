@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "pardis/common/error.hpp"
+#include "pardis/common/ranked_mutex.hpp"
 
 namespace pardis::orb {
 
@@ -31,8 +32,8 @@ namespace detail {
 
 template <typename T>
 struct FutureState {
-  std::mutex mu;
-  std::condition_variable cv;
+  common::RankedMutex mu{common::LockRank::kOrbFuture};
+  std::condition_variable_any cv;
   std::optional<T> value;
   std::exception_ptr error;
   std::function<T()> deferred;  // runs on first get() if set
@@ -55,7 +56,7 @@ class Promise {
 
   void set_value(T value) {
     {
-      std::lock_guard<std::mutex> lock(state_->mu);
+      std::lock_guard<common::RankedMutex> lock(state_->mu);
       if (state_->settled()) {
         throw INTERNAL("Promise already settled");
       }
@@ -66,7 +67,7 @@ class Promise {
 
   void set_exception(std::exception_ptr error) {
     {
-      std::lock_guard<std::mutex> lock(state_->mu);
+      std::lock_guard<common::RankedMutex> lock(state_->mu);
       if (state_->settled()) {
         throw INTERNAL("Promise already settled");
       }
@@ -104,7 +105,7 @@ class Future {
   /// future is not ready until some thread ran get().
   bool ready() const {
     if (!state_) return false;
-    std::lock_guard<std::mutex> lock(state_->mu);
+    std::lock_guard<common::RankedMutex> lock(state_->mu);
     return state_->settled();
   }
 
@@ -117,7 +118,7 @@ class Future {
     if (!state_) {
       throw BAD_PARAM("get() on an empty Future");
     }
-    std::unique_lock<std::mutex> lock(state_->mu);
+    std::unique_lock<common::RankedMutex> lock(state_->mu);
     if (state_->deferred && !state_->started) {
       state_->started = true;
       auto completer = std::move(state_->deferred);

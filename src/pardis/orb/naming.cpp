@@ -12,7 +12,7 @@ void NameService::register_object(const ObjectRef& ref) {
     throw BAD_PARAM("register_object: reference has no endpoints");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     objects_[{ref.name, ref.host}] = ref;
   }
   cv_.notify_all();
@@ -20,20 +20,20 @@ void NameService::register_object(const ObjectRef& ref) {
 
 void NameService::unregister_object(const std::string& name,
                                     const std::string& host) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   objects_.erase({name, host});
 }
 
 std::optional<ObjectRef> NameService::resolve(const std::string& name,
                                               const std::string& host) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   return resolve_locked(name, host);
 }
 
 std::optional<ObjectRef> NameService::resolve_wait(
     const std::string& name, const std::string& host,
     std::chrono::milliseconds timeout) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<common::RankedMutex> lock(mu_);
   std::optional<ObjectRef> found;
   cv_.wait_for(lock, timeout, [&] {
     found = resolve_locked(name, host);
@@ -43,7 +43,7 @@ std::optional<ObjectRef> NameService::resolve_wait(
 }
 
 std::vector<ObjectRef> NameService::list() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   std::vector<ObjectRef> out;
   out.reserve(objects_.size());
   for (const auto& [key, ref] : objects_) {

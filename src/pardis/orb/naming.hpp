@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "pardis/common/ranked_mutex.hpp"
 #include "pardis/orb/objref.hpp"
 
 namespace pardis::orb {
@@ -44,8 +45,8 @@ class NameService {
   std::optional<ObjectRef> resolve_locked(const std::string& name,
                                           const std::string& host) const;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
+  mutable common::RankedMutex mu_{common::LockRank::kOrbNaming};
+  mutable std::condition_variable_any cv_;
   // Keyed by (name, host) to allow same-named objects on different hosts.
   std::map<std::pair<std::string, std::string>, ObjectRef> objects_;
 };

@@ -8,14 +8,14 @@ namespace pardis::rts {
 
 void Mailbox::post(Message m) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     queue_.push_back(std::move(m));
   }
   cv_.notify_all();
 }
 
 Message Mailbox::recv(int src, int tag) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<common::RankedMutex> lock(mu_);
   for (;;) {
     if (poison_) {
       throw COMM_FAILURE("mailbox poisoned: " + *poison_, Completion::kMaybe);
@@ -33,20 +33,20 @@ Message Mailbox::recv(int src, int tag) {
 }
 
 bool Mailbox::probe(int src, int tag) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
     return matches(m, src, tag);
   });
 }
 
 std::size_t Mailbox::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::RankedMutex> lock(mu_);
   return queue_.size();
 }
 
 void Mailbox::poison(std::string reason) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<common::RankedMutex> lock(mu_);
     poison_ = std::move(reason);
   }
   cv_.notify_all();

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "pardis/common/ranked_mutex.hpp"
 #include "pardis/rts/message.hpp"
 
 namespace pardis::rts {
@@ -45,8 +46,8 @@ class Mailbox {
            (tag == kAnyTag || m.tag == tag);
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable common::RankedMutex mu_{common::LockRank::kRtsMailbox};
+  std::condition_variable_any cv_;
   std::deque<Message> queue_;
   std::optional<std::string> poison_;
 };

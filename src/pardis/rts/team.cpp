@@ -69,7 +69,7 @@ void Team::rank_main(int rank, const Body& body) {
     body(comm);
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(error_mu_);
+      std::lock_guard<common::RankedMutex> lock(error_mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     try {

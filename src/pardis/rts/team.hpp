@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "pardis/common/ranked_mutex.hpp"
 #include "pardis/rts/communicator.hpp"
 #include "pardis/rts/mailbox.hpp"
 
@@ -53,7 +54,7 @@ class Team {
   std::string name_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::thread> threads_;
-  std::mutex error_mu_;
+  common::RankedMutex error_mu_{common::LockRank::kRtsTeamError};
   std::exception_ptr first_error_;
 };
 

@@ -1,0 +1,208 @@
+// pardis-lint rule coverage: every rule must fire on a fixture that
+// violates it and stay quiet on the clean fixture / whitelisted paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using pardis::lint::Diagnostic;
+using pardis::lint::scan_source;
+
+bool fired(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+constexpr const char* kNonWhitelistedPath = "src/pardis/rts/fixture.cpp";
+
+// ---- relaxed-order ---------------------------------------------------------
+
+TEST(LintRelaxedOrder, FiresOutsideWhitelist) {
+  const auto diags = scan_source(
+      kNonWhitelistedPath,
+      "void f(std::atomic<int>& a) { a.load(std::memory_order_relaxed); }");
+  ASSERT_TRUE(fired(diags, "relaxed-order"));
+  EXPECT_EQ(diags.front().line, 1);
+}
+
+TEST(LintRelaxedOrder, QuietOnWhitelistedCounterFile) {
+  const auto diags = scan_source(
+      "src/pardis/obs/metrics.hpp",
+      "void f(std::atomic<int>& a) { a.load(std::memory_order_relaxed); }");
+  EXPECT_FALSE(fired(diags, "relaxed-order"));
+}
+
+TEST(LintRelaxedOrder, QuietInCommentsAndStrings) {
+  const auto diags = scan_source(
+      kNonWhitelistedPath,
+      "// memory_order_relaxed\n"
+      "/* memory_order_relaxed */\n"
+      "const char* s = \"memory_order_relaxed\";\n");
+  EXPECT_FALSE(fired(diags, "relaxed-order"));
+}
+
+// ---- raw-mutex -------------------------------------------------------------
+
+TEST(LintRawMutex, FiresOutsideCommon) {
+  const auto diags =
+      scan_source(kNonWhitelistedPath, "struct S { std::mutex mu_; };");
+  EXPECT_TRUE(fired(diags, "raw-mutex"));
+}
+
+TEST(LintRawMutex, FiresOnMutexCousins) {
+  const auto diags = scan_source(kNonWhitelistedPath,
+                                 "std::shared_mutex a;\n"
+                                 "std::recursive_mutex b;\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "raw-mutex");
+  EXPECT_EQ(diags[1].line, 2);
+}
+
+TEST(LintRawMutex, AllowedUnderCommon) {
+  const auto diags = scan_source("src/pardis/common/ranked_mutex.hpp",
+                                 "struct S { std::mutex mu_; };");
+  EXPECT_FALSE(fired(diags, "raw-mutex"));
+}
+
+TEST(LintRawMutex, IncludeLineDoesNotTrip) {
+  const auto diags = scan_source(kNonWhitelistedPath, "#include <mutex>\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---- blocking-under-lock ---------------------------------------------------
+
+TEST(LintBlockingUnderLock, FiresOnSendUnderGuard) {
+  const auto diags = scan_source(
+      kNonWhitelistedPath,
+      "void f() {\n"
+      "  std::lock_guard<common::RankedMutex> lock(mu_);\n"
+      "  conn->send(frame);\n"
+      "}\n");
+  ASSERT_TRUE(fired(diags, "blocking-under-lock"));
+  EXPECT_EQ(diags.front().line, 3);
+}
+
+TEST(LintBlockingUnderLock, QuietAfterScopeEnds) {
+  const auto diags = scan_source(kNonWhitelistedPath,
+                                 "void f() {\n"
+                                 "  {\n"
+                                 "    std::lock_guard<M> lock(mu_);\n"
+                                 "    queue_.push_back(x);\n"
+                                 "  }\n"
+                                 "  conn->send(frame);\n"
+                                 "}\n");
+  EXPECT_FALSE(fired(diags, "blocking-under-lock"));
+}
+
+TEST(LintBlockingUnderLock, QuietAfterExplicitUnlock) {
+  const auto diags = scan_source(kNonWhitelistedPath,
+                                 "void f() {\n"
+                                 "  std::unique_lock<M> lock(mu_);\n"
+                                 "  lock.unlock();\n"
+                                 "  governor_->transmit(n);\n"
+                                 "}\n");
+  EXPECT_FALSE(fired(diags, "blocking-under-lock"));
+}
+
+TEST(LintBlockingUnderLock, FiresAgainAfterRelock) {
+  const auto diags = scan_source(kNonWhitelistedPath,
+                                 "void f() {\n"
+                                 "  std::unique_lock<M> lock(mu_);\n"
+                                 "  lock.unlock();\n"
+                                 "  lock.lock();\n"
+                                 "  peer.recv();\n"
+                                 "}\n");
+  EXPECT_TRUE(fired(diags, "blocking-under-lock"));
+}
+
+TEST(LintBlockingUnderLock, ConditionWaitIsAllowed) {
+  const auto diags =
+      scan_source(kNonWhitelistedPath,
+                  "void f() {\n"
+                  "  std::unique_lock<M> lock(mu_);\n"
+                  "  cv_.wait(lock, [&] { return !queue_.empty(); });\n"
+                  "}\n");
+  EXPECT_FALSE(fired(diags, "blocking-under-lock"));
+}
+
+// ---- raw-new-delete --------------------------------------------------------
+
+TEST(LintRawNewDelete, FiresOnBareNewAndDelete) {
+  const auto diags = scan_source(kNonWhitelistedPath,
+                                 "void f() {\n"
+                                 "  int* p = new int(3);\n"
+                                 "  delete p;\n"
+                                 "}\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "raw-new-delete");
+  EXPECT_EQ(diags[1].rule, "raw-new-delete");
+}
+
+TEST(LintRawNewDelete, SharedPtrWrapperIsAllowed) {
+  const auto diags = scan_source(
+      kNonWhitelistedPath,
+      "auto a = std::shared_ptr<Acceptor>(new Acceptor(*this, address));\n"
+      "auto b = std::shared_ptr<Connection>(\n"
+      "    new Connection(fwd, bwd, label));\n");
+  EXPECT_FALSE(fired(diags, "raw-new-delete"));
+}
+
+TEST(LintRawNewDelete, DeletedFunctionIsAllowed) {
+  const auto diags = scan_source(
+      kNonWhitelistedPath, "struct S { S(const S&) = delete; };");
+  EXPECT_FALSE(fired(diags, "raw-new-delete"));
+}
+
+// ---- suppression and clean fixture ----------------------------------------
+
+TEST(LintSuppression, AllowCommentSilencesSameAndNextLine) {
+  const auto same = scan_source(
+      kNonWhitelistedPath,
+      "std::mutex mu_;  // pardis-lint: allow(raw-mutex)\n");
+  EXPECT_TRUE(same.empty());
+
+  const auto next = scan_source(kNonWhitelistedPath,
+                                "// pardis-lint: allow(raw-mutex)\n"
+                                "std::mutex mu_;\n");
+  EXPECT_TRUE(next.empty());
+
+  const auto other = scan_source(
+      kNonWhitelistedPath,
+      "std::mutex mu_;  // pardis-lint: allow(relaxed-order)\n");
+  EXPECT_TRUE(fired(other, "raw-mutex")) << "wrong rule must not suppress";
+}
+
+TEST(LintClean, CleanFixturePasses) {
+  const auto diags = scan_source(
+      kNonWhitelistedPath,
+      "#include <mutex>\n"
+      "#include \"pardis/common/ranked_mutex.hpp\"\n"
+      "struct Box {\n"
+      "  void post(Message m) {\n"
+      "    {\n"
+      "      std::lock_guard<common::RankedMutex> lock(mu_);\n"
+      "      queue_.push_back(std::move(m));\n"
+      "    }\n"
+      "    cv_.notify_all();\n"
+      "    peer_->send(std::move(frame));\n"
+      "  }\n"
+      "  std::unique_ptr<int> owned_ = std::make_unique<int>(1);\n"
+      "  common::RankedMutex mu_{common::LockRank::kRtsMailbox};\n"
+      "  std::condition_variable_any cv_;\n"
+      "};\n");
+  EXPECT_TRUE(diags.empty()) << pardis::lint::format(diags.front());
+}
+
+TEST(LintFormat, ClickableDiagnostic) {
+  const Diagnostic d{"src/pardis/rts/foo.cpp", 12, "raw-mutex", "msg"};
+  EXPECT_EQ(pardis::lint::format(d),
+            "src/pardis/rts/foo.cpp:12: [raw-mutex] msg");
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Lock-rank checker: ordered acquisition passes, violations abort with both
+// rank names in the message, and the release flavor adds zero state.
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "pardis/common/ranked_mutex.hpp"
+
+namespace {
+
+using pardis::common::CheckedRankedMutex;
+using pardis::common::LockRank;
+using pardis::common::PlainRankedMutex;
+
+TEST(LockRank, OrderedAcquisitionPasses) {
+  CheckedRankedMutex fabric(LockRank::kNetFabric);
+  CheckedRankedMutex mailbox(LockRank::kRtsMailbox);
+  CheckedRankedMutex log(LockRank::kCommonLog);
+  std::lock_guard<CheckedRankedMutex> a(fabric);
+  std::lock_guard<CheckedRankedMutex> b(mailbox);
+  std::lock_guard<CheckedRankedMutex> c(log);
+  SUCCEED();
+}
+
+TEST(LockRank, ReacquireAfterReleaseAtSameRankPasses) {
+  CheckedRankedMutex mailbox(LockRank::kRtsMailbox);
+  { std::lock_guard<CheckedRankedMutex> lock(mailbox); }
+  { std::lock_guard<CheckedRankedMutex> lock(mailbox); }
+  SUCCEED();
+}
+
+TEST(LockRank, OutOfOrderUnlockIsTracked) {
+  // unique_lock juggling releases in acquisition order, not reverse order;
+  // the held-rank stack must cope and still allow a later high acquire.
+  CheckedRankedMutex low(LockRank::kNetFabric);
+  CheckedRankedMutex mid(LockRank::kRtsMailbox);
+  CheckedRankedMutex high(LockRank::kObsTrace);
+  std::unique_lock<CheckedRankedMutex> a(low);
+  std::unique_lock<CheckedRankedMutex> b(mid);
+  a.unlock();  // out of order: low released while mid held
+  std::lock_guard<CheckedRankedMutex> c(high);
+  SUCCEED();
+}
+
+TEST(LockRank, HeldRanksArePerThread) {
+  CheckedRankedMutex mailbox(LockRank::kRtsMailbox);
+  CheckedRankedMutex fabric(LockRank::kNetFabric);
+  std::lock_guard<CheckedRankedMutex> lock(mailbox);
+  // A different thread holds nothing, so a lower rank is fine there.
+  std::thread t([&] { std::lock_guard<CheckedRankedMutex> l2(fabric); });
+  t.join();
+  SUCCEED();
+}
+
+TEST(LockRank, ConditionVariableAnyRoundTrips) {
+  // condition_variable_any drives rank bookkeeping through lock()/unlock();
+  // after a wait() the rank must still be held exactly once.
+  CheckedRankedMutex mailbox(LockRank::kRtsMailbox);
+  CheckedRankedMutex trace(LockRank::kObsTrace);
+  std::condition_variable_any cv;
+  bool ready = false;
+  std::thread producer([&] {
+    std::lock_guard<CheckedRankedMutex> lock(mailbox);
+    ready = true;
+    cv.notify_all();
+  });
+  {
+    std::unique_lock<CheckedRankedMutex> lock(mailbox);
+    cv.wait(lock, [&] { return ready; });
+    // Still inside the mailbox rank: a higher acquire must pass.
+    std::lock_guard<CheckedRankedMutex> l2(trace);
+  }
+  producer.join();
+  SUCCEED();
+}
+
+using LockRankDeathTest = ::testing::Test;
+
+TEST(LockRankDeathTest, DescendingAcquireAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CheckedRankedMutex mailbox(LockRank::kRtsMailbox);
+  CheckedRankedMutex fabric(LockRank::kNetFabric);
+  EXPECT_DEATH(
+      {
+        std::lock_guard<CheckedRankedMutex> a(mailbox);
+        std::lock_guard<CheckedRankedMutex> b(fabric);
+      },
+      "lock-rank violation.*kNetFabric.*kRtsMailbox");
+}
+
+TEST(LockRankDeathTest, SameRankNestingAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CheckedRankedMutex a(LockRank::kRtsMailbox);
+  CheckedRankedMutex b(LockRank::kRtsMailbox);
+  EXPECT_DEATH(
+      {
+        std::lock_guard<CheckedRankedMutex> la(a);
+        std::lock_guard<CheckedRankedMutex> lb(b);
+      },
+      "lock-rank violation.*kRtsMailbox.*kRtsMailbox");
+}
+
+// ---- release flavor --------------------------------------------------------
+
+TEST(PlainRankedMutexTest, ZeroStateOverExposedMutex) {
+  // The release-mode alias must be layout-identical to std::mutex: the rank
+  // argument compiles away.
+  static_assert(sizeof(PlainRankedMutex) == sizeof(std::mutex));
+  PlainRankedMutex mu(LockRank::kRtsMailbox);
+  std::lock_guard<PlainRankedMutex> lock(mu);
+  SUCCEED();
+}
+
+TEST(PlainRankedMutexTest, IgnoresOrdering) {
+  PlainRankedMutex mailbox(LockRank::kRtsMailbox);
+  PlainRankedMutex fabric(LockRank::kNetFabric);
+  std::lock_guard<PlainRankedMutex> a(mailbox);
+  std::lock_guard<PlainRankedMutex> b(fabric);  // no checking, no abort
+  SUCCEED();
+}
+
+}  // namespace

@@ -10,8 +10,37 @@
 
 #include "pardis/sim/experiment.hpp"
 
+// Sanitizer instrumentation slows the CPU-bound phases (gather, pack) by
+// 2-20x while the modeled wire time stays real-time, which distorts the
+// cross-configuration ratios these tests assert.  Under PARDIS_SAN the
+// workloads still run — that is the race/UB coverage — but the wall-clock
+// shape assertions are disabled.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define PARDIS_PERF_ASSERTS 0
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define PARDIS_PERF_ASSERTS 0
+#endif
+#endif
+#ifndef PARDIS_PERF_ASSERTS
+#define PARDIS_PERF_ASSERTS 1
+#endif
+
 namespace pardis {
 namespace {
+
+constexpr bool kPerfAsserts = PARDIS_PERF_ASSERTS != 0;
+
+// The empty-then-branch keeps the trailing `<< msg` attached to the gtest
+// macro without an ambiguous-else warning.
+#define EXPECT_SHAPE_GT(a, b) \
+  if (!kPerfAsserts) {        \
+  } else                      \
+    EXPECT_GT(a, b)
+#define EXPECT_SHAPE_LT(a, b) \
+  if (!kPerfAsserts) {        \
+  } else                      \
+    EXPECT_LT(a, b)
 
 using bench::BenchConfig;
 using bench::BenchResult;
@@ -42,7 +71,7 @@ TEST(Shape, MultiPortNeverLosesToCentralized) {
     const double central = run_config(cfg).client_ms(Phase::kTotal);
     cfg.method = orb::TransferMethod::kMultiPort;
     const double multi = run_config(cfg).client_ms(Phase::kTotal);
-    EXPECT_LT(multi, central * 1.15)
+    EXPECT_SHAPE_LT(multi, central * 1.15)
         << "K=" << k << " P=" << p << " central=" << central
         << "ms multi=" << multi << "ms";
   }
@@ -58,7 +87,7 @@ TEST(Shape, MultiPortGainsFromClientThreads) {
   const double k1 = run_config(cfg).client_ms(Phase::kTotal);
   cfg.client_ranks = 4;
   const double k4 = run_config(cfg).client_ms(Phase::kTotal);
-  EXPECT_LT(k4, k1 * 0.85) << "k1=" << k1 << "ms k4=" << k4 << "ms";
+  EXPECT_SHAPE_LT(k4, k1 * 0.85) << "k1=" << k1 << "ms k4=" << k4 << "ms";
 }
 
 TEST(Shape, CentralizedDoesNotGainFromThreads) {
@@ -72,7 +101,7 @@ TEST(Shape, CentralizedDoesNotGainFromThreads) {
   cfg.client_ranks = 4;
   cfg.server_ranks = 8;
   const double big = run_config(cfg).client_ms(Phase::kTotal);
-  EXPECT_GT(big, small * 0.8)
+  EXPECT_SHAPE_GT(big, small * 0.8)
       << "small=" << small << "ms big=" << big << "ms";
 }
 
@@ -88,12 +117,12 @@ TEST(Shape, ExitBarrierRevealsSerializedSends) {
   const BenchResult serial = run_config(cfg);
   const double send = serial.client_ms(Phase::kSend);
   const double barrier = serial.server_ms(Phase::kBarrier);
-  EXPECT_GT(barrier, 0.25 * send);
-  EXPECT_LT(barrier, 0.75 * send);
+  EXPECT_SHAPE_GT(barrier, 0.25 * send);
+  EXPECT_SHAPE_LT(barrier, 0.75 * send);
 
   cfg.client_ranks = 2;
   const BenchResult parallel = run_config(cfg);
-  EXPECT_LT(parallel.server_ms(Phase::kBarrier), 0.25 * send);
+  EXPECT_SHAPE_LT(parallel.server_ms(Phase::kBarrier), 0.25 * send);
 }
 
 TEST(Shape, EffectiveBandwidthRatioAtPeak) {
@@ -107,8 +136,8 @@ TEST(Shape, EffectiveBandwidthRatioAtPeak) {
   cfg.method = orb::TransferMethod::kMultiPort;
   const double multi = run_config(cfg).client_ms(Phase::kTotal);
   const double ratio = central / multi;
-  EXPECT_GT(ratio, 1.5) << "ratio=" << ratio;
-  EXPECT_LT(ratio, 3.5) << "ratio=" << ratio;
+  EXPECT_SHAPE_GT(ratio, 1.5) << "ratio=" << ratio;
+  EXPECT_SHAPE_LT(ratio, 3.5) << "ratio=" << ratio;
 }
 
 TEST(Shape, SmallMessagesConverge) {
@@ -123,8 +152,8 @@ TEST(Shape, SmallMessagesConverge) {
   const double central = run_config(cfg).client_ms(Phase::kTotal);
   cfg.method = orb::TransferMethod::kMultiPort;
   const double multi = run_config(cfg).client_ms(Phase::kTotal);
-  EXPECT_LT(multi, central * 3.0);
-  EXPECT_LT(central, multi * 3.0);
+  EXPECT_SHAPE_LT(multi, central * 3.0);
+  EXPECT_SHAPE_LT(central, multi * 3.0);
 }
 
 TEST(Shape, CentralizedRecvTracksSend) {
@@ -137,8 +166,8 @@ TEST(Shape, CentralizedRecvTracksSend) {
   const BenchResult r = run_config(cfg);
   const double t_ps = r.client_ms(Phase::kPack) + r.client_ms(Phase::kSend);
   const double t_r = r.server_ms(Phase::kRecv) + r.server_ms(Phase::kUnpack);
-  EXPECT_GT(t_r, 0.5 * t_ps);
-  EXPECT_LT(t_r, 2.5 * t_ps);
+  EXPECT_SHAPE_GT(t_r, 0.5 * t_ps);
+  EXPECT_SHAPE_LT(t_r, 2.5 * t_ps);
 }
 
 }  // namespace

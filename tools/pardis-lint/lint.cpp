@@ -1,0 +1,369 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace pardis::lint {
+namespace {
+
+// ---- token stream ----------------------------------------------------------
+//
+// Mirrors the IDL lexer's shape: a flat vector of (text, line) tokens with
+// comments, string/char literals and preprocessor lines stripped.  C++ is
+// richer than IDL, but the lint rules only need identifiers and structural
+// punctuation; `::` is fused into one token so qualified names are three
+// tokens (`std`, `::`, `mutex`).
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_ident = false;
+};
+
+struct LexOutput {
+  std::vector<Token> tokens;
+  // line -> rules suppressed by a `pardis-lint: allow(rule)` comment there.
+  std::map<int, std::set<std::string>> allows;
+};
+
+void record_allow(LexOutput& out, const std::string& comment, int line) {
+  const std::string marker = "pardis-lint: allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(marker, pos)) != std::string::npos) {
+    pos += marker.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos) break;
+    out.allows[line].insert(comment.substr(pos, close - pos));
+    pos = close;
+  }
+}
+
+LexOutput lex(const std::string& src) {
+  LexOutput out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line (honoring backslash
+    // continuations) so macro bodies and #includes don't trip rules.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments (keeping allow-directives).
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t end = src.find('\n', i);
+      const std::string body =
+          src.substr(i, end == std::string::npos ? std::string::npos : end - i);
+      record_allow(out, body, line);
+      i = end == std::string::npos ? n : end;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j < n && !(src[j] == '*' && j + 1 < n && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      record_allow(out, src.substr(i, j - i), start_line);
+      i = j < n ? j + 2 : n;
+      continue;
+    }
+    // String / char literals (with escapes; raw strings unsupported — the
+    // tree has none and the IDL-style lexer keeps to the same subset).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      continue;
+    }
+    // Identifiers / keywords / numbers.
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) != 0 ||
+                       src[j] == '_')) {
+        ++j;
+      }
+      out.tokens.push_back({src.substr(i, j - i), line,
+                            std::isdigit(static_cast<unsigned char>(c)) == 0});
+      i = j;
+      continue;
+    }
+    // `::` as one token; everything else char-by-char.
+    if (c == ':' && peek(1) == ':') {
+      out.tokens.push_back({"::", line, false});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return out;
+}
+
+// ---- helpers ---------------------------------------------------------------
+
+bool path_matches_suffix(const std::string& path,
+                         const std::vector<std::string>& suffixes) {
+  return std::any_of(suffixes.begin(), suffixes.end(),
+                     [&](const std::string& s) {
+                       return path.size() >= s.size() &&
+                              path.compare(path.size() - s.size(), s.size(),
+                                           s) == 0;
+                     });
+}
+
+bool path_contains(const std::string& path,
+                   const std::vector<std::string>& fragments) {
+  return std::any_of(fragments.begin(), fragments.end(),
+                     [&](const std::string& f) {
+                       return path.find(f) != std::string::npos;
+                     });
+}
+
+/// Index of the matching `<` for the `>` at `i`, or npos.
+std::size_t match_template_open(const std::vector<Token>& toks,
+                                std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i + 1; j-- > 0;) {
+    if (toks[j].text == ">") ++depth;
+    if (toks[j].text == "<") {
+      --depth;
+      if (depth == 0) return j;
+    }
+    if (toks[j].text == ";" || toks[j].text == "{") break;
+  }
+  return std::string::npos;
+}
+
+const std::set<std::string>& blocking_calls() {
+  // Calls that block on the simulated wire or wall clock: making one while
+  // holding a lock serializes unrelated traffic and risks deadlock against
+  // the link arbitration.  cv waits are excluded (they release the lock).
+  static const std::set<std::string> kCalls{
+      "send",        "recv",        "recv_or_throw",
+      "accept",      "connect",     "transmit",
+      "sleep_for",   "sleep_until", "precise_sleep_until",
+  };
+  return kCalls;
+}
+
+const std::set<std::string>& guard_types() {
+  static const std::set<std::string> kGuards{"lock_guard", "unique_lock",
+                                             "scoped_lock"};
+  return kGuards;
+}
+
+const std::set<std::string>& mutex_types() {
+  static const std::set<std::string> kMutexes{
+      "mutex",       "recursive_mutex",       "timed_mutex",
+      "shared_mutex", "recursive_timed_mutex", "shared_timed_mutex"};
+  return kMutexes;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kRules{
+      "relaxed-order", "raw-mutex", "blocking-under-lock", "raw-new-delete"};
+  return kRules;
+}
+
+std::string format(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+         d.message;
+}
+
+std::vector<Diagnostic> scan_source(const std::string& path,
+                                    const std::string& text,
+                                    const Options& options) {
+  const LexOutput lexed = lex(text);
+  const std::vector<Token>& toks = lexed.tokens;
+
+  std::vector<Diagnostic> diags;
+  auto report = [&](int line, const std::string& rule,
+                    const std::string& message) {
+    for (int l : {line, line - 1}) {
+      const auto it = lexed.allows.find(l);
+      if (it != lexed.allows.end() && it->second.count(rule) != 0) return;
+    }
+    diags.push_back({path, line, rule, message});
+  };
+
+  const bool relaxed_ok =
+      path_matches_suffix(path, options.relaxed_whitelist);
+  const bool raw_mutex_ok = path_contains(path, options.mutex_whitelist);
+
+  // Live lock-guard scopes for blocking-under-lock.
+  struct Guard {
+    int brace_depth;
+    std::string var;
+    bool held;
+  };
+  std::vector<Guard> guards;
+  int brace_depth = 0;
+
+  // Parenthesis contexts for raw-new-delete: true when the call being
+  // entered is a shared_ptr/unique_ptr construction.
+  std::vector<bool> paren_raii;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    auto next_text = [&](std::size_t k) -> const std::string& {
+      static const std::string kEmpty;
+      return i + k < toks.size() ? toks[i + k].text : kEmpty;
+    };
+
+    if (t.text == "{") ++brace_depth;
+    if (t.text == "}") {
+      --brace_depth;
+      guards.erase(std::remove_if(guards.begin(), guards.end(),
+                                  [&](const Guard& g) {
+                                    return g.brace_depth > brace_depth;
+                                  }),
+                   guards.end());
+    }
+
+    // relaxed-order -----------------------------------------------------
+    if (t.is_ident && t.text == "memory_order_relaxed" && !relaxed_ok) {
+      report(t.line, "relaxed-order",
+             "memory_order_relaxed outside the whitelisted counter files; "
+             "use the default ordering or whitelist the file in "
+             "docs/concurrency.md");
+    }
+
+    // raw-mutex ---------------------------------------------------------
+    if (t.text == "std" && next_text(1) == "::" &&
+        mutex_types().count(next_text(2)) != 0 && !raw_mutex_ok) {
+      report(t.line, "raw-mutex",
+             "raw std::" + next_text(2) +
+                 " outside common/; use pardis::common::RankedMutex so the "
+                 "lock-rank checker covers it");
+    }
+
+    // blocking-under-lock: guard tracking -------------------------------
+    if (t.is_ident && guard_types().count(t.text) != 0) {
+      if (next_text(1) == "<") {
+        // Find the matching `>` then the declared variable name.
+        int depth = 0;
+        std::size_t j = i + 1;
+        for (; j < toks.size(); ++j) {
+          if (toks[j].text == "<") ++depth;
+          if (toks[j].text == ">") {
+            --depth;
+            if (depth == 0) break;
+          }
+          if (toks[j].text == ";") break;
+        }
+        if (j < toks.size() && toks[j].text == ">" && j + 1 < toks.size() &&
+            toks[j + 1].is_ident) {
+          guards.push_back({brace_depth, toks[j + 1].text, true});
+        }
+      } else if (i + 2 < toks.size() && toks[i + 1].is_ident &&
+                 toks[i + 2].text == "(") {
+        // CTAD form: std::scoped_lock lock(mu);
+        guards.push_back({brace_depth, toks[i + 1].text, true});
+      }
+    }
+    // `var.unlock()` / `var.lock()` toggles the guard's held state.
+    if (t.is_ident && next_text(1) == "." &&
+        (next_text(2) == "unlock" || next_text(2) == "lock") &&
+        next_text(3) == "(") {
+      for (auto it = guards.rbegin(); it != guards.rend(); ++it) {
+        if (it->var == t.text) {
+          it->held = next_text(2) == "lock";
+          break;
+        }
+      }
+    }
+    // A blocking call while any guard is held.
+    if (t.is_ident && blocking_calls().count(t.text) != 0 &&
+        next_text(1) == "(" && i > 0 &&
+        (toks[i - 1].text == "." ||
+         (toks[i - 1].text == ">" && i > 1 && toks[i - 2].text == "-") ||
+         toks[i - 1].text == "::" || toks[i - 1].text == ";" ||
+         toks[i - 1].text == "{" || toks[i - 1].text == "}")) {
+      const auto held = std::find_if(guards.begin(), guards.end(),
+                                     [](const Guard& g) { return g.held; });
+      if (held != guards.end()) {
+        report(t.line, "blocking-under-lock",
+               "blocking call '" + t.text + "' while lock guard '" +
+                   held->var + "' is held; release the lock first "
+                   "(see Pipe::send for the pattern)");
+      }
+    }
+
+    // raw-new-delete: paren context tracking ----------------------------
+    if (t.text == "(") {
+      bool raii = false;
+      if (i > 0) {
+        std::size_t k = i - 1;  // token before the `(`
+        if (toks[k].text == ">") {
+          const std::size_t open = match_template_open(toks, k);
+          if (open != std::string::npos && open > 0) k = open - 1;
+        }
+        raii = toks[k].is_ident && (toks[k].text == "shared_ptr" ||
+                                    toks[k].text == "unique_ptr");
+      }
+      paren_raii.push_back(raii);
+    }
+    if (t.text == ")" && !paren_raii.empty()) paren_raii.pop_back();
+
+    if (t.text == "new" && t.is_ident) {
+      const bool inside_raii =
+          std::any_of(paren_raii.begin(), paren_raii.end(),
+                      [](bool b) { return b; });
+      if (!inside_raii) {
+        report(t.line, "raw-new-delete",
+               "raw 'new' outside an immediate shared_ptr/unique_ptr "
+               "wrapper; use std::make_unique/make_shared or wrap the "
+               "allocation");
+      }
+    }
+    if (t.text == "delete" && t.is_ident) {
+      const bool deleted_fn = i > 0 && toks[i - 1].text == "=";
+      const bool operator_decl = i > 0 && toks[i - 1].text == "operator";
+      if (!deleted_fn && !operator_decl) {
+        report(t.line, "raw-new-delete",
+               "raw 'delete'; ownership must live in a RAII wrapper");
+      }
+    }
+  }
+  return diags;
+}
+
+}  // namespace pardis::lint

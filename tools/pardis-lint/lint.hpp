@@ -1,0 +1,61 @@
+// pardis-lint: repository-specific concurrency lints.
+//
+// A lightweight token-stream scanner (same style as the IDL lexer: strip
+// comments/strings, keep (text, line) tokens) that enforces the repo's
+// concurrency conventions over C++ sources:
+//
+//   relaxed-order        std::memory_order_relaxed outside the whitelisted
+//                        counter files (docs/concurrency.md lists them).
+//   raw-mutex            a std::mutex (or cousin) outside common/ — code
+//                        must use pardis::common::RankedMutex so the lock
+//                        rank checker sees every lock.
+//   blocking-under-lock  a blocking net/runtime call (send, recv, accept,
+//                        connect, transmit, sleep_*) made while a
+//                        lock_guard/unique_lock/scoped_lock is live.
+//   raw-new-delete       new/delete outside an immediate shared_ptr /
+//                        unique_ptr wrapper (RAII discipline).
+//
+// A diagnostic can be suppressed with `// pardis-lint: allow(<rule>)` on
+// the same line or the line above.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pardis::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  /// Path suffixes where memory_order_relaxed is allowed (monotonic
+  /// counters and flags whose readers tolerate staleness).
+  std::vector<std::string> relaxed_whitelist{
+      "pardis/obs/metrics.hpp",    "pardis/obs/trace.hpp",
+      "pardis/net/link.hpp",       "pardis/net/link.cpp",
+      "pardis/net/connection.hpp", "pardis/net/connection.cpp",
+      "pardis/common/log.cpp",
+  };
+  /// Path fragments identifying files allowed to use raw std::mutex (the
+  /// RankedMutex implementation itself lives here).
+  std::vector<std::string> mutex_whitelist{"pardis/common/"};
+};
+
+/// All rule names, for --rules and suppression validation.
+const std::vector<std::string>& rule_names();
+
+/// Scans one translation unit.  `path` is used for diagnostics and for
+/// whitelist matching (suffix/fragment match), `text` is the source.
+std::vector<Diagnostic> scan_source(const std::string& path,
+                                    const std::string& text,
+                                    const Options& options = {});
+
+/// "file:line: [rule] message" — the clickable diagnostic format.
+std::string format(const Diagnostic& d);
+
+}  // namespace pardis::lint

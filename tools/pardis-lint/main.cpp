@@ -1,0 +1,83 @@
+// pardis-lint CLI: scans C++ sources for the repo's concurrency hazards.
+//
+//   pardis-lint <file-or-dir>...   scan, print file:line diagnostics,
+//                                  exit 1 when anything fires
+//   pardis-lint --rules            list the rule names
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+std::vector<fs::path> collect(const std::vector<std::string>& args) {
+  std::vector<fs::path> files;
+  for (const std::string& arg : args) {
+    const fs::path p(arg);
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && is_cpp_source(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "pardis-lint: no such file or directory: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "usage: pardis-lint <file-or-dir>... | --rules\n";
+    return 2;
+  }
+  if (args.size() == 1 && args[0] == "--rules") {
+    for (const std::string& rule : pardis::lint::rule_names()) {
+      std::cout << rule << "\n";
+    }
+    return 0;
+  }
+
+  const pardis::lint::Options options;
+  std::size_t count = 0;
+  std::size_t files = 0;
+  for (const fs::path& file : collect(args)) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "pardis-lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    ++files;
+    for (const auto& d : pardis::lint::scan_source(file.generic_string(),
+                                                   buf.str(), options)) {
+      std::cout << pardis::lint::format(d) << "\n";
+      ++count;
+    }
+  }
+  std::cerr << "pardis-lint: " << files << " files, " << count
+            << " finding(s)\n";
+  return count == 0 ? 0 : 1;
+}
