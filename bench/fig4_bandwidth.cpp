@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   base.server_ranks = 8;
   base.reps = static_cast<int>(env_u64("PARDIS_REPS", 7));
   base.link = link_from_env();
+  apply_transport_flag(base, argc, argv);
 
   const auto max_len = env_u64("PARDIS_FIG4_MAXLEN", 1'000'000);
 

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   base.reps = static_cast<int>(env_u64("PARDIS_REPS", 15));
   base.link = link_from_env();
   base.method = orb::TransferMethod::kCentralized;
+  apply_transport_flag(base, argc, argv);
 
   print_banner("Table 1: centralized argument transfer", base);
 

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   base.reps = static_cast<int>(env_u64("PARDIS_REPS", 15));
   base.link = link_from_env();
   base.method = orb::TransferMethod::kMultiPort;
+  apply_transport_flag(base, argc, argv);
 
   print_banner("Table 2: multi-port argument transfer", base);
 

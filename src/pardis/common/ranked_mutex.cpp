@@ -13,6 +13,16 @@ const char* to_string(LockRank rank) {
       return "kNetFabric";
     case LockRank::kNetAcceptor:
       return "kNetAcceptor";
+    case LockRank::kTransportReactor:
+      return "kTransportReactor";
+    case LockRank::kTransportListener:
+      return "kTransportListener";
+    case LockRank::kTransportPool:
+      return "kTransportPool";
+    case LockRank::kTransportStreamTx:
+      return "kTransportStreamTx";
+    case LockRank::kTransportStream:
+      return "kTransportStream";
     case LockRank::kNetConnection:
       return "kNetConnection";
     case LockRank::kNetLink:

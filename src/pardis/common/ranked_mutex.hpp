@@ -38,20 +38,25 @@ namespace pardis::common {
 /// holding rank r may only acquire ranks strictly greater than r.  Gaps
 /// leave room for future locks without renumbering.
 enum class LockRank : int {
-  kNetFabric = 10,        // net::Fabric registry (listeners, links)
-  kNetAcceptor = 20,      // net::Acceptor pending-connection queue
-  kNetConnection = 30,    // net::detail::Pipe frame queue
-  kNetLink = 40,          // net::LinkGovernor virtual-time slot queue
-  kNetStreamPacer = 50,   // net::StreamPacer per-stream admission time
-  kRtsMailbox = 60,       // rts::Mailbox message queue
-  kRtsTeamError = 70,     // rts::Team first-error slot
-  kOrbFuture = 80,        // orb::detail::FutureState completion state
-  kOrbNaming = 90,        // orb::NameService registration map
-  kOrbExceptions = 100,   // orb::ExceptionRegistry thrower map
-  kObsMetrics = 110,      // obs::MetricsRegistry instrument map
-  kObsHistogram = 120,    // obs::Histogram running stat
-  kObsTrace = 130,        // obs::Tracer event buffer
-  kCommonLog = 140,       // common log sink (leaf: loggable anywhere)
+  kNetFabric = 10,          // net::Fabric registry (listeners, links)
+  kNetAcceptor = 20,        // net::Acceptor pending-connection queue
+  kTransportReactor = 22,   // transport TCP reactor fd->handler registry
+  kTransportListener = 24,  // transport::Listener pending-stream queue
+  kTransportPool = 26,      // transport::Transport idle-stream pool
+  kTransportStreamTx = 27,  // transport TCP per-stream writer serialization
+  kTransportStream = 28,    // transport TCP per-stream rx queue + state
+  kNetConnection = 30,      // net::detail::Pipe frame queue
+  kNetLink = 40,            // net::LinkGovernor virtual-time slot queue
+  kNetStreamPacer = 50,     // net::StreamPacer per-stream admission time
+  kRtsMailbox = 60,         // rts::Mailbox message queue
+  kRtsTeamError = 70,       // rts::Team first-error slot
+  kOrbFuture = 80,          // orb::detail::FutureState completion state
+  kOrbNaming = 90,          // orb::NameService registration map
+  kOrbExceptions = 100,     // orb::ExceptionRegistry thrower map
+  kObsMetrics = 110,        // obs::MetricsRegistry instrument map
+  kObsHistogram = 120,      // obs::Histogram running stat
+  kObsTrace = 130,          // obs::Tracer event buffer
+  kCommonLog = 140,         // common log sink (leaf: loggable anywhere)
 };
 
 /// Human-readable rank name for diagnostics ("kNetFabric" etc.).

@@ -97,8 +97,11 @@ class Connection {
   /// report EOF without blocking.
   bool eof() const { return in_->closed() && !in_->has_frame(); }
 
-  /// Half-closes the outgoing direction; the peer's recv() drains queued
-  /// frames and then reports EOF.
+  /// Closes the connection in both directions (idempotent).  Each side's
+  /// recv() — ours and the peer's — still drains frames already delivered,
+  /// then reports EOF; send() on either endpoint fails loudly with
+  /// COMM_FAILURE afterwards.  This is the contract every
+  /// transport::Stream backend implements (see transport/transport.hpp).
   void close();
 
   /// Diagnostic label ("clienthost->serverhost:7001").

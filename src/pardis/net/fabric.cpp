@@ -146,17 +146,18 @@ std::shared_ptr<Connection> Fabric::connect(const std::string& from_host,
 
 std::shared_ptr<LinkGovernor> Fabric::governor_for(const std::string& from,
                                                    const std::string& to) {
-  // Loopback traffic is not paced unless an explicit link was configured.
   auto key = std::minmax(from, to);
   const auto model_it = link_models_.find({key.first, key.second});
-  LinkModel model;
-  if (model_it != link_models_.end()) {
-    model = model_it->second;
-  } else if (from != to) {
-    model = default_link_;
-  } else {
-    model = LinkModel::unlimited();
+  if (model_it == link_models_.end() && from == to) {
+    // Loopback fast-path: same-host traffic with no explicitly configured
+    // link skips pacing entirely — no governor lock, no per-stream pacer
+    // state, and no "link.host->host" gauges (Pipe::send treats a null
+    // governor as a free wire).  An unlimited-rate governor here would
+    // still serialize every same-host sender on the governor mutex.
+    return nullptr;
   }
+  const LinkModel model =
+      model_it != link_models_.end() ? model_it->second : default_link_;
   auto& governor = governors_[{from, to}];
   if (!governor) {
     governor = std::make_shared<LinkGovernor>(model);

@@ -5,6 +5,9 @@ namespace pardis::orb {
 Orb::Orb(const OrbConfig& config) : config_(config) {
   fabric_.set_default_link(config.default_link);
   fabric_.set_metrics(&obs_.metrics());
+  const transport::Kind kind =
+      config.transport.value_or(transport::kind_from_env());
+  transport_ = transport::make_transport(kind, fabric_, &obs_);
 }
 
 std::shared_ptr<Orb> Orb::create(const OrbConfig& config) {

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "pardis/common/config.hpp"
@@ -20,6 +21,7 @@
 #include "pardis/orb/exceptions.hpp"
 #include "pardis/orb/naming.hpp"
 #include "pardis/orb/protocol.hpp"
+#include "pardis/transport/transport.hpp"
 
 namespace pardis::orb {
 
@@ -28,13 +30,21 @@ struct OrbConfig {
   net::LinkModel default_link = net::LinkModel::unlimited();
   /// Default transfer method for invocations that don't specify one.
   TransferMethod default_method = TransferMethod::kMultiPort;
+  /// Wire backend (sim | tcp).  nullopt defers to the PARDIS_TRANSPORT
+  /// environment variable, whose own default is the simulated fabric.
+  std::optional<transport::Kind> transport;
 };
 
 class Orb {
  public:
   static std::shared_ptr<Orb> create(const OrbConfig& config = {});
 
+  /// The simulated fabric.  Always present (link models are configured
+  /// here even when the TCP backend carries the traffic); the sim
+  /// transport adapts it.
   net::Fabric& fabric() noexcept { return fabric_; }
+  /// The wire backend every binding and listener goes through.
+  transport::Transport& transport() noexcept { return *transport_; }
   NameService& naming() noexcept { return naming_; }
   /// The process-wide user-exception registry (generated stubs register
   /// their throwers there at static-initialization time).
@@ -53,6 +63,7 @@ class Orb {
   /// registry and returns it, ready for dumping.
   obs::MetricsRegistry& collect_metrics() {
     fabric_.collect_metrics();
+    transport_->collect_metrics();
     return obs_.metrics();
   }
 
@@ -64,6 +75,9 @@ class Orb {
   OrbConfig config_;
   obs::Observability obs_;
   net::Fabric fabric_;
+  // After fabric_ and obs_ (it references both), before everything that
+  // may hold streams.
+  std::unique_ptr<transport::Transport> transport_;
   NameService naming_;
   std::atomic<cdr::ULong> binding_ids_{0};
 };

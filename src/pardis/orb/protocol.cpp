@@ -21,6 +21,7 @@ const char* to_string(MsgType t) noexcept {
     case MsgType::kArgTransfer: return "ArgTransfer";
     case MsgType::kHello:       return "Hello";
     case MsgType::kShutdown:    return "Shutdown";
+    case MsgType::kUnbind:      return "Unbind";
   }
   return "?";
 }
@@ -222,7 +223,7 @@ Frame parse_frame(pardis::BytesView frame) {
   if (frame[4] != kVersion) {
     throw MARSHAL("unsupported protocol version");
   }
-  if (frame[6] > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+  if (frame[6] > static_cast<std::uint8_t>(MsgType::kUnbind)) {
     throw MARSHAL("unknown message type");
   }
   return Frame{static_cast<MsgType>(frame[6]), frame[5] != 0, kPrologueSize};

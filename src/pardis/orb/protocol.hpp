@@ -51,6 +51,7 @@ enum class MsgType : std::uint8_t {
   kArgTransfer = 4,
   kHello = 5,
   kShutdown = 6,
+  kUnbind = 7,
 };
 
 const char* to_string(MsgType t) noexcept;

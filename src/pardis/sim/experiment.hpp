@@ -18,6 +18,7 @@
 #include <array>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,11 @@ struct BenchConfig {
   orb::TransferMethod method = orb::TransferMethod::kCentralized;
   int reps = 15;
   net::LinkModel link;
+  /// Wire backend for the scenario (`--transport=sim|tcp` on the bench
+  /// command line).  nullopt defers to PARDIS_TRANSPORT; note the link
+  /// model only shapes traffic on the simulated backend — over tcp the
+  /// numbers reflect real loopback sockets.
+  std::optional<transport::Kind> transport;
 };
 
 /// Per-phase means over the repetitions: client side reduced max-over-ranks
@@ -93,6 +99,7 @@ inline BenchResult run_config(const BenchConfig& cfg) {
   scfg.server.nranks = cfg.server_ranks;
   scfg.client.nranks = cfg.client_ranks;
   scfg.link = cfg.link;
+  scfg.orb.transport = cfg.transport;
   sim::Scenario scenario(scfg);
 
   BenchResult result;
@@ -181,11 +188,30 @@ class TraceSession {
   std::string path_;
 };
 
+/// Applies `--transport sim|tcp` / `--transport=tcp` from the bench
+/// command line (overrides PARDIS_TRANSPORT).  Unknown values throw
+/// BAD_PARAM via parse_kind.
+inline void apply_transport_flag(BenchConfig& cfg, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      cfg.transport = transport::parse_kind(argv[i] + 12);
+    } else if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
+      cfg.transport = transport::parse_kind(argv[i + 1]);
+    }
+  }
+}
+
 inline void print_banner(const char* title, const BenchConfig& cfg) {
   std::printf("%s\n", title);
   std::string link = "unlimited";
   if (cfg.link.bandwidth_bps > 0) {
     link = format_fixed(cfg.link.bandwidth_bps / 1e6, 0) + " MB/s shared";
+  }
+  const transport::Kind kind =
+      cfg.transport.value_or(transport::kind_from_env());
+  if (kind != transport::Kind::kSim) {
+    link = std::string("real sockets (") + transport::to_string(kind) +
+           "), model inactive";
   }
   std::printf("  sequence: %llu doubles (%.1f KB)   reps: %d   link: %s\n",
               static_cast<unsigned long long>(cfg.seqlen),

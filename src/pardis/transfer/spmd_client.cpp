@@ -15,7 +15,8 @@ namespace {
 
 /// Sends a complete frame: prologue + body encoded by `encode_body`.
 template <typename Fn>
-void send_frame(net::Connection& conn, orb::MsgType type, Fn&& encode_body) {
+void send_frame(transport::Stream& conn, orb::MsgType type,
+                Fn&& encode_body) {
   cdr::Encoder enc;
   orb::begin_frame(enc, type);
   encode_body(enc);
@@ -27,7 +28,7 @@ struct ReceivedFrame {
   orb::Frame info;
 };
 
-ReceivedFrame recv_frame(net::Connection& conn, orb::MsgType expected) {
+ReceivedFrame recv_frame(transport::Stream& conn, orb::MsgType expected) {
   ReceivedFrame f;
   f.bytes = conn.recv_or_throw();
   f.info = orb::parse_frame(f.bytes);
@@ -117,7 +118,7 @@ SpmdBinding SpmdBinding::bind(orb::Orb& orb, rts::Communicator& comm,
 
   // Rank 0 opens the control connection and announces the binding.
   if (comm.rank() == 0) {
-    b.control_ = orb.fabric().connect(client_host, b.object_.endpoints[0]);
+    b.control_ = orb.transport().connect(client_host, b.object_.endpoints[0]);
     send_frame(*b.control_, orb::MsgType::kBindRequest, [&](cdr::Encoder& e) {
       orb::BindRequest req;
       req.binding_id = b.binding_id_;
@@ -134,7 +135,7 @@ SpmdBinding SpmdBinding::bind(orb::Orb& orb, rts::Communicator& comm,
   // can communicate directly with each thread of the server).
   b.data_conns_.reserve(b.object_.endpoints.size());
   for (const net::Address& ep : b.object_.endpoints) {
-    auto conn = orb.fabric().connect(client_host, ep);
+    auto conn = orb.transport().connect(client_host, ep);
     send_frame(*conn, orb::MsgType::kHello, [&](cdr::Encoder& e) {
       orb::Hello hello;
       hello.binding_id = b.binding_id_;
@@ -518,23 +519,41 @@ DirectBinding DirectBinding::bind(orb::Orb& orb,
   }
   b.object_ = *ref;
   b.binding_id_ = orb.next_binding_id();
-  b.control_ = orb.fabric().connect(client_host, b.object_.endpoints[0]);
-  send_frame(*b.control_, orb::MsgType::kBindRequest, [&](cdr::Encoder& e) {
-    orb::BindRequest req;
-    req.binding_id = b.binding_id_;
-    req.client_host = client_host;
-    req.client_ranks = 1;
-    req.object_key = object_name;
-    req.collective = false;
-    req.encode(e);
-  });
-  auto frame = recv_frame(*b.control_, orb::MsgType::kBindAck);
-  auto dec = orb::body_decoder(frame.bytes, frame.info);
-  const orb::BindAck ack = orb::BindAck::decode(dec);
-  if (ack.status != orb::BindStatus::kOk) {
-    throw OBJECT_NOT_EXIST("bind rejected: " + ack.message);
+  b.client_host_ = client_host;
+  // The control connection comes from the transport's idle pool when a
+  // previous binding to the same endpoint released one.  A pooled stream
+  // may have died while idle (the server may have dropped it), so on a
+  // communication failure with a reused stream retry once with a
+  // guaranteed-fresh connection.
+  for (int attempt = 0;; ++attempt) {
+    bool reused = false;
+    b.control_ =
+        orb.transport().acquire(client_host, b.object_.endpoints[0], &reused);
+    try {
+      send_frame(*b.control_, orb::MsgType::kBindRequest,
+                 [&](cdr::Encoder& e) {
+                   orb::BindRequest req;
+                   req.binding_id = b.binding_id_;
+                   req.client_host = client_host;
+                   req.client_ranks = 1;
+                   req.object_key = object_name;
+                   req.collective = false;
+                   req.encode(e);
+                 });
+      auto frame = recv_frame(*b.control_, orb::MsgType::kBindAck);
+      auto dec = orb::body_decoder(frame.bytes, frame.info);
+      const orb::BindAck ack = orb::BindAck::decode(dec);
+      if (ack.status != orb::BindStatus::kOk) {
+        throw OBJECT_NOT_EXIST("bind rejected: " + ack.message);
+      }
+      return b;
+    } catch (const SystemException& e) {
+      b.control_->close();
+      b.control_.reset();
+      if (reused && attempt == 0 && e.kind() == "COMM_FAILURE") continue;
+      throw;
+    }
   }
-  return b;
 }
 
 pardis::Bytes DirectBinding::invoke(const std::string& operation,
@@ -567,15 +586,21 @@ pardis::Bytes DirectBinding::invoke(const std::string& operation,
 }
 
 void DirectBinding::unbind() {
-  if (control_) {
-    control_->close();
-    control_.reset();
+  if (!control_) return;
+  try {
+    send_frame(*control_, orb::MsgType::kUnbind,
+               [&](cdr::Encoder& e) { e.put_ulong(binding_id_); });
+    orb_->transport().release(std::move(control_));
+  } catch (const SystemException&) {
+    // Peer already gone: nothing to announce, nothing worth pooling.
+    if (control_) control_->close();
   }
+  control_.reset();
 }
 
 void send_shutdown(orb::Orb& orb, const std::string& from_host,
                    const orb::ObjectRef& ref) {
-  auto conn = orb.fabric().connect(from_host, ref.endpoints[0]);
+  auto conn = orb.transport().connect(from_host, ref.endpoints[0]);
   send_frame(*conn, orb::MsgType::kShutdown, [](cdr::Encoder&) {});
   conn->close();
 }

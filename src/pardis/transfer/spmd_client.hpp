@@ -21,13 +21,13 @@
 #include <string>
 #include <vector>
 
-#include "pardis/net/connection.hpp"
 #include "pardis/orb/future.hpp"
 #include "pardis/orb/objref.hpp"
 #include "pardis/orb/orb.hpp"
 #include "pardis/rts/communicator.hpp"
 #include "pardis/transfer/engine.hpp"
 #include "pardis/transfer/stats.hpp"
+#include "pardis/transport/transport.hpp"
 
 namespace pardis::transfer {
 
@@ -110,9 +110,9 @@ class SpmdBinding {
   orb::ObjectRef object_;
   cdr::ULong binding_id_ = 0;
   ArgDistPolicy policy_;
-  std::shared_ptr<net::Connection> control_;  // rank 0 only
+  std::shared_ptr<transport::Stream> control_;  // rank 0 only
   /// Data connection to each server rank (index = server rank).
-  std::vector<std::shared_ptr<net::Connection>> data_conns_;
+  std::vector<std::shared_ptr<transport::Stream>> data_conns_;
   cdr::ULong next_request_ = 0;  // replicated identically on every rank
   InvocationStats stats_;
   std::vector<double> server_stats_;
@@ -137,6 +137,9 @@ class DirectBinding {
                        pardis::Bytes scalar_args,
                        bool response_expected = true);
 
+  /// Announces the unbind to the server (Unbind frame) and returns the
+  /// control connection to the transport's idle pool for the next bind()
+  /// to the same endpoint to reuse.
   void unbind();
 
   const orb::ObjectRef& object() const noexcept { return object_; }
@@ -146,9 +149,10 @@ class DirectBinding {
   DirectBinding() = default;
 
   orb::Orb* orb_ = nullptr;
+  std::string client_host_;
   orb::ObjectRef object_;
   cdr::ULong binding_id_ = 0;
-  std::shared_ptr<net::Connection> control_;
+  std::shared_ptr<transport::Stream> control_;
   cdr::ULong next_request_ = 0;
 };
 

@@ -15,7 +15,8 @@ namespace {
 constexpr auto kIdlePollSleep = std::chrono::microseconds(30);
 
 template <typename Fn>
-void send_frame(net::Connection& conn, orb::MsgType type, Fn&& encode_body) {
+void send_frame(transport::Stream& conn, orb::MsgType type,
+                Fn&& encode_body) {
   cdr::Encoder enc;
   orb::begin_frame(enc, type);
   encode_body(enc);
@@ -30,7 +31,7 @@ SpmdServer::SpmdServer(orb::Orb& orb, rts::Communicator& comm,
 
 void SpmdServer::ensure_listening() {
   if (acceptor_) return;
-  acceptor_ = orb_->fabric().listen(host_, 0);
+  acceptor_ = orb_->transport().listen(host_, 0);
   // Collect every rank's port so the object reference can advertise one
   // endpoint per computing thread.
   const auto ports =
@@ -190,6 +191,18 @@ SpmdServer::Event SpmdServer::wait_event(bool blocking) {
           event.wait = Clock::now() - t0;
           return event;
         }
+        if (info.type == orb::MsgType::kUnbind) {
+          // Polite unbind: the client returned its end of the control
+          // stream to the transport pool, so recycle ours — the next frame
+          // on it, if any, is a fresh BindRequest from a pooled
+          // reconnection, which the classifier handles like any new
+          // connection.  (Sibling ranks keep their table entries, exactly
+          // as in the abrupt-EOF path below.)
+          PARDIS_LOG_DEBUG << "binding " << it->first << " unbound";
+          unclassified_.push_back(std::move(bs.control));
+          it = bindings_.erase(it);
+          continue;
+        }
         PARDIS_LOG_WARN << "unexpected " << to_string(info.type)
                         << " on control connection; ignoring";
         ++it;
@@ -241,7 +254,7 @@ SpmdServer::Event SpmdServer::next_event(bool blocking) {
 
 void SpmdServer::collect_hellos(
     cdr::ULong binding_id, int client_ranks,
-    std::vector<std::shared_ptr<net::Connection>>& out) {
+    std::vector<std::shared_ptr<transport::Stream>>& out) {
   out.assign(static_cast<std::size_t>(client_ranks), nullptr);
   int have = 0;
   // Adopt hellos that already arrived.
@@ -259,7 +272,7 @@ void SpmdServer::collect_hellos(
   // first frame was still in flight — drain `unclassified_` before blocking
   // in accept(), or those connections would never be looked at again.
   while (have < client_ranks) {
-    std::shared_ptr<net::Connection> conn;
+    std::shared_ptr<transport::Stream> conn;
     if (!unclassified_.empty()) {
       conn = std::move(unclassified_.front());
       unclassified_.erase(unclassified_.begin());
@@ -480,7 +493,7 @@ void SpmdServer::handle_request(const Event& event) {
       for (int i = 0; i < binding.client_ranks; ++i) {
         for (const dseq::Segment& seg : plan.incoming(rank)) {
           if (seg.src_rank != i) continue;
-          net::Connection& conn =
+          transport::Stream& conn =
               *binding.data[static_cast<std::size_t>(i)];
           const pardis::Bytes frame_bytes =
               timer.time(Phase::kRecv, [&] { return conn.recv_or_throw(); });

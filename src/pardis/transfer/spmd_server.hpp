@@ -40,6 +40,7 @@
 #include "pardis/rts/communicator.hpp"
 #include "pardis/transfer/engine.hpp"
 #include "pardis/transfer/stats.hpp"
+#include "pardis/transport/transport.hpp"
 
 namespace pardis::transfer {
 
@@ -212,9 +213,9 @@ class SpmdServer {
     int client_ranks = 0;
     bool collective = true;
     std::string object_key;
-    std::shared_ptr<net::Connection> control;  // rank 0 only
+    std::shared_ptr<transport::Stream> control;  // rank 0 only
     /// This rank's data connection from each client rank.
-    std::vector<std::shared_ptr<net::Connection>> data;
+    std::vector<std::shared_ptr<transport::Stream>> data;
   };
 
   struct Activation {
@@ -230,12 +231,12 @@ class SpmdServer {
   void handle_bind(const Event& event);
   void handle_request(const Event& event);
   void collect_hellos(cdr::ULong binding_id, int client_ranks,
-                      std::vector<std::shared_ptr<net::Connection>>& out);
+                      std::vector<std::shared_ptr<transport::Stream>>& out);
 
   orb::Orb* orb_;
   rts::Communicator* comm_;
   std::string host_;
-  std::shared_ptr<net::Acceptor> acceptor_;
+  std::shared_ptr<transport::Listener> acceptor_;
   std::vector<net::Address> endpoints_;  // all ranks' ports
   std::map<std::string, Activation> activations_;
   std::optional<orb::ObjectRef> last_ref_;
@@ -243,13 +244,14 @@ class SpmdServer {
   InvocationStats stats_;
 
   // rank 0 connection bookkeeping.
-  std::vector<std::shared_ptr<net::Connection>> unclassified_;
+  std::vector<std::shared_ptr<transport::Stream>> unclassified_;
   /// Bind events discovered while busy with another event.
   std::deque<Event> pending_events_;
   /// Control connection of each not-yet-acknowledged bind, by binding id.
-  std::map<cdr::ULong, std::shared_ptr<net::Connection>> bind_controls_;
+  std::map<cdr::ULong, std::shared_ptr<transport::Stream>> bind_controls_;
   // Hellos that arrived before their bind was processed, any rank.
-  std::map<cdr::ULong, std::map<cdr::ULong, std::shared_ptr<net::Connection>>>
+  std::map<cdr::ULong,
+           std::map<cdr::ULong, std::shared_ptr<transport::Stream>>>
       pending_hellos_;
   std::map<cdr::ULong, BindingState> bindings_;
 };

@@ -1,0 +1,33 @@
+#include "pardis/transport/sim_transport.hpp"
+
+namespace pardis::transport {
+
+std::shared_ptr<Stream> SimListener::wrap(
+    std::shared_ptr<net::Connection> conn) const {
+  if (!conn) return nullptr;
+  // The fabric does not expose the connecting host; accepted streams carry
+  // the listener's host as origin and no pool key (they are never pooled).
+  return std::make_shared<SimStream>(std::move(conn),
+                                     acceptor_->address().host, Endpoint{});
+}
+
+std::shared_ptr<Stream> SimListener::accept() {
+  return wrap(acceptor_->accept());
+}
+
+std::shared_ptr<Stream> SimListener::try_accept() {
+  return wrap(acceptor_->try_accept());
+}
+
+std::shared_ptr<Listener> SimTransport::listen(const std::string& host,
+                                               int port) {
+  return std::make_shared<SimListener>(fabric_->listen(host, port));
+}
+
+std::shared_ptr<Stream> SimTransport::connect(const std::string& from_host,
+                                              const Endpoint& to) {
+  return std::make_shared<SimStream>(fabric_->connect(from_host, to),
+                                     from_host, to);
+}
+
+}  // namespace pardis::transport

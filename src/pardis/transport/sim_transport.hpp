@@ -1,0 +1,85 @@
+// Simulated-fabric transport backend: a thin adapter over net::Fabric.
+//
+// Streams wrap net::Connection (whose Pipe pair already implements the
+// framed contract, including link-model pacing), listeners wrap
+// net::Acceptor.  The fabric itself stays owned by the Orb so link
+// configuration (Fabric::set_link) keeps working regardless of backend.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pardis/transport/transport.hpp"
+
+namespace pardis::transport {
+
+class SimStream final : public Stream {
+ public:
+  SimStream(std::shared_ptr<net::Connection> conn, std::string origin,
+            Endpoint peer)
+      : conn_(std::move(conn)),
+        origin_(std::move(origin)),
+        peer_(std::move(peer)) {}
+
+  void send(pardis::Bytes frame) override { conn_->send(std::move(frame)); }
+  std::optional<pardis::Bytes> recv() override { return conn_->recv(); }
+  std::optional<pardis::Bytes> try_recv() override {
+    return conn_->try_recv();
+  }
+  bool has_frame() const override { return conn_->has_frame(); }
+  bool eof() const override { return conn_->eof(); }
+  void close() override { conn_->close(); }
+  const std::string& label() const noexcept override {
+    return conn_->label();
+  }
+  const std::string& origin() const noexcept override { return origin_; }
+  const Endpoint& peer() const noexcept override { return peer_; }
+  Counters counters() const override { return conn_->counters(); }
+
+  /// The wrapped simulated connection (tests reach through for
+  /// fabric-level assertions).
+  const std::shared_ptr<net::Connection>& connection() const noexcept {
+    return conn_;
+  }
+
+ private:
+  std::shared_ptr<net::Connection> conn_;
+  std::string origin_;
+  Endpoint peer_;
+};
+
+class SimListener final : public Listener {
+ public:
+  explicit SimListener(std::shared_ptr<net::Acceptor> acceptor)
+      : acceptor_(std::move(acceptor)) {}
+
+  const Endpoint& address() const noexcept override {
+    return acceptor_->address();
+  }
+  std::shared_ptr<Stream> accept() override;
+  std::shared_ptr<Stream> try_accept() override;
+  void close() override { acceptor_->close(); }
+
+ private:
+  std::shared_ptr<Stream> wrap(std::shared_ptr<net::Connection> conn) const;
+
+  std::shared_ptr<net::Acceptor> acceptor_;
+};
+
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(net::Fabric& fabric) : fabric_(&fabric) {}
+
+  Kind kind() const noexcept override { return Kind::kSim; }
+  std::shared_ptr<Listener> listen(const std::string& host,
+                                   int port = 0) override;
+  std::shared_ptr<Stream> connect(const std::string& from_host,
+                                  const Endpoint& to) override;
+  void collect_metrics() override { fabric_->collect_metrics(); }
+
+ private:
+  net::Fabric* fabric_;
+};
+
+}  // namespace pardis::transport

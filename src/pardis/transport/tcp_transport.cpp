@@ -1,0 +1,606 @@
+#include "pardis/transport/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "pardis/common/config.hpp"
+#include "pardis/common/error.hpp"
+#include "pardis/common/log.hpp"
+
+namespace pardis::transport {
+
+namespace {
+
+std::string errno_text(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
+         ")";
+}
+
+void encode_be32(std::uint32_t value, std::uint8_t out[4]) {
+  out[0] = static_cast<std::uint8_t>(value >> 24);
+  out[1] = static_cast<std::uint8_t>(value >> 16);
+  out[2] = static_cast<std::uint8_t>(value >> 8);
+  out[3] = static_cast<std::uint8_t>(value);
+}
+
+std::uint32_t decode_be32(const std::uint8_t* in) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Writes everything, waiting for POLLOUT on a full socket buffer.  Each
+/// stall is bounded by `stall_timeout`; on expiry the frame is abandoned
+/// mid-stream (Completion::kMaybe).
+void write_all(int fd, const std::uint8_t* data, std::size_t size,
+               std::chrono::milliseconds stall_timeout,
+               const std::string& label) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n > 0) {
+      data += n;
+      size -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd p {};
+      p.fd = fd;
+      p.events = POLLOUT;
+      const int rc =
+          ::poll(&p, 1, static_cast<int>(stall_timeout.count()));
+      if (rc == 0) {
+        throw TIMEOUT("send stalled for " +
+                          std::to_string(stall_timeout.count()) + "ms on " +
+                          label,
+                      Completion::kMaybe);
+      }
+      continue;  // ready, error or EINTR: retry the write and let it decide
+    }
+    throw COMM_FAILURE("send failed on " + label + ": " + errno_text(errno),
+                       Completion::kMaybe);
+  }
+}
+
+}  // namespace
+
+namespace tcpdetail {
+
+// ---- Reactor ---------------------------------------------------------------
+
+Reactor::Reactor(obs::Observability* obs) : obs_(obs) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw INTERNAL("epoll_create1 failed: " + errno_text(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw INTERNAL("eventfd failed: " + errno_text(errno));
+  }
+  struct epoll_event ev {};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  thread_ = std::thread([this] { run(); });
+}
+
+Reactor::~Reactor() {
+  stop_.store(true);
+  (void)::eventfd_write(wake_fd_, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void Reactor::add(int fd, const std::shared_ptr<FdHandler>& handler) {
+  {
+    std::lock_guard<common::RankedMutex> lock(mu_);
+    handlers_[fd] = handler;
+  }
+  struct epoll_event ev {};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    std::lock_guard<common::RankedMutex> lock(mu_);
+    handlers_.erase(fd);
+    throw INTERNAL("epoll_ctl(ADD) failed: " + errno_text(errno));
+  }
+}
+
+void Reactor::remove(int fd) {
+  // DEL may race a concurrent EOF-removal from the reactor thread; ENOENT
+  // is the benign outcome of losing that race.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  handlers_.erase(fd);
+}
+
+std::size_t Reactor::watched() const {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  return handlers_.size();
+}
+
+void Reactor::run() {
+  obs::Tracer* tracer = obs_ != nullptr ? &obs_->tracer() : nullptr;
+  obs::Counter* wakeups =
+      obs_ != nullptr ? &obs_->metrics().counter("tcp.reactor.wakeups")
+                      : nullptr;
+  std::vector<struct epoll_event> events(64);
+  while (!stop_.load()) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      PARDIS_LOG_WARN << "reactor: epoll_wait failed: " << errno_text(errno);
+      return;
+    }
+    if (stop_.load()) return;
+    if (wakeups != nullptr) wakeups->add();
+
+    const auto dispatch = [&] {
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[static_cast<std::size_t>(i)].data.fd;
+        if (fd == wake_fd_) {
+          eventfd_t value = 0;
+          (void)::eventfd_read(wake_fd_, &value);
+          continue;
+        }
+        std::shared_ptr<FdHandler> handler;
+        {
+          std::lock_guard<common::RankedMutex> lock(mu_);
+          auto it = handlers_.find(fd);
+          if (it != handlers_.end()) handler = it->second.lock();
+        }
+        // A handler that vanished between epoll_wait and here was removed
+        // (and possibly its fd reused); skipping is always safe under
+        // level-triggered polling.
+        if (handler) handler->on_readable();
+      }
+    };
+    if (tracer != nullptr && tracer->enabled()) {
+      const obs::SpanGuard span(tracer, "reactor.drain", "reactor",
+                                kTransportPid, 0);
+      dispatch();
+    } else {
+      dispatch();
+    }
+  }
+}
+
+}  // namespace tcpdetail
+
+// ---- TcpStream -------------------------------------------------------------
+
+TcpStream::TcpStream(int fd, std::string label, std::string origin,
+                     Endpoint peer, TcpTransport* owner)
+    : fd_(fd),
+      label_(std::move(label)),
+      origin_(std::move(origin)),
+      peer_(std::move(peer)),
+      owner_(owner) {}
+
+TcpStream::~TcpStream() {
+  owner_->reactor().remove(fd_);
+  ::close(fd_);
+}
+
+void TcpStream::send(pardis::Bytes frame) {
+  {
+    std::lock_guard<common::RankedMutex> lock(mu_);
+    if (closed_) {
+      throw COMM_FAILURE("send on closed connection", Completion::kNo);
+    }
+    if (peer_closed_) {
+      throw COMM_FAILURE("send on connection closed by peer: " + label_,
+                         Completion::kNo);
+    }
+  }
+  std::uint8_t prefix[4];
+  encode_be32(static_cast<std::uint32_t>(frame.size()), prefix);
+  {
+    std::lock_guard<common::RankedMutex> tx(tx_mu_);
+    write_all(fd_, prefix, sizeof(prefix), owner_->connect_timeout(), label_);
+    write_all(fd_, frame.data(), frame.size(), owner_->connect_timeout(),
+              label_);
+  }
+  {
+    std::lock_guard<common::RankedMutex> lock(mu_);
+    counters_.frames_sent += 1;
+    counters_.bytes_sent += frame.size();
+  }
+  if (owner_->agg_frames_ != nullptr) owner_->agg_frames_->add(1);
+  if (owner_->agg_bytes_ != nullptr) owner_->agg_bytes_->add(frame.size());
+}
+
+std::optional<pardis::Bytes> TcpStream::recv() {
+  std::unique_lock<common::RankedMutex> lock(mu_);
+  const auto ready = [&] {
+    return !queue_.empty() || closed_ || peer_closed_;
+  };
+  const auto timeout = owner_->recv_timeout();
+  if (timeout.count() <= 0) {
+    cv_.wait(lock, ready);
+  } else if (!cv_.wait_for(lock, timeout, ready)) {
+    throw TIMEOUT("recv timed out after " + std::to_string(timeout.count()) +
+                  "ms on " + label_);
+  }
+  if (queue_.empty()) return std::nullopt;  // EOF
+  pardis::Bytes frame = std::move(queue_.front());
+  queue_.pop_front();
+  return frame;
+}
+
+std::optional<pardis::Bytes> TcpStream::try_recv() {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  pardis::Bytes frame = std::move(queue_.front());
+  queue_.pop_front();
+  return frame;
+}
+
+bool TcpStream::has_frame() const {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  return !queue_.empty();
+}
+
+bool TcpStream::eof() const {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  return (closed_ || peer_closed_) && queue_.empty();
+}
+
+void TcpStream::close() {
+  {
+    std::lock_guard<common::RankedMutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  cv_.notify_all();
+  // Both directions go down: our reactor sees EOF (deregistering the fd)
+  // and the peer drains, then sees EOF.
+  (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+TcpStream::Counters TcpStream::counters() const {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  return counters_;
+}
+
+void TcpStream::on_readable() {
+  bool at_eof = false;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      rx_buf_.insert(rx_buf_.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      at_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    PARDIS_LOG_DEBUG << "tcp recv error on " << label_ << ": "
+                     << errno_text(errno);
+    at_eof = true;  // reset by peer etc.: deliver what we have, then EOF
+    break;
+  }
+  deliver_frames();
+  if (at_eof || rx_poisoned_) mark_peer_closed();
+}
+
+void TcpStream::deliver_frames() {
+  std::vector<pardis::Bytes> ready;
+  std::size_t pos = 0;
+  while (!rx_poisoned_ && rx_buf_.size() - pos >= 4) {
+    const std::uint32_t len = decode_be32(rx_buf_.data() + pos);
+    if (len > owner_->max_frame()) {
+      PARDIS_LOG_WARN << "tcp: dropping " << label_ << ": framed length "
+                      << len << " exceeds PARDIS_TCP_MAX_FRAME";
+      rx_poisoned_ = true;
+      break;
+    }
+    if (rx_buf_.size() - pos - 4 < len) break;  // frame still in flight
+    ready.emplace_back(rx_buf_.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+                       rx_buf_.begin() +
+                           static_cast<std::ptrdiff_t>(pos + 4 + len));
+    pos += 4 + len;
+  }
+  if (pos > 0) {
+    rx_buf_.erase(rx_buf_.begin(),
+                  rx_buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  if (ready.empty()) return;
+  {
+    std::lock_guard<common::RankedMutex> lock(mu_);
+    for (pardis::Bytes& frame : ready) {
+      counters_.frames_received += 1;
+      counters_.bytes_received += frame.size();
+      queue_.push_back(std::move(frame));
+    }
+  }
+  cv_.notify_all();
+}
+
+void TcpStream::mark_peer_closed() {
+  {
+    std::lock_guard<common::RankedMutex> lock(mu_);
+    if (peer_closed_) return;
+    peer_closed_ = true;
+  }
+  cv_.notify_all();
+  // Keep the EOF'd fd out of the (level-triggered) epoll set or it would
+  // report readable forever.  The fd itself stays open until destruction.
+  owner_->reactor().remove(fd_);
+}
+
+// ---- TcpListener -----------------------------------------------------------
+
+TcpListener::TcpListener(int fd, Endpoint address, TcpTransport* owner)
+    : fd_(fd), address_(std::move(address)), owner_(owner) {}
+
+TcpListener::~TcpListener() {
+  close();
+  owner_->reactor().remove(fd_);
+  ::close(fd_);
+}
+
+std::shared_ptr<Stream> TcpListener::accept() {
+  std::unique_lock<common::RankedMutex> lock(mu_);
+  cv_.wait(lock, [&] { return !pending_.empty() || closed_; });
+  if (pending_.empty()) return nullptr;
+  auto stream = std::move(pending_.front());
+  pending_.pop_front();
+  return stream;
+}
+
+std::shared_ptr<Stream> TcpListener::try_accept() {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  if (pending_.empty()) return nullptr;
+  auto stream = std::move(pending_.front());
+  pending_.pop_front();
+  return stream;
+}
+
+void TcpListener::close() {
+  std::deque<std::shared_ptr<Stream>> orphans;
+  {
+    std::lock_guard<common::RankedMutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    orphans.swap(pending_);
+  }
+  cv_.notify_all();
+  // Stop watching: connection attempts may still complete in the kernel
+  // backlog, but are never surfaced (the sim backend refuses them outright;
+  // both satisfy "close() ends accepting").
+  owner_->reactor().remove(fd_);
+  for (auto& stream : orphans) stream->close();
+}
+
+void TcpListener::on_readable() {
+  for (;;) {
+    const int cfd =
+        ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or the listener went down
+    }
+    set_nodelay(cfd);
+    auto stream = owner_->adopt(
+        cfd, address_.to_string() + " (accepted)", address_.host, Endpoint{});
+    bool drop = false;
+    {
+      std::lock_guard<common::RankedMutex> lock(mu_);
+      if (closed_) {
+        drop = true;
+      } else {
+        pending_.push_back(stream);
+      }
+    }
+    if (drop) {
+      stream->close();
+      continue;
+    }
+    cv_.notify_all();
+  }
+}
+
+// ---- TcpTransport ----------------------------------------------------------
+
+TcpTransport::TcpTransport(obs::Observability* obs)
+    : obs_(obs),
+      connect_timeout_(std::chrono::milliseconds(
+          env_u64("PARDIS_TCP_CONNECT_TIMEOUT_MS", 10'000))),
+      recv_timeout_(std::chrono::milliseconds(
+          env_u64("PARDIS_TCP_RECV_TIMEOUT_MS", 0))),
+      max_frame_(env_u64("PARDIS_TCP_MAX_FRAME", 1ull << 30)),
+      bind_addr_(env_string("PARDIS_TCP_BIND_ADDR").value_or("127.0.0.1")),
+      reactor_(obs) {
+  if (const auto map = env_string("PARDIS_TCP_HOSTMAP")) {
+    // "name=ip,name2=ip2"
+    std::size_t start = 0;
+    while (start < map->size()) {
+      std::size_t end = map->find(',', start);
+      if (end == std::string::npos) end = map->size();
+      const std::string entry = map->substr(start, end - start);
+      const std::size_t eq = entry.find('=');
+      if (eq != std::string::npos && eq > 0) {
+        hostmap_[entry.substr(0, eq)] = entry.substr(eq + 1);
+      } else if (!entry.empty()) {
+        throw BAD_PARAM("PARDIS_TCP_HOSTMAP: malformed entry '" + entry +
+                        "' (expected name=ip)");
+      }
+      start = end + 1;
+    }
+  }
+  if (obs_ != nullptr) {
+    agg_frames_ = &obs_->metrics().counter("net.frames");
+    agg_bytes_ = &obs_->metrics().counter("net.bytes");
+  }
+  // A peer vanishing mid-write must surface as COMM_FAILURE from write(),
+  // not kill the process.
+  (void)std::signal(SIGPIPE, SIG_IGN);
+}
+
+TcpTransport::~TcpTransport() {
+  // Pooled streams reference the reactor; drop them while it still runs
+  // (the base-class pool would otherwise outlive the members below).
+  clear_pool();
+}
+
+std::string TcpTransport::resolve(const std::string& host) const {
+  struct in_addr probe {};
+  if (::inet_aton(host.c_str(), &probe) != 0) return host;  // IPv4 literal
+  const auto it = hostmap_.find(host);
+  if (it != hostmap_.end()) return it->second;
+  return "127.0.0.1";
+}
+
+std::shared_ptr<Listener> TcpTransport::listen(const std::string& host,
+                                               int port) {
+  if (host.empty()) {
+    throw BAD_PARAM("listen: empty host name");
+  }
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw COMM_FAILURE("socket failed: " + errno_text(errno));
+  }
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_aton(bind_addr_.c_str(), &addr.sin_addr) == 0) {
+    ::close(fd);
+    throw BAD_PARAM("PARDIS_TCP_BIND_ADDR is not an IPv4 address: " +
+                    bind_addr_);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    if (err == EADDRINUSE) {
+      throw BAD_PARAM("listen: address already bound: " + host + ":" +
+                      std::to_string(port));
+    }
+    throw COMM_FAILURE("bind failed: " + errno_text(err));
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw COMM_FAILURE("listen failed: " + errno_text(err));
+  }
+  struct sockaddr_in bound {};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw INTERNAL("getsockname failed: " + errno_text(err));
+  }
+  auto listener = std::make_shared<TcpListener>(
+      fd, Endpoint{host, static_cast<int>(ntohs(bound.sin_port))}, this);
+  reactor_.add(fd, listener);
+  if (metrics() != nullptr) metrics()->counter("tcp.listens").add();
+  PARDIS_LOG_TRACE << "tcp listen " << host << " -> " << bind_addr_ << ":"
+                   << ntohs(bound.sin_port);
+  return listener;
+}
+
+std::shared_ptr<Stream> TcpTransport::connect(const std::string& from_host,
+                                              const Endpoint& to) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw COMM_FAILURE("socket failed: " + errno_text(errno));
+  }
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(to.port));
+  const std::string ip = resolve(to.host);
+  if (::inet_aton(ip.c_str(), &addr.sin_addr) == 0) {
+    ::close(fd);
+    throw BAD_PARAM("cannot resolve host '" + to.host + "' (mapped to '" +
+                    ip + "'); set PARDIS_TCP_HOSTMAP");
+  }
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    struct pollfd p {};
+    p.fd = fd;
+    p.events = POLLOUT;
+    const int ready =
+        ::poll(&p, 1, static_cast<int>(connect_timeout_.count()));
+    if (ready == 0) {
+      ::close(fd);
+      throw TIMEOUT("connect to " + to.to_string() + " timed out after " +
+                    std::to_string(connect_timeout_.count()) + "ms");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    (void)::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    errno = err;
+    rc = err == 0 ? 0 : -1;
+  }
+  if (rc != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw COMM_FAILURE("connection refused: no listener at " +
+                       to.to_string() + " (" + ip + ": " + errno_text(err) +
+                       ")");
+  }
+  set_nodelay(fd);
+  if (obs_ != nullptr) {
+    obs_->metrics().counter("tcp.connects").add();
+    obs_->metrics()
+        .histogram("tcp.connect_ms")
+        .add(std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count());
+  }
+  PARDIS_LOG_TRACE << "tcp connect " << from_host << " -> " << to.to_string()
+                   << " (" << ip << ")";
+  return adopt(fd, from_host + "->" + to.to_string(), from_host, to);
+}
+
+std::shared_ptr<TcpStream> TcpTransport::adopt(int fd, std::string label,
+                                               std::string origin,
+                                               Endpoint peer) {
+  auto stream =
+      std::make_shared<TcpStream>(fd, std::move(label), std::move(origin),
+                                  std::move(peer), this);
+  reactor_.add(fd, stream);
+  return stream;
+}
+
+void TcpTransport::collect_metrics() {
+  if (metrics() == nullptr) return;
+  metrics()
+      ->gauge("tcp.reactor.fds")
+      .set(static_cast<std::int64_t>(reactor_.watched()));
+}
+
+}  // namespace pardis::transport

@@ -1,0 +1,206 @@
+// Real-sockets transport backend: POSIX TCP with an epoll reactor.
+//
+// Wire format: each frame travels as a 4-byte big-endian payload length
+// followed by the payload bytes (the ORB's own "PDIS" prologue stays inside
+// the payload, untouched).  One reactor thread per TcpTransport owns every
+// socket's read side: it drains readable fds into per-stream reassembly
+// buffers, parses complete frames and hands them to the stream's queue,
+// where recv() blocks exactly like the simulated backend.  Writes happen on
+// the caller's thread (each PARDIS stream has a single protocol writer) via
+// a nonblocking write/poll loop serialized by a per-stream tx mutex.
+//
+// Logical host names are resolved to IPs as follows: IPv4 literals pass
+// through; otherwise PARDIS_TCP_HOSTMAP ("name=ip,name2=ip2") is consulted;
+// unmapped names fall back to 127.0.0.1, which makes the existing
+// two-named-hosts scenarios run over real loopback sockets unchanged.
+//
+// Knobs (docs/transport.md): PARDIS_TCP_CONNECT_TIMEOUT_MS (default
+// 10000), PARDIS_TCP_RECV_TIMEOUT_MS (0 = block forever),
+// PARDIS_TCP_MAX_FRAME (default 1g), PARDIS_TCP_BIND_ADDR (default
+// 127.0.0.1).  Timeouts surface as pardis::TIMEOUT; refused/reset
+// connections as pardis::COMM_FAILURE.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "pardis/obs/trace.hpp"
+#include "pardis/transport/transport.hpp"
+
+namespace pardis::transport {
+
+/// Trace pid of the reactor thread's spans (client = 1, server = 2).
+inline constexpr std::uint32_t kTransportPid = 3;
+
+class TcpTransport;
+
+namespace tcpdetail {
+
+/// Implemented by everything the reactor watches (streams, listeners).
+class FdHandler {
+ public:
+  virtual ~FdHandler() = default;
+  /// Called on the reactor thread while the fd is readable; must consume
+  /// until EAGAIN (the reactor polls level-triggered but re-arms nothing).
+  virtual void on_readable() = 0;
+};
+
+/// The nonblocking read-side event loop: one thread, one epoll set.
+/// Handlers are held weakly — an fd's owner removes itself (remove() is
+/// epoll_ctl + map erase, safe from any thread) before closing the fd.
+class Reactor {
+ public:
+  explicit Reactor(obs::Observability* obs);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  void add(int fd, const std::shared_ptr<FdHandler>& handler);
+  void remove(int fd);
+
+  /// Watched fds right now (reactor gauge).
+  std::size_t watched() const;
+
+ private:
+  void run();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: wakes run() for shutdown
+  std::atomic<bool> stop_{false};
+  mutable common::RankedMutex mu_{common::LockRank::kTransportReactor};
+  std::map<int, std::weak_ptr<FdHandler>> handlers_;
+  obs::Observability* obs_;
+  std::thread thread_;
+};
+
+}  // namespace tcpdetail
+
+class TcpStream final : public Stream, public tcpdetail::FdHandler {
+ public:
+  /// Takes ownership of connected nonblocking `fd` and registers with the
+  /// owning transport's reactor (via TcpTransport::adopt, the only caller).
+  TcpStream(int fd, std::string label, std::string origin, Endpoint peer,
+            TcpTransport* owner);
+  ~TcpStream() override;
+
+  void send(pardis::Bytes frame) override;
+  std::optional<pardis::Bytes> recv() override;
+  std::optional<pardis::Bytes> try_recv() override;
+  bool has_frame() const override;
+  bool eof() const override;
+  void close() override;
+  const std::string& label() const noexcept override { return label_; }
+  const std::string& origin() const noexcept override { return origin_; }
+  const Endpoint& peer() const noexcept override { return peer_; }
+  Counters counters() const override;
+
+  void on_readable() override;
+
+ private:
+  friend class TcpTransport;
+
+  /// Appends parsed frames from rx_buf_ to the queue; reactor thread only.
+  void deliver_frames();
+  void mark_peer_closed();
+
+  int fd_;
+  std::string label_;
+  std::string origin_;
+  Endpoint peer_;
+  TcpTransport* owner_;
+
+  // Read-side reassembly state, touched only by the reactor thread.
+  pardis::Bytes rx_buf_;
+  bool rx_poisoned_ = false;  // oversized/garbled frame: stop parsing
+
+  // Writer serialization (kTransportStreamTx < kTransportStream so a
+  // failing write may flip the state below while holding tx_mu_).
+  mutable common::RankedMutex tx_mu_{common::LockRank::kTransportStreamTx};
+
+  mutable common::RankedMutex mu_{common::LockRank::kTransportStream};
+  std::condition_variable_any cv_;
+  std::deque<pardis::Bytes> queue_;
+  bool closed_ = false;       // local close()
+  bool peer_closed_ = false;  // read side saw EOF / error / reset
+  Counters counters_{};
+};
+
+class TcpListener final : public Listener, public tcpdetail::FdHandler {
+ public:
+  TcpListener(int fd, Endpoint address, TcpTransport* owner);
+  ~TcpListener() override;
+
+  const Endpoint& address() const noexcept override { return address_; }
+  std::shared_ptr<Stream> accept() override;
+  std::shared_ptr<Stream> try_accept() override;
+  void close() override;
+
+  void on_readable() override;
+
+ private:
+  int fd_;
+  Endpoint address_;
+  TcpTransport* owner_;
+  mutable common::RankedMutex mu_{common::LockRank::kTransportListener};
+  std::condition_variable_any cv_;
+  std::deque<std::shared_ptr<Stream>> pending_;
+  bool closed_ = false;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// `obs` (nullable) feeds reactor spans and connect-latency metrics; it
+  /// must outlive the transport.
+  explicit TcpTransport(obs::Observability* obs);
+  ~TcpTransport() override;
+
+  Kind kind() const noexcept override { return Kind::kTcp; }
+  std::shared_ptr<Listener> listen(const std::string& host,
+                                   int port = 0) override;
+  std::shared_ptr<Stream> connect(const std::string& from_host,
+                                  const Endpoint& to) override;
+  void collect_metrics() override;
+
+  std::chrono::milliseconds connect_timeout() const noexcept {
+    return connect_timeout_;
+  }
+  std::chrono::milliseconds recv_timeout() const noexcept {
+    return recv_timeout_;
+  }
+  std::size_t max_frame() const noexcept { return max_frame_; }
+
+  /// Maps a logical host name to an IPv4 address (header comment).
+  std::string resolve(const std::string& host) const;
+
+ private:
+  friend class TcpStream;
+  friend class TcpListener;
+
+  /// Wraps a connected nonblocking fd and registers it with the reactor.
+  std::shared_ptr<TcpStream> adopt(int fd, std::string label,
+                                   std::string origin, Endpoint peer);
+
+  tcpdetail::Reactor& reactor() noexcept { return reactor_; }
+
+  obs::Observability* obs_;
+  std::chrono::milliseconds connect_timeout_;
+  std::chrono::milliseconds recv_timeout_;
+  std::size_t max_frame_;
+  std::string bind_addr_;
+  std::map<std::string, std::string> hostmap_;  // logical name -> IP
+  /// Fabric-wide aggregate traffic counters (same names the sim feeds).
+  obs::Counter* agg_frames_ = nullptr;
+  obs::Counter* agg_bytes_ = nullptr;
+  tcpdetail::Reactor reactor_;
+};
+
+}  // namespace pardis::transport

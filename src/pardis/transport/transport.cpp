@@ -1,0 +1,134 @@
+#include "pardis/transport/transport.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "pardis/common/config.hpp"
+#include "pardis/common/error.hpp"
+#include "pardis/transport/sim_transport.hpp"
+#include "pardis/transport/tcp_transport.hpp"
+
+namespace pardis::transport {
+
+const char* to_string(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kSim: return "sim";
+    case Kind::kTcp: return "tcp";
+  }
+  return "<unknown transport>";
+}
+
+Kind parse_kind(const std::string& value) {
+  if (value == "sim") return Kind::kSim;
+  if (value == "tcp") return Kind::kTcp;
+  throw BAD_PARAM("unknown transport '" + value + "' (expected sim or tcp)");
+}
+
+Kind kind_from_env(Kind fallback) {
+  const auto value = env_string("PARDIS_TRANSPORT");
+  if (!value || value->empty()) return fallback;
+  return parse_kind(*value);
+}
+
+pardis::Bytes Stream::recv_or_throw() {
+  auto frame = recv();
+  if (!frame) {
+    throw COMM_FAILURE("connection closed by peer: " + label(),
+                       Completion::kMaybe);
+  }
+  return std::move(*frame);
+}
+
+Transport::Transport()
+    : pool_enabled_(env_bool("PARDIS_TRANSPORT_POOL", true)),
+      pool_cap_(env_u64("PARDIS_TRANSPORT_POOL_CAP", 8)) {}
+
+std::shared_ptr<Stream> Transport::acquire(const std::string& from_host,
+                                           const Endpoint& to, bool* reused) {
+  if (reused != nullptr) *reused = false;
+  if (pool_enabled_) {
+    std::shared_ptr<Stream> pooled;
+    // Streams evicted under the pool lock are destroyed only after it is
+    // released: tearing one down reaches the backend (reactor
+    // deregistration, rank 22), which must not nest inside kTransportPool.
+    std::vector<std::shared_ptr<Stream>> dead;
+    {
+      std::lock_guard<common::RankedMutex> lock(pool_mu_);
+      auto it = pool_.find({from_host, to});
+      if (it != pool_.end()) {
+        // Drop streams that died while idle (peer closed, process exited).
+        while (!it->second.empty() && it->second.front()->eof()) {
+          dead.push_back(std::move(it->second.front()));
+          it->second.pop_front();
+        }
+        if (!it->second.empty()) {
+          pooled = std::move(it->second.front());
+          it->second.pop_front();
+        }
+        if (it->second.empty()) pool_.erase(it);
+      }
+    }
+    for (auto& stream : dead) stream->close();
+    if (pooled) {
+      if (reused != nullptr) *reused = true;
+      if (metrics_ != nullptr) metrics_->counter("transport.pool.hits").add();
+      return pooled;
+    }
+  }
+  if (metrics_ != nullptr) metrics_->counter("transport.pool.misses").add();
+  return connect(from_host, to);
+}
+
+void Transport::release(std::shared_ptr<Stream> stream) {
+  if (!stream) return;
+  if (!pool_enabled_ || stream->eof() || stream->peer() == Endpoint{}) {
+    stream->close();
+    return;
+  }
+  {
+    std::lock_guard<common::RankedMutex> lock(pool_mu_);
+    auto& idle = pool_[{stream->origin(), stream->peer()}];
+    if (idle.size() < pool_cap_) {
+      idle.push_back(std::move(stream));
+      return;
+    }
+  }
+  // Over-cap: close outside the pool lock (see acquire()).
+  stream->close();
+}
+
+void Transport::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+}
+
+void Transport::clear_pool() {
+  std::vector<std::shared_ptr<Stream>> drained;
+  {
+    std::lock_guard<common::RankedMutex> lock(pool_mu_);
+    for (auto& [key, idle] : pool_) {
+      for (auto& stream : idle) drained.push_back(std::move(stream));
+    }
+    pool_.clear();
+  }
+  for (auto& stream : drained) stream->close();
+}
+
+std::unique_ptr<Transport> make_transport(Kind kind, net::Fabric& fabric,
+                                          obs::Observability* obs) {
+  std::unique_ptr<Transport> transport;
+  switch (kind) {
+    case Kind::kSim:
+      transport = std::make_unique<SimTransport>(fabric);
+      break;
+    case Kind::kTcp:
+      transport = std::make_unique<TcpTransport>(obs);
+      break;
+  }
+  if (!transport) {
+    throw BAD_PARAM("make_transport: unknown transport kind");
+  }
+  if (obs != nullptr) transport->set_metrics(&obs->metrics());
+  return transport;
+}
+
+}  // namespace pardis::transport

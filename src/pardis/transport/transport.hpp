@@ -1,0 +1,199 @@
+// Backend-neutral transport layer.
+//
+// The transfer layer speaks to the wire through three abstractions with the
+// same framed, full-duplex semantics as net::Connection:
+//
+//   * Stream   — one endpoint of a framed byte stream (send / recv /
+//     try_recv / has_frame / eof / close, plus traffic counters);
+//   * Listener — a bound (host, port) accepting Streams;
+//   * Endpoint — the (host, port) address of a Listener (net::Address).
+//
+// Two backends implement the contract:
+//
+//   * SimTransport (sim_transport.hpp) adapts the in-process simulated
+//     net::Fabric — the default, keeping tier-1 tests deterministic and the
+//     paper's link model in charge of wire time;
+//   * TcpTransport (tcp_transport.hpp) speaks real POSIX TCP with a
+//     nonblocking epoll reactor thread and 4-byte length-prefixed framing.
+//
+// The backend is selected per Orb via OrbConfig::transport, defaulting to
+// the PARDIS_TRANSPORT environment variable (sim | tcp).
+//
+// Stream contract (asserted for both backends in test_net.cpp):
+//   - recv() blocks for the next frame; after the peer closed, it drains
+//     every queued frame and then returns nullopt (EOF);
+//   - send() after close() — local or peer — fails loudly with
+//     pardis::COMM_FAILURE (over real TCP a send after a *peer* close may
+//     succeed into the socket buffer once before the reset is observed);
+//   - close() is idempotent and closes both directions;
+//   - eof() is true once the stream is closed *and* drained.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "pardis/common/bytes.hpp"
+#include "pardis/common/ranked_mutex.hpp"
+#include "pardis/net/fabric.hpp"
+#include "pardis/obs/observability.hpp"
+
+namespace pardis::transport {
+
+/// Transport addresses are fabric addresses: a logical host name plus a
+/// port.  The TCP backend maps logical hosts to IPs (see resolve rules in
+/// docs/transport.md); the sim backend uses them verbatim.
+using Endpoint = net::Address;
+
+enum class Kind : std::uint8_t {
+  kSim = 0,  // in-process simulated fabric (default)
+  kTcp = 1,  // real POSIX TCP over an epoll reactor
+};
+
+const char* to_string(Kind kind) noexcept;
+
+/// Parses a PARDIS_TRANSPORT-style value ("sim" | "tcp"); throws
+/// pardis::BAD_PARAM on anything else.
+Kind parse_kind(const std::string& value);
+
+/// Backend selected by the PARDIS_TRANSPORT environment variable, or
+/// `fallback` when unset.
+Kind kind_from_env(Kind fallback = Kind::kSim);
+
+/// One endpoint of a framed, full-duplex byte stream (see the contract in
+/// the header comment).  Method names and semantics mirror net::Connection
+/// so the transfer layer is backend-agnostic.
+class Stream {
+ public:
+  virtual ~Stream() = default;
+
+  /// Sends one frame.  Throws pardis::COMM_FAILURE when the stream is
+  /// closed (kNo before any bytes moved, kMaybe afterwards).
+  virtual void send(pardis::Bytes frame) = 0;
+
+  /// Blocks for the next frame; nullopt on EOF (closed and drained).  The
+  /// TCP backend throws pardis::TIMEOUT when PARDIS_TCP_RECV_TIMEOUT_MS
+  /// elapses first.
+  virtual std::optional<pardis::Bytes> recv() = 0;
+
+  /// Like recv() but throws pardis::COMM_FAILURE on EOF.
+  pardis::Bytes recv_or_throw();
+
+  /// Non-blocking receive; drains queued frames even after close.
+  virtual std::optional<pardis::Bytes> try_recv() = 0;
+
+  /// True iff a frame is queued (the ORB's work_pending probe).
+  virtual bool has_frame() const = 0;
+
+  /// True once the stream is closed (either side) and drained: recv()
+  /// would report EOF without blocking.
+  virtual bool eof() const = 0;
+
+  /// Closes both directions; idempotent.  The peer drains queued frames
+  /// and then sees EOF; subsequent local sends fail loudly.
+  virtual void close() = 0;
+
+  /// Diagnostic label ("clienthost->serverhost:7001").
+  virtual const std::string& label() const noexcept = 0;
+
+  /// Host this stream was opened from (connect side) or accepted on
+  /// (listener side); half of the connection-pool key.
+  virtual const std::string& origin() const noexcept = 0;
+
+  /// Listener address this stream was connected to; the other half of the
+  /// pool key.  Default-constructed for accepted streams.
+  virtual const Endpoint& peer() const noexcept = 0;
+
+  /// Per-stream traffic counters, from this endpoint's perspective.
+  using Counters = net::Connection::Counters;
+  virtual Counters counters() const = 0;
+};
+
+/// Server-side listener; accept() yields the peer endpoint of each stream
+/// established to address().
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  virtual const Endpoint& address() const noexcept = 0;
+
+  /// Blocks until a stream arrives; nullptr after close().
+  virtual std::shared_ptr<Stream> accept() = 0;
+
+  /// Non-blocking accept.
+  virtual std::shared_ptr<Stream> try_accept() = 0;
+
+  /// Stops listening; pending and future accept() calls return nullptr.
+  virtual void close() = 0;
+};
+
+/// A transport backend: listen/connect plus an idle-stream pool keyed by
+/// (origin host, endpoint).  One instance per Orb.
+class Transport {
+ public:
+  Transport();
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  virtual Kind kind() const noexcept = 0;
+
+  /// Starts listening on (host, port); port 0 picks an ephemeral port.
+  /// Throws pardis::BAD_PARAM if the address is already bound.
+  virtual std::shared_ptr<Listener> listen(const std::string& host,
+                                           int port = 0) = 0;
+
+  /// Opens a fresh stream from `from_host` to the listener at `to`.
+  /// Throws pardis::COMM_FAILURE when nothing is listening there and
+  /// pardis::TIMEOUT when the TCP connect timeout elapses.
+  virtual std::shared_ptr<Stream> connect(const std::string& from_host,
+                                          const Endpoint& to) = 0;
+
+  /// Like connect(), but reuses an idle pooled stream to the same endpoint
+  /// when one is available (kUnbind protocol, docs/transport.md).  Sets
+  /// `*reused` so callers can retry on a stale pooled stream.
+  std::shared_ptr<Stream> acquire(const std::string& from_host,
+                                  const Endpoint& to, bool* reused = nullptr);
+
+  /// Returns a healthy stream to the idle pool for acquire() to reuse;
+  /// closed/eof streams (and everything beyond the per-endpoint cap) are
+  /// dropped.  Pooling is disabled entirely by PARDIS_TRANSPORT_POOL=0.
+  void release(std::shared_ptr<Stream> stream);
+
+  /// Registry receiving aggregate counters; owned by the Orb, must outlive
+  /// the transport.  Null disables registry feeding.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// Publishes backend gauges into the registry; call at dump points.
+  virtual void collect_metrics() {}
+
+ protected:
+  obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
+
+  /// Closes and drops every pooled stream.  Backends whose streams
+  /// reference backend state (the TCP reactor) must call this in their own
+  /// destructor, before that state is torn down.
+  void clear_pool();
+
+ private:
+  obs::MetricsRegistry* metrics_ = nullptr;
+  mutable common::RankedMutex pool_mu_{common::LockRank::kTransportPool};
+  std::map<std::pair<std::string, Endpoint>,
+           std::deque<std::shared_ptr<Stream>>>
+      pool_;
+  bool pool_enabled_ = true;
+  std::size_t pool_cap_ = 8;  // idle streams kept per (origin, endpoint)
+};
+
+/// Constructs the backend for `kind`.  The sim backend adapts `fabric`
+/// (owned by the Orb); the TCP backend ignores it.  `obs` (nullable) feeds
+/// the backend's metrics and the TCP reactor's spans.
+std::unique_ptr<Transport> make_transport(Kind kind, net::Fabric& fabric,
+                                          obs::Observability* obs);
+
+}  // namespace pardis::transport

@@ -8,6 +8,7 @@
 
 #include "pardis/common/error.hpp"
 #include "pardis/net/fabric.hpp"
+#include "pardis/obs/metrics.hpp"
 
 namespace pardis::net {
 namespace {
@@ -114,7 +115,34 @@ TEST(Connection, SendOnClosedThrows) {
   auto acceptor = fabric.listen("server");
   auto client = fabric.connect("client", acceptor->address());
   client->close();
+  client->close();  // idempotent
   EXPECT_THROW(client->send(bytes_of("x")), COMM_FAILURE);
+}
+
+TEST(Connection, SendAfterPeerCloseThrows) {
+  // close() takes down both directions: the peer's sends must fail loudly
+  // rather than queue into a connection nobody reads (the contract every
+  // transport::Stream backend shares).
+  Fabric fabric;
+  auto acceptor = fabric.listen("server");
+  auto client = fabric.connect("client", acceptor->address());
+  auto server = acceptor->accept();
+  server->close();
+  EXPECT_THROW(client->send(bytes_of("x")), COMM_FAILURE);
+}
+
+TEST(Connection, OwnCloseStillDrainsReceivedFrames) {
+  // Frames that already crossed the wire stay readable after a local
+  // close; only after the drain does recv() report EOF.
+  Fabric fabric;
+  auto acceptor = fabric.listen("server");
+  auto client = fabric.connect("client", acceptor->address());
+  auto server = acceptor->accept();
+  client->send(bytes_of("in-flight"));
+  server->close();
+  EXPECT_EQ(server->recv_or_throw(), bytes_of("in-flight"));
+  EXPECT_EQ(server->recv(), std::nullopt);
+  EXPECT_TRUE(server->eof());
 }
 
 TEST(Connection, TryRecvNonBlocking) {
@@ -249,6 +277,48 @@ TEST(Fabric, LoopbackIsUnlimitedByDefault) {
   client->send(Bytes(1u << 20));
   (void)server->recv_or_throw();
   EXPECT_LT(w.elapsed_ms(), 50.0);  // 1 MB at 1 MB/s would be ~1000 ms
+}
+
+TEST(Fabric, LoopbackSkipsGovernorEntirely) {
+  // Same-host traffic without a configured link takes the fast path: no
+  // governor is created at all, so no "link.host->host" gauges appear and
+  // concurrent same-host senders never serialize on a governor mutex.
+  obs::MetricsRegistry metrics;
+  Fabric fabric;
+  fabric.set_metrics(&metrics);
+  auto loop_acc = fabric.listen("samehost");
+  auto loop = fabric.connect("samehost", loop_acc->address());
+  loop->send(bytes_of("x"));
+  auto cross_acc = fabric.listen("b");
+  auto cross = fabric.connect("a", cross_acc->address());
+  cross->send(bytes_of("x"));
+  fabric.collect_metrics();
+  bool loopback_gauge = false;
+  bool cross_gauge = false;
+  for (const auto& s : metrics.snapshot()) {
+    if (s.name.rfind("link.samehost->samehost", 0) == 0) {
+      loopback_gauge = true;
+    }
+    if (s.name.rfind("link.a->b", 0) == 0) cross_gauge = true;
+  }
+  EXPECT_FALSE(loopback_gauge);
+  EXPECT_TRUE(cross_gauge);
+}
+
+TEST(Fabric, ExplicitLoopbackLinkStillPaces) {
+  // An explicitly configured same-host link must keep pacing (the fast
+  // path only covers the unconfigured default).
+  Fabric fabric;
+  LinkModel model;
+  model.bandwidth_bps = 10e6;  // 10 MB/s
+  fabric.set_link("samehost", "samehost", model);
+  auto acceptor = fabric.listen("samehost");
+  auto client = fabric.connect("samehost", acceptor->address());
+  auto server = acceptor->accept();
+  const StopWatch w;
+  client->send(Bytes(1u << 20));  // 1 MB -> ~100 ms
+  (void)server->recv_or_throw();
+  EXPECT_GT(w.elapsed_ms(), 80.0);
 }
 
 TEST(Fabric, ConfiguredLinkAppliesToHostPair) {

@@ -429,6 +429,8 @@ TEST(ObsIntegration, ScenarioPopulatesMetrics) {
   scfg.server.nranks = cfg.server_ranks;
   scfg.client.nranks = cfg.client_ranks;
   scfg.link = cfg.link;
+  // Asserts on per-link gauges, which only the simulated fabric publishes.
+  scfg.orb.transport = transport::Kind::kSim;
   sim::Scenario scenario(scfg);
   scenario.run(
       [&](rts::Communicator& comm) {

@@ -149,6 +149,18 @@ TEST(Protocol, UnknownTypeRejected) {
   EXPECT_THROW(parse_frame(junk), MARSHAL);
 }
 
+TEST(Protocol, UnbindFrameRoundTrip) {
+  cdr::Encoder enc;
+  begin_frame(enc, MsgType::kUnbind);
+  enc.put_ulong(42);
+  const Bytes frame = enc.take();
+  const Frame info = parse_frame(frame);
+  EXPECT_EQ(info.type, MsgType::kUnbind);
+  EXPECT_STREQ(to_string(info.type), "Unbind");
+  auto dec = body_decoder(frame, info);
+  EXPECT_EQ(dec.get_ulong(), 42u);
+}
+
 TEST(Protocol, RequestHeaderRoundTrip) {
   RequestHeader h;
   h.request_id = 17;
@@ -391,6 +403,43 @@ TEST(Orb, ConfigDefaultLinkApplied) {
   (void)server->recv_or_throw();
   EXPECT_GT(w.elapsed_ms(), 60.0);
 }
+
+// ---- Orb transport selection --------------------------------------------------
+
+class OrbTransportSuite : public ::testing::TestWithParam<transport::Kind> {};
+
+TEST_P(OrbTransportSuite, ConfigSelectsBackend) {
+  OrbConfig config;
+  config.transport = GetParam();
+  auto orb = Orb::create(config);
+  EXPECT_EQ(orb->transport().kind(), GetParam());
+}
+
+TEST_P(OrbTransportSuite, ProtocolFramesTravelOverEitherBackend) {
+  OrbConfig config;
+  config.transport = GetParam();
+  auto orb = Orb::create(config);
+  auto listener = orb->transport().listen("b", 0);
+  auto client = orb->transport().connect("a", listener->address());
+  auto server = listener->accept();
+  ASSERT_NE(server, nullptr);
+  cdr::Encoder enc;
+  begin_frame(enc, MsgType::kRequest);
+  enc.put_string("payload");
+  client->send(enc.take());
+  const Bytes raw = server->recv_or_throw();
+  const Frame info = parse_frame(raw);
+  EXPECT_EQ(info.type, MsgType::kRequest);
+  auto dec = body_decoder(raw, info);
+  EXPECT_EQ(dec.get_string(), "payload");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, OrbTransportSuite,
+    ::testing::Values(transport::Kind::kSim, transport::Kind::kTcp),
+    [](const ::testing::TestParamInfo<transport::Kind>& info) {
+      return std::string(transport::to_string(info.param));
+    });
 
 }  // namespace
 }  // namespace pardis::orb

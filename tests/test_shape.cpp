@@ -57,6 +57,11 @@ BenchConfig base_config() {
   cfg.seqlen = 1u << 16;  // 512 KB: solidly bandwidth-bound
   cfg.reps = 5;
   cfg.link = test_link();
+  // These tests assert orderings produced by the throttled link model,
+  // which only shapes traffic on the simulated backend — pin it so a
+  // PARDIS_TRANSPORT=tcp environment doesn't turn them into loopback
+  // wall-clock comparisons.
+  cfg.transport = transport::Kind::kSim;
   return cfg;
 }
 

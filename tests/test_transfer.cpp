@@ -688,5 +688,94 @@ INSTANTIATE_TEST_SUITE_P(Methods, OutTemplateTest,
                                       : "multiport";
                          });
 
+// ---- backend sweep: the same end-to-end flows over sim and real TCP --------
+
+class BackendSweep : public ::testing::TestWithParam<transport::Kind> {};
+
+TEST_P(BackendSweep, CollectiveInvokeBothMethods) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 2;
+  cfg.server.nranks = 2;
+  cfg.orb.transport = GetParam();
+  sim::Scenario scenario(cfg);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant servant;
+        server.activate("kitchen", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        auto binding =
+            SpmdBinding::bind(scenario.orb(), comm, cfg.client.host,
+                              "kitchen", "IDL:test/kitchen:1.0");
+        for (const auto method : {orb::TransferMethod::kCentralized,
+                                  orb::TransferMethod::kMultiPort}) {
+          dseq::DSequence<double> seq(comm, 257);
+          for (std::size_t i = 0; i < seq.local_length(); ++i) {
+            seq.local_data()[i] =
+                static_cast<double>(seq.local_offset() + i);
+          }
+          double expected = 0;
+          for (std::uint64_t i = 0; i < 257; ++i) {
+            expected += 2.0 * static_cast<double>(i);
+          }
+          CallOptions opts;
+          opts.method = method;
+          cdr::Encoder enc;
+          enc.put_long(2);
+          TypedDSeqArg<double> arg(seq, orb::ArgDir::kInOut);
+          const Bytes results =
+              binding.invoke("scale", enc.take(), {&arg}, opts);
+          cdr::Decoder dec{BytesView(results)};
+          EXPECT_DOUBLE_EQ(dec.get_double(), expected);
+        }
+        binding.unbind();
+      },
+      "kitchen");
+}
+
+TEST_P(BackendSweep, DirectUnbindReturnsControlStreamToPool) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 1;
+  cfg.orb.transport = GetParam();
+  sim::Scenario scenario(cfg);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        KitchenSinkServant servant;
+        server.activate("kitchen", servant);
+        server.serve();
+      },
+      [&](rts::Communicator&) {
+        for (int round = 0; round < 2; ++round) {
+          auto direct = DirectBinding::bind(scenario.orb(), cfg.client.host,
+                                            "kitchen",
+                                            "IDL:test/kitchen:1.0");
+          cdr::Encoder enc;
+          enc.put_long(round);
+          direct.invoke("notify", enc.take());
+          const Bytes r = direct.invoke("token", {});
+          cdr::Decoder dec{BytesView(r)};
+          EXPECT_EQ(dec.get_long(), round);
+          direct.unbind();
+        }
+        // The second bind must have reused the control stream the first
+        // unbind released (same client host, same endpoint).
+        EXPECT_GE(
+            scenario.orb().metrics().counter("transport.pool.hits").value(),
+            1u);
+      },
+      "kitchen");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendSweep,
+    ::testing::Values(transport::Kind::kSim, transport::Kind::kTcp),
+    [](const ::testing::TestParamInfo<transport::Kind>& info) {
+      return std::string(transport::to_string(info.param));
+    });
+
 }  // namespace
 }  // namespace pardis::transfer
