@@ -1,0 +1,131 @@
+// Machine-readable benchmark summaries (README "Benchmarks").
+//
+// Benchmarks that track a perf trajectory write `BENCH_<name>.json` next
+// to the working directory (override with PARDIS_BENCH_DIR) containing
+// throughput plus p50/p99 latency pulled from the obs histograms.  The
+// files are committed at the repo root so a reviewer can diff benchmark
+// results across PRs without rerunning anything.
+//
+// The writer is a deliberately tiny hand-rolled builder: keys are
+// programmer-controlled identifiers (no escaping needed beyond quotes and
+// backslashes) and the output is a single pretty-enough line-per-field
+// object, stable under diff.
+
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "pardis/common/config.hpp"
+#include "pardis/obs/metrics.hpp"
+
+namespace pardis::bench {
+
+/// Formats a double with enough digits to round-trip trends, and maps
+/// non-finite values to null (JSON has no inf/nan).
+inline std::string json_num(double v) {
+  if (!(v == v) || v > 1e308 || v < -1e308) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+inline std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Insertion-ordered JSON object builder.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, double v) {
+    return raw(key, json_num(v));
+  }
+  JsonObject& field(const std::string& key, std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return raw(key, buf);
+  }
+  JsonObject& field(const std::string& key, int v) {
+    return field(key, static_cast<std::uint64_t>(v < 0 ? 0 : v));
+  }
+  JsonObject& field(const std::string& key, const std::string& v) {
+    return raw(key, json_str(v));
+  }
+  /// Nests an already-serialized JSON value (object, array, number).
+  JsonObject& raw(const std::string& key, const std::string& json) {
+    body_ += body_.empty() ? "" : ", ";
+    body_ += json_str(key) + ": " + json;
+    return *this;
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+class JsonArray {
+ public:
+  JsonArray& item(const std::string& json) {
+    body_ += body_.empty() ? "\n  " : ",\n  ";
+    body_ += json;
+    return *this;
+  }
+  std::string str() const {
+    return body_.empty() ? "[]" : "[" + body_ + "\n]";
+  }
+
+ private:
+  std::string body_;
+};
+
+/// Serializes one histogram sample as {count, mean, min, max, p50, p99}.
+inline std::string histogram_json(const obs::MetricsRegistry::Sample& s) {
+  return JsonObject()
+      .field("count", s.count)
+      .field("mean", s.stat.mean())
+      .field("min", s.count ? s.stat.min() : 0.0)
+      .field("max", s.count ? s.stat.max() : 0.0)
+      .field("p50", s.p50)
+      .field("p99", s.p99)
+      .str();
+}
+
+/// Looks up one instrument in a metrics snapshot (empty sample if absent).
+inline obs::MetricsRegistry::Sample find_sample(
+    const std::vector<obs::MetricsRegistry::Sample>& snapshot,
+    const std::string& name) {
+  for (const auto& s : snapshot) {
+    if (s.name == name) return s;
+  }
+  return {};
+}
+
+/// Writes BENCH_<bench>.json into PARDIS_BENCH_DIR (default: the working
+/// directory — run benches from the repo root to refresh the committed
+/// copies).  Returns false and warns on I/O failure rather than failing
+/// the bench: the human-readable table already went to stdout.
+inline bool write_bench_json(const std::string& bench,
+                             const std::string& json) {
+  const std::string dir = env_string("PARDIS_BENCH_DIR").value_or(".");
+  const std::string path = dir + "/BENCH_" + bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("summary: %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace pardis::bench

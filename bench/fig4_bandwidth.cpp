@@ -15,6 +15,7 @@
 #include <cmath>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 using namespace pardis;
 using namespace pardis::bench;
@@ -41,8 +42,11 @@ int main(int argc, char** argv) {
   std::printf("  %9s | %14s | %14s |\n", "", "(MB/s)", "(MB/s)");
   std::printf("  ----------+----------------+----------------+------\n");
 
+  JsonArray points;
   for (std::uint64_t len = 10; len <= max_len; len *= 10) {
     double mbps[2] = {0, 0};
+    JsonObject point;
+    point.field("doubles", len);
     for (auto method : {orb::TransferMethod::kCentralized,
                         orb::TransferMethod::kMultiPort}) {
       BenchConfig cfg = base;
@@ -53,8 +57,15 @@ int main(int argc, char** argv) {
       const BenchResult r = run_config(cfg);
       const double seconds = r.client_ms(Phase::kTotal) / 1e3;
       const double mb = static_cast<double>(len) * 8.0 / 1e6;
-      mbps[method == orb::TransferMethod::kMultiPort] = mb / seconds;
+      const bool multiport = method == orb::TransferMethod::kMultiPort;
+      mbps[multiport] = mb / seconds;
+      const char* prefix = multiport ? "multiport" : "centralized";
+      point.field(std::string(prefix) + "_mbps", mbps[multiport]);
+      point.raw(std::string(prefix) + "_total_ms",
+                histogram_json(r.total_ms));
     }
+    point.field("ratio", mbps[1] / mbps[0]);
+    points.item(point.str());
     std::printf("  %9llu | %14.2f | %14.2f | %4.2fx\n",
                 static_cast<unsigned long long>(len), mbps[0], mbps[1],
                 mbps[1] / mbps[0]);
@@ -62,5 +73,19 @@ int main(int argc, char** argv) {
   std::printf(
       "\n(effective bandwidth includes all invocation overhead, as in the "
       "paper)\n");
+
+  write_bench_json(
+      "fig4_bandwidth",
+      JsonObject()
+          .field("bench", std::string("fig4_bandwidth"))
+          .field("transport",
+                 std::string(transport::to_string(
+                     base.transport.value_or(transport::kind_from_env()))))
+          .field("client_ranks", base.client_ranks)
+          .field("server_ranks", base.server_ranks)
+          .field("reps", base.reps)
+          .field("link_mbps", base.link.bandwidth_bps / 1e6)
+          .raw("points", points.str())
+          .str());
   return 0;
 }

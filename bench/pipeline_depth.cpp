@@ -1,0 +1,190 @@
+// Request pipelining (docs/pipelining.md): invocations per second of a
+// tiny echo operation versus pipeline depth, over one multiplexed
+// connection.
+//
+// A DirectBinding client keeps `depth` non-blocking invocations in flight
+// (sliding window: collect the oldest future, issue the next request) so
+// at depth 1 every request pays a full round trip while at depth 32 the
+// round trips overlap.  The useful summary is the throughput curve —
+// pipelining must recover at least the latency-bound 2x by depth 32 over
+// tcp — plus per-invocation issue-to-collect latency (p50/p99 from the
+// obs histogram), which *rises* with depth as requests queue behind each
+// other.  Flow control shows up in the reject columns: with default
+// server knobs every depth here fits the advertised credit window and
+// both stay 0.
+//
+// Extra knobs: PARDIS_PIPELINE_REPS (invocations per depth, default 1000),
+// plus the pipelining knobs themselves (PARDIS_SERVER_QUEUE,
+// PARDIS_SERVER_WORKERS, PARDIS_SERVER_CREDIT).  PARDIS_MAX_INFLIGHT is
+// owned by the sweep: it is how each depth is selected.
+
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+
+using namespace pardis;
+using namespace pardis::bench;
+
+namespace {
+
+/// Minimal scalar echo: decode one long, send it back.  Stateless, so the
+/// server worker pool may dispatch it concurrently.
+class EchoServant : public transfer::SpmdServant {
+ public:
+  const char* type_id() const override { return "IDL:bench/echo:1.0"; }
+  void dispatch(transfer::ServerCall& call) override {
+    if (call.operation() != "ping") {
+      throw BAD_OPERATION(call.operation());
+    }
+    auto dec = call.args();
+    call.results().put_long(dec.get_long());
+  }
+};
+
+struct DepthResult {
+  int depth = 0;
+  double inv_per_sec = 0;
+  obs::MetricsRegistry::Sample latency_us{};
+  std::uint64_t client_rejects = 0;
+  std::uint64_t server_rejects = 0;
+};
+
+DepthResult run_depth(int depth, std::uint64_t reps,
+                      const net::LinkModel& link,
+                      std::optional<transport::Kind> kind) {
+  // The client window is negotiated at bind time from PARDIS_MAX_INFLIGHT;
+  // set it on the main thread, before the scenario spawns anything.
+  setenv("PARDIS_MAX_INFLIGHT", std::to_string(depth).c_str(), 1);
+
+  sim::ScenarioConfig scfg;
+  scfg.client.nranks = 1;
+  scfg.server.nranks = 1;
+  scfg.link = link;
+  scfg.orb.transport = kind;
+  sim::Scenario scenario(scfg);
+
+  DepthResult out;
+  out.depth = depth;
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        transfer::SpmdServer server(scenario.orb(), comm, scfg.server.host);
+        EchoServant servant;
+        server.activate("echo", servant);
+        server.serve();
+      },
+      [&](rts::Communicator&) {
+        auto binding = transfer::DirectBinding::bind(
+            scenario.orb(), scfg.client.host, "echo", "IDL:bench/echo:1.0");
+        auto& latency =
+            scenario.orb().metrics().histogram("bench.pipeline.latency_us");
+        using Clock = std::chrono::steady_clock;
+
+        // One synchronous warm-up keeps connection setup off the clock.
+        {
+          cdr::Encoder enc;
+          enc.put_long(-1);
+          (void)binding.invoke("ping", enc.take());
+        }
+
+        std::deque<std::pair<orb::Future<Bytes>, Clock::time_point>> window;
+        auto collect = [&] {
+          auto [future, issued] = std::move(window.front());
+          window.pop_front();
+          try {
+            Bytes reply = future.get();
+            latency.add(std::chrono::duration<double, std::micro>(
+                            Clock::now() - issued)
+                            .count());
+            cdr::Decoder dec{BytesView(reply)};
+            (void)dec.get_long();
+          } catch (const TRANSIENT&) {
+            ++out.client_rejects;  // server shed it; not a latency sample
+          }
+        };
+
+        const auto start = Clock::now();
+        for (std::uint64_t i = 0; i < reps; ++i) {
+          if (window.size() == static_cast<std::size_t>(depth)) collect();
+          cdr::Encoder enc;
+          enc.put_long(static_cast<cdr::Long>(i));
+          window.emplace_back(binding.invoke_nb("ping", enc.take()),
+                              Clock::now());
+        }
+        while (!window.empty()) collect();
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        out.inv_per_sec = static_cast<double>(reps) / seconds;
+        binding.unbind();
+      },
+      "echo");
+
+  const auto snap = scenario.orb().metrics().snapshot();
+  out.latency_us = find_sample(snap, "bench.pipeline.latency_us");
+  out.server_rejects = find_sample(snap, "server.pipeline.rejects").count;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TraceSession trace(argc, argv);
+
+  BenchConfig base;  // only used to parse --transport / the link model
+  base.link = link_from_env();
+  apply_transport_flag(base, argc, argv);
+  const std::string kind = transport::to_string(
+      base.transport.value_or(transport::kind_from_env()));
+
+  const std::uint64_t reps = env_u64("PARDIS_PIPELINE_REPS", 1000);
+  const int depths[] = {1, 2, 4, 8, 16, 32};
+
+  std::printf("Pipeline depth sweep: echo invocations/s over one %s stream\n",
+              kind.c_str());
+  std::printf("  %llu invocations per depth, window = PARDIS_MAX_INFLIGHT\n\n",
+              static_cast<unsigned long long>(reps));
+  std::printf("  %5s | %10s | %9s | %9s | %7s | %s\n", "depth", "inv/s",
+              "p50 (us)", "p99 (us)", "speedup", "rejects");
+  std::printf("  ------+------------+-----------+-----------+---------+"
+              "--------\n");
+
+  JsonArray rows;
+  double base_rate = 0;
+  double last_rate = 0;
+  for (const int depth : depths) {
+    const DepthResult r = run_depth(depth, reps, base.link, base.transport);
+    if (depth == 1) base_rate = r.inv_per_sec;
+    last_rate = r.inv_per_sec;
+    std::printf("  %5d | %10.0f | %9.0f | %9.0f | %6.2fx | %llu+%llu\n",
+                r.depth, r.inv_per_sec, r.latency_us.p50, r.latency_us.p99,
+                base_rate > 0 ? r.inv_per_sec / base_rate : 0.0,
+                static_cast<unsigned long long>(r.client_rejects),
+                static_cast<unsigned long long>(r.server_rejects));
+    rows.item(JsonObject()
+                  .field("depth", r.depth)
+                  .field("invocations_per_sec", r.inv_per_sec)
+                  .raw("latency_us", histogram_json(r.latency_us))
+                  .field("client_rejects", r.client_rejects)
+                  .field("server_rejects", r.server_rejects)
+                  .str());
+  }
+
+  const double speedup = base_rate > 0 ? last_rate / base_rate : 0.0;
+  std::printf("\n  depth 32 vs depth 1: %.2fx "
+              "(acceptance over tcp: >= 2x)\n",
+              speedup);
+
+  write_bench_json("pipeline_depth",
+                   JsonObject()
+                       .field("bench", std::string("pipeline_depth"))
+                       .field("transport", kind)
+                       .field("invocations_per_depth", reps)
+                       .raw("depths", rows.str())
+                       .field("speedup_depth32_vs_depth1", speedup)
+                       .str());
+  return 0;
+}

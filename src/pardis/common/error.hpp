@@ -58,6 +58,7 @@ PARDIS_DEFINE_SYSTEM_EXCEPTION(BAD_OPERATION);    // unknown operation name
 PARDIS_DEFINE_SYSTEM_EXCEPTION(INTERNAL);         // broker invariant violated
 PARDIS_DEFINE_SYSTEM_EXCEPTION(TIMEOUT);          // deadline exceeded
 PARDIS_DEFINE_SYSTEM_EXCEPTION(INITIALIZE);       // ORB initialization failure
+PARDIS_DEFINE_SYSTEM_EXCEPTION(TRANSIENT);        // retryable overload shed
 
 #undef PARDIS_DEFINE_SYSTEM_EXCEPTION
 

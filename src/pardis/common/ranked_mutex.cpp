@@ -33,6 +33,10 @@ const char* to_string(LockRank rank) {
       return "kRtsMailbox";
     case LockRank::kRtsTeamError:
       return "kRtsTeamError";
+    case LockRank::kTransferServerQueue:
+      return "kTransferServerQueue";
+    case LockRank::kTransferPipeline:
+      return "kTransferPipeline";
     case LockRank::kOrbFuture:
       return "kOrbFuture";
     case LockRank::kOrbNaming:

@@ -50,6 +50,8 @@ enum class LockRank : int {
   kNetStreamPacer = 50,     // net::StreamPacer per-stream admission time
   kRtsMailbox = 60,         // rts::Mailbox message queue
   kRtsTeamError = 70,       // rts::Team first-error slot
+  kTransferServerQueue = 72,  // transfer::SpmdServer pipelined-request queue
+  kTransferPipeline = 74,   // transfer::ReplyRouter pending-reply table
   kOrbFuture = 80,          // orb::detail::FutureState completion state
   kOrbNaming = 90,          // orb::NameService registration map
   kOrbExceptions = 100,     // orb::ExceptionRegistry thrower map

@@ -1,10 +1,46 @@
 #include "pardis/obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "pardis/common/error.hpp"
 
 namespace pardis::obs {
+
+std::size_t Histogram::bucket_of(double x) noexcept {
+  if (!(x > 1.0)) return 0;  // NaN, negatives, and (0, 1] share bucket 0
+  const int e = static_cast<int>(std::ceil(std::log2(x)));
+  return std::min<std::size_t>(static_cast<std::size_t>(std::max(e, 1)),
+                               kBuckets - 1);
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  const std::uint64_t n = stat_.count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Index (1-based) of the sample the quantile falls on.
+  const std::uint64_t target =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(
+                                     q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] < target) {
+      seen += buckets_[i];
+      continue;
+    }
+    // Log-linear interpolation inside bucket i = [2^(i-1), 2^i).
+    const double lo = i == 0 ? 0.0 : std::exp2(static_cast<double>(i) - 1.0);
+    const double hi = std::exp2(static_cast<double>(i));
+    const double frac = static_cast<double>(target - seen) /
+                        static_cast<double>(buckets_[i]);
+    const double est = lo + (hi - lo) * frac;
+    return std::clamp(est, stat_.min(), stat_.max());
+  }
+  return stat_.max();
+}
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<common::RankedMutex> lock(mu_);
@@ -53,6 +89,8 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
       s.kind = Sample::Kind::kHistogram;
       s.stat = e.histogram->snapshot();
       s.count = s.stat.count();
+      s.p50 = e.histogram->quantile(0.50);
+      s.p99 = e.histogram->quantile(0.99);
     }
     out.push_back(std::move(s));
   }

@@ -59,20 +59,36 @@ class Gauge {
 
 /// Thread-safe wrapper over RunningStat.  Updates are mutex-guarded; the
 /// expected feed rate is per-invocation (ms scale), not per-frame.
+///
+/// Alongside the running moments, samples are tallied into log2 buckets
+/// (bucket i covers [2^(i-1), 2^i)) so quantile() can report p50/p99 for
+/// the BENCH_*.json perf trajectory without retaining every sample.  The
+/// estimate's resolution is one octave — adequate for latency trends.
 class Histogram {
  public:
+  static constexpr std::size_t kBuckets = 64;
+
   void add(double x) {
     std::lock_guard<common::RankedMutex> lock(mu_);
     stat_.add(x);
+    ++buckets_[bucket_of(x)];
   }
   RunningStat snapshot() const {
     std::lock_guard<common::RankedMutex> lock(mu_);
     return stat_;
   }
 
+  /// Quantile estimate for q in [0, 1] (0.5 = median): log-linear
+  /// interpolation inside the bucket holding the q-th sample, clamped to
+  /// the observed min/max.  0 when empty.
+  double quantile(double q) const;
+
  private:
+  static std::size_t bucket_of(double x) noexcept;
+
   mutable common::RankedMutex mu_{common::LockRank::kObsHistogram};
   RunningStat stat_;
+  std::uint64_t buckets_[kBuckets] = {};
 };
 
 class MetricsRegistry {
@@ -91,6 +107,8 @@ class MetricsRegistry {
     std::uint64_t count = 0;   // counter value / histogram sample count
     std::int64_t level = 0;    // gauge value
     RunningStat stat;          // histogram distribution
+    double p50 = 0.0;          // histogram quantile estimates
+    double p99 = 0.0;
   };
 
   /// Snapshot of every instrument, sorted by name.

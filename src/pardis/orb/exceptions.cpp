@@ -52,6 +52,7 @@ constexpr char kSysPrefix[] = "SYS:";
   if (kind == "INTERNAL") throw INTERNAL(detail, completed);
   if (kind == "TIMEOUT") throw TIMEOUT(detail, completed);
   if (kind == "INITIALIZE") throw INITIALIZE(detail, completed);
+  if (kind == "TRANSIENT") throw TRANSIENT(detail, completed);
   throw SystemException(kind, detail, completed);
 }
 

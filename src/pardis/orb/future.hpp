@@ -11,7 +11,17 @@
 //     paper's SPMD-style access convention (§2.2), all computing threads of
 //     a parallel client must call get() collectively.
 //
-// get() rethrows any exception the invocation produced.
+// get() rethrows any exception the invocation produced, and may be called
+// repeatedly (every call after the first observes the same value or
+// rethrows the same error).  Concurrent get() from several threads is
+// safe, including on a deferred future: exactly one caller runs the
+// completer while the others wait on the state's condition variable.  The
+// one illegal shape — the completer itself re-entering get() on its own
+// future, which can only deadlock — is detected and throws INTERNAL.
+//
+// If every Promise copy is destroyed before settling (a broker thread died
+// mid-reply), the future is settled with COMM_FAILURE("broken promise…")
+// instead of blocking its consumer forever.
 
 #pragma once
 
@@ -21,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "pardis/common/error.hpp"
@@ -38,6 +49,7 @@ struct FutureState {
   std::exception_ptr error;
   std::function<T()> deferred;  // runs on first get() if set
   bool started = false;
+  std::thread::id completer_thread{};  // valid while started && !settled
 
   bool settled() const { return value.has_value() || error != nullptr; }
 };
@@ -50,7 +62,9 @@ class Future;
 template <typename T>
 class Promise {
  public:
-  Promise() : state_(std::make_shared<detail::FutureState<T>>()) {}
+  Promise()
+      : state_(std::make_shared<detail::FutureState<T>>()),
+        guard_(make_guard(state_)) {}
 
   Future<T> get_future() const { return Future<T>(state_); }
 
@@ -77,7 +91,29 @@ class Promise {
   }
 
  private:
+  /// Runs when the last Promise copy dies: an unsettled future at that
+  /// point can never be fulfilled (its broker thread is gone), so settle
+  /// it with COMM_FAILURE rather than let get() block forever.
+  static std::shared_ptr<void> make_guard(
+      std::shared_ptr<detail::FutureState<T>> state) {
+    return std::shared_ptr<void>(
+        nullptr, [state = std::move(state)](void*) {
+          bool broken = false;
+          {
+            std::lock_guard<common::RankedMutex> lock(state->mu);
+            if (!state->settled()) {
+              broken = true;
+              state->error = std::make_exception_ptr(COMM_FAILURE(
+                  "broken promise: every Promise was destroyed before the "
+                  "future was settled"));
+            }
+          }
+          if (broken) state->cv.notify_all();
+        });
+  }
+
   std::shared_ptr<detail::FutureState<T>> state_;
+  std::shared_ptr<void> guard_;  // shared by all copies of this promise
 };
 
 template <typename T>
@@ -113,7 +149,9 @@ class Future {
 
   /// Blocks (or runs the deferred completer) until the value is available;
   /// rethrows the invocation's exception if it failed.  May be called more
-  /// than once.
+  /// than once, and concurrently: one caller runs the completer, the rest
+  /// wait.  Throws INTERNAL if the running completer re-enters get() on
+  /// its own future (guaranteed deadlock otherwise).
   T& get() {
     if (!state_) {
       throw BAD_PARAM("get() on an empty Future");
@@ -121,19 +159,35 @@ class Future {
     std::unique_lock<common::RankedMutex> lock(state_->mu);
     if (state_->deferred && !state_->started) {
       state_->started = true;
+      state_->completer_thread = std::this_thread::get_id();
       auto completer = std::move(state_->deferred);
       state_->deferred = nullptr;
       lock.unlock();
       // Run outside the lock: collective completers block on the runtime.
+      std::optional<T> value;
+      std::exception_ptr error;
       try {
-        T value = completer();
-        lock.lock();
-        state_->value = std::move(value);
+        value = completer();
       } catch (...) {
-        lock.lock();
-        state_->error = std::current_exception();
+        error = std::current_exception();
+      }
+      // Drop the completer (and whatever it captured — bindings, streams)
+      // before relocking: releasing those resources can itself block or
+      // take lower-ranked locks.
+      completer = nullptr;
+      lock.lock();
+      if (error) {
+        state_->error = error;
+      } else {
+        state_->value = std::move(value);
       }
       state_->cv.notify_all();
+    }
+    if (!state_->settled() && state_->started &&
+        state_->completer_thread == std::this_thread::get_id()) {
+      throw INTERNAL(
+          "re-entrant get(): this future's deferred completer is already "
+          "running on the calling thread");
     }
     state_->cv.wait(lock, [&] { return state_->settled(); });
     if (state_->error) {

@@ -9,6 +9,8 @@ namespace {
 constexpr std::uint8_t kMagic[4] = {'P', 'D', 'I', 'S'};
 constexpr std::uint8_t kVersion = 1;
 constexpr std::size_t kPrologueSize = 8;
+constexpr std::size_t kMuxPrologueSize = 16;
+constexpr std::uint8_t kFlagMux = 0x01;
 constexpr cdr::ULong kMaxRanks = 1u << 16;
 }  // namespace
 
@@ -22,6 +24,15 @@ const char* to_string(MsgType t) noexcept {
     case MsgType::kHello:       return "Hello";
     case MsgType::kShutdown:    return "Shutdown";
     case MsgType::kUnbind:      return "Unbind";
+  }
+  return "?";
+}
+
+const char* to_string(FrameKind k) noexcept {
+  switch (k) {
+    case FrameKind::kData:   return "data";
+    case FrameKind::kCredit: return "credit";
+    case FrameKind::kReject: return "reject";
   }
   return "?";
 }
@@ -91,6 +102,7 @@ void BindAck::encode(cdr::Encoder& enc) const {
   enc.put_ulong(binding_id);
   enc.put_octet(static_cast<cdr::Octet>(status));
   enc.put_ulong(server_ranks);
+  enc.put_ulong(credit);
   enc.put_string(message);
 }
 
@@ -99,6 +111,7 @@ BindAck BindAck::decode(cdr::Decoder& dec) {
   a.binding_id = dec.get_ulong();
   a.status = static_cast<BindStatus>(dec.get_octet());
   a.server_ranks = dec.get_ulong();
+  a.credit = dec.get_ulong();
   a.message = dec.get_string();
   return a;
 }
@@ -208,7 +221,19 @@ void begin_frame(cdr::Encoder& enc, MsgType type) {
   enc.put_octet(kVersion);
   enc.put_octet(pardis::host_is_little_endian() ? 1 : 0);
   enc.put_octet(static_cast<cdr::Octet>(type));
-  enc.put_octet(0);  // reserved / pad to 8
+  enc.put_octet(0);  // flags: no extension / pad to 8
+}
+
+void begin_mux_frame(cdr::Encoder& enc, MsgType type, const MuxInfo& mux) {
+  for (std::uint8_t b : kMagic) enc.put_octet(b);
+  enc.put_octet(kVersion);
+  enc.put_octet(pardis::host_is_little_endian() ? 1 : 0);
+  enc.put_octet(static_cast<cdr::Octet>(type));
+  enc.put_octet(kFlagMux);
+  enc.put_ulong(mux.request_id);                       // offset 8
+  enc.put_octet(static_cast<cdr::Octet>(mux.kind));    // offset 12
+  enc.put_octet(0);                                    // reserved
+  enc.put_ushort(mux.credit);                          // offset 14
 }
 
 Frame parse_frame(pardis::BytesView frame) {
@@ -226,7 +251,33 @@ Frame parse_frame(pardis::BytesView frame) {
   if (frame[6] > static_cast<std::uint8_t>(MsgType::kUnbind)) {
     throw MARSHAL("unknown message type");
   }
-  return Frame{static_cast<MsgType>(frame[6]), frame[5] != 0, kPrologueSize};
+  if ((frame[7] & ~kFlagMux) != 0) {
+    throw MARSHAL("unknown prologue flags");
+  }
+  Frame info{static_cast<MsgType>(frame[6]), frame[5] != 0, kPrologueSize,
+             std::nullopt};
+  if ((frame[7] & kFlagMux) != 0) {
+    if (frame.size() < kMuxPrologueSize) {
+      throw MARSHAL("frame shorter than mux prologue");
+    }
+    // Decode the extension with the sender's byte order, like any body
+    // field (CDR alignment relative to the frame start keeps these fields
+    // naturally aligned at offsets 8/12/14).
+    cdr::Decoder dec(frame, info.little_endian);
+    (void)dec.get_octets(kPrologueSize);
+    MuxInfo mux;
+    mux.request_id = dec.get_ulong();
+    const auto kind = dec.get_octet();
+    if (kind > static_cast<cdr::Octet>(FrameKind::kReject)) {
+      throw MARSHAL("unknown mux frame kind");
+    }
+    mux.kind = static_cast<FrameKind>(kind);
+    (void)dec.get_octet();  // reserved
+    mux.credit = dec.get_ushort();
+    info.body_offset = kMuxPrologueSize;
+    info.mux = mux;
+  }
+  return info;
 }
 
 cdr::Decoder body_decoder(pardis::BytesView frame, const Frame& info) {

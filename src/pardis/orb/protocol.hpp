@@ -6,8 +6,17 @@
 //   octet     protocol version (1)
 //   octet     sender byte order (1 = little endian)
 //   octet     message type
-//   octet     reserved (alignment)
+//   octet     flags (bit 0: extended mux prologue follows)
 //   ...       message body (CDR, sender's byte order)
+//
+// When the mux flag is set the prologue continues for 8 more bytes (so the
+// body still starts 8-aligned), letting many logical invocations interleave
+// over one stream (docs/pipelining.md):
+//
+//   ulong     request id (sender byte order)
+//   octet     frame kind (FrameKind: data / credit / reject)
+//   octet     reserved
+//   ushort    credit grant (sender byte order)
 //
 // Message kinds:
 //   BindRequest / BindAck  — establish a binding between a (possibly
@@ -34,6 +43,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,6 +65,27 @@ enum class MsgType : std::uint8_t {
 };
 
 const char* to_string(MsgType t) noexcept;
+
+/// Role of a frame within a multiplexed (pipelined) stream.
+enum class FrameKind : std::uint8_t {
+  kData = 0,    // a request or its reply; the payload is the message body
+  kCredit = 1,  // pure flow-control top-up: body empty, credit field counts
+  kReject = 2,  // transient admission-control shed; the client should map
+                // this to pardis::TRANSIENT and may retry later
+};
+
+const char* to_string(FrameKind k) noexcept;
+
+/// Mux fields of an extended prologue (one logical invocation among many on
+/// the same stream).  `credit` is the number of request slots the sender
+/// grants back to its peer (docs/pipelining.md, flow-control state machine).
+struct MuxInfo {
+  cdr::ULong request_id = 0;
+  FrameKind kind = FrameKind::kData;
+  std::uint16_t credit = 0;
+
+  bool operator==(const MuxInfo&) const = default;
+};
 
 /// The two distributed-argument transfer methods of §3.
 enum class TransferMethod : std::uint8_t {
@@ -126,6 +157,10 @@ struct BindAck {
   cdr::ULong binding_id = 0;
   BindStatus status = BindStatus::kOk;
   cdr::ULong server_ranks = 1;
+  /// Initial pipelining credit: how many mux requests the client may keep
+  /// in flight on this binding before it must wait for replies to return
+  /// slots.  0 means the server does not accept pipelined traffic.
+  cdr::ULong credit = 0;
   std::string message;
 
   void encode(cdr::Encoder& enc) const;
@@ -199,12 +234,19 @@ struct ArgTransferHeader {
 /// the prologue.
 void begin_frame(cdr::Encoder& enc, MsgType type);
 
+/// Starts a multiplexed frame: base prologue with the mux flag set, then
+/// the 8-byte mux extension.  The body still starts 8-aligned.
+void begin_mux_frame(cdr::Encoder& enc, MsgType type, const MuxInfo& mux);
+
 /// Validated view of a received frame.
 struct Frame {
   MsgType type;
   bool little_endian;
-  /// Byte offset where the body starts (prologue is 8 bytes).
+  /// Byte offset where the body starts (8 plain, 16 with the mux
+  /// extension).
   std::size_t body_offset;
+  /// Present when the sender set the mux flag (pipelined traffic).
+  std::optional<MuxInfo> mux;
 };
 
 /// Parses and validates the prologue.  Throws pardis::MARSHAL on a bad

@@ -73,6 +73,9 @@ struct BenchConfig {
 struct BenchResult {
   std::array<double, kPhaseCount> client{};
   std::array<double, kPhaseCount> server{};
+  /// The scenario's "client.phase.total" histogram (ms, one sample per
+  /// measured rep per rank) — p50/p99 feed the BENCH_*.json summaries.
+  obs::MetricsRegistry::Sample total_ms{};
 
   double client_ms(Phase p) const {
     return client[static_cast<std::size_t>(p)];
@@ -149,6 +152,11 @@ inline BenchResult run_config(const BenchConfig& cfg) {
         binding.unbind();
       },
       "sink");
+  for (auto& sample : scenario.orb().metrics().snapshot()) {
+    if (sample.name == "client.phase.total") {
+      result.total_ms = std::move(sample);
+    }
+  }
   return result;
 }
 

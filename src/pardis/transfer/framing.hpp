@@ -1,0 +1,47 @@
+// Request-ID framing helpers: the only place in the transfer layer allowed
+// to call Stream::send directly.
+//
+// Every frame the transfer layer puts on a wire goes through one of these
+// three helpers, so the extended (mux) prologue of docs/pipelining.md cannot
+// be bypassed by accident: send_frame/send_mux_frame write the prologue
+// themselves, and send_framed validates a pre-built frame's prologue before
+// it leaves the process.  The pardis-lint rule `unframed-send` flags any
+// other Stream::send call under src/pardis/transfer/.
+
+#pragma once
+
+#include "pardis/cdr/encoder.hpp"
+#include "pardis/orb/protocol.hpp"
+#include "pardis/transport/transport.hpp"
+
+namespace pardis::transfer {
+
+/// Builds and sends one plain frame: prologue + body from `encode_body`.
+template <typename Fn>
+void send_frame(transport::Stream& conn, orb::MsgType type, Fn&& encode_body) {
+  cdr::Encoder enc;
+  orb::begin_frame(enc, type);
+  encode_body(enc);
+  conn.send(enc.take());
+}
+
+/// Builds and sends one multiplexed frame: extended prologue carrying
+/// (request id, frame kind, credit grant) + body from `encode_body`.
+template <typename Fn>
+void send_mux_frame(transport::Stream& conn, orb::MsgType type,
+                    const orb::MuxInfo& mux, Fn&& encode_body) {
+  cdr::Encoder enc;
+  orb::begin_mux_frame(enc, type, mux);
+  encode_body(enc);
+  conn.send(enc.take());
+}
+
+/// Sends a frame built earlier (the timed send phases pack under
+/// Phase::kPack and send under Phase::kSend), validating the prologue so a
+/// malformed buffer fails loudly on the sender, not the receiver.
+inline void send_framed(transport::Stream& conn, pardis::Bytes frame) {
+  (void)orb::parse_frame(frame);
+  conn.send(std::move(frame));
+}
+
+}  // namespace pardis::transfer

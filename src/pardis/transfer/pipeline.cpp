@@ -1,0 +1,158 @@
+#include "pardis/transfer/pipeline.hpp"
+
+#include "pardis/common/error.hpp"
+#include "pardis/common/log.hpp"
+
+namespace pardis::transfer {
+
+ReplyRouter::ReplyRouter(std::shared_ptr<transport::Stream> stream,
+                         obs::MetricsRegistry* metrics, std::uint32_t window)
+    : stream_(std::move(stream)),
+      window_(window == 0 ? 1 : window),
+      credits_(window_) {
+  if (metrics) {
+    pipelined_ = &metrics->counter("client.pipeline.requests");
+    rejects_ = &metrics->counter("client.pipeline.rejects");
+    inflight_gauge_ = &metrics->gauge("client.pipeline.inflight");
+    credits_gauge_ = &metrics->gauge("client.pipeline.credits");
+    credits_gauge_->set(static_cast<std::int64_t>(credits_));
+  }
+}
+
+void ReplyRouter::take_credit() {
+  std::unique_lock<common::RankedMutex> lock(mu_);
+  while (credits_ == 0 && !dead_) {
+    pump(lock);
+  }
+  if (dead_) {
+    throw COMM_FAILURE("pipelined stream failed: " + death_reason_);
+  }
+  --credits_;
+  if (credits_gauge_) credits_gauge_->set(static_cast<std::int64_t>(credits_));
+  if (pipelined_) pipelined_->add();
+}
+
+void ReplyRouter::give_credit(std::uint32_t n) {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  credits_ += n;
+  if (credits_gauge_) credits_gauge_->set(static_cast<std::int64_t>(credits_));
+  cv_.notify_all();
+}
+
+void ReplyRouter::expect(cdr::ULong request_id) {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  pending_.emplace(request_id, Slot{});
+  set_inflight_locked();
+}
+
+void ReplyRouter::abandon(cdr::ULong request_id) {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  pending_.erase(request_id);
+  set_inflight_locked();
+}
+
+ReplyRouter::Reply ReplyRouter::await(cdr::ULong request_id) {
+  std::unique_lock<common::RankedMutex> lock(mu_);
+  for (;;) {
+    const auto it = pending_.find(request_id);
+    if (it == pending_.end()) {
+      throw BAD_PARAM("await() without expect() for request " +
+                      std::to_string(request_id));
+    }
+    if (it->second.reply) {
+      Reply r = std::move(*it->second.reply);
+      pending_.erase(it);
+      set_inflight_locked();
+      return r;
+    }
+    if (dead_) {
+      pending_.erase(it);
+      set_inflight_locked();
+      throw COMM_FAILURE("pipelined stream failed: " + death_reason_);
+    }
+    pump(lock);
+  }
+}
+
+std::size_t ReplyRouter::inflight() const {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  return pending_.size();
+}
+
+std::uint32_t ReplyRouter::credits() const {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  return credits_;
+}
+
+void ReplyRouter::pump(std::unique_lock<common::RankedMutex>& lock) {
+  if (reader_active_) {
+    // Someone else is on the wire; their route/notify re-checks our
+    // predicate (callers loop).
+    cv_.wait(lock);
+    return;
+  }
+  reader_active_ = true;
+  lock.unlock();
+  std::optional<pardis::Bytes> frame;
+  std::string failure;
+  try {
+    frame = stream_->recv();
+  } catch (const SystemException& e) {
+    failure = std::string(e.kind()) + ": " + e.what();
+  }
+  lock.lock();
+  reader_active_ = false;
+  if (!failure.empty()) {
+    dead_ = true;
+    death_reason_ = failure;
+  } else if (!frame) {
+    dead_ = true;
+    death_reason_ = "stream closed by peer";
+  } else {
+    try {
+      const orb::Frame info = orb::parse_frame(*frame);
+      route_locked(std::move(*frame), info);
+    } catch (const SystemException& e) {
+      // A malformed frame desynchronizes the whole stream: poison it so
+      // every pipelined caller fails loudly instead of hanging.
+      dead_ = true;
+      death_reason_ = std::string(e.kind()) + ": " + e.what();
+    }
+  }
+  cv_.notify_all();
+}
+
+void ReplyRouter::route_locked(pardis::Bytes frame, const orb::Frame& info) {
+  cdr::ULong id = 0;
+  bool rejected = false;
+  if (info.mux) {
+    credits_ += info.mux->credit;
+    if (credits_gauge_) {
+      credits_gauge_->set(static_cast<std::int64_t>(credits_));
+    }
+    if (info.mux->kind == orb::FrameKind::kCredit) return;  // pure grant
+    id = info.mux->request_id;
+    rejected = info.mux->kind == orb::FrameKind::kReject;
+  } else {
+    // Plain replies carry the request id as the leading ReplyHeader field.
+    auto dec = orb::body_decoder(frame, info);
+    id = dec.get_ulong();
+  }
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    PARDIS_LOG_DEBUG << "reply router: dropping frame for unknown request "
+                     << id << " on " << stream_->label();
+    return;
+  }
+  if (rejected && rejects_) rejects_->add();
+  it->second.reply =
+      Reply{rejected ? pardis::Bytes{} : std::move(frame), info, rejected};
+}
+
+void ReplyRouter::set_inflight_locked() {
+  if (inflight_gauge_) {
+    inflight_gauge_->set(static_cast<std::int64_t>(pending_.size()));
+  }
+}
+
+}  // namespace pardis::transfer

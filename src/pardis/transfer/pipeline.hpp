@@ -1,0 +1,119 @@
+// Client-side reply demultiplexer and credit gate for pipelined
+// invocations (docs/pipelining.md).
+//
+// A ReplyRouter owns the receive side of one control stream on which many
+// logical requests are in flight at once.  Senders declare interest with
+// expect(request_id) before the frame leaves, then block in
+// await(request_id) until *their* reply arrives; whichever blocked thread
+// reaches the stream first becomes the reader (shared-reader pattern),
+// recv()s outside the lock, and routes the frame into the pending-reply
+// table — so replies are fulfilled in whatever order the server produces
+// them, with no dedicated reader thread.
+//
+// Flow control is credit-based: the router starts with the window granted
+// by the server's BindAck; take_credit() consumes one slot per pipelined
+// request (blocking — and pumping the stream — while the window is
+// exhausted) and every mux reply/reject frame returns the slots named in
+// its prologue's credit field.
+//
+// Routed frames:
+//   * extended (mux) prologue — keyed by the prologue's request id;
+//     kReject fulfills the slot with `rejected` set (the server shed the
+//     request), kCredit is a pure window grant;
+//   * plain kReply — keyed by the leading request_id field of the
+//     ReplyHeader body, so synchronous invocations on the same stream
+//     cannot steal a pipelined sibling's reply.
+//
+// Once the stream dies (EOF, timeout, or a malformed frame) the router is
+// poisoned: every current and future await()/take_credit() throws
+// COMM_FAILURE carrying the original reason.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "pardis/common/ranked_mutex.hpp"
+#include "pardis/obs/metrics.hpp"
+#include "pardis/orb/protocol.hpp"
+#include "pardis/transport/transport.hpp"
+
+namespace pardis::transfer {
+
+class ReplyRouter {
+ public:
+  /// `window` is the negotiated in-flight cap (min of the server's BindAck
+  /// credit grant and PARDIS_MAX_INFLIGHT); 0 degrades to 1.  `metrics` is
+  /// nullable.
+  ReplyRouter(std::shared_ptr<transport::Stream> stream,
+              obs::MetricsRegistry* metrics, std::uint32_t window);
+
+  ReplyRouter(const ReplyRouter&) = delete;
+  ReplyRouter& operator=(const ReplyRouter&) = delete;
+
+  /// One routed reply.  `rejected` means the server shed the request
+  /// (kReject frame); `frame` is empty in that case.
+  struct Reply {
+    pardis::Bytes frame;
+    orb::Frame info{};
+    bool rejected = false;
+  };
+
+  /// Consumes one window slot for a pipelined request, blocking (and
+  /// pumping the stream, which is what replenishes the window) while no
+  /// credit is available.  Throws COMM_FAILURE once the stream is dead.
+  void take_credit();
+
+  /// Returns `n` slots to the window (send failed after take_credit()).
+  void give_credit(std::uint32_t n = 1);
+
+  /// Declares interest in `request_id`'s reply.  Must happen before the
+  /// request frame is sent, or the reply could race the registration.
+  void expect(cdr::ULong request_id);
+
+  /// Drops interest (the send failed, or a oneway needs no reply).
+  void abandon(cdr::ULong request_id);
+
+  /// Blocks until `request_id`'s reply arrives, servicing the stream and
+  /// fulfilling other pending requests along the way.  Throws COMM_FAILURE
+  /// if the stream dies first and BAD_PARAM without a prior expect().
+  Reply await(cdr::ULong request_id);
+
+  std::uint32_t window() const noexcept { return window_; }
+  std::size_t inflight() const;
+  std::uint32_t credits() const;
+
+ private:
+  struct Slot {
+    std::optional<Reply> reply;
+  };
+
+  /// Shared-reader step: with `lock` held, either waits for the active
+  /// reader's result or becomes the reader, receiving one frame with the
+  /// lock released and routing it under the lock.
+  void pump(std::unique_lock<common::RankedMutex>& lock);
+  void route_locked(pardis::Bytes frame, const orb::Frame& info);
+  void set_inflight_locked();
+
+  std::shared_ptr<transport::Stream> stream_;
+  obs::Counter* pipelined_ = nullptr;
+  obs::Counter* rejects_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Gauge* credits_gauge_ = nullptr;
+
+  mutable common::RankedMutex mu_{common::LockRank::kTransferPipeline};
+  std::condition_variable_any cv_;
+  std::uint32_t window_ = 1;
+  std::uint32_t credits_ = 1;
+  bool reader_active_ = false;
+  bool dead_ = false;
+  std::string death_reason_;
+  std::map<cdr::ULong, Slot> pending_;
+};
+
+}  // namespace pardis::transfer

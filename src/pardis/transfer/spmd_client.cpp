@@ -8,20 +8,11 @@
 #include "pardis/obs/phase_trace.hpp"
 #include "pardis/orb/exceptions.hpp"
 #include "pardis/rts/collectives.hpp"
+#include "pardis/transfer/framing.hpp"
 
 namespace pardis::transfer {
 
 namespace {
-
-/// Sends a complete frame: prologue + body encoded by `encode_body`.
-template <typename Fn>
-void send_frame(transport::Stream& conn, orb::MsgType type,
-                Fn&& encode_body) {
-  cdr::Encoder enc;
-  orb::begin_frame(enc, type);
-  encode_body(enc);
-  conn.send(enc.take());
-}
 
 struct ReceivedFrame {
   pardis::Bytes bytes;
@@ -144,6 +135,7 @@ SpmdBinding SpmdBinding::bind(orb::Orb& orb, rts::Communicator& comm,
     });
     b.data_conns_.push_back(std::move(conn));
   }
+  b.data_stash_.resize(b.data_conns_.size());
 
   // Rank 0 awaits the acknowledgment (carrying the server's argument
   // distribution policy) and shares it.
@@ -246,8 +238,10 @@ orb::Future<pardis::Bytes> SpmdBinding::invoke_nb(
     stats_.timer.add(Phase::kTotal, Clock::now() - t0);
     return orb::Future<pardis::Bytes>::from_value({});
   }
-  // The receive phase runs inside the (collective) get().  The future must
-  // be collected before the next invocation on this binding.
+  // The receive phase runs inside the (collective) get().  Futures may be
+  // collected out of order — replies and data frames for other outstanding
+  // requests are stashed by request id — provided every rank performs the
+  // same sequence of collective get() calls.
   return orb::Future<pardis::Bytes>::from_deferred(
       [this, request_id, args = std::move(dseq_args), descriptors, opts,
        t0]() mutable {
@@ -310,7 +304,7 @@ void SpmdBinding::send_phase(
       });
       PARDIS_LOG_TRACE << "client rank 0 sending centralized request ("
                        << frame.size() << " bytes)";
-      timer.time(Phase::kSend, [&] { control_->send(std::move(frame)); });
+      timer.time(Phase::kSend, [&] { send_framed(*control_, std::move(frame)); });
       PARDIS_LOG_TRACE << "client rank 0 centralized request sent";
     }
     return;
@@ -325,7 +319,7 @@ void SpmdBinding::send_phase(
       header.encode(enc);
       return enc.take();
     });
-    timer.time(Phase::kSend, [&] { control_->send(std::move(frame)); });
+    timer.time(Phase::kSend, [&] { send_framed(*control_, std::move(frame)); });
   }
   // ... then every computing thread routes its share of each argument
   // directly to the owning server threads.
@@ -355,8 +349,8 @@ void SpmdBinding::send_phase(
         return enc.take();
       });
       timer.time(Phase::kSend, [&] {
-        data_conns_[static_cast<std::size_t>(seg.dst_rank)]->send(
-            std::move(frame));
+        send_framed(*data_conns_[static_cast<std::size_t>(seg.dst_rank)],
+                    std::move(frame));
       });
     }
   }
@@ -378,16 +372,11 @@ pardis::Bytes SpmdBinding::receive_phase(
   {
     pardis::Bytes shared;
     if (rank == 0) {
-      auto frame = timer.time(Phase::kRecv, [&] {
-        return recv_frame(*control_, orb::MsgType::kReply);
-      });
+      StashedFrame frame = recv_reply_frame(request_id, timer);
       reply_frame = std::move(frame.bytes);
       reply_info = frame.info;
       auto dec = orb::body_decoder(reply_frame, reply_info);
       const orb::ReplyHeader header = orb::ReplyHeader::decode(dec);
-      if (header.request_id != request_id) {
-        throw MARSHAL("reply id mismatch (out-of-order reply?)");
-      }
       reply.status = header.status;
       reply.payload = header.payload;
       reply.dseqs = header.dseqs;
@@ -462,10 +451,8 @@ pardis::Bytes SpmdBinding::receive_phase(
       for (int j = 0; j < server_ranks(); ++j) {
         for (const dseq::Segment& seg : expected) {
           if (seg.src_rank != j || seg.count == 0) continue;
-          auto frame = timer.time(Phase::kRecv, [&] {
-            return recv_frame(*data_conns_[static_cast<std::size_t>(j)],
-                              orb::MsgType::kArgTransfer);
-          });
+          const StashedFrame frame = recv_data_frame(
+              static_cast<std::size_t>(j), request_id, timer);
           timer.time(Phase::kUnpack, [&] {
             auto dec = orb::body_decoder(frame.bytes, frame.info);
             const auto h = orb::ArgTransferHeader::decode(dec);
@@ -486,6 +473,44 @@ pardis::Bytes SpmdBinding::receive_phase(
   }
 
   return reply.payload;
+}
+
+SpmdBinding::StashedFrame SpmdBinding::recv_reply_frame(
+    cdr::ULong request_id, obs::TracedTimer& timer) {
+  if (auto node = reply_stash_.extract(request_id); !node.empty()) {
+    return std::move(node.mapped());
+  }
+  for (;;) {
+    auto f = timer.time(Phase::kRecv, [&] {
+      return recv_frame(*control_, orb::MsgType::kReply);
+    });
+    auto dec = orb::body_decoder(f.bytes, f.info);
+    const cdr::ULong id = dec.get_ulong();  // leading ReplyHeader field
+    if (id == request_id) return {std::move(f.bytes), f.info};
+    // A reply for another outstanding future: hold it until that future
+    // is collected.
+    reply_stash_[id] = {std::move(f.bytes), f.info};
+  }
+}
+
+SpmdBinding::StashedFrame SpmdBinding::recv_data_frame(
+    std::size_t conn, cdr::ULong request_id, obs::TracedTimer& timer) {
+  auto& stash = data_stash_[conn];
+  if (const auto it = stash.find(request_id); it != stash.end()) {
+    StashedFrame f = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) stash.erase(it);
+    return f;
+  }
+  for (;;) {
+    auto f = timer.time(Phase::kRecv, [&] {
+      return recv_frame(*data_conns_[conn], orb::MsgType::kArgTransfer);
+    });
+    auto dec = orb::body_decoder(f.bytes, f.info);
+    const cdr::ULong id = orb::ArgTransferHeader::decode(dec).request_id;
+    if (id == request_id) return {std::move(f.bytes), f.info};
+    stash[id].push_back({std::move(f.bytes), f.info});
+  }
 }
 
 void SpmdBinding::unbind() {
@@ -546,6 +571,14 @@ DirectBinding DirectBinding::bind(orb::Orb& orb,
       if (ack.status != orb::BindStatus::kOk) {
         throw OBJECT_NOT_EXIST("bind rejected: " + ack.message);
       }
+      // Pipeline window: the server's credit grant capped by the client's
+      // own appetite.  Servers predating the grant advertise 0 → window 1
+      // (strictly serial, but still correct).
+      b.window_ = static_cast<std::uint32_t>(
+          std::min<cdr::ULong>(std::max<cdr::ULong>(ack.credit, 1),
+                               env_u64("PARDIS_MAX_INFLIGHT", 32)));
+      b.router_ =
+          std::make_shared<ReplyRouter>(b.control_, &orb.metrics(), b.window_);
       return b;
     } catch (const SystemException& e) {
       b.control_->close();
@@ -560,20 +593,32 @@ pardis::Bytes DirectBinding::invoke(const std::string& operation,
                                     pardis::Bytes scalar_args,
                                     bool response_expected) {
   const cdr::ULong request_id = ++next_request_;
-  send_frame(*control_, orb::MsgType::kRequest, [&](cdr::Encoder& e) {
-    orb::RequestHeader header;
-    header.request_id = request_id;
-    header.binding_id = binding_id_;
-    header.operation = operation;
-    header.response_expected = response_expected;
-    header.collective = false;
-    header.method = orb::TransferMethod::kCentralized;
-    header.scalar_args = std::move(scalar_args);
-    header.encode(e);
-  });
+  // Even synchronous replies route through the router, so a sync invoke
+  // issued while pipelined futures are outstanding cannot steal (or be
+  // starved by) a sibling's reply.
+  if (response_expected) router_->expect(request_id);
+  try {
+    send_frame(*control_, orb::MsgType::kRequest, [&](cdr::Encoder& e) {
+      orb::RequestHeader header;
+      header.request_id = request_id;
+      header.binding_id = binding_id_;
+      header.operation = operation;
+      header.response_expected = response_expected;
+      header.collective = false;
+      header.method = orb::TransferMethod::kCentralized;
+      header.scalar_args = std::move(scalar_args);
+      header.encode(e);
+    });
+  } catch (...) {
+    if (response_expected) router_->abandon(request_id);
+    throw;
+  }
   if (!response_expected) return {};
-  auto frame = recv_frame(*control_, orb::MsgType::kReply);
-  auto dec = orb::body_decoder(frame.bytes, frame.info);
+  const ReplyRouter::Reply r = router_->await(request_id);
+  if (r.rejected) {
+    throw TRANSIENT("server shed request " + std::to_string(request_id));
+  }
+  auto dec = orb::body_decoder(r.frame, r.info);
   const orb::ReplyHeader reply = orb::ReplyHeader::decode(dec);
   if (reply.request_id != request_id) {
     throw MARSHAL("reply id mismatch");
@@ -585,17 +630,73 @@ pardis::Bytes DirectBinding::invoke(const std::string& operation,
   return reply.payload;
 }
 
+orb::Future<pardis::Bytes> DirectBinding::invoke_nb(
+    const std::string& operation, pardis::Bytes scalar_args) {
+  orb_->metrics().counter("client.invocations").add();
+  router_->take_credit();  // blocks while the window is full
+  const cdr::ULong request_id = ++next_request_;
+  router_->expect(request_id);
+  try {
+    send_mux_frame(*control_, orb::MsgType::kRequest,
+                   orb::MuxInfo{request_id, orb::FrameKind::kData, 0},
+                   [&](cdr::Encoder& e) {
+                     orb::RequestHeader header;
+                     header.request_id = request_id;
+                     header.binding_id = binding_id_;
+                     header.operation = operation;
+                     header.response_expected = true;
+                     header.collective = false;
+                     header.method = orb::TransferMethod::kCentralized;
+                     header.scalar_args = std::move(scalar_args);
+                     header.encode(e);
+                   });
+  } catch (...) {
+    router_->abandon(request_id);
+    router_->give_credit();
+    throw;
+  }
+  // The completer captures the shared router and the Orb (stable address,
+  // owned elsewhere) rather than `this`, so the binding may move — or even
+  // be destroyed — while futures are pending.
+  return orb::Future<pardis::Bytes>::from_deferred(
+      [router = router_, o = orb_, request_id]() {
+        const ReplyRouter::Reply r = router->await(request_id);
+        if (r.rejected) {
+          throw TRANSIENT("server shed pipelined request " +
+                          std::to_string(request_id));
+        }
+        auto dec = orb::body_decoder(r.frame, r.info);
+        const orb::ReplyHeader reply = orb::ReplyHeader::decode(dec);
+        if (reply.request_id != request_id) {
+          throw MARSHAL("reply id mismatch on pipelined stream");
+        }
+        if (reply.status != orb::ReplyStatus::kNoException) {
+          orb::rethrow_reply_exception(reply.status, reply.payload,
+                                       o->exceptions());
+        }
+        return reply.payload;
+      });
+}
+
 void DirectBinding::unbind() {
   if (!control_) return;
+  const bool replies_pending = router_ && router_->inflight() > 0;
   try {
     send_frame(*control_, orb::MsgType::kUnbind,
                [&](cdr::Encoder& e) { e.put_ulong(binding_id_); });
-    orb_->transport().release(std::move(control_));
+    if (replies_pending) {
+      // Uncollected pipelined replies would poison a pooled stream's next
+      // user; retire the connection instead.
+      control_->close();
+    } else {
+      orb_->transport().release(std::move(control_));
+    }
   } catch (const SystemException&) {
     // Peer already gone: nothing to announce, nothing worth pooling.
     if (control_) control_->close();
   }
   control_.reset();
+  router_.reset();
 }
 
 void send_shutdown(orb::Orb& orb, const std::string& from_host,

@@ -17,15 +17,21 @@
 
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "pardis/obs/phase_trace.hpp"
 #include "pardis/orb/future.hpp"
 #include "pardis/orb/objref.hpp"
 #include "pardis/orb/orb.hpp"
+#include "pardis/orb/protocol.hpp"
 #include "pardis/rts/communicator.hpp"
 #include "pardis/transfer/engine.hpp"
+#include "pardis/transfer/pipeline.hpp"
 #include "pardis/transfer/stats.hpp"
 #include "pardis/transport/transport.hpp"
 
@@ -67,6 +73,11 @@ class SpmdBinding {
   /// Collective non-blocking invocation: the send phase runs now; the
   /// returned future's get() — which must be called collectively by all
   /// ranks — completes the receive phase and yields the scalar results.
+  /// Several invocations may be outstanding at once and their futures may
+  /// be collected in any order, as long as every rank performs the same
+  /// sequence of get() calls (replies to other requests are stashed until
+  /// their future is collected).  All futures must be collected before
+  /// unbind().
   orb::Future<pardis::Bytes> invoke_nb(
       const std::string& operation, pardis::Bytes scalar_args,
       std::vector<DSeqArgBase*> dseq_args, const CallOptions& opts = {});
@@ -94,6 +105,12 @@ class SpmdBinding {
  private:
   SpmdBinding() = default;
 
+  /// One received-and-parsed frame held for a not-yet-collected future.
+  struct StashedFrame {
+    pardis::Bytes bytes;
+    orb::Frame info{};
+  };
+
   void send_phase(const std::string& operation, cdr::ULong request_id,
                   pardis::Bytes& scalar_args,
                   const std::vector<DSeqArgBase*>& dseq_args,
@@ -103,6 +120,15 @@ class SpmdBinding {
       cdr::ULong request_id, const std::vector<DSeqArgBase*>& dseq_args,
       const std::vector<orb::DSeqDescriptor>& descriptors,
       const CallOptions& opts);
+  /// Rank 0: next kReply frame for `request_id`, stashing replies that
+  /// belong to other outstanding invocations.
+  StashedFrame recv_reply_frame(cdr::ULong request_id,
+                                obs::TracedTimer& timer);
+  /// Next kArgTransfer frame for `request_id` on data connection `conn`,
+  /// stashing frames for other outstanding invocations (per connection the
+  /// segments of one request keep their send order).
+  StashedFrame recv_data_frame(std::size_t conn, cdr::ULong request_id,
+                               obs::TracedTimer& timer);
 
   orb::Orb* orb_ = nullptr;
   rts::Communicator* comm_ = nullptr;
@@ -116,6 +142,12 @@ class SpmdBinding {
   cdr::ULong next_request_ = 0;  // replicated identically on every rank
   InvocationStats stats_;
   std::vector<double> server_stats_;
+  /// Rank 0: kReply frames received while collecting a different request's
+  /// future, keyed by request id.
+  std::map<cdr::ULong, StashedFrame> reply_stash_;
+  /// Per data connection: kArgTransfer frames for other outstanding
+  /// requests, keyed by request id, in arrival order.
+  std::vector<std::map<cdr::ULong, std::deque<StashedFrame>>> data_stash_;
 };
 
 /// Non-collective `_bind`: a single thread's private binding.  Arguments use
@@ -137,13 +169,31 @@ class DirectBinding {
                        pardis::Bytes scalar_args,
                        bool response_expected = true);
 
+  /// Pipelined invocation: sends a multiplexed request (consuming one
+  /// credit of the negotiated window, blocking while the window is full)
+  /// and returns a future for the scalar results.  Any number of futures
+  /// up to the window may be outstanding; replies complete out of order.
+  /// get() rethrows server exceptions, TRANSIENT when the server shed the
+  /// request (retry it), and COMM_FAILURE when the stream died.
+  orb::Future<pardis::Bytes> invoke_nb(const std::string& operation,
+                                       pardis::Bytes scalar_args);
+
   /// Announces the unbind to the server (Unbind frame) and returns the
   /// control connection to the transport's idle pool for the next bind()
-  /// to the same endpoint to reuse.
+  /// to the same endpoint to reuse.  If pipelined futures are still
+  /// uncollected, the stream is closed instead of pooled (their replies
+  /// would poison the next user).
   void unbind();
 
   const orb::ObjectRef& object() const noexcept { return object_; }
   cdr::ULong binding_id() const noexcept { return binding_id_; }
+
+  /// Negotiated pipeline window: min(server BindAck credit grant,
+  /// PARDIS_MAX_INFLIGHT).
+  std::uint32_t window() const noexcept { return window_; }
+
+  /// Pipelined requests currently awaiting a reply.
+  std::size_t inflight() const { return router_ ? router_->inflight() : 0; }
 
  private:
   DirectBinding() = default;
@@ -153,6 +203,8 @@ class DirectBinding {
   orb::ObjectRef object_;
   cdr::ULong binding_id_ = 0;
   std::shared_ptr<transport::Stream> control_;
+  std::shared_ptr<ReplyRouter> router_;
+  std::uint32_t window_ = 1;
   cdr::ULong next_request_ = 0;
 };
 

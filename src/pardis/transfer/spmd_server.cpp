@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <thread>
 
+#include "pardis/common/config.hpp"
 #include "pardis/common/log.hpp"
 #include "pardis/dseq/plan.hpp"
 #include "pardis/obs/phase_trace.hpp"
 #include "pardis/rts/collectives.hpp"
+#include "pardis/transfer/framing.hpp"
 
 namespace pardis::transfer {
 
@@ -14,20 +16,29 @@ namespace {
 
 constexpr auto kIdlePollSleep = std::chrono::microseconds(30);
 
-template <typename Fn>
-void send_frame(transport::Stream& conn, orb::MsgType type,
-                Fn&& encode_body) {
-  cdr::Encoder enc;
-  orb::begin_frame(enc, type);
-  encode_body(enc);
-  conn.send(enc.take());
-}
-
 }  // namespace
 
 SpmdServer::SpmdServer(orb::Orb& orb, rts::Communicator& comm,
                        std::string host)
-    : orb_(&orb), comm_(&comm), host_(std::move(host)) {}
+    : orb_(&orb),
+      comm_(&comm),
+      host_(std::move(host)),
+      queue_cap_(std::max<std::size_t>(1, env_u64("PARDIS_SERVER_QUEUE", 64))),
+      worker_count_(
+          std::max<std::size_t>(1, env_u64("PARDIS_SERVER_WORKERS", 4))),
+      credit_grant_(static_cast<cdr::ULong>(std::min<std::uint64_t>(
+          std::max<std::uint64_t>(1, env_u64("PARDIS_SERVER_CREDIT", 32)),
+          queue_cap_))) {
+  obs::MetricsRegistry& m = orb_->metrics();
+  pipelined_requests_ = &m.counter("server.pipeline.requests");
+  pipelined_rejects_ = &m.counter("server.pipeline.rejects");
+  credits_granted_ = &m.counter("server.pipeline.credits_granted");
+  queue_depth_ = &m.gauge("server.pipeline.queue_depth");
+  pipeline_inflight_ = &m.gauge("server.pipeline.inflight");
+  pipeline_latency_us_ = &m.histogram("server.pipeline.latency_us");
+}
+
+SpmdServer::~SpmdServer() { stop_workers(); }
 
 void SpmdServer::ensure_listening() {
   if (acceptor_) return;
@@ -171,11 +182,24 @@ SpmdServer::Event SpmdServer::wait_event(bool blocking) {
         ++it;
         continue;
       }
-      if (auto frame_bytes = bs.control->try_recv()) {
+      // Drain every frame the stream has already buffered before moving
+      // on: a pipelined client legitimately has a whole credit window of
+      // requests in flight, and admitting only one per poll cycle would
+      // cap throughput at 1/kIdlePollSleep regardless of depth.  The
+      // drain is bounded by the client's credit window plus one control
+      // frame, so no binding can starve its siblings.
+      bool erased = false;
+      while (auto frame_bytes = bs.control->try_recv()) {
         const orb::Frame info = orb::parse_frame(*frame_bytes);
         PARDIS_LOG_TRACE << "server rank 0 got control frame "
                          << to_string(info.type) << " (" << frame_bytes->size()
                          << " bytes)";
+        if (info.type == orb::MsgType::kRequest && info.mux) {
+          // Pipelined request: admitted to the worker pool on this rank
+          // only — never broadcast to the sibling ranks.
+          admit_pipelined(it->first, bs, std::move(*frame_bytes), info);
+          continue;
+        }
         if (info.type == orb::MsgType::kRequest) {
           Event event;
           event.kind = EventKind::kRequest;
@@ -201,11 +225,13 @@ SpmdServer::Event SpmdServer::wait_event(bool blocking) {
           PARDIS_LOG_DEBUG << "binding " << it->first << " unbound";
           unclassified_.push_back(std::move(bs.control));
           it = bindings_.erase(it);
-          continue;
+          erased = true;
+          break;
         }
         PARDIS_LOG_WARN << "unexpected " << to_string(info.type)
                         << " on control connection; ignoring";
-        ++it;
+      }
+      if (erased) {
         continue;
       }
       if (bs.control->eof()) {
@@ -354,6 +380,9 @@ void SpmdServer::handle_bind(const Event& event) {
       ack.status =
           known ? orb::BindStatus::kOk : orb::BindStatus::kUnknownObject;
       ack.server_ranks = static_cast<cdr::ULong>(comm_->size());
+      // Pipelining rides the control stream of non-collective bindings;
+      // the grant is the client's initial credit window.
+      ack.credit = known && !req.collective ? credit_grant_ : 0;
       ack.message = known ? "" : "unknown object '" + req.object_key + "'";
       ack.encode(e);
       if (known) {
@@ -527,38 +556,10 @@ void SpmdServer::handle_request(const Event& event) {
   }
 
   // ---- dispatch (every rank) ----
-  orb::ReplyStatus my_status = orb::ReplyStatus::kNoException;
-  pardis::Bytes my_payload;
-  try {
-    if (activation_it == activations_.end()) {
-      throw OBJECT_NOT_EXIST("object '" + binding.object_key +
-                             "' was deactivated");
-    }
-    activation_it->second.servant->dispatch(call);
-    my_payload = call.results_.take();
-  } catch (const orb::TypedUserException& e) {
-    my_status = orb::ReplyStatus::kUserException;
-    my_payload = orb::marshal_user_exception(
-        e, [&](cdr::Encoder& enc) { e.encode_body(enc); });
-    orb_->metrics().counter("server.user_exceptions").add();
-  } catch (const UserException& e) {
-    my_status = orb::ReplyStatus::kUserException;
-    my_payload = orb::marshal_user_exception(e, nullptr);
-    orb_->metrics().counter("server.user_exceptions").add();
-  } catch (const SystemException& e) {
-    my_status = orb::ReplyStatus::kSystemException;
-    my_payload = orb::marshal_system_exception(e);
-    orb_->metrics().counter("server.system_exceptions").add();
-    if (e.kind() == "MARSHAL") {
-      orb_->metrics().counter("server.marshal_errors").add();
-    }
-  } catch (const std::exception& e) {
-    my_status = orb::ReplyStatus::kSystemException;
-    my_payload = orb::marshal_system_exception(
-        INTERNAL(std::string("servant failure: ") + e.what(),
-                 Completion::kMaybe));
-    orb_->metrics().counter("server.system_exceptions").add();
-  }
+  auto [my_status, my_payload] = guarded_dispatch(
+      activation_it != activations_.end() ? activation_it->second.servant
+                                          : nullptr,
+      binding.object_key, call);
 
   // The computing threads synchronize after the invocation (§3.2/§3.3);
   // this is Table 2's exit barrier.
@@ -642,7 +643,8 @@ void SpmdServer::handle_request(const Event& event) {
         }
         return enc.take();
       });
-      timer.time(Phase::kSend, [&] { binding.control->send(std::move(frame)); });
+      timer.time(Phase::kSend,
+                 [&] { send_framed(*binding.control, std::move(frame)); });
     }
   } else {
     // Multi-port: reply header first (so the client learns the result
@@ -695,8 +697,8 @@ void SpmdServer::handle_request(const Event& event) {
             return enc.take();
           });
           timer.time(Phase::kSend, [&] {
-            binding.data[static_cast<std::size_t>(seg.dst_rank)]->send(
-                std::move(frame));
+            send_framed(*binding.data[static_cast<std::size_t>(seg.dst_rank)],
+                        std::move(frame));
           });
         }
       }
@@ -706,6 +708,182 @@ void SpmdServer::handle_request(const Event& event) {
   timer.add(Phase::kTotal, Clock::now() - t0);
   PARDIS_LOG_DEBUG << "rank " << comm_->rank() << " handle_request end ("
                    << header.operation << ")";
+}
+
+std::pair<orb::ReplyStatus, pardis::Bytes> SpmdServer::guarded_dispatch(
+    SpmdServant* servant, const std::string& object_key, ServerCall& call) {
+  try {
+    if (servant == nullptr) {
+      throw OBJECT_NOT_EXIST("object '" + object_key + "' was deactivated");
+    }
+    servant->dispatch(call);
+    return {orb::ReplyStatus::kNoException, call.results_.take()};
+  } catch (const orb::TypedUserException& e) {
+    orb_->metrics().counter("server.user_exceptions").add();
+    return {orb::ReplyStatus::kUserException,
+            orb::marshal_user_exception(
+                e, [&](cdr::Encoder& enc) { e.encode_body(enc); })};
+  } catch (const UserException& e) {
+    orb_->metrics().counter("server.user_exceptions").add();
+    return {orb::ReplyStatus::kUserException,
+            orb::marshal_user_exception(e, nullptr)};
+  } catch (const SystemException& e) {
+    orb_->metrics().counter("server.system_exceptions").add();
+    if (e.kind() == "MARSHAL") {
+      orb_->metrics().counter("server.marshal_errors").add();
+    }
+    return {orb::ReplyStatus::kSystemException,
+            orb::marshal_system_exception(e)};
+  } catch (const std::exception& e) {
+    orb_->metrics().counter("server.system_exceptions").add();
+    return {orb::ReplyStatus::kSystemException,
+            orb::marshal_system_exception(
+                INTERNAL(std::string("servant failure: ") + e.what(),
+                         Completion::kMaybe))};
+  }
+}
+
+// ---- pipelined-request worker pool (rank 0) --------------------------------
+
+void SpmdServer::admit_pipelined(cdr::ULong binding_id, BindingState& bs,
+                                 pardis::Bytes frame, const orb::Frame& info) {
+  ensure_workers();
+  PipelinedJob job;
+  job.binding_id = binding_id;
+  job.mux = *info.mux;
+  job.frame = std::move(frame);
+  job.info = info;
+  job.control = bs.control;
+  job.object_key = bs.object_key;
+  job.enqueued = Clock::now();
+  // Snapshot the servant here, on the event thread: workers never touch
+  // the binding/activation tables.
+  const auto activation = activations_.find(bs.object_key);
+  job.servant =
+      activation != activations_.end() ? activation->second.servant : nullptr;
+
+  bool shed = false;
+  {
+    std::lock_guard<common::RankedMutex> lock(queue_mu_);
+    if (queue_.size() >= queue_cap_) {
+      shed = true;
+    } else {
+      queue_.push_back(std::move(job));
+      queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+    }
+  }
+  if (shed) {
+    // Transient overload: return the request's credit with a Reject frame;
+    // the client rethrows it as TRANSIENT and may retry.
+    pipelined_rejects_->add();
+    PARDIS_LOG_DEBUG << "shedding pipelined request " << job.mux.request_id
+                     << " (queue full at " << queue_cap_ << ")";
+    try {
+      send_mux_frame(
+          *job.control, orb::MsgType::kReply,
+          orb::MuxInfo{job.mux.request_id, orb::FrameKind::kReject, 1},
+          [](cdr::Encoder&) {});
+    } catch (const SystemException&) {
+      // Client already gone; its window dies with the stream.
+    }
+    return;
+  }
+  queue_cv_.notify_one();
+}
+
+void SpmdServer::ensure_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(worker_count_);
+  for (std::size_t i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  PARDIS_LOG_DEBUG << "started " << worker_count_
+                   << " pipelined-request workers (queue " << queue_cap_
+                   << ")";
+}
+
+void SpmdServer::stop_workers() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<common::RankedMutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  std::lock_guard<common::RankedMutex> lock(queue_mu_);
+  stopping_ = false;
+  queue_.clear();
+  queue_depth_->set(0);
+}
+
+void SpmdServer::worker_loop() {
+  for (;;) {
+    PipelinedJob job;
+    {
+      std::unique_lock<common::RankedMutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+    }
+    process_pipelined(std::move(job));
+  }
+}
+
+void SpmdServer::process_pipelined(PipelinedJob job) {
+  pipelined_requests_->add();
+  pipeline_inflight_->add(1);
+  std::pair<orb::ReplyStatus, pardis::Bytes> outcome{
+      orb::ReplyStatus::kNoException, {}};
+  try {
+    auto dec = orb::body_decoder(job.frame, job.info);
+    orb::RequestHeader header = orb::RequestHeader::decode(dec);
+    if (!header.dseqs.empty()) {
+      throw MARSHAL(
+          "pipelined requests cannot carry distributed arguments; use the "
+          "collective invoke path");
+    }
+    ServerCall call;
+    call.comm_ = comm_;
+    call.operation_ = header.operation;
+    call.collective_ = false;
+    call.scalar_args_ = std::move(header.scalar_args);
+    call.args_little_endian_ = job.info.little_endian;
+    outcome = guarded_dispatch(job.servant, job.object_key, call);
+  } catch (const SystemException& e) {
+    orb_->metrics().counter("server.system_exceptions").add();
+    if (e.kind() == "MARSHAL") {
+      orb_->metrics().counter("server.marshal_errors").add();
+    }
+    outcome = {orb::ReplyStatus::kSystemException,
+               orb::marshal_system_exception(e)};
+  }
+
+  // Always reply — the reply frame is also the credit grant keeping the
+  // client's window flowing.  Concurrent senders on one stream are safe:
+  // both backends serialize frames internally.
+  try {
+    send_mux_frame(*job.control, orb::MsgType::kReply,
+                   orb::MuxInfo{job.mux.request_id, orb::FrameKind::kData, 1},
+                   [&](cdr::Encoder& enc) {
+                     orb::ReplyHeader reply;
+                     reply.request_id = job.mux.request_id;
+                     reply.status = outcome.first;
+                     reply.payload = std::move(outcome.second);
+                     reply.encode(enc);
+                   });
+    credits_granted_->add();
+  } catch (const SystemException& e) {
+    PARDIS_LOG_DEBUG << "pipelined reply for request " << job.mux.request_id
+                     << " dropped (client gone): " << e.what();
+  }
+  pipeline_latency_us_->add(
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          Clock::now() - job.enqueued)
+          .count());
+  pipeline_inflight_->add(-1);
 }
 
 }  // namespace pardis::transfer

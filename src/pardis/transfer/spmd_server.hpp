@@ -21,17 +21,29 @@
 // interleave computation with request processing through the collective
 // poll() (paper §2.1: "PARDIS also allows the server to interrupt its
 // computation in order to process outstanding requests").
+//
+// Pipelined requests — multiplexed, non-collective frames carrying the
+// extended prologue — take a different path: rank 0 admits each one into a
+// bounded queue drained by a worker pool, every reply returns one credit to
+// the client's window, and a full queue sheds the request with a Reject
+// frame the client surfaces as TRANSIENT (docs/pipelining.md).  Servants
+// reachable through DirectBinding::invoke_nb must therefore tolerate
+// concurrent dispatch of their non-collective operations.
 
 #pragma once
 
+#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "pardis/common/ranked_mutex.hpp"
 #include "pardis/dseq/dsequence.hpp"
 #include "pardis/net/fabric.hpp"
 #include "pardis/orb/exceptions.hpp"
@@ -162,6 +174,13 @@ class SpmdServer {
   /// Per-rank construction; `host` is the application's fabric identity.
   SpmdServer(orb::Orb& orb, rts::Communicator& comm, std::string host);
 
+  /// Stops the pipelined-request worker pool (rank 0), dropping queued
+  /// jobs whose replies nobody will read.
+  ~SpmdServer();
+
+  SpmdServer(const SpmdServer&) = delete;
+  SpmdServer& operator=(const SpmdServer&) = delete;
+
   /// Collective: registers `servant` under `name`, with optional preset
   /// argument distributions (paper §2.2).  The first activation opens this
   /// rank's listening port; rank 0 publishes the object reference.
@@ -223,6 +242,20 @@ class SpmdServer {
     ArgDistPolicy policy;
   };
 
+  /// One admitted pipelined request, snapshotted (stream, servant, frame)
+  /// at admission on the rank-0 event thread so workers never touch the
+  /// binding/activation tables.
+  struct PipelinedJob {
+    cdr::ULong binding_id = 0;
+    orb::MuxInfo mux{};
+    pardis::Bytes frame;
+    orb::Frame info{};
+    std::shared_ptr<transport::Stream> control;
+    SpmdServant* servant = nullptr;  // null: object deactivated
+    std::string object_key;
+    Clock::time_point enqueued{};
+  };
+
   void ensure_listening();
   Event wait_event(bool blocking);
   Event next_event(bool blocking);   // rank 0 produces, all ranks receive
@@ -232,6 +265,17 @@ class SpmdServer {
   void handle_request(const Event& event);
   void collect_hellos(cdr::ULong binding_id, int client_ranks,
                       std::vector<std::shared_ptr<transport::Stream>>& out);
+  /// Dispatches `call` into `servant`, mapping every escape (user/system
+  /// exception, deactivated object) to a reply status + payload.
+  std::pair<orb::ReplyStatus, pardis::Bytes> guarded_dispatch(
+      SpmdServant* servant, const std::string& object_key, ServerCall& call);
+  // Pipelined path (rank 0 only).
+  void admit_pipelined(cdr::ULong binding_id, BindingState& bs,
+                       pardis::Bytes frame, const orb::Frame& info);
+  void ensure_workers();
+  void stop_workers();
+  void worker_loop();
+  void process_pipelined(PipelinedJob job);
 
   orb::Orb* orb_;
   rts::Communicator* comm_;
@@ -254,6 +298,24 @@ class SpmdServer {
            std::map<cdr::ULong, std::shared_ptr<transport::Stream>>>
       pending_hellos_;
   std::map<cdr::ULong, BindingState> bindings_;
+
+  // Pipelined-request worker pool (rank 0; started on first admission).
+  std::size_t queue_cap_ = 64;     // PARDIS_SERVER_QUEUE
+  std::size_t worker_count_ = 4;   // PARDIS_SERVER_WORKERS
+  cdr::ULong credit_grant_ = 32;   // PARDIS_SERVER_CREDIT, capped by queue
+  mutable common::RankedMutex queue_mu_{
+      common::LockRank::kTransferServerQueue};
+  std::condition_variable_any queue_cv_;
+  std::deque<PipelinedJob> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  // Instruments resolved once (worker hot path).
+  obs::Counter* pipelined_requests_ = nullptr;
+  obs::Counter* pipelined_rejects_ = nullptr;
+  obs::Counter* credits_granted_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* pipeline_inflight_ = nullptr;
+  obs::Histogram* pipeline_latency_us_ = nullptr;
 };
 
 }  // namespace pardis::transfer

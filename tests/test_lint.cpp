@@ -199,6 +199,46 @@ TEST(LintClean, CleanFixturePasses) {
   EXPECT_TRUE(diags.empty()) << pardis::lint::format(diags.front());
 }
 
+// ---- unframed-send ---------------------------------------------------------
+
+TEST(LintUnframedSend, FiresOnDirectSendInTransferLayer) {
+  const auto dot = scan_source("src/pardis/transfer/spmd_client.cpp",
+                               "void f() { control_.send(frame); }");
+  EXPECT_TRUE(fired(dot, "unframed-send"));
+
+  const auto arrow = scan_source("src/pardis/transfer/spmd_server.cpp",
+                                 "void f() { control_->send(frame); }");
+  EXPECT_TRUE(fired(arrow, "unframed-send"));
+}
+
+TEST(LintUnframedSend, QuietInFramingLayerAndOutsideTransfer) {
+  const auto framing = scan_source("src/pardis/transfer/framing.hpp",
+                                   "void f() { conn.send(enc.take()); }");
+  EXPECT_FALSE(fired(framing, "unframed-send"));
+
+  const auto transport = scan_source("src/pardis/transport/tcp_transport.cpp",
+                                     "void f() { conn->send(frame); }");
+  EXPECT_FALSE(fired(transport, "unframed-send"));
+}
+
+TEST(LintUnframedSend, QuietOnFramingHelperCalls) {
+  const auto diags = scan_source(
+      "src/pardis/transfer/spmd_client.cpp",
+      "void f() {\n"
+      "  send_frame(*control_, orb::MsgType::kRequest, body);\n"
+      "  send_framed(*control_, std::move(frame));\n"
+      "}\n");
+  EXPECT_FALSE(fired(diags, "unframed-send"));
+}
+
+TEST(LintUnframedSend, SuppressibleWithAllow) {
+  const auto diags = scan_source(
+      "src/pardis/transfer/spmd_client.cpp",
+      "// pardis-lint: allow(unframed-send)\n"
+      "void f() { control_->send(frame); }\n");
+  EXPECT_FALSE(fired(diags, "unframed-send"));
+}
+
 TEST(LintFormat, ClickableDiagnostic) {
   const Diagnostic d{"src/pardis/rts/foo.cpp", 12, "raw-mutex", "msg"};
   EXPECT_EQ(pardis::lint::format(d),

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "pardis/orb/exceptions.hpp"
 #include "pardis/orb/future.hpp"
@@ -159,6 +161,62 @@ TEST(Protocol, UnbindFrameRoundTrip) {
   EXPECT_STREQ(to_string(info.type), "Unbind");
   auto dec = body_decoder(frame, info);
   EXPECT_EQ(dec.get_ulong(), 42u);
+}
+
+TEST(Protocol, MuxFrameRoundTrip) {
+  cdr::Encoder enc;
+  begin_mux_frame(enc, MsgType::kRequest,
+                  MuxInfo{77, FrameKind::kData, 3});
+  enc.put_long(11);
+  const Bytes frame = enc.take();
+  const Frame info = parse_frame(frame);
+  EXPECT_EQ(info.type, MsgType::kRequest);
+  ASSERT_TRUE(info.mux.has_value());
+  EXPECT_EQ(info.mux->request_id, 77u);
+  EXPECT_EQ(info.mux->kind, FrameKind::kData);
+  EXPECT_EQ(info.mux->credit, 3);
+  auto dec = body_decoder(frame, info);
+  EXPECT_EQ(dec.get_long(), 11);
+}
+
+TEST(Protocol, MuxCreditAndRejectKinds) {
+  for (auto kind : {FrameKind::kCredit, FrameKind::kReject}) {
+    cdr::Encoder enc;
+    begin_mux_frame(enc, MsgType::kReply, MuxInfo{9, kind, 1});
+    const Bytes frame = enc.take();
+    const Frame info = parse_frame(frame);
+    ASSERT_TRUE(info.mux.has_value());
+    EXPECT_EQ(info.mux->kind, kind);
+    EXPECT_EQ(info.mux->credit, 1);
+  }
+}
+
+TEST(Protocol, PlainFrameHasNoMux) {
+  cdr::Encoder enc;
+  begin_frame(enc, MsgType::kReply);
+  const Bytes frame = enc.take();
+  EXPECT_FALSE(parse_frame(frame).mux.has_value());
+}
+
+TEST(Protocol, UnknownFlagBitsRejected) {
+  cdr::Encoder enc;
+  begin_frame(enc, MsgType::kRequest);
+  Bytes frame = enc.take();
+  frame[7] |= 0x80;  // a flag this version does not understand
+  EXPECT_THROW(parse_frame(frame), MARSHAL);
+}
+
+TEST(Protocol, MuxBodyStaysAligned) {
+  // The mux extension must preserve 8-byte body alignment so body
+  // marshaling is identical with and without it.
+  cdr::Encoder enc;
+  begin_mux_frame(enc, MsgType::kRequest, MuxInfo{1, FrameKind::kData, 0});
+  enc.put_double(2.5);
+  const Bytes frame = enc.take();
+  const Frame info = parse_frame(frame);
+  EXPECT_EQ(info.body_offset % 8, 0u);
+  auto dec = body_decoder(frame, info);
+  EXPECT_EQ(dec.get_double(), 2.5);
 }
 
 TEST(Protocol, RequestHeaderRoundTrip) {
@@ -368,6 +426,54 @@ TEST(Future, DoubleSettleRejected) {
   Promise<int> promise;
   promise.set_value(1);
   EXPECT_THROW(promise.set_value(2), INTERNAL);
+}
+
+TEST(Future, BrokenPromiseSettlesWithCommFailure) {
+  Future<int> future;
+  {
+    Promise<int> promise;
+    Promise<int> copy = promise;  // the guard is shared across copies
+    future = promise.get_future();
+    EXPECT_FALSE(future.ready());
+  }  // every Promise dies unsettled
+  EXPECT_TRUE(future.ready());
+  EXPECT_THROW(future.get(), COMM_FAILURE);
+  EXPECT_THROW(future.get(), COMM_FAILURE);  // sticky, like any error
+}
+
+TEST(Future, SettledPromiseDeathIsQuiet) {
+  Promise<int> promise;
+  Future<int> future = promise.get_future();
+  promise.set_value(5);
+  { Promise<int> grave = std::move(promise); }
+  EXPECT_EQ(future.get(), 5);
+}
+
+TEST(Future, ConcurrentGetOneCompleterManyWaiters) {
+  std::atomic<int> runs{0};
+  auto future = Future<int>::from_deferred([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return ++runs;
+  });
+  std::vector<std::thread> threads;
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] { sum += future.get(); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(runs.load(), 1) << "exactly one caller runs the completer";
+  EXPECT_EQ(sum.load(), 4) << "every caller observes the same value";
+}
+
+TEST(Future, ReentrantGetFromCompleterDetected) {
+  Future<int> future;
+  future = Future<int>::from_deferred([&]() -> int {
+    future.get();  // would deadlock; must throw INTERNAL instead
+    return 0;
+  });
+  // The INTERNAL from the re-entrant get() propagates out of the
+  // completer and settles the future as an error.
+  EXPECT_THROW(future.get(), INTERNAL);
 }
 
 TEST(FutureVoid, DeferredCompletion) {

@@ -1,0 +1,301 @@
+// Request pipelining over multiplexed streams (docs/pipelining.md):
+// out-of-order completion, window negotiation, credit-based flow control
+// with transient shedding, and the collective-future convention — over
+// both wire backends.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pardis/sim/scenario.hpp"
+#include "pardis/transfer/spmd_client.hpp"
+#include "pardis/transfer/spmd_server.hpp"
+
+namespace pardis::transfer {
+namespace {
+
+/// Sets an environment knob for one test and restores the default on
+/// scope exit (the pipelining knobs are read at bind/serve time).
+class EnvVar {
+ public:
+  EnvVar(const char* name, const std::string& value) : name_(name) {
+    setenv(name, value.c_str(), 1);
+  }
+  ~EnvVar() { unsetenv(name_); }
+  EnvVar(const EnvVar&) = delete;
+  EnvVar& operator=(const EnvVar&) = delete;
+
+ private:
+  const char* name_;
+};
+
+/// "square" echoes x*x; "slow" sleeps its argument in milliseconds.
+/// Stateless: safe for concurrent dispatch from the server worker pool.
+class PipeServant : public SpmdServant {
+ public:
+  const char* type_id() const override { return "IDL:test/pipe:1.0"; }
+  void dispatch(ServerCall& call) override {
+    auto dec = call.args();
+    if (call.operation() == "square") {
+      const cdr::Long x = dec.get_long();
+      call.results().put_long(x * x);
+    } else if (call.operation() == "slow") {
+      const cdr::Long ms = dec.get_long();
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      call.results().put_long(ms);
+    } else {
+      throw BAD_OPERATION(call.operation());
+    }
+  }
+};
+
+cdr::Long decode_long(const pardis::Bytes& payload) {
+  cdr::Decoder dec{BytesView(payload)};
+  return dec.get_long();
+}
+
+pardis::Bytes encode_long(cdr::Long x) {
+  cdr::Encoder enc;
+  enc.put_long(x);
+  return enc.take();
+}
+
+void run_direct(sim::Scenario& scenario, const sim::ScenarioConfig& cfg,
+                const std::function<void(DirectBinding&)>& body) {
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        PipeServant servant;
+        server.activate("pipe", servant);
+        server.serve();
+      },
+      [&](rts::Communicator&) {
+        auto binding = DirectBinding::bind(scenario.orb(), cfg.client.host,
+                                           "pipe", "IDL:test/pipe:1.0");
+        body(binding);
+      },
+      "pipe");
+}
+
+class PipelineSweep : public ::testing::TestWithParam<transport::Kind> {};
+
+TEST_P(PipelineSweep, FuturesCompleteOutOfOrder) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 1;
+  cfg.orb.transport = GetParam();
+  sim::Scenario scenario(cfg);
+  run_direct(scenario, cfg, [&](DirectBinding& binding) {
+    EXPECT_GE(binding.window(), 8u);
+    std::vector<orb::Future<pardis::Bytes>> futures;
+    for (cdr::Long i = 0; i < 8; ++i) {
+      futures.push_back(binding.invoke_nb("square", encode_long(i)));
+    }
+    EXPECT_EQ(binding.inflight(), 8u);
+    // Collect newest-first: the router stashes replies until their
+    // future is asked for.
+    for (cdr::Long i = 7; i >= 0; --i) {
+      EXPECT_EQ(decode_long(futures[static_cast<std::size_t>(i)].get()),
+                i * i);
+    }
+    EXPECT_EQ(binding.inflight(), 0u);
+    binding.unbind();
+  });
+  EXPECT_EQ(
+      scenario.orb().metrics().counter("client.pipeline.requests").value(),
+      8);
+  EXPECT_EQ(
+      scenario.orb().metrics().counter("server.pipeline.requests").value(),
+      8);
+}
+
+TEST_P(PipelineSweep, WindowIsMinOfClientCapAndServerCredit) {
+  EnvVar inflight("PARDIS_MAX_INFLIGHT", "4");
+  EnvVar credit("PARDIS_SERVER_CREDIT", "2");
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 1;
+  cfg.orb.transport = GetParam();
+  sim::Scenario scenario(cfg);
+  run_direct(scenario, cfg, [&](DirectBinding& binding) {
+    EXPECT_EQ(binding.window(), 2u);
+    // The window gates issue, not correctness: a sliding window deeper
+    // than the credit still completes every invocation.
+    std::vector<orb::Future<pardis::Bytes>> futures;
+    for (cdr::Long i = 0; i < 16; ++i) {
+      futures.push_back(binding.invoke_nb("square", encode_long(i)));
+      if (futures.size() == 2) {
+        EXPECT_EQ(decode_long(futures.front().get()), (i - 1) * (i - 1));
+        futures.erase(futures.begin());
+      }
+    }
+    for (auto& f : futures) (void)f.get();
+    binding.unbind();
+  });
+}
+
+TEST_P(PipelineSweep, MixedSyncAndPipelinedShareOneStream) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 1;
+  cfg.orb.transport = GetParam();
+  sim::Scenario scenario(cfg);
+  run_direct(scenario, cfg, [&](DirectBinding& binding) {
+    auto f1 = binding.invoke_nb("square", encode_long(3));
+    auto f2 = binding.invoke_nb("square", encode_long(4));
+    // A synchronous invoke interleaves with outstanding pipelined
+    // requests; the reply router keeps every reply with its request.
+    EXPECT_EQ(decode_long(binding.invoke("square", encode_long(5))), 25);
+    EXPECT_EQ(decode_long(f2.get()), 16);
+    EXPECT_EQ(decode_long(f1.get()), 9);
+    binding.unbind();
+  });
+}
+
+TEST_P(PipelineSweep, SingleClientNeverOverrunsItsCredit) {
+  // The server caps its advertised credit at the queue bound, so one
+  // honest client cannot overflow the queue on its own: flow control
+  // absorbs the burst (blocking issue), nothing is shed.
+  EnvVar queue("PARDIS_SERVER_QUEUE", "1");
+  EnvVar workers("PARDIS_SERVER_WORKERS", "1");
+  EnvVar credit("PARDIS_SERVER_CREDIT", "8");
+  EnvVar inflight("PARDIS_MAX_INFLIGHT", "8");
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 1;
+  cfg.orb.transport = GetParam();
+  sim::Scenario scenario(cfg);
+  run_direct(scenario, cfg, [&](DirectBinding& binding) {
+    EXPECT_EQ(binding.window(), 1u) << "credit is capped by the queue";
+    std::vector<orb::Future<pardis::Bytes>> futures;
+    for (cdr::Long i = 0; i < 4; ++i) {
+      futures.push_back(binding.invoke_nb("square", encode_long(i)));
+    }
+    for (cdr::Long i = 0; i < 4; ++i) {
+      EXPECT_EQ(decode_long(futures[static_cast<std::size_t>(i)].get()),
+                i * i);
+    }
+    binding.unbind();
+  });
+  EXPECT_EQ(
+      scenario.orb().metrics().counter("server.pipeline.rejects").value(),
+      0);
+}
+
+TEST_P(PipelineSweep, OverloadAcrossConnectionsShedsWithTransient) {
+  // Credit is per connection but the queue is shared: three connections
+  // bursting into a one-slot queue with one busy worker exceed the bound,
+  // and the overflow is shed with retryable TRANSIENT rejects while the
+  // admitted requests still complete.
+  EnvVar queue("PARDIS_SERVER_QUEUE", "1");
+  EnvVar workers("PARDIS_SERVER_WORKERS", "1");
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 1;
+  cfg.orb.transport = GetParam();
+  sim::Scenario scenario(cfg);
+  int ok = 0;
+  int shed = 0;
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        PipeServant servant;
+        server.activate("pipe", servant);
+        server.serve();
+      },
+      [&](rts::Communicator&) {
+        std::vector<DirectBinding> bindings;
+        for (int i = 0; i < 3; ++i) {
+          bindings.push_back(DirectBinding::bind(scenario.orb(),
+                                                 cfg.client.host, "pipe",
+                                                 "IDL:test/pipe:1.0"));
+        }
+        std::vector<orb::Future<pardis::Bytes>> futures;
+        for (auto& b : bindings) {
+          futures.push_back(b.invoke_nb("slow", encode_long(100)));
+        }
+        for (auto& f : futures) {
+          try {
+            (void)f.get();
+            ++ok;
+          } catch (const TRANSIENT&) {
+            ++shed;
+          }
+        }
+        // The queue drained; a retry of the shed work now succeeds.
+        EXPECT_EQ(decode_long(bindings[0].invoke("square", encode_long(6))),
+                  36);
+        for (auto& b : bindings) b.unbind();
+      },
+      "pipe");
+  EXPECT_GE(ok, 1) << "an empty queue must admit the head of the burst";
+  EXPECT_GE(shed, 1) << "a full queue must shed instead of blocking";
+  EXPECT_EQ(ok + shed, 3);
+  EXPECT_EQ(static_cast<int>(scenario.orb()
+                                 .metrics()
+                                 .counter("server.pipeline.rejects")
+                                 .value()),
+            shed);
+}
+
+TEST_P(PipelineSweep, UnbindWithUncollectedFutureFailsItCleanly) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 1;
+  cfg.orb.transport = GetParam();
+  sim::Scenario scenario(cfg);
+  orb::Future<pardis::Bytes> orphan;
+  run_direct(scenario, cfg, [&](DirectBinding& binding) {
+    orphan = binding.invoke_nb("square", encode_long(2));
+    binding.unbind();  // closes the stream instead of pooling it
+  });
+  // The future outlives the binding; its reply can never arrive, so
+  // collecting it reports the dead stream instead of hanging.
+  EXPECT_THROW((void)orphan.get(), COMM_FAILURE);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, PipelineSweep,
+    ::testing::Values(transport::Kind::kSim, transport::Kind::kTcp),
+    [](const ::testing::TestParamInfo<transport::Kind>& info) {
+      return std::string(transport::to_string(info.param));
+    });
+
+TEST(SpmdPipeline, CollectiveFuturesCollectOutOfOrder) {
+  // Paper §2.2: futures of collective invocations may be outstanding
+  // together as long as every rank performs the same sequence of get()
+  // calls.  Replies arriving for a not-yet-collected future are stashed.
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 2;
+  cfg.server.nranks = 2;
+  sim::Scenario scenario(cfg);
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        PipeServant servant;
+        server.activate("pipe", servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        auto binding = SpmdBinding::bind(scenario.orb(), comm,
+                                         cfg.client.host, "pipe",
+                                         "IDL:test/pipe:1.0");
+        auto f1 = binding.invoke_nb("square", encode_long(2), {});
+        auto f2 = binding.invoke_nb("square", encode_long(3), {});
+        auto f3 = binding.invoke_nb("square", encode_long(4), {});
+        // Same order on every rank, but not issue order.
+        EXPECT_EQ(decode_long(f2.get()), 9);
+        EXPECT_EQ(decode_long(f3.get()), 16);
+        EXPECT_EQ(decode_long(f1.get()), 4);
+        binding.unbind();
+      },
+      "pipe");
+}
+
+}  // namespace
+}  // namespace pardis::transfer

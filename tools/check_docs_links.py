@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Checks every relative markdown link (and #anchor) in the repo.
+
+Stdlib-only, so CI can run it without installing anything:
+
+    python3 tools/check_docs_links.py [repo-root]
+
+Walks every tracked-looking ``*.md`` (skipping build trees and
+third-party dirs), extracts inline links, and fails with a non-zero
+exit code listing each link whose target file — or ``#anchor`` within
+it — does not exist.  External links (http/https/mailto) are not
+fetched; docs should stay verifiable offline.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "build-tsan", "build-asan", "build-werror",
+             "third_party", "node_modules"}
+
+# Inline links: [text](target). Images share the syntax; the leading
+# "!" does not change resolution. Reference-style links are rare in
+# this repo and intentionally unsupported (the checker would go quiet
+# on typos in unused definitions).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, drop punctuation, dash spaces."""
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = re.match(r"^#{1,6}\s+(.*)$", line)
+            if m:
+                anchors.add(github_anchor(m.group(1)))
+    return anchors
+
+
+def links_of(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    md_files = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        md_files.extend(os.path.join(dirpath, f) for f in filenames
+                        if f.endswith(".md"))
+
+    errors = []
+    checked = 0
+    for md in sorted(md_files):
+        for lineno, target in links_of(md):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            checked += 1
+            target_path, _, anchor = target.partition("#")
+            base = (os.path.normpath(
+                os.path.join(os.path.dirname(md), target_path))
+                if target_path else md)
+            rel = os.path.relpath(md, root)
+            if not os.path.exists(base):
+                errors.append(f"{rel}:{lineno}: broken link: {target}")
+                continue
+            if anchor and base.endswith(".md"):
+                if github_anchor(anchor) not in anchors_of(base):
+                    errors.append(
+                        f"{rel}:{lineno}: missing anchor: {target}")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {checked} relative links in {len(md_files)} files: "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

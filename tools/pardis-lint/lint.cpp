@@ -199,7 +199,8 @@ const std::set<std::string>& mutex_types() {
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kRules{
-      "relaxed-order", "raw-mutex", "blocking-under-lock", "raw-new-delete"};
+      "relaxed-order", "raw-mutex", "blocking-under-lock", "raw-new-delete",
+      "unframed-send"};
   return kRules;
 }
 
@@ -227,6 +228,9 @@ std::vector<Diagnostic> scan_source(const std::string& path,
   const bool relaxed_ok =
       path_matches_suffix(path, options.relaxed_whitelist);
   const bool raw_mutex_ok = path_contains(path, options.mutex_whitelist);
+  const bool framed_send_checked =
+      path_contains(path, options.framed_paths) &&
+      !path_matches_suffix(path, options.framing_whitelist);
 
   // Live lock-guard scopes for blocking-under-lock.
   struct Guard {
@@ -325,6 +329,21 @@ std::vector<Diagnostic> scan_source(const std::string& path,
                    held->var + "' is held; release the lock first "
                    "(see Pipe::send for the pattern)");
       }
+    }
+
+    // unframed-send ------------------------------------------------------
+    // A member call `x.send(` / `x->send(` in the transfer layer bypasses
+    // the request-ID framing helpers.  (The helpers in framing.hpp are the
+    // whitelisted home of the real sends.)
+    if (framed_send_checked && t.is_ident && t.text == "send" &&
+        next_text(1) == "(" && i > 0 &&
+        (toks[i - 1].text == "." ||
+         (toks[i - 1].text == ">" && i > 1 && toks[i - 2].text == "-"))) {
+      report(t.line, "unframed-send",
+             "direct Stream::send in the transfer layer; route the frame "
+             "through send_frame/send_mux_frame/send_framed "
+             "(pardis/transfer/framing.hpp) so the mux prologue and credit "
+             "accounting cannot be bypassed");
     }
 
     // raw-new-delete: paren context tracking ----------------------------

@@ -14,6 +14,11 @@
 //                        lock_guard/unique_lock/scoped_lock is live.
 //   raw-new-delete       new/delete outside an immediate shared_ptr /
 //                        unique_ptr wrapper (RAII discipline).
+//   unframed-send        a direct Stream::send call in the transfer layer
+//                        outside the framing helpers — every transfer-layer
+//                        frame must go through send_frame/send_mux_frame/
+//                        send_framed (framing.hpp) so the request-ID mux
+//                        prologue cannot be bypassed.
 //
 // A diagnostic can be suppressed with `// pardis-lint: allow(<rule>)` on
 // the same line or the line above.
@@ -44,6 +49,11 @@ struct Options {
   /// Path fragments identifying files allowed to use raw std::mutex (the
   /// RankedMutex implementation itself lives here).
   std::vector<std::string> mutex_whitelist{"pardis/common/"};
+  /// Path fragments the unframed-send rule polices.
+  std::vector<std::string> framed_paths{"pardis/transfer/"};
+  /// Path suffixes allowed to call Stream::send directly (the framing
+  /// layer itself).
+  std::vector<std::string> framing_whitelist{"pardis/transfer/framing.hpp"};
 };
 
 /// All rule names, for --rules and suppression validation.
