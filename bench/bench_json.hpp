@@ -19,6 +19,7 @@
 #include <string>
 
 #include "pardis/common/config.hpp"
+#include "pardis/common/timing.hpp"
 #include "pardis/obs/metrics.hpp"
 
 namespace pardis::bench {
@@ -86,7 +87,8 @@ class JsonArray {
   std::string body_;
 };
 
-/// Serializes one histogram sample as {count, mean, min, max, p50, p99}.
+/// Serializes one histogram sample as
+/// {count, mean, min, max, p50, p99, p999}.
 inline std::string histogram_json(const obs::MetricsRegistry::Sample& s) {
   return JsonObject()
       .field("count", s.count)
@@ -95,6 +97,7 @@ inline std::string histogram_json(const obs::MetricsRegistry::Sample& s) {
       .field("max", s.count ? s.stat.max() : 0.0)
       .field("p50", s.p50)
       .field("p99", s.p99)
+      .field("p999", s.p999)
       .str();
 }
 
@@ -106,6 +109,23 @@ inline obs::MetricsRegistry::Sample find_sample(
     if (s.name == name) return s;
   }
   return {};
+}
+
+/// Serializes the per-phase latency breakdown of one invocation path: one
+/// histogram object per Phase whose `<prefix><phase>` instrument has
+/// samples (reduce_stats feeds e.g. "client.phase.send").  Phases that
+/// never ran are omitted so centralized rows don't carry empty
+/// scatter/gather entries.
+inline std::string phases_json(
+    const std::vector<obs::MetricsRegistry::Sample>& snapshot,
+    const std::string& prefix) {
+  JsonObject o;
+  for (int p = 0; p <= static_cast<int>(Phase::kTotal); ++p) {
+    const auto phase = static_cast<Phase>(p);
+    const auto s = find_sample(snapshot, prefix + to_string(phase));
+    if (s.count > 0) o.raw(to_string(phase), histogram_json(s));
+  }
+  return o.str();
 }
 
 /// Writes BENCH_<bench>.json into PARDIS_BENCH_DIR (default: the working

@@ -1,0 +1,602 @@
+// Storm: a closed-loop load-and-chaos harness (docs/benchmarks.md).
+//
+// N client threads drive a mixed workload against one SPMD server over a
+// chosen backend: pipelined small invocations through invoke_nb windows
+// (the SLS control-system shape: hundreds of clients hammering tiny
+// operations), chunked bulk streaming with resume-after-disconnect (the
+// DLC-manager shape), periodic rebinds through the idle-stream pool, and —
+// in chaos-off cells — collective dsequence transfers alternating the
+// centralized and multi-port methods.
+//
+// The chaos layer exercises the recovery paths the transport and pipeline
+// layers claim to provide:
+//
+//   * both backends: PARDIS_CHAOS_KILL_EVERY makes the server slam a
+//     client's control stream shut mid-window every Nth pipelined
+//     admission (peer-kill-and-reconnect);
+//   * sim only: per-frame link fault injection (LinkModel::fault_rate)
+//     kills live connections from the client side of the wire, and a
+//     partition toggler periodically refuses new connects so rebinds must
+//     back off and retry.
+//
+// The harness is closed-loop: every future issued must settle — as a
+// value, TRANSIENT (shed), or COMM_FAILURE (died) — before its thread
+// exits.  A nonzero hung-future count fails the run (exit 1); a hang
+// simply never finishes, which CI timeouts catch.
+//
+// Collective SPMD invocations are *not* fault-recoverable (a rank that
+// throws mid-collective would desync its siblings), so chaos cells carry
+// their bulk traffic on the pipelined streamer path instead; see
+// docs/benchmarks.md for the scenario matrix.
+//
+// Flags: --quick (CI-sized cells; the committed-baseline configuration),
+// --transport=sim|tcp (restrict to one backend), --chaos=off|on|both.
+// Knobs: PARDIS_STORM_CLIENTS/_SECONDS/_WINDOW/_BULK_LEN/_BLOB_KB/
+// _REBIND_EVERY/_KILL_EVERY/_FAULT_RATE (see docs/configuration.md).
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+
+using namespace pardis;
+using namespace pardis::bench;
+
+namespace {
+
+constexpr const char* kStormType = "IDL:bench/storm:1.0";
+
+/// Stateless servant with both storm operations; the pipelined worker pool
+/// dispatches it concurrently.
+class StormServant : public transfer::SpmdServant {
+ public:
+  const char* type_id() const override { return kStormType; }
+  void dispatch(transfer::ServerCall& call) override {
+    auto dec = call.args();
+    if (call.operation() == "ping") {
+      call.results().put_long(dec.get_long());
+      return;
+    }
+    if (call.operation() == "blob") {
+      // One chunk of a simulated download: (chunk id, size) -> id + bytes.
+      const cdr::Long chunk = dec.get_long();
+      const cdr::ULong nbytes = std::min<cdr::ULong>(dec.get_ulong(), 8u << 20);
+      pardis::Bytes data(nbytes, static_cast<std::uint8_t>(chunk));
+      call.results().put_long(chunk);
+      call.results().put_octet_sequence(BytesView(data));
+      return;
+    }
+    throw BAD_OPERATION(call.operation());
+  }
+};
+
+struct CellConfig {
+  transport::Kind kind = transport::Kind::kSim;
+  bool chaos = false;
+  bool quick = false;
+
+  int clients = 192;          // swarm threads (1 in 4 are streamers)
+  int server_ranks = 4;
+  int spmd_ranks = 2;         // collective-bulk client team (chaos-off)
+  double seconds = 5.0;
+  std::uint32_t window = 16;  // PARDIS_MAX_INFLIGHT for this cell
+  std::uint64_t bulk_len = 1u << 16;    // doubles per dseq transfer
+  std::uint64_t blob_bytes = 256u << 10;  // streamer chunk size
+  std::uint64_t chunks_per_file = 32;
+  std::uint64_t rebind_every = 1000;  // echo ops between scheduled rebinds
+  std::uint64_t kill_every = 61;      // server admissions per chaos kill
+  double fault_rate = 0.0005;         // sim: per-frame connection-kill prob
+};
+
+/// Cross-thread tallies; everything here is written by swarm threads and
+/// read once after the scenario winds down.
+struct Counts {
+  std::atomic<std::uint64_t> echo_ok{0};
+  std::atomic<std::uint64_t> sheds{0};
+  std::atomic<std::uint64_t> comm_failures{0};
+  std::atomic<std::uint64_t> other_errors{0};
+  std::atomic<std::uint64_t> issued{0};
+  std::atomic<std::uint64_t> settled{0};
+  std::atomic<std::uint64_t> binds{0};
+  std::atomic<std::uint64_t> bind_failures{0};
+  std::atomic<std::uint64_t> scheduled_rebinds{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> chunk_bytes{0};
+  std::atomic<std::uint64_t> refetched_chunks{0};
+  std::atomic<std::uint64_t> resumes{0};
+  std::atomic<std::uint64_t> files{0};
+  std::atomic<std::uint64_t> partition_windows{0};
+  std::atomic<std::uint64_t> spmd_invokes{0};
+  std::atomic<std::uint64_t> spmd_bytes{0};
+};
+
+struct CellRuntime {
+  CellConfig cfg;
+  orb::Orb* orb = nullptr;
+  std::string client_host;
+  Clock::time_point deadline{};
+  Counts counts;
+  obs::Histogram* echo_latency_us = nullptr;
+  obs::Histogram* bulk_ms = nullptr;
+};
+
+enum class Role { kEcho, kStream };
+
+/// One closed-loop client: bind, drive a pipelined window, settle
+/// everything, rebind.  Echo threads issue tiny pings; streamer threads
+/// download chunked blobs and resume from the last contiguously
+/// acknowledged chunk after every disconnect (settles are FIFO, so a
+/// contiguity pointer is enough).
+void client_thread(CellRuntime& rt, Role role) {
+  const CellConfig& cfg = rt.cfg;
+  std::uint64_t acked = 0;  // streamer: chunks < acked are durable
+  while (Clock::now() < rt.deadline) {
+    std::optional<transfer::DirectBinding> binding;
+    try {
+      binding.emplace(transfer::DirectBinding::bind(
+          *rt.orb, rt.client_host, "storm", kStormType));
+    } catch (const SystemException&) {
+      // Partitioned, shedding, or mid-kill: back off and retry.
+      rt.counts.bind_failures.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    rt.counts.binds.fetch_add(1, std::memory_order_relaxed);
+
+    struct Inflight {
+      orb::Future<pardis::Bytes> future;
+      Clock::time_point issued_at;
+      std::uint64_t chunk_id = 0;
+    };
+    std::deque<Inflight> window;
+    const std::size_t window_cap =
+        std::max<std::size_t>(1, std::min<std::uint32_t>(cfg.window,
+                                                         binding->window()));
+    bool dead = false;    // stream failed: settle the window, then rebind
+    bool rewind = false;  // streamer gap (shed): drain, restart at `acked`
+
+    auto settle_one = [&] {
+      Inflight entry = std::move(window.front());
+      window.pop_front();
+      try {
+        pardis::Bytes reply = entry.future.get();
+        const double us = std::chrono::duration<double, std::micro>(
+                              Clock::now() - entry.issued_at)
+                              .count();
+        if (role == Role::kEcho) {
+          rt.echo_latency_us->add(us);
+          rt.counts.echo_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cdr::Decoder dec{BytesView(reply)};
+          (void)dec.get_long();
+          const pardis::Bytes chunk = dec.get_octet_sequence();
+          rt.counts.chunks.fetch_add(1, std::memory_order_relaxed);
+          rt.counts.chunk_bytes.fetch_add(chunk.size(),
+                                          std::memory_order_relaxed);
+          if (entry.chunk_id == acked) {
+            ++acked;  // contiguous: the download advanced
+          } else {
+            // Arrived past a shed gap; refetched after the rewind.
+            rt.counts.refetched_chunks.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          }
+        }
+      } catch (const TRANSIENT&) {
+        rt.counts.sheds.fetch_add(1, std::memory_order_relaxed);
+        if (role == Role::kStream) rewind = true;
+      } catch (const COMM_FAILURE&) {
+        rt.counts.comm_failures.fetch_add(1, std::memory_order_relaxed);
+        dead = true;
+      } catch (const SystemException&) {
+        rt.counts.other_errors.fetch_add(1, std::memory_order_relaxed);
+        dead = true;
+      }
+      rt.counts.settled.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    std::uint64_t ops = 0;
+    std::uint64_t issue = acked;  // streamer issue pointer
+    while (!dead && !rewind && Clock::now() < rt.deadline) {
+      if (role == Role::kEcho && ops >= cfg.rebind_every) break;
+      if (window.size() >= window_cap) {
+        settle_one();
+        continue;
+      }
+      if (role == Role::kStream && issue >= cfg.chunks_per_file) {
+        if (!window.empty()) {
+          settle_one();
+          continue;
+        }
+        if (acked >= cfg.chunks_per_file) {
+          rt.counts.files.fetch_add(1, std::memory_order_relaxed);
+          acked = 0;
+        }
+        issue = acked;
+        continue;
+      }
+      try {
+        cdr::Encoder enc;
+        Inflight entry;
+        if (role == Role::kEcho) {
+          enc.put_long(static_cast<cdr::Long>(ops));
+          entry.future = binding->invoke_nb("ping", enc.take());
+        } else {
+          enc.put_long(static_cast<cdr::Long>(issue));
+          enc.put_ulong(static_cast<cdr::ULong>(cfg.blob_bytes));
+          entry.chunk_id = issue++;
+          entry.future = binding->invoke_nb("blob", enc.take());
+        }
+        entry.issued_at = Clock::now();
+        window.push_back(std::move(entry));
+        rt.counts.issued.fetch_add(1, std::memory_order_relaxed);
+        ++ops;
+      } catch (const SystemException&) {
+        rt.counts.comm_failures.fetch_add(1, std::memory_order_relaxed);
+        dead = true;
+      }
+    }
+
+    // Closed loop: every issued future settles before the binding goes —
+    // on a dead stream they all resolve as COMM_FAILURE, never a hang.
+    while (!window.empty()) settle_one();
+
+    try {
+      binding->unbind();
+    } catch (const SystemException&) {
+      // Stream already dead; unbind closes it instead of pooling.
+    }
+    if (dead) {
+      rt.counts.reconnects.fetch_add(1, std::memory_order_relaxed);
+      if (role == Role::kStream) {
+        rt.counts.resumes.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (role == Role::kEcho) {
+      rt.counts.scheduled_rebinds.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+/// Collective bulk traffic (chaos-off cells): dsequence transfers through
+/// the real SPMD invoke path, alternating centralized and multi-port, until
+/// the shared deadline.  Rank 0 decides continuation so all ranks agree.
+void spmd_bulk_loop(CellRuntime& rt, rts::Communicator& comm) {
+  const CellConfig& cfg = rt.cfg;
+  auto binding = transfer::SpmdBinding::bind(*rt.orb, comm, rt.client_host,
+                                             "sink", "IDL:bench/sink:1.0");
+  dseq::DSequence<double> seq(comm, cfg.bulk_len);
+  for (std::size_t i = 0; i < seq.local_length(); ++i) {
+    seq.local_data()[i] = static_cast<double>(i);
+  }
+  for (cdr::Long i = 0;; ++i) {
+    const int cont =
+        rts::bcast_value(comm,
+                         comm.rank() == 0 && Clock::now() < rt.deadline ? 1
+                                                                        : 0,
+                         0);
+    if (cont == 0) break;
+    transfer::CallOptions opts;
+    opts.method = (i % 2) == 0 ? orb::TransferMethod::kCentralized
+                               : orb::TransferMethod::kMultiPort;
+    transfer::TypedDSeqArg<double> arg(seq, orb::ArgDir::kIn);
+    cdr::Encoder enc;
+    enc.put_long(i);
+    const auto t0 = Clock::now();
+    binding.invoke("consume", enc.take(), {&arg}, opts);
+    transfer::reduce_stats(comm, binding.last_stats(), &rt.orb->metrics(),
+                           "client.phase.");
+    if (comm.rank() == 0) {
+      rt.bulk_ms->add(to_ms(Clock::now() - t0));
+      rt.counts.spmd_invokes.fetch_add(1, std::memory_order_relaxed);
+      rt.counts.spmd_bytes.fetch_add(cfg.bulk_len * sizeof(double),
+                                     std::memory_order_relaxed);
+    }
+  }
+  binding.unbind();
+}
+
+/// Scoped env override for per-cell knobs read inside the scenario.
+class EnvVar {
+ public:
+  EnvVar(const char* name, const std::string& value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~EnvVar() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvVar(const EnvVar&) = delete;
+  EnvVar& operator=(const EnvVar&) = delete;
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+struct CellResult {
+  CellConfig cfg;
+  double elapsed = 0;
+  std::uint64_t hung = 0;
+  std::string json;
+  double echo_per_sec = 0;
+};
+
+CellResult run_cell(const CellConfig& cfg) {
+  // Knobs the scenario bodies read at construction time.
+  EnvVar inflight("PARDIS_MAX_INFLIGHT", std::to_string(cfg.window));
+  std::optional<EnvVar> kill;
+  if (cfg.chaos && cfg.kill_every > 0) {
+    kill.emplace("PARDIS_CHAOS_KILL_EVERY", std::to_string(cfg.kill_every));
+  }
+
+  sim::ScenarioConfig scfg;
+  scfg.server.nranks = cfg.server_ranks;
+  scfg.client.nranks = cfg.chaos ? 1 : cfg.spmd_ranks;
+  scfg.orb.transport = cfg.kind;
+  const double mbps = env_double("PARDIS_LINK_MBPS", 0.0);
+  if (mbps > 0) {
+    scfg.link = net::LinkModel::atm_scaled(mbps * 1e6);
+  }
+  sim::Scenario scenario(scfg);
+
+  CellRuntime rt;
+  rt.cfg = cfg;
+  rt.orb = &scenario.orb();
+  rt.client_host = scfg.client.host;
+  rt.echo_latency_us =
+      &scenario.orb().metrics().histogram("storm.echo.latency_us");
+  rt.bulk_ms = &scenario.orb().metrics().histogram("storm.bulk.ms");
+
+  const bool sim_chaos = cfg.chaos && cfg.kind == transport::Kind::kSim;
+  const auto start = Clock::now();
+  rt.deadline = start + std::chrono::duration_cast<Duration>(
+                            std::chrono::duration<double>(cfg.seconds));
+
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        transfer::SpmdServer server(scenario.orb(), comm, scfg.server.host);
+        StormServant storm_servant;
+        SinkServant sink_servant;
+        server.activate("storm", storm_servant);
+        server.activate("sink", sink_servant);
+        server.serve();
+      },
+      [&](rts::Communicator& comm) {
+        std::vector<std::thread> swarm;
+        std::thread partitioner;
+        if (comm.rank() == 0) {
+          if (sim_chaos) {
+            // Open the chaos window: live connections start drawing
+            // per-frame faults, and a toggler periodically partitions the
+            // host pair so rebinds are refused in bursts.
+            scenario.orb().fabric().set_fault_rate(
+                scfg.client.host, scfg.server.host, cfg.fault_rate);
+            partitioner = std::thread([&] {
+              while (Clock::now() < rt.deadline) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(150));
+                if (Clock::now() >= rt.deadline) break;
+                scenario.orb().fabric().set_partitioned(scfg.client.host,
+                                                        scfg.server.host,
+                                                        true);
+                rt.counts.partition_windows.fetch_add(
+                    1, std::memory_order_relaxed);
+                std::this_thread::sleep_for(std::chrono::milliseconds(40));
+                scenario.orb().fabric().set_partitioned(scfg.client.host,
+                                                        scfg.server.host,
+                                                        false);
+              }
+            });
+          }
+          swarm.reserve(static_cast<std::size_t>(cfg.clients));
+          for (int t = 0; t < cfg.clients; ++t) {
+            const Role role = (t % 4) == 3 ? Role::kStream : Role::kEcho;
+            swarm.emplace_back(client_thread, std::ref(rt), role);
+          }
+        }
+        if (!cfg.chaos) spmd_bulk_loop(rt, comm);
+        if (comm.rank() == 0) {
+          for (std::thread& t : swarm) t.join();
+          if (partitioner.joinable()) partitioner.join();
+          if (sim_chaos) {
+            // Heal before wind-down so the scenario's shutdown frame and
+            // the metrics dump cross a quiet wire.
+            scenario.orb().fabric().set_fault_rate(scfg.client.host,
+                                                   scfg.server.host, 0.0);
+            scenario.orb().fabric().set_partitioned(scfg.client.host,
+                                                    scfg.server.host, false);
+          }
+        }
+      },
+      "storm");
+
+  CellResult out;
+  out.cfg = cfg;
+  out.elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  const Counts& c = rt.counts;
+  out.hung = c.issued.load() - c.settled.load();
+
+  const auto snap = scenario.orb().metrics().snapshot();
+  const double secs = cfg.seconds;
+  out.echo_per_sec = static_cast<double>(c.echo_ok.load()) / secs;
+  const double stream_mb =
+      static_cast<double>(c.chunk_bytes.load()) / (1024.0 * 1024.0);
+  const double spmd_mb =
+      static_cast<double>(c.spmd_bytes.load()) / (1024.0 * 1024.0);
+
+  JsonObject row;
+  row.field("backend", std::string(transport::to_string(cfg.kind)))
+      .raw("chaos", cfg.chaos ? "true" : "false")
+      .field("clients", cfg.clients)
+      .field("window", static_cast<std::uint64_t>(cfg.window))
+      .field("seconds", secs)
+      .raw("echo", JsonObject()
+                       .field("ops", c.echo_ok.load())
+                       .field("ops_per_sec", out.echo_per_sec)
+                       .field("sheds", c.sheds.load())
+                       .raw("latency_us",
+                            histogram_json(
+                                find_sample(snap, "storm.echo.latency_us")))
+                       .str())
+      .raw("bulk_stream",
+           JsonObject()
+               .field("chunks", c.chunks.load())
+               .field("mbytes", stream_mb)
+               .field("mbytes_per_sec", stream_mb / secs)
+               .field("files", c.files.load())
+               .field("resumes", c.resumes.load())
+               .field("refetched_chunks", c.refetched_chunks.load())
+               .str());
+  if (cfg.chaos) {
+    row.raw("spmd_bulk", "null");
+  } else {
+    row.raw("spmd_bulk",
+            JsonObject()
+                .field("invokes", c.spmd_invokes.load())
+                .field("mbytes", spmd_mb)
+                .field("mbytes_per_sec", spmd_mb / secs)
+                .raw("latency_ms",
+                     histogram_json(find_sample(snap, "storm.bulk.ms")))
+                .raw("phases", phases_json(snap, "client.phase."))
+                .str());
+  }
+  row.raw("recovery",
+          JsonObject()
+              .field("comm_failures", c.comm_failures.load())
+              .field("reconnects", c.reconnects.load())
+              .field("scheduled_rebinds", c.scheduled_rebinds.load())
+              .field("bind_failures", c.bind_failures.load())
+              .field("stale_pool_retries",
+                     find_sample(snap, "client.bind.stale_retries").count)
+              .field("other_errors", c.other_errors.load())
+              .str())
+      .raw("chaos_stats",
+           JsonObject()
+               .field("server_kills",
+                      find_sample(snap, "server.chaos.kills").count)
+               .field("partition_windows", c.partition_windows.load())
+               .field("server_sheds",
+                      find_sample(snap, "server.pipeline.rejects").count)
+               .str())
+      .raw("futures", JsonObject()
+                          .field("issued", c.issued.load())
+                          .field("settled", c.settled.load())
+                          .field("hung", out.hung)
+                          .str());
+  out.json = row.str();
+
+  std::printf(
+      "  %-3s %-5s | %8.0f echo/s | %7.2f MB/s stream | %6.2f MB/s dseq | "
+      "%4llu kills | %4llu reconn | hung %llu\n",
+      transport::to_string(cfg.kind), cfg.chaos ? "chaos" : "calm",
+      out.echo_per_sec, stream_mb / secs, spmd_mb / secs,
+      static_cast<unsigned long long>(
+          find_sample(snap, "server.chaos.kills").count),
+      static_cast<unsigned long long>(c.reconnects.load()),
+      static_cast<unsigned long long>(out.hung));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TraceSession trace(argc, argv);
+
+  bool quick = false;
+  std::string chaos_mode = "both";
+  std::optional<transport::Kind> only_kind;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--chaos=", 8) == 0) chaos_mode = argv[i] + 8;
+    if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      only_kind = transport::parse_kind(argv[i] + 12);
+    }
+  }
+  if (chaos_mode != "off" && chaos_mode != "on" && chaos_mode != "both") {
+    std::fprintf(stderr, "storm: --chaos must be off, on, or both\n");
+    return 2;
+  }
+
+  CellConfig base;
+  base.quick = quick;
+  if (quick) {
+    base.clients = 12;
+    base.server_ranks = 2;
+    base.seconds = 1.0;
+    base.window = 8;
+    base.bulk_len = 1u << 14;
+    base.blob_bytes = 64u << 10;
+    base.chunks_per_file = 16;
+    base.rebind_every = 300;
+    base.kill_every = 29;
+    base.fault_rate = 0.002;
+  }
+  base.clients = static_cast<int>(
+      env_u64("PARDIS_STORM_CLIENTS", static_cast<std::uint64_t>(base.clients)));
+  base.seconds = env_double("PARDIS_STORM_SECONDS", base.seconds);
+  base.window = static_cast<std::uint32_t>(
+      env_u64("PARDIS_STORM_WINDOW", base.window));
+  base.bulk_len = env_u64("PARDIS_STORM_BULK_LEN", base.bulk_len);
+  base.blob_bytes = env_u64("PARDIS_STORM_BLOB_KB", base.blob_bytes >> 10)
+                    << 10;
+  base.rebind_every = env_u64("PARDIS_STORM_REBIND_EVERY", base.rebind_every);
+  base.kill_every = env_u64("PARDIS_STORM_KILL_EVERY", base.kill_every);
+  base.fault_rate = env_double("PARDIS_STORM_FAULT_RATE", base.fault_rate);
+
+  std::printf("Storm: %d clients, %.1fs per cell, window %u%s\n\n",
+              base.clients, base.seconds, base.window,
+              quick ? " (quick)" : "");
+
+  std::vector<CellConfig> cells;
+  for (const transport::Kind kind :
+       {transport::Kind::kSim, transport::Kind::kTcp}) {
+    if (only_kind && kind != *only_kind) continue;
+    for (const bool chaos : {false, true}) {
+      if (chaos && chaos_mode == "off") continue;
+      if (!chaos && chaos_mode == "on") continue;
+      CellConfig cfg = base;
+      cfg.kind = kind;
+      cfg.chaos = chaos;
+      cells.push_back(cfg);
+    }
+  }
+
+  JsonArray rows;
+  std::uint64_t hung_total = 0;
+  for (const CellConfig& cfg : cells) {
+    const CellResult r = run_cell(cfg);
+    hung_total += r.hung;
+    rows.item(r.json);
+  }
+
+  write_bench_json("storm", JsonObject()
+                                .field("bench", std::string("storm"))
+                                .raw("quick", quick ? "true" : "false")
+                                .field("clients", base.clients)
+                                .field("seconds_per_cell", base.seconds)
+                                .raw("rows", rows.str())
+                                .str());
+  if (hung_total != 0) {
+    std::fprintf(stderr,
+                 "storm: FAIL — %llu futures never settled (hang bug)\n",
+                 static_cast<unsigned long long>(hung_total));
+    return 1;
+  }
+  std::printf("\nstorm: all issued futures settled (closed loop held)\n");
+  return 0;
+}

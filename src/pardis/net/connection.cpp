@@ -5,6 +5,34 @@
 namespace pardis::net {
 namespace detail {
 
+std::uint64_t next_fault_seed() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  // splitmix64 of the creation index: well-spread, reproducible seeds.
+  std::uint64_t z =
+      counter.fetch_add(1, std::memory_order_relaxed) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool Pipe::roll_fault() noexcept {
+  if (!governor_) return false;
+  const double rate = governor_->fault_rate();
+  if (rate <= 0.0) return false;
+  // xorshift64: cheap, and per-pipe state keeps single-sender runs
+  // reproducible.  Relaxed is fine — a racy interleave only reshuffles
+  // which frame draws the fault.
+  std::uint64_t x = rng_.load(std::memory_order_relaxed);
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  rng_.store(x, std::memory_order_relaxed);
+  const double u = static_cast<double>(x >> 11) * 0x1p-53;
+  if (u >= rate) return false;
+  governor_->count_fault();
+  return true;
+}
+
 void Pipe::send(pardis::Bytes frame) {
   {
     std::lock_guard<common::RankedMutex> lock(mu_);
@@ -85,7 +113,17 @@ Connection::make_pair(std::shared_ptr<LinkGovernor> a_to_b,
   return {std::move(a), std::move(b)};
 }
 
-void Connection::send(pardis::Bytes frame) { out_->send(std::move(frame)); }
+void Connection::send(pardis::Bytes frame) {
+  if (out_->roll_fault()) {
+    // A link fault on a reliable framed stream kills the whole connection:
+    // the peer drains anything already delivered and then sees EOF, so
+    // both sides observe the same failure a real TCP reset would produce.
+    close();
+    throw COMM_FAILURE("chaos: link fault injected on " + label_,
+                       Completion::kMaybe);
+  }
+  out_->send(std::move(frame));
+}
 
 std::optional<pardis::Bytes> Connection::recv() { return in_->recv(); }
 

@@ -26,6 +26,10 @@ namespace pardis::net {
 
 namespace detail {
 
+/// Deterministic seed sequence for per-pipe fault RNGs (splitmix64 over a
+/// process-wide creation counter: reproducible given creation order).
+std::uint64_t next_fault_seed() noexcept;
+
 /// One direction of a connection: a frame queue plus link pacing.
 /// `agg_frames`/`agg_bytes` (optional) are fabric-wide aggregate counters
 /// in the owning ORB's MetricsRegistry.
@@ -35,7 +39,8 @@ class Pipe {
        obs::Counter* agg_bytes)
       : governor_(std::move(governor)),
         agg_frames_(agg_frames),
-        agg_bytes_(agg_bytes) {}
+        agg_bytes_(agg_bytes),
+        rng_(next_fault_seed()) {}
 
   void send(pardis::Bytes frame);
   std::optional<pardis::Bytes> recv();
@@ -43,6 +48,13 @@ class Pipe {
   bool has_frame() const;
   void close();
   bool closed() const;
+
+  /// Chaos roll for one outgoing frame: true with the governor's current
+  /// fault_rate probability (always false on loopback pipes, which have no
+  /// governor).  Deterministic per pipe under single-sender traffic;
+  /// concurrent senders may interleave the RNG, which only perturbs *which*
+  /// frame faults, never the contract.
+  bool roll_fault() noexcept;
 
   std::uint64_t frames() const noexcept {
     return frames_.load(std::memory_order_relaxed);
@@ -62,6 +74,7 @@ class Pipe {
   bool closed_ = false;
   std::atomic<std::uint64_t> frames_{0};  // frames that crossed the wire
   std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> rng_;  // fault-injection RNG state
 };
 
 }  // namespace detail

@@ -84,6 +84,8 @@ void Fabric::collect_metrics() {
         .set(static_cast<std::int64_t>(c.contended_frames));
     metrics->gauge(prefix + ".wait_us")
         .set(static_cast<std::int64_t>(c.contention_wait_us));
+    metrics->gauge(prefix + ".faults")
+        .set(static_cast<std::int64_t>(c.faults_injected));
   }
 }
 
@@ -97,6 +99,36 @@ void Fabric::set_link(const std::string& host_a, const std::string& host_b,
   std::lock_guard<common::RankedMutex> lock(mu_);
   auto key = std::minmax(host_a, host_b);
   link_models_[{key.first, key.second}] = model;
+}
+
+void Fabric::set_fault_rate(const std::string& host_a,
+                            const std::string& host_b, double rate) {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  const auto key = std::minmax(host_a, host_b);
+  // Future governors inherit the rate via the stored model; live governors
+  // (both directions) pick it up via their atomic knob.
+  auto model_it = link_models_.find({key.first, key.second});
+  if (model_it == link_models_.end()) {
+    model_it =
+        link_models_.emplace(std::pair{key.first, key.second}, default_link_)
+            .first;
+  }
+  model_it->second.fault_rate = rate;
+  for (const auto& dir : {std::pair{host_a, host_b}, {host_b, host_a}}) {
+    const auto it = governors_.find(dir);
+    if (it != governors_.end()) it->second->set_fault_rate(rate);
+  }
+}
+
+void Fabric::set_partitioned(const std::string& host_a,
+                             const std::string& host_b, bool partitioned) {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  const auto key = std::minmax(host_a, host_b);
+  if (partitioned) {
+    partitions_.insert({key.first, key.second});
+  } else {
+    partitions_.erase({key.first, key.second});
+  }
 }
 
 std::shared_ptr<Acceptor> Fabric::listen(const std::string& host, int port) {
@@ -126,6 +158,12 @@ std::shared_ptr<Connection> Fabric::connect(const std::string& from_host,
   obs::MetricsRegistry* metrics = nullptr;
   {
     std::lock_guard<common::RankedMutex> lock(mu_);
+    const auto key = std::minmax(from_host, to.host);
+    if (partitions_.count({key.first, key.second}) != 0) {
+      throw COMM_FAILURE("connection refused: " + from_host + " and " +
+                             to.host + " are partitioned",
+                         Completion::kNo);
+    }
     auto it = listeners_.find(to);
     if (it != listeners_.end()) acceptor = it->second.lock();
     if (!acceptor) {

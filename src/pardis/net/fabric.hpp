@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -96,6 +97,20 @@ class Fabric {
   void set_link(const std::string& host_a, const std::string& host_b,
                 LinkModel model);
 
+  /// Chaos: sets the per-frame fault-injection probability on the (host_a,
+  /// host_b) link, both directions, taking effect immediately on live
+  /// connections (unlike set_link, which only shapes future governors).
+  /// See LinkModel::fault_rate for the failure semantics.
+  void set_fault_rate(const std::string& host_a, const std::string& host_b,
+                      double rate);
+
+  /// Chaos: (un)partitions a host pair.  While partitioned, new connect()
+  /// attempts between the two hosts are refused with COMM_FAILURE;
+  /// established connections keep flowing (use set_fault_rate to kill
+  /// those).  Models a routing outage rather than a cable cut.
+  void set_partitioned(const std::string& host_a, const std::string& host_b,
+                       bool partitioned);
+
   /// Starts listening on (host, port); port 0 picks an ephemeral port.
   /// Throws pardis::BAD_PARAM if the address is already bound.
   std::shared_ptr<Acceptor> listen(const std::string& host, int port = 0);
@@ -116,6 +131,7 @@ class Fabric {
   obs::MetricsRegistry* metrics_ = nullptr;
   LinkModel default_link_{};  // unlimited
   std::map<std::pair<std::string, std::string>, LinkModel> link_models_;
+  std::set<std::pair<std::string, std::string>> partitions_;  // minmax keys
   std::map<std::pair<std::string, std::string>, std::shared_ptr<LinkGovernor>>
       governors_;  // keyed by ordered (from, to)
   std::map<Address, std::weak_ptr<Acceptor>> listeners_;

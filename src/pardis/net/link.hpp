@@ -48,6 +48,14 @@ struct LinkModel {
   std::size_t chunk_bytes = 16 * 1024;
   /// Fixed wire overhead added to every frame (headers, cell tax).
   std::size_t frame_overhead_bytes = 64;
+  /// Chaos knob (bench/storm): probability, per frame offered to the link,
+  /// that the sending connection is torn down instead of delivering.  The
+  /// sender sees COMM_FAILURE, the peer drains buffered frames and then
+  /// EOF — the simulated equivalent of a TCP reset, not a silent drop
+  /// (frames ride a reliable stream, so "loss" must kill the stream).
+  /// 0 disables injection.  Adjustable at runtime per governor via
+  /// LinkGovernor::set_fault_rate / Fabric::set_fault_rate.
+  double fault_rate = 0.0;
 
   /// No pacing at all: transfers complete at memcpy speed.
   static LinkModel unlimited() { return {}; }
@@ -87,7 +95,8 @@ class StreamPacer {
 /// Arbitrates one direction of one physical link.
 class LinkGovernor {
  public:
-  explicit LinkGovernor(LinkModel model) : model_(model) {}
+  explicit LinkGovernor(LinkModel model)
+      : model_(model), fault_rate_(model.fault_rate) {}
 
   /// Blocks the caller for the transmission time of a `payload_bytes` frame,
   /// sharing the link with all concurrent callers.  `pacer` (optional)
@@ -96,6 +105,19 @@ class LinkGovernor {
   void transmit(std::size_t payload_bytes, StreamPacer* pacer = nullptr);
 
   const LinkModel& model() const noexcept { return model_; }
+
+  /// Current per-frame fault-injection probability (see
+  /// LinkModel::fault_rate).  Runtime-adjustable so a chaos harness can
+  /// open and close its fault window mid-run without reconnecting.
+  double fault_rate() const noexcept {
+    return fault_rate_.load(std::memory_order_relaxed);
+  }
+  void set_fault_rate(double rate) noexcept {
+    fault_rate_.store(rate, std::memory_order_relaxed);
+  }
+  void count_fault() noexcept {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Contention/arbitration counters (always on; relaxed atomics).  A frame
   /// counts as contended when its first chunk finds the link occupied by
@@ -106,16 +128,20 @@ class LinkGovernor {
     std::uint64_t payload_bytes = 0;
     std::uint64_t contended_frames = 0;
     std::uint64_t contention_wait_us = 0;
+    std::uint64_t faults_injected = 0;
   };
   Counters counters() const noexcept {
     return {frames_.load(std::memory_order_relaxed),
             payload_bytes_.load(std::memory_order_relaxed),
             contended_frames_.load(std::memory_order_relaxed),
-            contention_wait_us_.load(std::memory_order_relaxed)};
+            contention_wait_us_.load(std::memory_order_relaxed),
+            faults_.load(std::memory_order_relaxed)};
   }
 
  private:
   LinkModel model_;
+  std::atomic<double> fault_rate_{0.0};
+  std::atomic<std::uint64_t> faults_{0};
   common::RankedMutex mu_{common::LockRank::kNetLink};
   Clock::time_point next_free_{};  // virtual time: when the link frees up
   std::atomic<std::uint64_t> frames_{0};

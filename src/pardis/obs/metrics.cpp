@@ -31,12 +31,20 @@ double Histogram::quantile(double q) const {
       seen += buckets_[i];
       continue;
     }
-    // Log-linear interpolation inside bucket i = [2^(i-1), 2^i).
-    const double lo = i == 0 ? 0.0 : std::exp2(static_cast<double>(i) - 1.0);
-    const double hi = std::exp2(static_cast<double>(i));
-    const double frac = static_cast<double>(target - seen) /
-                        static_cast<double>(buckets_[i]);
-    const double est = lo + (hi - lo) * frac;
+    // The target sample's midpoint rank within bucket i, treating the
+    // bucket's samples as spread evenly across it.  The midpoint keeps the
+    // estimate strictly interior: rank == bucket count must NOT collapse to
+    // the bucket's upper bound, which used to pin p99 at powers of two (and
+    // then clamp to the observed max) whenever the tail bucket was sparse.
+    const double frac =
+        (static_cast<double>(target - seen) - 0.5) /
+        static_cast<double>(buckets_[i]);
+    // Log-linear (geometric) interpolation inside bucket i = [2^(i-1), 2^i):
+    // buckets are octaves, so equal rank steps move equal log-space steps.
+    // Bucket 0 covers (0, 1] and interpolates linearly.
+    const double est =
+        i == 0 ? frac
+               : std::exp2(static_cast<double>(i) - 1.0 + frac);
     return std::clamp(est, stat_.min(), stat_.max());
   }
   return stat_.max();
@@ -91,6 +99,7 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
       s.count = s.stat.count();
       s.p50 = e.histogram->quantile(0.50);
       s.p99 = e.histogram->quantile(0.99);
+      s.p999 = e.histogram->quantile(0.999);
     }
     out.push_back(std::move(s));
   }

@@ -109,6 +109,7 @@ class MetricsRegistry {
     RunningStat stat;          // histogram distribution
     double p50 = 0.0;          // histogram quantile estimates
     double p99 = 0.0;
+    double p999 = 0.0;
   };
 
   /// Snapshot of every instrument, sorted by name.

@@ -583,7 +583,13 @@ DirectBinding DirectBinding::bind(orb::Orb& orb,
     } catch (const SystemException& e) {
       b.control_->close();
       b.control_.reset();
-      if (reused && attempt == 0 && e.kind() == "COMM_FAILURE") continue;
+      if (reused && attempt == 0 && e.kind() == "COMM_FAILURE") {
+        // Count pool corpses discarded at bind: under churn (rebinds racing
+        // server-side kills) this is the pool's recovery path, and the
+        // storm harness asserts it stays cheap rather than thrashing.
+        orb.metrics().counter("client.bind.stale_retries").add();
+        continue;
+      }
       throw;
     }
   }

@@ -28,11 +28,13 @@ SpmdServer::SpmdServer(orb::Orb& orb, rts::Communicator& comm,
           std::max<std::size_t>(1, env_u64("PARDIS_SERVER_WORKERS", 4))),
       credit_grant_(static_cast<cdr::ULong>(std::min<std::uint64_t>(
           std::max<std::uint64_t>(1, env_u64("PARDIS_SERVER_CREDIT", 32)),
-          queue_cap_))) {
+          queue_cap_))),
+      chaos_kill_every_(env_u64("PARDIS_CHAOS_KILL_EVERY", 0)) {
   obs::MetricsRegistry& m = orb_->metrics();
   pipelined_requests_ = &m.counter("server.pipeline.requests");
   pipelined_rejects_ = &m.counter("server.pipeline.rejects");
   credits_granted_ = &m.counter("server.pipeline.credits_granted");
+  chaos_kills_ = &m.counter("server.chaos.kills");
   queue_depth_ = &m.gauge("server.pipeline.queue_depth");
   pipeline_inflight_ = &m.gauge("server.pipeline.inflight");
   pipeline_latency_us_ = &m.histogram("server.pipeline.latency_us");
@@ -374,21 +376,32 @@ void SpmdServer::handle_bind(const Event& event) {
     }
     bs.control = std::move(control_it->second);
     bind_controls_.erase(control_it);
-    send_frame(*bs.control, orb::MsgType::kBindAck, [&](cdr::Encoder& e) {
-      orb::BindAck ack;
-      ack.binding_id = req.binding_id;
-      ack.status =
-          known ? orb::BindStatus::kOk : orb::BindStatus::kUnknownObject;
-      ack.server_ranks = static_cast<cdr::ULong>(comm_->size());
-      // Pipelining rides the control stream of non-collective bindings;
-      // the grant is the client's initial credit window.
-      ack.credit = known && !req.collective ? credit_grant_ : 0;
-      ack.message = known ? "" : "unknown object '" + req.object_key + "'";
-      ack.encode(e);
-      if (known) {
-        activation->second.policy.encode(e);
-      }
-    });
+    try {
+      send_frame(*bs.control, orb::MsgType::kBindAck, [&](cdr::Encoder& e) {
+        orb::BindAck ack;
+        ack.binding_id = req.binding_id;
+        ack.status =
+            known ? orb::BindStatus::kOk : orb::BindStatus::kUnknownObject;
+        ack.server_ranks = static_cast<cdr::ULong>(comm_->size());
+        // Pipelining rides the control stream of non-collective bindings;
+        // the grant is the client's initial credit window.
+        ack.credit = known && !req.collective ? credit_grant_ : 0;
+        ack.message = known ? "" : "unknown object '" + req.object_key + "'";
+        ack.encode(e);
+        if (known) {
+          activation->second.policy.encode(e);
+        }
+      });
+    } catch (const SystemException& e) {
+      // The client (or a chaotic link) tore the stream down between accept
+      // and ack.  A dead client must never take the server with it: drop
+      // the connection and move on — the client rebinds on a fresh stream.
+      orb_->metrics().counter("server.binds.client_gone").add();
+      PARDIS_LOG_DEBUG << "bind ack for binding " << req.binding_id
+                       << " dropped (client gone): " << e.what();
+      bs.control->close();
+      return;
+    }
   }
   if (known) {
     orb_->metrics().counter("server.binds").add();
@@ -643,24 +656,38 @@ void SpmdServer::handle_request(const Event& event) {
         }
         return enc.take();
       });
-      timer.time(Phase::kSend,
-                 [&] { send_framed(*binding.control, std::move(frame)); });
+      try {
+        timer.time(Phase::kSend,
+                   [&] { send_framed(*binding.control, std::move(frame)); });
+      } catch (const SystemException& e) {
+        // Client died before collecting its reply; the event loop reaps
+        // the binding when it sees eof.  Never let it take the rank down.
+        orb_->metrics().counter("server.replies.client_gone").add();
+        PARDIS_LOG_DEBUG << "reply for request " << header.request_id
+                         << " dropped (client gone): " << e.what();
+      }
     }
   } else {
     // Multi-port: reply header first (so the client learns the result
     // shapes), then every rank streams its segments directly.
     if (rank == 0) {
-      send_frame(*binding.control, orb::MsgType::kReply,
-                 [&](cdr::Encoder& enc) {
-                   orb::ReplyHeader reply;
-                   reply.request_id = header.request_id;
-                   reply.status = status;
-                   reply.payload = std::move(payload);
-                   reply.dseqs = reply_descs;
-                   reply.server_stats_ms.assign(stats_now.begin(),
-                                                stats_now.end());
-                   reply.encode(enc);
-                 });
+      try {
+        send_frame(*binding.control, orb::MsgType::kReply,
+                   [&](cdr::Encoder& enc) {
+                     orb::ReplyHeader reply;
+                     reply.request_id = header.request_id;
+                     reply.status = status;
+                     reply.payload = std::move(payload);
+                     reply.dseqs = reply_descs;
+                     reply.server_stats_ms.assign(stats_now.begin(),
+                                                  stats_now.end());
+                     reply.encode(enc);
+                   });
+      } catch (const SystemException& e) {
+        orb_->metrics().counter("server.replies.client_gone").add();
+        PARDIS_LOG_DEBUG << "reply for request " << header.request_id
+                         << " dropped (client gone): " << e.what();
+      }
     }
     if (ok) {
       for (const ServerCall::OutArg& out : call.out_args_) {
@@ -696,10 +723,21 @@ void SpmdServer::handle_request(const Event& event) {
                 seg.count * out.desc.elem_size));
             return enc.take();
           });
-          timer.time(Phase::kSend, [&] {
-            send_framed(*binding.data[static_cast<std::size_t>(seg.dst_rank)],
-                        std::move(frame));
-          });
+          try {
+            timer.time(Phase::kSend, [&] {
+              send_framed(
+                  *binding.data[static_cast<std::size_t>(seg.dst_rank)],
+                  std::move(frame));
+            });
+          } catch (const SystemException& e) {
+            // One dead data port; keep streaming the rest — each client
+            // rank fails or completes independently, and the ranks of this
+            // server stay alive and in step either way.
+            orb_->metrics().counter("server.replies.client_gone").add();
+            PARDIS_LOG_DEBUG << "result segment for request "
+                             << header.request_id << " dropped (client gone): "
+                             << e.what();
+          }
         }
       }
     }
@@ -747,6 +785,18 @@ std::pair<orb::ReplyStatus, pardis::Bytes> SpmdServer::guarded_dispatch(
 
 void SpmdServer::admit_pipelined(cdr::ULong binding_id, BindingState& bs,
                                  pardis::Bytes frame, const orb::Frame& info) {
+  if (chaos_kill_every_ > 0 && ++chaos_admissions_ % chaos_kill_every_ == 0) {
+    // Peer-kill chaos: drop this request on the floor and slam the control
+    // stream shut while the client still has a window in flight.  Frames
+    // already buffered keep draining into jobs whose replies then fail
+    // ("client gone"), racing worker sends against the close on purpose.
+    chaos_kills_->add();
+    PARDIS_LOG_DEBUG << "chaos: killing control stream of binding "
+                     << binding_id << " (admission " << chaos_admissions_
+                     << ")";
+    bs.control->close();
+    return;
+  }
   ensure_workers();
   PipelinedJob job;
   job.binding_id = binding_id;
@@ -811,10 +861,16 @@ void SpmdServer::stop_workers() {
   queue_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
-  std::lock_guard<common::RankedMutex> lock(queue_mu_);
-  stopping_ = false;
-  queue_.clear();
-  queue_depth_->set(0);
+  // Drain abandoned jobs outside the lock: a queued job can hold the last
+  // reference to its client's stream, and destroying a TCP stream takes the
+  // reactor lock — which ranks below the queue lock.
+  std::deque<PipelinedJob> abandoned;
+  {
+    std::lock_guard<common::RankedMutex> lock(queue_mu_);
+    stopping_ = false;
+    abandoned.swap(queue_);
+    queue_depth_->set(0);
+  }
 }
 
 void SpmdServer::worker_loop() {

@@ -303,6 +303,13 @@ class SpmdServer {
   std::size_t queue_cap_ = 64;     // PARDIS_SERVER_QUEUE
   std::size_t worker_count_ = 4;   // PARDIS_SERVER_WORKERS
   cdr::ULong credit_grant_ = 32;   // PARDIS_SERVER_CREDIT, capped by queue
+  /// Chaos (PARDIS_CHAOS_KILL_EVERY): every Nth pipelined admission
+  /// forcibly closes that client's control stream mid-window instead of
+  /// admitting, simulating a server-side peer death.  Clients must settle
+  /// every outstanding future (COMM_FAILURE) and rebind.  0 disables.
+  /// Works over both backends; touched only by the rank-0 event thread.
+  std::uint64_t chaos_kill_every_ = 0;
+  std::uint64_t chaos_admissions_ = 0;
   mutable common::RankedMutex queue_mu_{
       common::LockRank::kTransferServerQueue};
   std::condition_variable_any queue_cv_;
@@ -313,6 +320,7 @@ class SpmdServer {
   obs::Counter* pipelined_requests_ = nullptr;
   obs::Counter* pipelined_rejects_ = nullptr;
   obs::Counter* credits_granted_ = nullptr;
+  obs::Counter* chaos_kills_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
   obs::Gauge* pipeline_inflight_ = nullptr;
   obs::Histogram* pipeline_latency_us_ = nullptr;

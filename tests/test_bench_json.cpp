@@ -1,0 +1,173 @@
+// The benchmark-summary layer: histogram quantile estimation (obs) and the
+// BENCH_*.json serialization helpers (bench/bench_json.hpp) that the CI
+// bench gate (tools/bench_check.py) parses.
+//
+// The quantile tests pin down a regression: the old interpolation returned
+// `2^(i-1) * 2^frac` with frac hitting exactly 1.0 whenever the target rank
+// was the last sample of its bucket, which pinned p99 to the bucket's upper
+// bound — a power of two (or, clamped, the observed max) regardless of
+// where the samples actually sat.  Committed baselines showed it: p99 of
+// 2048/4096/4608 exactly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "pardis/obs/metrics.hpp"
+
+namespace pardis::bench {
+namespace {
+
+obs::MetricsRegistry::Sample histogram_sample(obs::MetricsRegistry& registry,
+                                              const std::string& name) {
+  for (auto& s : registry.snapshot()) {
+    if (s.name == name) return s;
+  }
+  return {};
+}
+
+TEST(HistogramQuantile, EmptyHistogramReportsZero) {
+  obs::Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(0.999), 0.0);
+}
+
+TEST(HistogramQuantile, SingleSampleReturnsThatSample) {
+  obs::Histogram h;
+  h.add(300.0);
+  // One sample: every quantile clamps to the only observed value.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 300.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 300.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 300.0);
+}
+
+TEST(HistogramQuantile, EstimateStaysStrictlyInsideTheBucket) {
+  // 99 samples at ~300 (bucket (256, 512]) plus one at 5000.  p50 lands on
+  // the last rank of the 300s bucket; the old interpolation collapsed it
+  // to exactly 512.0 (the bucket's upper bound).  The fixed estimator must
+  // stay strictly below the bucket bound.
+  obs::Histogram h;
+  for (int i = 0; i < 99; ++i) h.add(300.0);
+  h.add(5000.0);
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 256.0);
+  EXPECT_LT(p50, 512.0);
+}
+
+TEST(HistogramQuantile, TailQuantileNotPinnedToPowerOfTwo) {
+  // All 1000 samples in one bucket: p99 and p999 must interpolate inside
+  // (2048, 4096], not return 4096 exactly, and must respect the observed
+  // max clamp.
+  obs::Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(3000.0);
+  for (const double q : {0.5, 0.99, 0.999}) {
+    const double est = h.quantile(q);
+    EXPECT_GT(est, 2048.0) << "q=" << q;
+    EXPECT_LT(est, 4096.0) << "q=" << q;
+    EXPECT_LE(est, 3000.0) << "q=" << q;  // clamped to the observed max
+  }
+}
+
+TEST(HistogramQuantile, QuantilesAreMonotone) {
+  obs::Histogram h;
+  for (int i = 1; i <= 2000; ++i) h.add(static_cast<double>(i));
+  double prev = 0.0;
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double est = h.quantile(q);
+    EXPECT_GE(est, prev) << "q=" << q;
+    EXPECT_GE(est, h.quantile(0.0)) << "q=" << q;
+    prev = est;
+  }
+  EXPECT_LE(prev, 2000.0);
+}
+
+TEST(HistogramQuantile, ClampedToObservedRange) {
+  obs::Histogram h;
+  h.add(10.0);
+  h.add(12.0);
+  h.add(14.0);
+  // Bucket (8, 16] spans beyond the observed extremes; estimates must not.
+  EXPECT_GE(h.quantile(0.0), 10.0);
+  EXPECT_LE(h.quantile(1.0), 14.0);
+}
+
+TEST(HistogramQuantile, SubUnitBucketInterpolatesLinearly) {
+  // Bucket 0 covers (0, 1] and is linear, not log-scaled.
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(0.5);
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 1.0);
+  EXPECT_DOUBLE_EQ(p50, 0.5);  // clamped to the observed range
+}
+
+TEST(MetricsSnapshot, CarriesP999) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("lat");
+  for (int i = 0; i < 1000; ++i) h.add(100.0);
+  h.add(9000.0);
+  const auto s = histogram_sample(registry, "lat");
+  EXPECT_EQ(s.count, 1001u);
+  EXPECT_GT(s.p999, s.p50);
+  EXPECT_LE(s.p999, 9000.0);
+  EXPECT_LE(s.p50, s.p99);
+  EXPECT_LE(s.p99, s.p999);
+}
+
+// ---- JSON helpers ---------------------------------------------------------
+
+TEST(BenchJson, HistogramJsonHasAllQuantileKeys) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("lat");
+  for (int i = 0; i < 10; ++i) h.add(100.0);
+  const std::string json = histogram_json(histogram_sample(registry, "lat"));
+  for (const char* key :
+       {"\"count\"", "\"mean\"", "\"min\"", "\"max\"", "\"p50\"", "\"p99\"",
+        "\"p999\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST(BenchJson, EmptySampleSerializesAsZeros) {
+  const std::string json = histogram_json(obs::MetricsRegistry::Sample{});
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos) << json;
+  EXPECT_EQ(json.find("null"), std::string::npos) << json;
+}
+
+TEST(BenchJson, NumbersRoundTripAndNonFiniteBecomesNull) {
+  EXPECT_EQ(json_num(1.5), "1.5");
+  EXPECT_EQ(json_num(0.0), "0");
+  EXPECT_EQ(json_num(std::nan("")), "null");
+  EXPECT_EQ(json_num(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(BenchJson, StringsEscapeQuotesAndBackslashes) {
+  EXPECT_EQ(json_str("plain"), "\"plain\"");
+  EXPECT_EQ(json_str("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_str("a\\b"), "\"a\\\\b\"");
+}
+
+TEST(BenchJson, PhasesJsonIncludesOnlyPhasesWithSamples) {
+  obs::MetricsRegistry registry;
+  registry.histogram("client.phase.send").add(1.0);
+  registry.histogram("client.phase.total").add(2.0);
+  registry.histogram("client.phase.gather");  // exists but empty
+  const std::string json = phases_json(registry.snapshot(), "client.phase.");
+  EXPECT_NE(json.find("\"send\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"gather\""), std::string::npos) << json;
+}
+
+TEST(BenchJson, FindSampleMissingNameYieldsEmptySample) {
+  obs::MetricsRegistry registry;
+  const auto s = find_sample(registry.snapshot(), "no.such.metric");
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p999, 0.0);
+}
+
+}  // namespace
+}  // namespace pardis::bench

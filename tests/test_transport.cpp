@@ -6,11 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "pardis/common/error.hpp"
 #include "pardis/net/fabric.hpp"
 #include "pardis/obs/observability.hpp"
+#include "pardis/sim/scenario.hpp"
+#include "pardis/transfer/spmd_client.hpp"
+#include "pardis/transfer/spmd_server.hpp"
 #include "pardis/transport/tcp_transport.hpp"
 #include "pardis/transport/transport.hpp"
 
@@ -373,6 +378,122 @@ TEST(TcpTransport, OversizedFramePoisonsStream) {
 INSTANTIATE_TEST_SUITE_P(Backends, TransportSuite,
                          ::testing::Values(Kind::kSim, Kind::kTcp),
                          kind_name);
+
+// ---- peer death mid-pipelined-window -------------------------------------
+
+/// "square" echoes x*x.  Stateless, safe for concurrent dispatch.
+class SquareServant : public transfer::SpmdServant {
+ public:
+  const char* type_id() const override { return "IDL:test/square:1.0"; }
+  void dispatch(transfer::ServerCall& call) override {
+    if (call.operation() != "square") throw BAD_OPERATION(call.operation());
+    auto dec = call.args();
+    const cdr::Long x = dec.get_long();
+    call.results().put_long(x * x);
+  }
+};
+
+/// Killing a live TCP peer mid-window must settle every outstanding future
+/// with a real outcome (value, TRANSIENT, or COMM_FAILURE) — never a hang —
+/// and the next bind must come up clean whether or not the idle-stream pool
+/// is recycling connections underneath.  PARDIS_CHAOS_KILL_EVERY makes the
+/// server slam the control stream shut on every 5th admitted request, so
+/// the first kill lands inside the first full window.
+class PeerKillSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PeerKillSweep, MidWindowKillSettlesEveryFuture) {
+  ScopedEnv pool("PARDIS_TRANSPORT_POOL", GetParam());
+  ScopedEnv kill("PARDIS_CHAOS_KILL_EVERY", "5");
+  ScopedEnv inflight("PARDIS_MAX_INFLIGHT", "8");
+
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 1;
+  cfg.orb.transport = Kind::kTcp;
+  sim::Scenario scenario(cfg);
+
+  int values = 0;
+  int sheds = 0;
+  int comm_failures = 0;
+  int rebinds = 0;
+  scenario.run(
+      [&](rts::Communicator& comm) {
+        transfer::SpmdServer server(scenario.orb(), comm, cfg.server.host);
+        SquareServant servant;
+        server.activate("square", servant);
+        server.serve();
+      },
+      [&](rts::Communicator&) {
+        constexpr int kRounds = 6;
+        constexpr int kWindow = 8;
+        for (int round = 0; round < kRounds; ++round) {
+          auto binding = transfer::DirectBinding::bind(
+              scenario.orb(), cfg.client.host, "square",
+              "IDL:test/square:1.0");
+          ++rebinds;
+          // Round 0 settles each request before issuing the next, which
+          // pins the outcome regardless of scheduling: admissions 1-4 must
+          // return values (the reply arrived before anything else was sent)
+          // and admission 5 is the kill.  Later rounds keep a full window
+          // in flight so kills land with futures outstanding.
+          const bool sequential = round == 0;
+          std::vector<orb::Future<pardis::Bytes>> futures;
+          std::vector<cdr::Long> sent;
+          bool dead = false;
+          auto settle = [&](orb::Future<pardis::Bytes>& f, cdr::Long arg) {
+            try {
+              pardis::Bytes reply = f.get();
+              cdr::Decoder dec{BytesView(reply)};
+              EXPECT_EQ(dec.get_long(), arg * arg);
+              ++values;
+            } catch (const TRANSIENT&) {
+              ++sheds;
+            } catch (const COMM_FAILURE&) {
+              ++comm_failures;
+              dead = true;
+            }
+            // Anything else (incl. a hang) fails the test.
+          };
+          for (cdr::Long i = 0; i < kWindow && !dead; ++i) {
+            try {
+              cdr::Encoder enc;
+              enc.put_long(i);
+              auto f = binding.invoke_nb("square", enc.take());
+              if (sequential) {
+                settle(f, i);
+              } else {
+                futures.push_back(std::move(f));
+                sent.push_back(i);
+              }
+            } catch (const COMM_FAILURE&) {
+              dead = true;  // stream died while issuing; settle what's out
+            }
+          }
+          // Every issued future must settle; the suite-level timeout is
+          // the hang detector.
+          for (std::size_t i = 0; i < futures.size(); ++i) {
+            settle(futures[i], sent[i]);
+          }
+          binding.unbind();
+        }
+      },
+      "square");
+
+  // The sequential first round guarantees both outcomes: four replies
+  // land before the kill at admission 5, then the kill surfaces as
+  // COMM_FAILURE — and a fresh bind after each kill keeps working.
+  EXPECT_GT(comm_failures, 0);
+  EXPECT_GE(values, 4);
+  EXPECT_EQ(rebinds, 6);
+  EXPECT_EQ(sheds, 0);  // nothing here overloads the admission queue
+}
+
+std::string pool_name(const ::testing::TestParamInfo<const char*>& info) {
+  return std::string(info.param) == "0" ? "PoolOff" : "PoolOn";
+}
+
+INSTANTIATE_TEST_SUITE_P(Pool, PeerKillSweep, ::testing::Values("0", "1"),
+                         pool_name);
 
 }  // namespace
 }  // namespace pardis::transport

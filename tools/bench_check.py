@@ -1,0 +1,312 @@
+#!/usr/bin/env python3
+"""Benchmark baseline gate (docs/benchmarks.md).
+
+Three modes, all stdlib-only so CI needs nothing beyond python3:
+
+  --schema            validate every committed BENCH_*.json structurally
+  --compare FRESHDIR  compare fresh BENCH_*.json runs against the committed
+                      baselines; fail on a throughput regression beyond
+                      --tolerance (default 30%).  Repeatable: with several
+                      dirs (one per repeat run) each metric is gated on its
+                      best run, which keeps scheduler noise on shared CI
+                      runners from flaking the gate
+  --self-test FRESHDIR  prove the gate can fail: synthesize a 2x slowdown
+                      from the committed baselines and assert --compare
+                      rejects it
+
+Throughput comparisons are one-sided: a fresh run may be arbitrarily
+faster than the baseline (shared CI runners are noisy in that direction
+too, but a faster box should never fail the gate).  Chaos rows of the
+storm bench are checked for schema and hung futures only — throughput
+under injected faults is not a stable trajectory.
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+HIST_REQUIRED = ("count", "mean", "min", "max", "p50", "p99", "p999")
+
+
+class CheckFailure(Exception):
+    pass
+
+
+def fail(msg):
+    raise CheckFailure(msg)
+
+
+def is_finite_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool) and math.isfinite(v)
+
+
+def looks_like_histogram(obj):
+    return isinstance(obj, dict) and "p50" in obj
+
+
+def check_histogram(path, obj):
+    for key in HIST_REQUIRED:
+        if key not in obj:
+            fail(f"{path}: histogram missing '{key}'")
+        if not is_finite_number(obj[key]):
+            fail(f"{path}.{key}: not a finite number: {obj[key]!r}")
+    if obj["count"] < 0:
+        fail(f"{path}.count: negative")
+    if obj["count"] == 0:
+        return  # empty histograms report zeros
+    lo, p50, p99, p999, hi = (
+        obj["min"], obj["p50"], obj["p99"], obj["p999"], obj["max"])
+    if not (lo <= p50 <= p99 <= p999 <= hi):
+        fail(
+            f"{path}: quantiles not monotone: "
+            f"min={lo} p50={p50} p99={p99} p999={p999} max={hi}")
+
+
+def walk_histograms(path, obj):
+    """Recursively validate every histogram-shaped dict in the document."""
+    if isinstance(obj, dict):
+        if looks_like_histogram(obj):
+            check_histogram(path, obj)
+            return
+        for key, value in obj.items():
+            walk_histograms(f"{path}.{key}", value)
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            walk_histograms(f"{path}[{i}]", value)
+    elif obj is not None and not isinstance(obj, (str, bool)):
+        if not is_finite_number(obj):
+            fail(f"{path}: not a finite number: {obj!r}")
+
+
+def load(filename):
+    with open(filename) as f:
+        try:
+            return json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{filename}: invalid JSON: {e}")
+
+
+def check_schema_file(filename):
+    doc = load(filename)
+    base = os.path.basename(filename)
+    expected = base[len("BENCH_"):-len(".json")]
+    if doc.get("bench") != expected:
+        fail(f"{base}: 'bench' field is {doc.get('bench')!r}, "
+             f"expected {expected!r} (must match the filename)")
+    walk_histograms(base, doc)
+    if expected == "storm":
+        check_storm_rows(base, doc)
+
+
+def check_storm_rows(base, doc):
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{base}: storm document has no rows")
+    for i, row in enumerate(rows):
+        where = f"{base}.rows[{i}]"
+        for key in ("backend", "chaos", "echo", "bulk_stream", "futures"):
+            if key not in row:
+                fail(f"{where}: missing '{key}'")
+        futures = row["futures"]
+        if futures.get("hung", 1) != 0:
+            fail(f"{where}: {futures.get('hung')} hung futures "
+                 f"(issued={futures.get('issued')} "
+                 f"settled={futures.get('settled')})")
+        if futures.get("issued") != futures.get("settled"):
+            fail(f"{where}: issued != settled")
+        if not row["chaos"] and row.get("spmd_bulk") is None:
+            fail(f"{where}: chaos-off row missing spmd_bulk")
+
+
+def committed_bench_files():
+    return sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+
+
+def run_schema():
+    files = committed_bench_files()
+    if not files:
+        fail("no committed BENCH_*.json files found")
+    for filename in files:
+        check_schema_file(filename)
+        print(f"schema ok: {os.path.relpath(filename, REPO_ROOT)}")
+    return 0
+
+
+# ---- comparison -----------------------------------------------------------
+
+
+def storm_row_key(row):
+    return (row["backend"], bool(row["chaos"]))
+
+
+def extract_throughputs(doc):
+    """Returns {metric_name: ops_per_sec} for the gated numbers of a doc."""
+    bench = doc.get("bench")
+    out = {}
+    if bench == "pipeline_depth":
+        for point in doc.get("depths", []):
+            out[f"depth={point['depth']}"] = point["invocations_per_sec"]
+    elif bench == "storm":
+        for row in doc.get("rows", []):
+            if row["chaos"]:
+                continue  # chaos throughput is not a stable trajectory
+            backend, _ = storm_row_key(row)
+            out[f"{backend}/echo_ops_per_sec"] = row["echo"]["ops_per_sec"]
+            out[f"{backend}/stream_mbytes_per_sec"] = (
+                row["bulk_stream"]["mbytes_per_sec"])
+            if row.get("spmd_bulk"):
+                out[f"{backend}/spmd_mbytes_per_sec"] = (
+                    row["spmd_bulk"]["mbytes_per_sec"])
+    return out
+
+
+def best_throughputs(fresh_docs):
+    """Per-metric max across repeat runs (one-sided gate: best run counts)."""
+    merged = {}
+    for doc in fresh_docs:
+        for metric, value in extract_throughputs(doc).items():
+            merged[metric] = max(merged.get(metric, value), value)
+    return merged
+
+
+def compare_file(name, committed, fresh_docs, tolerance):
+    """Returns a list of regression messages (empty = pass)."""
+    base = extract_throughputs(committed)
+    new = best_throughputs(fresh_docs)
+    problems = []
+    for metric, old_value in sorted(base.items()):
+        if metric not in new:
+            problems.append(f"{name} {metric}: missing from fresh run")
+            continue
+        new_value = new[metric]
+        floor = old_value * (1.0 - tolerance)
+        verdict = "ok" if new_value >= floor else "REGRESSION"
+        print(f"  {name} {metric}: committed {old_value:.0f}, "
+              f"fresh {new_value:.0f}, floor {floor:.0f} -> {verdict}")
+        if new_value < floor:
+            problems.append(
+                f"{name} {metric}: {new_value:.0f} < floor {floor:.0f} "
+                f"(committed {old_value:.0f}, tolerance {tolerance:.0%})")
+    return problems
+
+
+def run_compare(fresh_dirs, tolerance, benches):
+    problems = []
+    compared = 0
+    for filename in committed_bench_files():
+        base = os.path.basename(filename)
+        bench = base[len("BENCH_"):-len(".json")]
+        if benches and bench not in benches:
+            continue
+        fresh_docs = []
+        for fresh_dir in fresh_dirs:
+            fresh_path = os.path.join(fresh_dir, base)
+            if not os.path.exists(fresh_path):
+                continue
+            fresh = load(fresh_path)
+            walk_histograms(f"{base} ({fresh_dir})", fresh)
+            if bench == "storm":
+                check_storm_rows(f"{base} ({fresh_dir})", fresh)
+            fresh_docs.append(fresh)
+        if not fresh_docs:
+            if benches:  # explicitly requested: its absence is an error
+                problems.append(f"{base}: no fresh run in {fresh_dirs}")
+            continue
+        committed = load(filename)
+        check_schema_file(filename)
+        problems += compare_file(base, committed, fresh_docs, tolerance)
+        compared += 1
+    if compared == 0:
+        fail(f"nothing compared: no fresh BENCH_*.json in {fresh_dirs}")
+    if problems:
+        print("\nbench gate FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"\nbench gate passed ({compared} file(s) within "
+          f"{tolerance:.0%} of committed baselines)")
+    return 0
+
+
+def run_self_test(tolerance):
+    """Synthesizes a 2x slowdown and asserts the gate rejects it."""
+
+    def slow_down(obj):
+        if isinstance(obj, dict):
+            return {k: slow_down(v) for k, v in obj.items()}
+        if isinstance(obj, list):
+            return [slow_down(v) for v in obj]
+        return obj
+
+    checked = 0
+    for filename in committed_bench_files():
+        committed = load(filename)
+        if not extract_throughputs(committed):
+            continue
+        slowed = json.loads(json.dumps(committed))
+
+        def halve(metrics, doc):
+            if doc.get("bench") == "pipeline_depth":
+                for point in doc.get("depths", []):
+                    point["invocations_per_sec"] /= 2.0
+            elif doc.get("bench") == "storm":
+                for row in doc.get("rows", []):
+                    row["echo"]["ops_per_sec"] /= 2.0
+                    row["bulk_stream"]["mbytes_per_sec"] /= 2.0
+                    if row.get("spmd_bulk"):
+                        row["spmd_bulk"]["mbytes_per_sec"] /= 2.0
+
+        halve(None, slowed)
+        name = os.path.basename(filename)
+        problems = compare_file(name, committed, [slowed], tolerance)
+        if not problems:
+            fail(f"self-test: gate accepted a 2x slowdown of {name}")
+        print(f"self-test ok: gate rejects 2x slowdown of {name} "
+              f"({len(problems)} regression(s) flagged)")
+        checked += 1
+    if checked == 0:
+        fail("self-test: no baselines with gated throughput metrics")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schema", action="store_true",
+                        help="validate committed BENCH_*.json schemas")
+    parser.add_argument("--compare", metavar="FRESHDIR", action="append",
+                        default=[],
+                        help="compare fresh results in FRESHDIR to "
+                             "baselines; repeat for best-of-N gating")
+    parser.add_argument("--self-test", action="store_true",
+                        help="assert the gate fails on a synthetic slowdown")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional slowdown (default 0.30)")
+    parser.add_argument("--bench", action="append", default=[],
+                        help="restrict --compare to these bench names "
+                             "(repeatable); their absence becomes an error")
+    args = parser.parse_args()
+
+    if not (args.schema or args.compare or args.self_test):
+        parser.error("pick at least one of --schema / --compare / --self-test")
+
+    try:
+        rc = 0
+        if args.schema:
+            rc = max(rc, run_schema())
+        if args.compare:
+            rc = max(rc, run_compare(args.compare, args.tolerance, args.bench))
+        if args.self_test:
+            rc = max(rc, run_self_test(args.tolerance))
+        return rc
+    except CheckFailure as e:
+        print(f"bench_check: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
