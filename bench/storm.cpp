@@ -47,6 +47,7 @@
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
+#include "pardis/orb/admin.hpp"
 
 using namespace pardis;
 using namespace pardis::bench;
@@ -335,6 +336,8 @@ struct CellResult {
   std::uint64_t hung = 0;
   std::string json;
   double echo_per_sec = 0;
+  bool admin_ok = false;     // mid-run /metrics probe answered
+  bool slow_log_ok = false;  // mid-run /slow probe answered
 };
 
 CellResult run_cell(const CellConfig& cfg) {
@@ -354,6 +357,15 @@ CellResult run_cell(const CellConfig& cfg) {
     scfg.link = net::LinkModel::atm_scaled(mbps * 1e6);
   }
   sim::Scenario scenario(scfg);
+
+  // Live introspection sidecar: a background probe plays the operator's
+  // curl against the admin endpoint while the storm is in full swing
+  // (docs/observability.md).  Declared after the scenario so it shuts
+  // down before the transport it listens on.
+  orb::AdminServer admin(scenario.orb(), "adminhost");
+  std::atomic<bool> admin_ok{false};
+  std::atomic<bool> slow_log_ok{false};
+  std::atomic<std::uint64_t> admin_bytes{0};
 
   CellRuntime rt;
   rt.cfg = cfg;
@@ -408,6 +420,28 @@ CellResult run_cell(const CellConfig& cfg) {
             const Role role = (t % 4) == 3 ? Role::kStream : Role::kEcho;
             swarm.emplace_back(client_thread, std::ref(rt), role);
           }
+          // Probe the live endpoint mid-cell, with the swarm at full load.
+          swarm.emplace_back([&] {
+            std::this_thread::sleep_for(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::duration<double>(cfg.seconds / 2)));
+            try {
+              const std::string text =
+                  orb::admin_fetch(scenario.orb(), rt.client_host,
+                                   admin.endpoint(), "/metrics");
+              admin_bytes.store(text.size(), std::memory_order_relaxed);
+              admin_ok.store(text.find("# TYPE") != std::string::npos,
+                             std::memory_order_relaxed);
+              const std::string slow =
+                  orb::admin_fetch(scenario.orb(), rt.client_host,
+                                   admin.endpoint(), "/slow");
+              slow_log_ok.store(
+                  slow.find("# slow requests") != std::string::npos,
+                  std::memory_order_relaxed);
+            } catch (const SystemException&) {
+              // Leaves the probe flags false; the run fails below.
+            }
+          });
         }
         if (!cfg.chaos) spmd_bulk_loop(rt, comm);
         if (comm.rank() == 0) {
@@ -430,6 +464,8 @@ CellResult run_cell(const CellConfig& cfg) {
   out.elapsed = std::chrono::duration<double>(Clock::now() - start).count();
   const Counts& c = rt.counts;
   out.hung = c.issued.load() - c.settled.load();
+  out.admin_ok = admin_ok.load();
+  out.slow_log_ok = slow_log_ok.load();
 
   const auto snap = scenario.orb().metrics().snapshot();
   const double secs = cfg.seconds;
@@ -475,6 +511,25 @@ CellResult run_cell(const CellConfig& cfg) {
                 .raw("phases", phases_json(snap, "client.phase."))
                 .str());
   }
+  row.raw("pipeline_phases",
+          JsonObject()
+              .raw("credit_wait_us",
+                   histogram_json(
+                       find_sample(snap, "client.pipeline.credit_wait_us")))
+              .raw("wire_us",
+                   histogram_json(find_sample(snap, "client.pipeline.wire_us")))
+              .raw("queue_wait_us",
+                   histogram_json(
+                       find_sample(snap, "server.pipeline.queue_wait_us")))
+              .raw("exec_us",
+                   histogram_json(find_sample(snap, "server.pipeline.exec_us")))
+              .str())
+      .raw("admin", JsonObject()
+                        .raw("snapshot_ok", admin_ok.load() ? "true" : "false")
+                        .field("snapshot_bytes", admin_bytes.load())
+                        .raw("slow_log_ok",
+                             slow_log_ok.load() ? "true" : "false")
+                        .str());
   row.raw("recovery",
           JsonObject()
               .field("comm_failures", c.comm_failures.load())
@@ -578,9 +633,11 @@ int main(int argc, char** argv) {
 
   JsonArray rows;
   std::uint64_t hung_total = 0;
+  int admin_failures = 0;
   for (const CellConfig& cfg : cells) {
     const CellResult r = run_cell(cfg);
     hung_total += r.hung;
+    if (!r.admin_ok || !r.slow_log_ok) ++admin_failures;
     rows.item(r.json);
   }
 
@@ -595,6 +652,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "storm: FAIL — %llu futures never settled (hang bug)\n",
                  static_cast<unsigned long long>(hung_total));
+    return 1;
+  }
+  if (admin_failures != 0) {
+    std::fprintf(stderr,
+                 "storm: FAIL — admin endpoint probe failed in %d cell(s)\n",
+                 admin_failures);
     return 1;
   }
   std::printf("\nstorm: all issued futures settled (closed loop held)\n");

@@ -43,10 +43,14 @@ const char* to_string(LockRank rank) {
       return "kOrbNaming";
     case LockRank::kOrbExceptions:
       return "kOrbExceptions";
+    case LockRank::kOrbAdmin:
+      return "kOrbAdmin";
     case LockRank::kObsMetrics:
       return "kObsMetrics";
     case LockRank::kObsHistogram:
       return "kObsHistogram";
+    case LockRank::kObsSlowLog:
+      return "kObsSlowLog";
     case LockRank::kObsTrace:
       return "kObsTrace";
     case LockRank::kCommonLog:

@@ -55,8 +55,10 @@ enum class LockRank : int {
   kOrbFuture = 80,          // orb::detail::FutureState completion state
   kOrbNaming = 90,          // orb::NameService registration map
   kOrbExceptions = 100,     // orb::ExceptionRegistry thrower map
+  kOrbAdmin = 105,          // orb::AdminServer active-connection slot
   kObsMetrics = 110,        // obs::MetricsRegistry instrument map
   kObsHistogram = 120,      // obs::Histogram running stat
+  kObsSlowLog = 125,        // obs::SlowLog slow-request ring buffer
   kObsTrace = 130,          // obs::Tracer event buffer
   kCommonLog = 140,         // common log sink (leaf: loggable anywhere)
 };

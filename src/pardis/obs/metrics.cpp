@@ -120,7 +120,58 @@ std::string MetricsRegistry::dump() const {
         os << s.name << " n=" << s.stat.count()
            << " mean=" << format_fixed(s.stat.mean(), 3)
            << " min=" << format_fixed(s.stat.min(), 3)
-           << " max=" << format_fixed(s.stat.max(), 3) << "\n";
+           << " max=" << format_fixed(s.stat.max(), 3)
+           << " p50=" << format_fixed(s.p50, 3)
+           << " p99=" << format_fixed(s.p99, 3)
+           << " p999=" << format_fixed(s.p999, 3) << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted names
+// map dots (and anything else) to underscores.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  for (const MetricsRegistry::Sample& s : registry.snapshot()) {
+    const std::string name = prometheus_name(s.name);
+    switch (s.kind) {
+      case MetricsRegistry::Sample::Kind::kCounter:
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << s.count << "\n";
+        break;
+      case MetricsRegistry::Sample::Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " " << s.level << "\n";
+        break;
+      case MetricsRegistry::Sample::Kind::kHistogram:
+        // The octave histogram keeps no cumulative buckets, so render as a
+        // summary: quantile series plus _sum/_count.
+        os << "# TYPE " << name << " summary\n";
+        os << name << "{quantile=\"0.5\"} " << format_fixed(s.p50, 3) << "\n";
+        os << name << "{quantile=\"0.99\"} " << format_fixed(s.p99, 3)
+           << "\n";
+        os << name << "{quantile=\"0.999\"} " << format_fixed(s.p999, 3)
+           << "\n";
+        os << name << "_sum "
+           << format_fixed(s.stat.mean() * static_cast<double>(s.count), 3)
+           << "\n";
+        os << name << "_count " << s.count << "\n";
         break;
     }
   }

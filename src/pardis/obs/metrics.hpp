@@ -129,4 +129,11 @@ class MetricsRegistry {
   std::map<std::string, Entry> entries_;
 };
 
+/// Renders a registry snapshot in the Prometheus text exposition format:
+/// counters and gauges as plain series, histograms as summaries (p50/p99/
+/// p999 quantile series plus _sum and _count).  Dots in instrument names
+/// become underscores.  Served live by orb::AdminServer
+/// (docs/observability.md).
+std::string prometheus_text(const MetricsRegistry& registry);
+
 }  // namespace pardis::obs

@@ -12,6 +12,7 @@ Observability::Observability() : tracer_(&Tracer::global()) {
   if (!trace_path_from_env().empty()) {
     tracer_->enable();
   }
+  tracer_->set_sample_period(env_u64("PARDIS_TRACE_SAMPLE", 1));
 }
 
 }  // namespace pardis::obs

@@ -5,14 +5,18 @@
 // Environment knobs (see docs/configuration.md):
 //   PARDIS_TRACE         path; when set, span tracing starts enabled and
 //                        bench binaries write the chrome-trace JSON there
+//   PARDIS_TRACE_SAMPLE  1-in-N sampling period for per-request
+//                        distributed traces (default 1: every request)
 //   PARDIS_METRICS_DUMP  1 to print the metrics registry to stderr when a
 //                        scenario winds down
+//   PARDIS_SLOW_MS / PARDIS_SLOW_LOG_CAP  slow-request log (slowlog.hpp)
 
 #pragma once
 
 #include <string>
 
 #include "pardis/obs/metrics.hpp"
+#include "pardis/obs/slowlog.hpp"
 #include "pardis/obs/trace.hpp"
 
 namespace pardis::obs {
@@ -22,18 +26,21 @@ std::string trace_path_from_env();
 
 class Observability {
  public:
-  /// Points at the process-global tracer and enables it when PARDIS_TRACE
-  /// is set, so any application traced via the environment needs no code
-  /// changes.
+  /// Points at the process-global tracer, enables it when PARDIS_TRACE
+  /// is set, and applies the PARDIS_TRACE_SAMPLE period, so any
+  /// application traced via the environment needs no code changes.
   Observability();
 
   MetricsRegistry& metrics() noexcept { return metrics_; }
   const MetricsRegistry& metrics() const noexcept { return metrics_; }
   Tracer& tracer() noexcept { return *tracer_; }
+  SlowLog& slow_log() noexcept { return slow_log_; }
+  const SlowLog& slow_log() const noexcept { return slow_log_; }
 
  private:
   MetricsRegistry metrics_;
   Tracer* tracer_;
+  SlowLog slow_log_;
 };
 
 }  // namespace pardis::obs

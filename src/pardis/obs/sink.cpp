@@ -58,10 +58,22 @@ void TraceSink::name_scenario_processes() {
         process_names_[pid] = "client app";
       } else if (pid == kServerPid) {
         process_names_[pid] = "server app";
+      } else if (pid % 4 == kClientPid) {
+        // Derived pid (PARDIS_TRACE_PID=process, see obs::role_pid): the
+        // role rides in the low bits, the OS pid above them.
+        process_names_[pid] = "client app (os pid " +
+                              std::to_string(pid / 4) + ")";
+      } else if (pid % 4 == kServerPid) {
+        process_names_[pid] = "server app (os pid " +
+                              std::to_string(pid / 4) + ")";
       }
     }
     if (thread_names_.find({pid, tid}) == thread_names_.end()) {
-      thread_names_[{pid, tid}] = "rank " + std::to_string(tid);
+      // Rank tids stay below 64; this_thread_tid() hands out 64+ to
+      // threads outside the rank structure (workers, reply routers).
+      thread_names_[{pid, tid}] = tid < 64
+                                      ? "rank " + std::to_string(tid)
+                                      : "worker " + std::to_string(tid);
     }
   }
 }
@@ -95,7 +107,13 @@ void TraceSink::write(std::ostream& os) const {
     os << "  {\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
        << json_escape(e.cat) << "\",\"ph\":\"X\",\"pid\":" << e.pid
        << ",\"tid\":" << e.tid << ",\"ts\":" << format_fixed(e.ts_us, 3)
-       << ",\"dur\":" << format_fixed(e.dur_us, 3) << "}";
+       << ",\"dur\":" << format_fixed(e.dur_us, 3);
+    if (e.trace_id != 0) {
+      // chrome://tracing surfaces args on click; searching the trace_id
+      // selects every span of one sampled invocation across processes.
+      os << ",\"args\":{\"trace_id\":\"" << e.trace_id << "\"}";
+    }
+    os << "}";
   }
   os << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
 }

@@ -1,0 +1,45 @@
+#include "pardis/obs/slowlog.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pardis/common/config.hpp"
+#include "pardis/common/stats.hpp"
+
+namespace pardis::obs {
+
+SlowLog::SlowLog()
+    : SlowLog(env_double("PARDIS_SLOW_MS", 0.0),
+              std::max<std::size_t>(1, env_u64("PARDIS_SLOW_LOG_CAP", 32))) {}
+
+SlowLog::SlowLog(double threshold_ms, std::size_t capacity)
+    : threshold_us_(threshold_ms > 0.0 ? threshold_ms * 1000.0 : 0.0),
+      capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void SlowLog::observe(Entry entry) {
+  if (!enabled() || entry.total_us < threshold_us_) return;
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  if (entries_.size() >= capacity_) entries_.pop_front();
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<SlowLog::Entry> SlowLog::snapshot() const {
+  std::lock_guard<common::RankedMutex> lock(mu_);
+  return {entries_.rbegin(), entries_.rend()};
+}
+
+std::string SlowLog::render() const {
+  std::ostringstream os;
+  os << "# slow requests (threshold " << format_fixed(threshold_us_, 0)
+     << " us, newest first)\n";
+  for (const Entry& e : snapshot()) {
+    os << e.operation << " request_id=" << e.request_id
+       << " binding_id=" << e.binding_id << " trace_id=" << e.trace_id
+       << " queue_wait_us=" << format_fixed(e.queue_wait_us, 3)
+       << " exec_us=" << format_fixed(e.exec_us, 3)
+       << " total_us=" << format_fixed(e.total_us, 3) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pardis::obs

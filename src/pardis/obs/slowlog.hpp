@@ -1,0 +1,63 @@
+// Slow-request log: a bounded ring of the most recent pipelined requests
+// whose end-to-end server time exceeded a threshold, each with its
+// per-phase breakdown.  The admin endpoint (orb::AdminServer) serves it
+// live so an operator can see *which* requests were slow and *where* the
+// time went without replaying a trace capture.
+//
+// Environment knobs (docs/observability.md):
+//   PARDIS_SLOW_MS       threshold in milliseconds; 0 (default) disables
+//                        the log entirely — the hot path then costs one
+//                        threshold comparison per request
+//   PARDIS_SLOW_LOG_CAP  entries retained (default 32); older entries are
+//                        evicted first
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pardis/common/ranked_mutex.hpp"
+
+namespace pardis::obs {
+
+class SlowLog {
+ public:
+  struct Entry {
+    std::string operation;
+    std::uint32_t request_id = 0;
+    std::uint32_t binding_id = 0;
+    std::uint64_t trace_id = 0;  // 0 when the request was not sampled
+    double queue_wait_us = 0.0;
+    double exec_us = 0.0;
+    double total_us = 0.0;
+  };
+
+  /// Reads PARDIS_SLOW_MS / PARDIS_SLOW_LOG_CAP.
+  SlowLog();
+  SlowLog(double threshold_ms, std::size_t capacity);
+
+  bool enabled() const noexcept { return threshold_us_ > 0.0; }
+  double threshold_us() const noexcept { return threshold_us_; }
+
+  /// Records the entry when the log is enabled and total_us crosses the
+  /// threshold; otherwise a no-op.
+  void observe(Entry entry);
+
+  /// Newest-first snapshot.
+  std::vector<Entry> snapshot() const;
+
+  /// Human-readable rendering of snapshot(), one line per entry; served by
+  /// the admin endpoint's "/slow" resource.
+  std::string render() const;
+
+ private:
+  double threshold_us_;
+  std::size_t capacity_;
+  mutable common::RankedMutex mu_{common::LockRank::kObsSlowLog};
+  std::deque<Entry> entries_;
+};
+
+}  // namespace pardis::obs

@@ -1,5 +1,10 @@
 #include "pardis/obs/trace.hpp"
 
+#include <unistd.h>
+
+#include "pardis/common/config.hpp"
+#include "pardis/common/error.hpp"
+
 namespace pardis::obs {
 
 Tracer& Tracer::global() {
@@ -9,7 +14,7 @@ Tracer& Tracer::global() {
 
 void Tracer::record(std::string name, std::string cat, std::uint32_t pid,
                     std::uint32_t tid, Clock::time_point begin,
-                    Clock::time_point end) {
+                    Clock::time_point end, std::uint64_t trace_id) {
   if (!enabled()) return;
   TraceEvent event;
   event.name = std::move(name);
@@ -18,8 +23,23 @@ void Tracer::record(std::string name, std::string cat, std::uint32_t pid,
   event.tid = tid;
   event.ts_us = to_us(begin - origin_);
   event.dur_us = to_us(end - begin);
+  event.trace_id = trace_id;
   std::lock_guard<common::RankedMutex> lock(mu_);
   events_.push_back(std::move(event));
+}
+
+std::uint64_t Tracer::sample_trace_id() noexcept {
+  if (!enabled()) return 0;
+  const std::uint64_t n = sample_period();
+  const std::uint64_t seq = sample_seq_.fetch_add(1);
+  if (n > 1 && seq % n != 0) return 0;
+  // Fold the OS pid into the high half so ids from concurrently traced
+  // processes never collide; the low half stays a process-local sequence.
+  // The pid half is nonzero on every POSIX system, so the id is nonzero.
+  const std::uint64_t seq_id =
+      next_trace_.fetch_add(1) + 1;
+  return (static_cast<std::uint64_t>(::getpid()) << 32) |
+         (seq_id & 0xffffffffu);
 }
 
 std::vector<TraceEvent> Tracer::snapshot() const {
@@ -35,6 +55,25 @@ std::size_t Tracer::size() const {
 void Tracer::clear() {
   std::lock_guard<common::RankedMutex> lock(mu_);
   events_.clear();
+}
+
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next{64};
+  thread_local std::uint32_t tid =
+      next.fetch_add(1);
+  return tid;
+}
+
+std::uint32_t role_pid(std::uint32_t role) {
+  static const bool derive = [] {
+    const auto mode = env_string("PARDIS_TRACE_PID");
+    if (!mode || *mode == "fixed") return false;
+    if (*mode == "process") return true;
+    throw BAD_PARAM("PARDIS_TRACE_PID must be 'fixed' or 'process', got '" +
+                    *mode + "'");
+  }();
+  if (!derive) return role;
+  return static_cast<std::uint32_t>(::getpid()) * 4 + role;
 }
 
 }  // namespace pardis::obs

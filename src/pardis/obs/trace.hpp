@@ -38,6 +38,9 @@ struct TraceEvent {
   std::uint32_t tid = 0;
   double ts_us = 0.0;   // start, microseconds since the tracer's origin
   double dur_us = 0.0;  // duration, microseconds
+  /// Distributed-trace id shared by every span of one sampled invocation
+  /// across both processes (docs/observability.md); 0 = not part of one.
+  std::uint64_t trace_id = 0;
 };
 
 class Tracer {
@@ -60,7 +63,22 @@ class Tracer {
   /// event when disabled (the flag may flip between check and call).
   void record(std::string name, std::string cat, std::uint32_t pid,
               std::uint32_t tid, Clock::time_point begin,
-              Clock::time_point end);
+              Clock::time_point end, std::uint64_t trace_id = 0);
+
+  /// Sampling gate + trace-id allocation for per-request distributed
+  /// tracing: returns 0 when tracing is disabled or this request lost the
+  /// 1-in-N draw (PARDIS_TRACE_SAMPLE), else a process-unique nonzero id.
+  /// Callers gate every per-request span (and the wire extension) on the
+  /// returned id, so sampled-out requests record nothing.
+  std::uint64_t sample_trace_id() noexcept;
+
+  /// 1-in-N sampling period; n <= 1 samples every request.
+  void set_sample_period(std::uint64_t n) noexcept {
+    sample_period_.store(n > 1 ? n : 1, std::memory_order_relaxed);
+  }
+  std::uint64_t sample_period() const noexcept {
+    return sample_period_.load(std::memory_order_relaxed);
+  }
 
   std::vector<TraceEvent> snapshot() const;
   std::size_t size() const;
@@ -68,10 +86,26 @@ class Tracer {
 
  private:
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> sample_period_{1};
+  std::atomic<std::uint64_t> sample_seq_{0};
+  std::atomic<std::uint64_t> next_trace_{0};
   Clock::time_point origin_;
   mutable common::RankedMutex mu_{common::LockRank::kObsTrace};
   std::vector<TraceEvent> events_;
 };
+
+/// Stable chrome tid for the calling thread, for threads outside the rank
+/// structure (server workers, reply routers).  Assigned from an atomic
+/// counter starting at 64 so they never collide with rank tids.
+std::uint32_t this_thread_tid();
+
+/// Effective chrome pid for an application role (kClientPid / kServerPid).
+/// Default: the role itself — the fixed single-process scenario pids.
+/// With PARDIS_TRACE_PID=process the OS pid is folded in
+/// (os_pid * 4 + role) so traces merged from several processes (e.g. the
+/// two halves of test_transport_2proc) keep distinct process tracks while
+/// the role stays recoverable as pid % 4.
+std::uint32_t role_pid(std::uint32_t role);
 
 /// RAII span: opens at construction, records into `tracer` at destruction.
 /// A default-constructed or disabled-tracer guard does nothing.
@@ -79,12 +113,13 @@ class SpanGuard {
  public:
   SpanGuard() = default;
   SpanGuard(Tracer* tracer, std::string name, std::string cat,
-            std::uint32_t pid, std::uint32_t tid)
+            std::uint32_t pid, std::uint32_t tid, std::uint64_t trace_id = 0)
       : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
         name_(std::move(name)),
         cat_(std::move(cat)),
         pid_(pid),
         tid_(tid),
+        trace_id_(trace_id),
         begin_(tracer_ != nullptr ? Clock::now() : Clock::time_point{}) {}
 
   SpanGuard(const SpanGuard&) = delete;
@@ -93,7 +128,7 @@ class SpanGuard {
   ~SpanGuard() {
     if (tracer_ != nullptr) {
       tracer_->record(std::move(name_), std::move(cat_), pid_, tid_, begin_,
-                      Clock::now());
+                      Clock::now(), trace_id_);
     }
   }
 
@@ -103,6 +138,7 @@ class SpanGuard {
   std::string cat_;
   std::uint32_t pid_ = 0;
   std::uint32_t tid_ = 0;
+  std::uint64_t trace_id_ = 0;
   Clock::time_point begin_{};
 };
 

@@ -1,0 +1,123 @@
+#include "pardis/orb/admin.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "pardis/common/error.hpp"
+#include "pardis/common/log.hpp"
+
+namespace pardis::orb {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+                   s[e - 1] == '\n')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+/// Extracts the path from a request frame: the bare path, or the second
+/// token of an HTTP-style request line ("GET /metrics HTTP/1.1").  Only
+/// the first line matters; headers, if any, are ignored.
+std::string request_path(const std::string& request) {
+  std::string line = request.substr(0, request.find('\n'));
+  line = trim(line);
+  if (line.rfind("GET ", 0) == 0 || line.rfind("get ", 0) == 0) {
+    line = trim(line.substr(4));
+    const std::size_t sp = line.find(' ');
+    if (sp != std::string::npos) line = line.substr(0, sp);
+  }
+  if (!line.empty() && line.front() != '/') line = "/" + line;
+  return line;
+}
+
+pardis::Bytes to_bytes(const std::string& s) {
+  return pardis::Bytes(s.begin(), s.end());
+}
+
+}  // namespace
+
+AdminServer::AdminServer(Orb& orb, const std::string& host, int port)
+    : orb_(orb), listener_(orb.transport().listen(host, port)) {
+  thread_ = std::thread([this] { serve(); });
+  PARDIS_LOG_DEBUG << "admin endpoint listening on "
+                   << listener_->address().host << ":"
+                   << listener_->address().port;
+}
+
+AdminServer::~AdminServer() { shutdown(); }
+
+std::string AdminServer::respond(const std::string& request) {
+  const std::string path = request_path(request);
+  if (path == "/metrics") {
+    return obs::prometheus_text(orb_.collect_metrics());
+  }
+  if (path == "/slow") {
+    return orb_.obs().slow_log().render();
+  }
+  return "# pardis admin: unknown path \"" + path +
+         "\" (try /metrics or /slow)\n";
+}
+
+void AdminServer::shutdown() {
+  std::shared_ptr<transport::Stream> active;
+  {
+    std::lock_guard<common::RankedMutex> lock(mu_);
+    if (stopping_) {
+      active = nullptr;
+    } else {
+      stopping_ = true;
+      active = std::move(active_);
+    }
+  }
+  listener_->close();
+  if (active) active->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void AdminServer::serve() {
+  while (auto conn = listener_->accept()) {
+    {
+      std::lock_guard<common::RankedMutex> lock(mu_);
+      if (stopping_) break;
+      active_ = conn;
+    }
+    try {
+      // Sequential request/reply until the client hangs up.  A raw
+      // Stream::send is fine here: admin frames carry no orb prologue by
+      // design — this is a text sidecar, not the invocation wire.
+      while (auto frame = conn->recv()) {
+        const std::string request(frame->begin(), frame->end());
+        conn->send(to_bytes(respond(request)));
+      }
+    } catch (const SystemException& e) {
+      PARDIS_LOG_DEBUG << "admin connection dropped: " << e.what();
+    }
+    {
+      std::lock_guard<common::RankedMutex> lock(mu_);
+      active_.reset();
+    }
+    conn->close();
+  }
+}
+
+std::string admin_fetch(Orb& orb, const std::string& from_host,
+                        const transport::Endpoint& to,
+                        const std::string& path) {
+  const std::shared_ptr<transport::Stream> conn =
+      orb.transport().connect(from_host, to);
+  conn->send(to_bytes(path));
+  const auto reply = conn->recv();
+  conn->close();
+  if (!reply) {
+    throw COMM_FAILURE("admin endpoint closed before replying to " + path);
+  }
+  return std::string(reply->begin(), reply->end());
+}
+
+}  // namespace pardis::orb

@@ -1,0 +1,78 @@
+// Live metrics/introspection endpoint (docs/observability.md).
+//
+// An AdminServer is a tiny request/reply service on the Orb's Transport:
+// each inbound frame is a text request naming a path, each reply frame is
+// the rendered text body.  Supported paths:
+//
+//   /metrics — Prometheus-style text snapshot of the Orb's
+//              MetricsRegistry (obs::prometheus_text), collected live so
+//              layer-local counters (fabric links, transport backend) are
+//              folded in;
+//   /slow    — the slow-request log (obs::SlowLog::render): the last K
+//              pipelined requests over PARDIS_SLOW_MS with their
+//              queue-wait/exec/total phase breakdown.
+//
+// Requests may be the bare path ("metrics", "/slow") or an HTTP-style
+// request line ("GET /metrics HTTP/1.1") so `curl`-shaped tooling pointed
+// at the TCP backend's length-prefixed framing needs no custom client;
+// admin_fetch() is the in-process equivalent and works over sim too.
+//
+// Connections are served sequentially by one background thread — the
+// endpoint is for operators and tests, not for load.  Lifecycle: the
+// listener starts in the constructor; shutdown() (or the destructor)
+// closes the listener and any active connection, then joins the thread.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "pardis/common/ranked_mutex.hpp"
+#include "pardis/orb/orb.hpp"
+
+namespace pardis::orb {
+
+class AdminServer {
+ public:
+  /// Listens on (host, port) via `orb`'s transport; port 0 picks an
+  /// ephemeral port (read it back from endpoint()).  `orb` must outlive
+  /// the server.
+  AdminServer(Orb& orb, const std::string& host, int port = 0);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Address clients connect to (host + resolved port).
+  const transport::Endpoint& endpoint() const noexcept {
+    return listener_->address();
+  }
+
+  /// Renders the reply body for one request line; exposed so tests can
+  /// exercise the routing without a live listener.
+  std::string respond(const std::string& request);
+
+  /// Stops accepting, closes the active connection, joins the thread.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+ private:
+  void serve();
+
+  Orb& orb_;
+  std::shared_ptr<transport::Listener> listener_;
+  common::RankedMutex mu_{common::LockRank::kOrbAdmin};
+  std::shared_ptr<transport::Stream> active_;  // guarded by mu_
+  bool stopping_ = false;                      // guarded by mu_
+  std::thread thread_;
+};
+
+/// One-shot admin query — the `curl` of the sim backend: connects from
+/// `from_host` to an AdminServer at `to`, sends `path`, returns the reply
+/// body.  Throws COMM_FAILURE when nothing is listening.
+std::string admin_fetch(Orb& orb, const std::string& from_host,
+                        const transport::Endpoint& to,
+                        const std::string& path = "/metrics");
+
+}  // namespace pardis::orb

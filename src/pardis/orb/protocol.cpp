@@ -10,8 +10,20 @@ constexpr std::uint8_t kMagic[4] = {'P', 'D', 'I', 'S'};
 constexpr std::uint8_t kVersion = 1;
 constexpr std::size_t kPrologueSize = 8;
 constexpr std::size_t kMuxPrologueSize = 16;
+constexpr std::size_t kTraceExtSize = 16;
 constexpr std::uint8_t kFlagMux = 0x01;
+constexpr std::uint8_t kFlagTrace = 0x02;
+constexpr std::uint8_t kKnownFlags = kFlagMux | kFlagTrace;
 constexpr cdr::ULong kMaxRanks = 1u << 16;
+
+// The trace extension starts 8-aligned in both placements (offset 8 after
+// the base prologue, offset 16 after the mux extension), so the leading
+// ulonglong needs no padding and the body stays 8-aligned.
+void put_trace_ext(cdr::Encoder& enc, const TraceContext& trace) {
+  enc.put_ulonglong(trace.trace_id);
+  enc.put_ulong(trace.parent_span);
+  enc.put_ulong(0);  // reserved
+}
 }  // namespace
 
 const char* to_string(MsgType t) noexcept {
@@ -224,6 +236,18 @@ void begin_frame(cdr::Encoder& enc, MsgType type) {
   enc.put_octet(0);  // flags: no extension / pad to 8
 }
 
+void begin_frame(cdr::Encoder& enc, MsgType type, const TraceContext& trace) {
+  if (trace.trace_id == 0) {
+    throw BAD_PARAM("trace extension requires a nonzero trace id");
+  }
+  for (std::uint8_t b : kMagic) enc.put_octet(b);
+  enc.put_octet(kVersion);
+  enc.put_octet(pardis::host_is_little_endian() ? 1 : 0);
+  enc.put_octet(static_cast<cdr::Octet>(type));
+  enc.put_octet(kFlagTrace);
+  put_trace_ext(enc, trace);                           // offsets 8..23
+}
+
 void begin_mux_frame(cdr::Encoder& enc, MsgType type, const MuxInfo& mux) {
   for (std::uint8_t b : kMagic) enc.put_octet(b);
   enc.put_octet(kVersion);
@@ -234,6 +258,23 @@ void begin_mux_frame(cdr::Encoder& enc, MsgType type, const MuxInfo& mux) {
   enc.put_octet(static_cast<cdr::Octet>(mux.kind));    // offset 12
   enc.put_octet(0);                                    // reserved
   enc.put_ushort(mux.credit);                          // offset 14
+}
+
+void begin_mux_frame(cdr::Encoder& enc, MsgType type, const MuxInfo& mux,
+                     const TraceContext& trace) {
+  if (trace.trace_id == 0) {
+    throw BAD_PARAM("trace extension requires a nonzero trace id");
+  }
+  for (std::uint8_t b : kMagic) enc.put_octet(b);
+  enc.put_octet(kVersion);
+  enc.put_octet(pardis::host_is_little_endian() ? 1 : 0);
+  enc.put_octet(static_cast<cdr::Octet>(type));
+  enc.put_octet(kFlagMux | kFlagTrace);
+  enc.put_ulong(mux.request_id);                       // offset 8
+  enc.put_octet(static_cast<cdr::Octet>(mux.kind));    // offset 12
+  enc.put_octet(0);                                    // reserved
+  enc.put_ushort(mux.credit);                          // offset 14
+  put_trace_ext(enc, trace);                           // offsets 16..31
 }
 
 Frame parse_frame(pardis::BytesView frame) {
@@ -251,20 +292,20 @@ Frame parse_frame(pardis::BytesView frame) {
   if (frame[6] > static_cast<std::uint8_t>(MsgType::kUnbind)) {
     throw MARSHAL("unknown message type");
   }
-  if ((frame[7] & ~kFlagMux) != 0) {
+  if ((frame[7] & ~kKnownFlags) != 0) {
     throw MARSHAL("unknown prologue flags");
   }
   Frame info{static_cast<MsgType>(frame[6]), frame[5] != 0, kPrologueSize,
-             std::nullopt};
+             std::nullopt, std::nullopt};
+  // Decode the extensions with the sender's byte order, like any body
+  // field (CDR alignment relative to the frame start keeps every field
+  // naturally aligned in all flag combinations).
+  cdr::Decoder dec(frame, info.little_endian);
+  (void)dec.get_octets(kPrologueSize);
   if ((frame[7] & kFlagMux) != 0) {
     if (frame.size() < kMuxPrologueSize) {
       throw MARSHAL("frame shorter than mux prologue");
     }
-    // Decode the extension with the sender's byte order, like any body
-    // field (CDR alignment relative to the frame start keeps these fields
-    // naturally aligned at offsets 8/12/14).
-    cdr::Decoder dec(frame, info.little_endian);
-    (void)dec.get_octets(kPrologueSize);
     MuxInfo mux;
     mux.request_id = dec.get_ulong();
     const auto kind = dec.get_octet();
@@ -276,6 +317,20 @@ Frame parse_frame(pardis::BytesView frame) {
     mux.credit = dec.get_ushort();
     info.body_offset = kMuxPrologueSize;
     info.mux = mux;
+  }
+  if ((frame[7] & kFlagTrace) != 0) {
+    if (frame.size() < info.body_offset + kTraceExtSize) {
+      throw MARSHAL("frame shorter than trace prologue");
+    }
+    TraceContext trace;
+    trace.trace_id = dec.get_ulonglong();
+    trace.parent_span = dec.get_ulong();
+    (void)dec.get_ulong();  // reserved
+    if (trace.trace_id == 0) {
+      throw MARSHAL("trace extension with zero trace id");
+    }
+    info.body_offset += kTraceExtSize;
+    info.trace = trace;
   }
   return info;
 }

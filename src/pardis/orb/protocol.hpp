@@ -6,7 +6,8 @@
 //   octet     protocol version (1)
 //   octet     sender byte order (1 = little endian)
 //   octet     message type
-//   octet     flags (bit 0: extended mux prologue follows)
+//   octet     flags (bit 0: extended mux prologue follows;
+//                    bit 1: trace-context extension follows)
 //   ...       message body (CDR, sender's byte order)
 //
 // When the mux flag is set the prologue continues for 8 more bytes (so the
@@ -17,6 +18,18 @@
 //   octet     frame kind (FrameKind: data / credit / reject)
 //   octet     reserved
 //   ushort    credit grant (sender byte order)
+//
+// When the trace flag is set, a 16-byte trace-context extension follows the
+// mux extension (or the base prologue when mux is absent), keeping the body
+// 8-aligned in every combination (docs/observability.md):
+//
+//   ulonglong trace id (sender byte order; nonzero — a sampled-out request
+//             simply omits the extension)
+//   ulong     parent span id (sender byte order)
+//   ulong     reserved (0)
+//
+// Unknown flag bits are rejected with MARSHAL, so a peer that predates an
+// extension never silently misparses a frame that carries it.
 //
 // Message kinds:
 //   BindRequest / BindAck  — establish a binding between a (possibly
@@ -85,6 +98,18 @@ struct MuxInfo {
   std::uint16_t credit = 0;
 
   bool operator==(const MuxInfo&) const = default;
+};
+
+/// Distributed-tracing context carried in the trace prologue extension: the
+/// invocation's trace id (shared by every span of the request on both
+/// processes) and the sender-side span the receiver's spans are children of.
+/// A trace_id of 0 means "not sampled" and is never put on the wire — the
+/// sender omits the extension instead (docs/observability.md).
+struct TraceContext {
+  cdr::ULongLong trace_id = 0;
+  cdr::ULong parent_span = 0;
+
+  bool operator==(const TraceContext&) const = default;
 };
 
 /// The two distributed-argument transfer methods of §3.
@@ -234,19 +259,31 @@ struct ArgTransferHeader {
 /// the prologue.
 void begin_frame(cdr::Encoder& enc, MsgType type);
 
+/// Starts a frame carrying a trace context (trace flag set, 16-byte trace
+/// extension after the base prologue).  The context's trace_id must be
+/// nonzero — sampled-out requests use the plain overload.
+void begin_frame(cdr::Encoder& enc, MsgType type, const TraceContext& trace);
+
 /// Starts a multiplexed frame: base prologue with the mux flag set, then
 /// the 8-byte mux extension.  The body still starts 8-aligned.
 void begin_mux_frame(cdr::Encoder& enc, MsgType type, const MuxInfo& mux);
+
+/// Multiplexed frame that also carries a trace context (both flag bits set;
+/// the trace extension follows the mux extension, body at offset 32).
+void begin_mux_frame(cdr::Encoder& enc, MsgType type, const MuxInfo& mux,
+                     const TraceContext& trace);
 
 /// Validated view of a received frame.
 struct Frame {
   MsgType type;
   bool little_endian;
   /// Byte offset where the body starts (8 plain, 16 with the mux
-  /// extension).
+  /// extension, 24 with only the trace extension, 32 with both).
   std::size_t body_offset;
   /// Present when the sender set the mux flag (pipelined traffic).
   std::optional<MuxInfo> mux;
+  /// Present when the sender set the trace flag (sampled-in invocation).
+  std::optional<TraceContext> trace;
 };
 
 /// Parses and validates the prologue.  Throws pardis::MARSHAL on a bad

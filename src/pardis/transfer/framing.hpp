@@ -36,6 +36,24 @@ void send_mux_frame(transport::Stream& conn, orb::MsgType type,
   conn.send(enc.take());
 }
 
+/// Multiplexed frame carrying a trace context (sampled-in invocation):
+/// both prologue extensions, then the body.  A zero trace_id falls back to
+/// the untraced wire form so sampled-out traffic is byte-identical to a
+/// peer that predates the trace extension.
+template <typename Fn>
+void send_mux_frame(transport::Stream& conn, orb::MsgType type,
+                    const orb::MuxInfo& mux, const orb::TraceContext& trace,
+                    Fn&& encode_body) {
+  cdr::Encoder enc;
+  if (trace.trace_id != 0) {
+    orb::begin_mux_frame(enc, type, mux, trace);
+  } else {
+    orb::begin_mux_frame(enc, type, mux);
+  }
+  encode_body(enc);
+  conn.send(enc.take());
+}
+
 /// Sends a frame built earlier (the timed send phases pack under
 /// Phase::kPack and send under Phase::kSend), validating the prologue so a
 /// malformed buffer fails loudly on the sender, not the receiver.

@@ -6,8 +6,10 @@
 namespace pardis::transfer {
 
 ReplyRouter::ReplyRouter(std::shared_ptr<transport::Stream> stream,
-                         obs::MetricsRegistry* metrics, std::uint32_t window)
+                         obs::MetricsRegistry* metrics, std::uint32_t window,
+                         obs::Tracer* tracer)
     : stream_(std::move(stream)),
+      tracer_(tracer),
       window_(window == 0 ? 1 : window),
       credits_(window_) {
   if (metrics) {
@@ -15,6 +17,7 @@ ReplyRouter::ReplyRouter(std::shared_ptr<transport::Stream> stream,
     rejects_ = &metrics->counter("client.pipeline.rejects");
     inflight_gauge_ = &metrics->gauge("client.pipeline.inflight");
     credits_gauge_ = &metrics->gauge("client.pipeline.credits");
+    wire_us_ = &metrics->histogram("client.pipeline.wire_us");
     credits_gauge_->set(static_cast<std::int64_t>(credits_));
   }
 }
@@ -39,9 +42,13 @@ void ReplyRouter::give_credit(std::uint32_t n) {
   cv_.notify_all();
 }
 
-void ReplyRouter::expect(cdr::ULong request_id) {
+void ReplyRouter::expect(cdr::ULong request_id, std::uint64_t trace_id) {
+  Slot slot;
+  slot.expected_at = Clock::now();
+  slot.trace_id = trace_id;
+  if (trace_id != 0) slot.tid = obs::this_thread_tid();
   std::lock_guard<common::RankedMutex> lock(mu_);
-  pending_.emplace(request_id, Slot{});
+  pending_.emplace(request_id, std::move(slot));
   set_inflight_locked();
 }
 
@@ -145,6 +152,17 @@ void ReplyRouter::route_locked(pardis::Bytes frame, const orb::Frame& info) {
     return;
   }
   if (rejected && rejects_) rejects_->add();
+  // Client-observed wire time: expect() (just before the request frame was
+  // sent) to here (reply routed) — request transmission + server turnaround
+  // + reply transmission.  Recording under the router lock is rank-legal:
+  // kTransferPipeline < kObsHistogram < kObsTrace.
+  const Clock::time_point now = Clock::now();
+  if (wire_us_) wire_us_->add(to_us(now - it->second.expected_at));
+  if (tracer_ != nullptr && it->second.trace_id != 0) {
+    tracer_->record("wire " + std::to_string(id), "pipeline",
+                    obs::role_pid(obs::kClientPid), it->second.tid,
+                    it->second.expected_at, now, it->second.trace_id);
+  }
   it->second.reply =
       Reply{rejected ? pardis::Bytes{} : std::move(frame), info, rejected};
 }

@@ -39,7 +39,9 @@
 #include <string>
 
 #include "pardis/common/ranked_mutex.hpp"
+#include "pardis/common/timing.hpp"
 #include "pardis/obs/metrics.hpp"
+#include "pardis/obs/trace.hpp"
 #include "pardis/orb/protocol.hpp"
 #include "pardis/transport/transport.hpp"
 
@@ -48,10 +50,12 @@ namespace pardis::transfer {
 class ReplyRouter {
  public:
   /// `window` is the negotiated in-flight cap (min of the server's BindAck
-  /// credit grant and PARDIS_MAX_INFLIGHT); 0 degrades to 1.  `metrics` is
-  /// nullable.
+  /// credit grant and PARDIS_MAX_INFLIGHT); 0 degrades to 1.  `metrics` and
+  /// `tracer` are nullable; with a tracer, sampled requests get a
+  /// client-side wire span when their reply is routed.
   ReplyRouter(std::shared_ptr<transport::Stream> stream,
-              obs::MetricsRegistry* metrics, std::uint32_t window);
+              obs::MetricsRegistry* metrics, std::uint32_t window,
+              obs::Tracer* tracer = nullptr);
 
   ReplyRouter(const ReplyRouter&) = delete;
   ReplyRouter& operator=(const ReplyRouter&) = delete;
@@ -74,7 +78,11 @@ class ReplyRouter {
 
   /// Declares interest in `request_id`'s reply.  Must happen before the
   /// request frame is sent, or the reply could race the registration.
-  void expect(cdr::ULong request_id);
+  /// `trace_id` (nonzero = sampled-in invocation) tags the wire span the
+  /// router records when the reply is routed; the expect() timestamp is
+  /// the span's start, so the measured interval covers request
+  /// transmission, server turnaround, and reply transmission.
+  void expect(cdr::ULong request_id, std::uint64_t trace_id = 0);
 
   /// Drops interest (the send failed, or a oneway needs no reply).
   void abandon(cdr::ULong request_id);
@@ -91,6 +99,9 @@ class ReplyRouter {
  private:
   struct Slot {
     std::optional<Reply> reply;
+    Clock::time_point expected_at{};
+    std::uint64_t trace_id = 0;   // 0 = not sampled
+    std::uint32_t tid = 0;        // chrome tid of the expecting thread
   };
 
   /// Shared-reader step: with `lock` held, either waits for the active
@@ -105,6 +116,8 @@ class ReplyRouter {
   obs::Counter* rejects_ = nullptr;
   obs::Gauge* inflight_gauge_ = nullptr;
   obs::Gauge* credits_gauge_ = nullptr;
+  obs::Histogram* wire_us_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 
   mutable common::RankedMutex mu_{common::LockRank::kTransferPipeline};
   std::condition_variable_any cv_;

@@ -177,7 +177,7 @@ pardis::Bytes SpmdBinding::invoke(const std::string& operation,
   const auto t0 = Clock::now();
   orb_->metrics().counter("client.invocations").add();
   const obs::SpanGuard span(&orb_->tracer(), "invoke " + operation, "invoke",
-                            obs::kClientPid,
+                            obs::role_pid(obs::kClientPid),
                             static_cast<std::uint32_t>(comm_->rank()));
 
   // Client threads synchronize on making the invocation (paper §3.2).
@@ -259,7 +259,8 @@ void SpmdBinding::send_phase(
     const std::vector<orb::DSeqDescriptor>& descriptors,
     const CallOptions& opts) {
   const int rank = comm_->rank();
-  obs::TracedTimer timer(stats_.timer, &orb_->tracer(), obs::kClientPid,
+  obs::TracedTimer timer(stats_.timer, &orb_->tracer(),
+                         obs::role_pid(obs::kClientPid),
                          static_cast<std::uint32_t>(rank));
 
   orb::RequestHeader header;
@@ -361,7 +362,8 @@ pardis::Bytes SpmdBinding::receive_phase(
     const std::vector<orb::DSeqDescriptor>& descriptors,
     const CallOptions& opts) {
   const int rank = comm_->rank();
-  obs::TracedTimer timer(stats_.timer, &orb_->tracer(), obs::kClientPid,
+  obs::TracedTimer timer(stats_.timer, &orb_->tracer(),
+                         obs::role_pid(obs::kClientPid),
                          static_cast<std::uint32_t>(rank));
 
   // Rank 0 receives the reply header; everyone shares it.
@@ -577,8 +579,8 @@ DirectBinding DirectBinding::bind(orb::Orb& orb,
       b.window_ = static_cast<std::uint32_t>(
           std::min<cdr::ULong>(std::max<cdr::ULong>(ack.credit, 1),
                                env_u64("PARDIS_MAX_INFLIGHT", 32)));
-      b.router_ =
-          std::make_shared<ReplyRouter>(b.control_, &orb.metrics(), b.window_);
+      b.router_ = std::make_shared<ReplyRouter>(b.control_, &orb.metrics(),
+                                                b.window_, &orb.tracer());
       return b;
     } catch (const SystemException& e) {
       b.control_->close();
@@ -639,12 +641,29 @@ pardis::Bytes DirectBinding::invoke(const std::string& operation,
 orb::Future<pardis::Bytes> DirectBinding::invoke_nb(
     const std::string& operation, pardis::Bytes scalar_args) {
   orb_->metrics().counter("client.invocations").add();
+  // Sampling decision for this invocation: a nonzero trace id tags every
+  // client-side span, rides the wire in the trace prologue extension, and
+  // stitches the server's spans into the same timeline
+  // (docs/observability.md).  Sampled-out requests record zero spans and
+  // their frames are byte-identical to a pre-trace-extension peer's.
+  obs::Tracer& tracer = orb_->tracer();
+  const std::uint64_t trace_id = tracer.sample_trace_id();
+  const auto credit_t0 = Clock::now();
   router_->take_credit();  // blocks while the window is full
+  const auto credit_t1 = Clock::now();
+  orb_->metrics()
+      .histogram("client.pipeline.credit_wait_us")
+      .add(to_us(credit_t1 - credit_t0));
+  if (trace_id != 0) {
+    tracer.record("credit_wait", "pipeline", obs::role_pid(obs::kClientPid),
+                  obs::this_thread_tid(), credit_t0, credit_t1, trace_id);
+  }
   const cdr::ULong request_id = ++next_request_;
-  router_->expect(request_id);
+  router_->expect(request_id, trace_id);
   try {
     send_mux_frame(*control_, orb::MsgType::kRequest,
                    orb::MuxInfo{request_id, orb::FrameKind::kData, 0},
+                   orb::TraceContext{trace_id, request_id},
                    [&](cdr::Encoder& e) {
                      orb::RequestHeader header;
                      header.request_id = request_id;

@@ -38,6 +38,8 @@ SpmdServer::SpmdServer(orb::Orb& orb, rts::Communicator& comm,
   queue_depth_ = &m.gauge("server.pipeline.queue_depth");
   pipeline_inflight_ = &m.gauge("server.pipeline.inflight");
   pipeline_latency_us_ = &m.histogram("server.pipeline.latency_us");
+  pipeline_queue_wait_us_ = &m.histogram("server.pipeline.queue_wait_us");
+  pipeline_exec_us_ = &m.histogram("server.pipeline.exec_us");
 }
 
 SpmdServer::~SpmdServer() { stop_workers(); }
@@ -421,7 +423,8 @@ void SpmdServer::handle_request(const Event& event) {
   const int rank = comm_->rank();
   const int nranks = comm_->size();
   orb_->metrics().counter("server.requests").add();
-  obs::TracedTimer timer(stats_.timer, &orb_->tracer(), obs::kServerPid,
+  obs::TracedTimer timer(stats_.timer, &orb_->tracer(),
+                         obs::role_pid(obs::kServerPid),
                          static_cast<std::uint32_t>(rank));
 
   // The event wait on the communicating thread overlaps the client's
@@ -459,7 +462,7 @@ void SpmdServer::handle_request(const Event& event) {
   // The request span opens once the operation is known; the preceding
   // event-wait is already charged (and traced) as receive time.
   const obs::SpanGuard span(&orb_->tracer(), "request " + header.operation,
-                            "request", obs::kServerPid,
+                            "request", obs::role_pid(obs::kServerPid),
                             static_cast<std::uint32_t>(rank));
 
   const auto binding_it = bindings_.find(header.binding_id);
@@ -801,6 +804,7 @@ void SpmdServer::admit_pipelined(cdr::ULong binding_id, BindingState& bs,
   PipelinedJob job;
   job.binding_id = binding_id;
   job.mux = *info.mux;
+  if (info.trace) job.trace = *info.trace;
   job.frame = std::move(frame);
   job.info = info;
   job.control = bs.control;
@@ -891,6 +895,23 @@ void SpmdServer::worker_loop() {
 void SpmdServer::process_pipelined(PipelinedJob job) {
   pipelined_requests_->add();
   pipeline_inflight_->add(1);
+  // Admission-queue wait: enqueue on the event thread to dequeue here.
+  // Spans carry the inbound trace context so this request's server-side
+  // phases land on the client's timeline (docs/observability.md); the
+  // worker's own chrome tid keeps concurrent workers on separate tracks.
+  const Clock::time_point dequeued = Clock::now();
+  const double queue_wait_us = to_us(dequeued - job.enqueued);
+  pipeline_queue_wait_us_->add(queue_wait_us);
+  obs::Tracer& tracer = orb_->tracer();
+  const std::uint32_t worker_tid = obs::this_thread_tid();
+  const std::uint32_t server_pid = obs::role_pid(obs::kServerPid);
+  if (job.trace.trace_id != 0) {
+    tracer.record("queue_wait " + std::to_string(job.mux.request_id),
+                  "pipeline", server_pid, worker_tid, job.enqueued, dequeued,
+                  job.trace.trace_id);
+  }
+  std::string operation;
+  double exec_us = 0.0;
   std::pair<orb::ReplyStatus, pardis::Bytes> outcome{
       orb::ReplyStatus::kNoException, {}};
   try {
@@ -907,7 +928,16 @@ void SpmdServer::process_pipelined(PipelinedJob job) {
     call.collective_ = false;
     call.scalar_args_ = std::move(header.scalar_args);
     call.args_little_endian_ = job.info.little_endian;
+    operation = header.operation;
+    const Clock::time_point exec_t0 = Clock::now();
     outcome = guarded_dispatch(job.servant, job.object_key, call);
+    const Clock::time_point exec_t1 = Clock::now();
+    exec_us = to_us(exec_t1 - exec_t0);
+    pipeline_exec_us_->add(exec_us);
+    if (job.trace.trace_id != 0) {
+      tracer.record("exec " + operation, "pipeline", server_pid, worker_tid,
+                    exec_t0, exec_t1, job.trace.trace_id);
+    }
   } catch (const SystemException& e) {
     orb_->metrics().counter("server.system_exceptions").add();
     if (e.kind() == "MARSHAL") {
@@ -919,11 +949,14 @@ void SpmdServer::process_pipelined(PipelinedJob job) {
 
   // Always reply — the reply frame is also the credit grant keeping the
   // client's window flowing.  Concurrent senders on one stream are safe:
-  // both backends serialize frames internally.
+  // both backends serialize frames internally.  Sampled requests echo the
+  // inbound trace context on the reply so a wire capture pairs both
+  // directions by trace id.
+  const Clock::time_point reply_t0 = Clock::now();
   try {
     send_mux_frame(*job.control, orb::MsgType::kReply,
                    orb::MuxInfo{job.mux.request_id, orb::FrameKind::kData, 1},
-                   [&](cdr::Encoder& enc) {
+                   job.trace, [&](cdr::Encoder& enc) {
                      orb::ReplyHeader reply;
                      reply.request_id = job.mux.request_id;
                      reply.status = outcome.first;
@@ -935,10 +968,25 @@ void SpmdServer::process_pipelined(PipelinedJob job) {
     PARDIS_LOG_DEBUG << "pipelined reply for request " << job.mux.request_id
                      << " dropped (client gone): " << e.what();
   }
-  pipeline_latency_us_->add(
-      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
-          Clock::now() - job.enqueued)
-          .count());
+  const Clock::time_point done = Clock::now();
+  if (job.trace.trace_id != 0) {
+    tracer.record("reply " + std::to_string(job.mux.request_id), "pipeline",
+                  server_pid, worker_tid, reply_t0, done, job.trace.trace_id);
+  }
+  const double total_us = to_us(done - job.enqueued);
+  pipeline_latency_us_->add(total_us);
+  obs::SlowLog& slow = orb_->obs().slow_log();
+  if (slow.enabled()) {
+    obs::SlowLog::Entry entry;
+    entry.operation = operation.empty() ? "<malformed>" : operation;
+    entry.request_id = job.mux.request_id;
+    entry.binding_id = job.binding_id;
+    entry.trace_id = job.trace.trace_id;
+    entry.queue_wait_us = queue_wait_us;
+    entry.exec_us = exec_us;
+    entry.total_us = total_us;
+    slow.observe(std::move(entry));
+  }
   pipeline_inflight_->add(-1);
 }
 

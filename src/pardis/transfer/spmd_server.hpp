@@ -248,6 +248,9 @@ class SpmdServer {
   struct PipelinedJob {
     cdr::ULong binding_id = 0;
     orb::MuxInfo mux{};
+    /// Inbound distributed-trace context (trace prologue extension);
+    /// trace_id 0 = the client did not sample this request.
+    orb::TraceContext trace{};
     pardis::Bytes frame;
     orb::Frame info{};
     std::shared_ptr<transport::Stream> control;
@@ -324,6 +327,8 @@ class SpmdServer {
   obs::Gauge* queue_depth_ = nullptr;
   obs::Gauge* pipeline_inflight_ = nullptr;
   obs::Histogram* pipeline_latency_us_ = nullptr;
+  obs::Histogram* pipeline_queue_wait_us_ = nullptr;
+  obs::Histogram* pipeline_exec_us_ = nullptr;
 };
 
 }  // namespace pardis::transfer

@@ -17,6 +17,7 @@
 #include "pardis/obs/metrics.hpp"
 #include "pardis/obs/phase_trace.hpp"
 #include "pardis/obs/sink.hpp"
+#include "pardis/obs/slowlog.hpp"
 #include "pardis/obs/trace.hpp"
 #include "pardis/sim/experiment.hpp"
 
@@ -324,6 +325,137 @@ TEST(Tracer, TracedTimerAccumulatesAndEmits) {
   EXPECT_EQ(tracer.size(), 0u);
 }
 
+// ---- Distributed-trace sampling and ids ------------------------------------
+
+TEST(Tracer, SampleTraceIdZeroWhileDisabled) {
+  obs::Tracer tracer;  // disabled by default
+  EXPECT_EQ(tracer.sample_trace_id(), 0u);
+}
+
+TEST(Tracer, SampleTraceIdsAreUniqueAndNonzero) {
+  obs::Tracer tracer;
+  tracer.enable();
+  const auto a = tracer.sample_trace_id();
+  const auto b = tracer.sample_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(Tracer, SamplePeriodKeepsOneInN) {
+  obs::Tracer tracer;
+  tracer.enable();
+  tracer.set_sample_period(4);
+  int sampled = 0;
+  for (int i = 0; i < 16; ++i) {
+    sampled += tracer.sample_trace_id() != 0 ? 1 : 0;
+  }
+  EXPECT_EQ(sampled, 4);
+  tracer.set_sample_period(1);  // n <= 1 samples everything again
+  EXPECT_NE(tracer.sample_trace_id(), 0u);
+}
+
+TEST(Trace, ThisThreadTidStableAndAboveRankRange) {
+  const std::uint32_t mine = obs::this_thread_tid();
+  EXPECT_GE(mine, 64u);  // never collides with rank tids
+  EXPECT_EQ(obs::this_thread_tid(), mine);
+  std::uint32_t other = 0;
+  std::thread t([&] { other = obs::this_thread_tid(); });
+  t.join();
+  EXPECT_NE(other, mine);
+}
+
+TEST(Trace, RolePidDefaultsToFixedRole) {
+  // PARDIS_TRACE_PID is unset in the test environment, so the scenario
+  // pids stay the fixed single-process values.
+  EXPECT_EQ(obs::role_pid(obs::kClientPid), obs::kClientPid);
+  EXPECT_EQ(obs::role_pid(obs::kServerPid), obs::kServerPid);
+}
+
+// ---- Prometheus snapshot ---------------------------------------------------
+
+TEST(Metrics, PrometheusTextRendersAllKinds) {
+  obs::MetricsRegistry reg;
+  reg.counter("server.pipeline.requests").add(7);
+  reg.gauge("client.pipeline.credits").set(-3);
+  auto& h = reg.histogram("client.pipeline.wire_us");
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+
+  const std::string text = obs::prometheus_text(reg);
+  EXPECT_NE(text.find("# TYPE server_pipeline_requests counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("server_pipeline_requests 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE client_pipeline_credits gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("client_pipeline_credits -3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE client_pipeline_wire_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("client_pipeline_wire_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("client_pipeline_wire_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("client_pipeline_wire_us_count 100"),
+            std::string::npos);
+  // Names are sanitized, never dotted.
+  EXPECT_EQ(text.find("client.pipeline"), std::string::npos);
+}
+
+TEST(Metrics, DumpIsSortedAndCarriesPercentiles) {
+  obs::MetricsRegistry reg;
+  reg.histogram("z.last").add(1.0);
+  reg.counter("a.first").add(1);
+  reg.gauge("m.middle").set(5);
+  const std::string dump = reg.dump();
+  const auto a = dump.find("a.first");
+  const auto m = dump.find("m.middle");
+  const auto z = dump.find("z.last");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+  EXPECT_NE(dump.find("p50="), std::string::npos);
+  EXPECT_NE(dump.find("p99="), std::string::npos);
+  EXPECT_NE(dump.find("p999="), std::string::npos);
+}
+
+// ---- Slow-request log ------------------------------------------------------
+
+TEST(SlowLog, DisabledByDefaultAndDropsBelowThreshold) {
+  obs::SlowLog off;  // PARDIS_SLOW_MS unset -> disabled
+  EXPECT_FALSE(off.enabled());
+  off.observe({"op", 1, 1, 0, 0.0, 0.0, 1e9});
+  EXPECT_TRUE(off.snapshot().empty());
+
+  obs::SlowLog log(/*threshold_ms=*/2.0, /*capacity=*/4);
+  ASSERT_TRUE(log.enabled());
+  log.observe({"fast", 1, 1, 0, 1.0, 1.0, 500.0});  // under 2 ms
+  EXPECT_TRUE(log.snapshot().empty());
+  log.observe({"slow", 2, 1, 42, 100.0, 2800.0, 3000.0});
+  const auto entries = log.snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].operation, "slow");
+  EXPECT_EQ(entries[0].trace_id, 42u);
+}
+
+TEST(SlowLog, KeepsNewestKAndRenders) {
+  obs::SlowLog log(1.0, 3);
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    log.observe({"op" + std::to_string(i), i, 1, 0, 10.0, 10.0,
+                 1000.0 + i});
+  }
+  const auto entries = log.snapshot();
+  ASSERT_EQ(entries.size(), 3u);  // capacity-bounded
+  EXPECT_EQ(entries[0].operation, "op5");  // newest first
+  EXPECT_EQ(entries[2].operation, "op3");
+  const std::string text = log.render();
+  EXPECT_NE(text.find("# slow requests"), std::string::npos);
+  EXPECT_NE(text.find("op5"), std::string::npos);
+  EXPECT_NE(text.find("queue_wait_us="), std::string::npos);
+  EXPECT_EQ(text.find("op1"), std::string::npos);  // evicted
+}
+
 // ---- JSON export -----------------------------------------------------------
 
 TEST(TraceSink, JsonEscape) {
@@ -355,6 +487,25 @@ TEST(TraceSink, WritesWellFormedJson) {
   EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
   EXPECT_NE(json.find("client app"), std::string::npos);
   EXPECT_NE(json.find("server app"), std::string::npos);
+}
+
+TEST(TraceSink, TraceIdEmittedAsArg) {
+  obs::Tracer tracer;
+  tracer.enable();
+  const auto t0 = Clock::now();
+  tracer.record("wire 7", "pipeline", 1, 64, t0, t0, 0xdeadbeefull);
+  tracer.record("plain", "phase", 1, 0, t0, t0);  // no trace id, no args
+
+  obs::TraceSink sink;
+  sink.add(tracer);
+  std::ostringstream os;
+  sink.write(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"trace_id\":\"3735928559\""), std::string::npos)
+      << json;
+  // Exactly one event carries args.
+  EXPECT_EQ(json.find("trace_id"), json.rfind("trace_id"));
 }
 
 TEST(TraceSink, EmptySinkStillValidJson) {

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "pardis/orb/admin.hpp"
 #include "pardis/orb/exceptions.hpp"
 #include "pardis/orb/future.hpp"
 #include "pardis/orb/naming.hpp"
@@ -217,6 +218,83 @@ TEST(Protocol, MuxBodyStaysAligned) {
   EXPECT_EQ(info.body_offset % 8, 0u);
   auto dec = body_decoder(frame, info);
   EXPECT_EQ(dec.get_double(), 2.5);
+}
+
+TEST(Protocol, TraceFrameRoundTrip) {
+  cdr::Encoder enc;
+  begin_frame(enc, MsgType::kRequest, TraceContext{0xabcd000000000042ull, 17});
+  enc.put_double(2.5);
+  const Bytes frame = enc.take();
+  const Frame info = parse_frame(frame);
+  EXPECT_FALSE(info.mux.has_value());
+  ASSERT_TRUE(info.trace.has_value());
+  EXPECT_EQ(info.trace->trace_id, 0xabcd000000000042ull);
+  EXPECT_EQ(info.trace->parent_span, 17u);
+  EXPECT_EQ(info.body_offset % 8, 0u);
+  auto dec = body_decoder(frame, info);
+  EXPECT_EQ(dec.get_double(), 2.5);
+}
+
+TEST(Protocol, MuxTraceFrameRoundTrip) {
+  cdr::Encoder enc;
+  begin_mux_frame(enc, MsgType::kRequest, MuxInfo{77, FrameKind::kData, 3},
+                  TraceContext{99, 77});
+  enc.put_double(2.5);
+  const Bytes frame = enc.take();
+  const Frame info = parse_frame(frame);
+  ASSERT_TRUE(info.mux.has_value());
+  EXPECT_EQ(info.mux->request_id, 77u);
+  EXPECT_EQ(info.mux->credit, 3);
+  ASSERT_TRUE(info.trace.has_value());
+  EXPECT_EQ(info.trace->trace_id, 99u);
+  EXPECT_EQ(info.trace->parent_span, 77u);
+  EXPECT_EQ(info.body_offset % 8, 0u);
+  auto dec = body_decoder(frame, info);
+  EXPECT_EQ(dec.get_double(), 2.5);
+}
+
+TEST(Protocol, UntracedFrameHasNoTraceAndIdenticalBytes) {
+  // Old-peer compatibility: a sender without (or sampling out) tracing
+  // emits byte-identical frames to the pre-trace protocol, and a receiver
+  // parses them with no trace context and no MARSHAL.
+  cdr::Encoder traced_off;
+  begin_mux_frame(traced_off, MsgType::kRequest,
+                  MuxInfo{5, FrameKind::kData, 1});
+  const Bytes frame = traced_off.take();
+  EXPECT_EQ(frame[7] & 0x02, 0);  // trace flag bit stays clear
+  const Frame info = parse_frame(frame);
+  EXPECT_FALSE(info.trace.has_value());
+  EXPECT_EQ(info.body_offset, 16u);
+}
+
+TEST(Protocol, ZeroTraceIdRejectedBothWays) {
+  // Zero means "not sampled" and never goes on the wire: encoding it is a
+  // caller bug (BAD_PARAM), decoding it is a peer bug (MARSHAL).
+  cdr::Encoder enc;
+  EXPECT_THROW(begin_frame(enc, MsgType::kRequest, TraceContext{0, 1}),
+               BAD_PARAM);
+  cdr::Encoder ok;
+  begin_frame(ok, MsgType::kRequest, TraceContext{1, 0});
+  Bytes frame = ok.take();
+  for (std::size_t i = 8; i < 16; ++i) frame[i] = 0;  // zero the trace id
+  EXPECT_THROW(parse_frame(frame), MARSHAL);
+}
+
+TEST(Protocol, TraceFrameTruncatedExtensionRejected) {
+  cdr::Encoder enc;
+  begin_mux_frame(enc, MsgType::kRequest, MuxInfo{5, FrameKind::kData, 1},
+                  TraceContext{42, 5});
+  Bytes frame = enc.take();
+  frame.resize(20);  // shorter than the 16-byte trace extension
+  EXPECT_THROW(parse_frame(frame), MARSHAL);
+}
+
+TEST(Protocol, UnknownFlagBitsStillRejectedWithTrace) {
+  cdr::Encoder enc;
+  begin_frame(enc, MsgType::kRequest, TraceContext{42, 5});
+  Bytes frame = enc.take();
+  frame[7] |= 0x80;
+  EXPECT_THROW(parse_frame(frame), MARSHAL);
 }
 
 TEST(Protocol, RequestHeaderRoundTrip) {
@@ -538,6 +616,35 @@ TEST_P(OrbTransportSuite, ProtocolFramesTravelOverEitherBackend) {
   EXPECT_EQ(info.type, MsgType::kRequest);
   auto dec = body_decoder(raw, info);
   EXPECT_EQ(dec.get_string(), "payload");
+}
+
+TEST_P(OrbTransportSuite, AdminEndpointServesMetricsAndSlowLog) {
+  OrbConfig config;
+  config.transport = GetParam();
+  auto orb = Orb::create(config);
+  orb->metrics().counter("test.admin.hits").add(3);
+  orb->metrics().histogram("test.admin.lat_us").add(12.5);
+
+  AdminServer admin(*orb, "adminhost");
+  const std::string metrics =
+      admin_fetch(*orb, "curlhost", admin.endpoint(), "/metrics");
+  EXPECT_NE(metrics.find("# TYPE test_admin_hits counter"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("test_admin_hits 3"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE test_admin_lat_us summary"),
+            std::string::npos);
+
+  // HTTP-style request lines work too, so curl-shaped tooling can speak
+  // to the TCP backend's framing without a custom client.
+  const std::string via_get =
+      admin_fetch(*orb, "curlhost", admin.endpoint(), "GET /slow HTTP/1.1");
+  EXPECT_NE(via_get.find("# slow requests"), std::string::npos) << via_get;
+
+  const std::string unknown =
+      admin_fetch(*orb, "curlhost", admin.endpoint(), "/nope");
+  EXPECT_NE(unknown.find("unknown path"), std::string::npos);
+  admin.shutdown();  // idempotent with the destructor
 }
 
 INSTANTIATE_TEST_SUITE_P(

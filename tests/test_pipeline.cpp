@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <functional>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -257,6 +260,95 @@ TEST_P(PipelineSweep, UnbindWithUncollectedFutureFailsItCleanly) {
   // The future outlives the binding; its reply can never arrive, so
   // collecting it reports the dead stream instead of hanging.
   EXPECT_THROW((void)orphan.get(), COMM_FAILURE);
+}
+
+TEST_P(PipelineSweep, SampledInvocationStitchesClientAndServerSpans) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 1;
+  cfg.orb.transport = GetParam();
+  sim::Scenario scenario(cfg);
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_sample_period(1);
+  tracer.enable();
+  run_direct(scenario, cfg, [&](DirectBinding& binding) {
+    auto f = binding.invoke_nb("square", encode_long(6));
+    EXPECT_EQ(decode_long(f.get()), 36);
+    binding.unbind();
+  });
+
+  tracer.enable(false);
+  const auto events = tracer.snapshot();
+  tracer.clear();
+
+  // Every per-request span of the one sampled invocation — client and
+  // server side — must share one nonzero trace id, with the phases on the
+  // right chrome process track.
+  std::map<std::uint64_t, std::set<std::string>> by_trace;
+  std::map<std::uint64_t, std::set<std::uint32_t>> pids;
+  for (const auto& e : events) {
+    if (e.trace_id == 0) continue;
+    std::string phase = e.name.substr(0, e.name.find(' '));
+    by_trace[e.trace_id].insert(phase);
+    pids[e.trace_id].insert(e.pid);
+    if (phase == "credit_wait" || phase == "wire") {
+      EXPECT_EQ(e.pid, obs::kClientPid) << e.name;
+    } else if (phase == "queue_wait" || phase == "exec" || phase == "reply") {
+      EXPECT_EQ(e.pid, obs::kServerPid) << e.name;
+    }
+  }
+  ASSERT_EQ(by_trace.size(), 1u);
+  const auto& phases = by_trace.begin()->second;
+  for (const char* want :
+       {"credit_wait", "wire", "queue_wait", "exec", "reply"}) {
+    EXPECT_TRUE(phases.count(want)) << "missing span: " << want;
+  }
+  EXPECT_EQ(pids.begin()->second.size(), 2u);  // both processes contributed
+}
+
+TEST_P(PipelineSweep, SampledOutRequestsRecordZeroSpans) {
+  sim::ScenarioConfig cfg;
+  cfg.client.nranks = 1;
+  cfg.server.nranks = 1;
+  cfg.orb.transport = GetParam();
+  // Orb construction resets the sampling period from PARDIS_TRACE_SAMPLE,
+  // so configure the tracer after the scenario exists.
+  sim::Scenario scenario(cfg);
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_sample_period(1u << 30);
+  tracer.enable();
+  // Burn the one sampled-in draw of the period so every request below
+  // loses the 1-in-N draw.
+  EXPECT_NE(tracer.sample_trace_id(), 0u);
+  run_direct(scenario, cfg, [&](DirectBinding& binding) {
+    std::vector<orb::Future<pardis::Bytes>> futures;
+    for (cdr::Long i = 0; i < 4; ++i) {
+      futures.push_back(binding.invoke_nb("square", encode_long(i)));
+    }
+    for (cdr::Long i = 0; i < 4; ++i) {
+      EXPECT_EQ(decode_long(futures[static_cast<std::size_t>(i)].get()),
+                i * i);
+    }
+    binding.unbind();
+  });
+
+  tracer.enable(false);
+  const auto events = tracer.snapshot();
+  tracer.clear();
+  tracer.set_sample_period(1);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.trace_id, 0u) << e.name;
+    EXPECT_NE(e.cat, "pipeline") << e.name;
+  }
+  // Phase histograms still fill in — sampling gates spans, not metrics.
+  EXPECT_EQ(scenario.orb()
+                .metrics()
+                .histogram("server.pipeline.exec_us")
+                .snapshot()
+                .count(),
+            4u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

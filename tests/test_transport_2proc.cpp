@@ -13,10 +13,15 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 
 #include "pardis/dseq/dsequence.hpp"
+#include "pardis/obs/sink.hpp"
 #include "pardis/orb/orb.hpp"
 #include "pardis/rts/team.hpp"
 #include "pardis/transfer/spmd_client.hpp"
@@ -24,6 +29,16 @@
 
 namespace pardis::transfer {
 namespace {
+
+// Both halves of this binary run with derived chrome pids
+// (PARDIS_TRACE_PID=process) so traces exported by the two processes keep
+// distinct process tracks when merged.  The knob must be set before the
+// first span site latches the mode, hence a static initializer; the forked
+// server inherits it.
+const bool kTracePidModeSet = [] {
+  ::setenv("PARDIS_TRACE_PID", "process", 1);
+  return true;
+}();
 
 class SumServant : public SpmdServant {
  public:
@@ -132,6 +147,151 @@ TEST(TcpTwoProcess, SpmdBindAndCentralizedInvoke) {
   ASSERT_EQ(::waitpid(child, &status, 0), child);
   EXPECT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// ---- distributed tracing across the process boundary -----------------------
+
+class EchoServant : public SpmdServant {
+ public:
+  const char* type_id() const override { return "IDL:test/echo:1.0"; }
+  void dispatch(ServerCall& call) override {
+    if (call.operation() != "ping") throw BAD_OPERATION(call.operation());
+    auto dec = call.args();
+    call.results().put_long(dec.get_long());
+  }
+};
+
+constexpr const char* kServerTracePath = "trace_2proc_server.json";
+
+/// Traced server process: single rank, pipelined dispatch, trace exported
+/// on the way out for the parent to inspect.
+[[noreturn]] void run_traced_server_process(int ref_pipe_wr) {
+  int code = 0;
+  try {
+    orb::OrbConfig config;
+    config.transport = transport::Kind::kTcp;
+    auto orb = orb::Orb::create(config);
+    orb->tracer().clear();
+    orb->tracer().enable();
+    rts::Team team("serverhost", 1);
+    team.run([&](rts::Communicator& comm) {
+      SpmdServer server(*orb, comm, "serverhost");
+      EchoServant servant;
+      server.activate("echo", servant);
+      const std::string ior = server.object_ref().to_string();
+      const std::uint32_t len = static_cast<std::uint32_t>(ior.size());
+      if (::write(ref_pipe_wr, &len, sizeof(len)) != sizeof(len) ||
+          ::write(ref_pipe_wr, ior.data(), ior.size()) !=
+              static_cast<ssize_t>(ior.size())) {
+        throw COMM_FAILURE("could not hand the IOR to the client process");
+      }
+      ::close(ref_pipe_wr);
+      server.serve();
+    });
+    obs::TraceSink sink;
+    sink.add(orb->tracer());
+    sink.name_scenario_processes();
+    if (!sink.write_file(kServerTracePath)) code = 2;
+  } catch (...) {
+    code = 1;
+  }
+  ::_exit(code);
+}
+
+TEST(TcpTwoProcess, MergedTraceKeepsDistinctProcessTracks) {
+  ASSERT_TRUE(kTracePidModeSet);
+  std::remove(kServerTracePath);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::close(fds[0]);
+    run_traced_server_process(fds[1]);  // never returns
+  }
+  ::close(fds[1]);
+
+  std::uint32_t len = 0;
+  ASSERT_EQ(::read(fds[0], &len, sizeof(len)),
+            static_cast<ssize_t>(sizeof(len)));
+  ASSERT_GT(len, 0u);
+  std::string ior(len, '\0');
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fds[0], ior.data() + got, len - got);
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fds[0]);
+
+  orb::OrbConfig config;
+  config.transport = transport::Kind::kTcp;
+  auto orb = orb::Orb::create(config);
+  const orb::ObjectRef ref = orb::ObjectRef::from_string(ior);
+  orb->naming().register_object(ref);
+  auto& tracer = orb->tracer();
+  tracer.clear();
+  tracer.set_sample_period(1);
+  tracer.enable();
+
+  auto binding =
+      DirectBinding::bind(*orb, "clienthost", "echo", "IDL:test/echo:1.0");
+  for (cdr::Long i = 0; i < 3; ++i) {
+    cdr::Encoder enc;
+    enc.put_long(i);
+    auto f = binding.invoke_nb("ping", enc.take());
+    cdr::Decoder dec{BytesView(f.get())};
+    EXPECT_EQ(dec.get_long(), i);
+  }
+  binding.unbind();
+  send_shutdown(*orb, "clienthost", ref);
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  tracer.enable(false);
+  const auto events = tracer.snapshot();
+  tracer.clear();
+
+  // Client spans sit on this process's derived track, role recoverable.
+  const std::uint32_t client_chrome_pid =
+      static_cast<std::uint32_t>(::getpid()) * 4 + obs::kClientPid;
+  std::set<std::uint64_t> trace_ids;
+  for (const auto& e : events) {
+    if (e.trace_id == 0) continue;
+    EXPECT_EQ(e.pid, client_chrome_pid) << e.name;
+    EXPECT_EQ(e.pid % 4, obs::kClientPid);
+    trace_ids.insert(e.trace_id);
+  }
+  EXPECT_EQ(trace_ids.size(), 3u);
+
+  // The server's exported half: its spans sit on the child's track — no
+  // pid collision after a merge — and carry the client's trace ids, so
+  // the two files stitch into one timeline.
+  std::ifstream in(kServerTracePath);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string server_json = ss.str();
+  const std::uint32_t server_chrome_pid =
+      static_cast<std::uint32_t>(child) * 4 + obs::kServerPid;
+  EXPECT_NE(
+      server_json.find("\"pid\":" + std::to_string(server_chrome_pid)),
+      std::string::npos);
+  EXPECT_EQ(
+      server_json.find("\"pid\":" + std::to_string(client_chrome_pid)),
+      std::string::npos);
+  bool stitched = false;
+  for (const auto id : trace_ids) {
+    stitched = stitched || server_json.find("\"trace_id\":\"" +
+                                            std::to_string(id) + "\"") !=
+                               std::string::npos;
+  }
+  EXPECT_TRUE(stitched) << server_json;
+  std::remove(kServerTracePath);
 }
 
 }  // namespace

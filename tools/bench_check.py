@@ -103,13 +103,17 @@ def check_schema_file(filename):
         check_storm_rows(base, doc)
 
 
+PIPELINE_PHASES = ("credit_wait_us", "wire_us", "queue_wait_us", "exec_us")
+
+
 def check_storm_rows(base, doc):
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         fail(f"{base}: storm document has no rows")
     for i, row in enumerate(rows):
         where = f"{base}.rows[{i}]"
-        for key in ("backend", "chaos", "echo", "bulk_stream", "futures"):
+        for key in ("backend", "chaos", "echo", "bulk_stream", "futures",
+                    "pipeline_phases", "admin"):
             if key not in row:
                 fail(f"{where}: missing '{key}'")
         futures = row["futures"]
@@ -121,6 +125,20 @@ def check_storm_rows(base, doc):
             fail(f"{where}: issued != settled")
         if not row["chaos"] and row.get("spmd_bulk") is None:
             fail(f"{where}: chaos-off row missing spmd_bulk")
+        phases = row["pipeline_phases"]
+        for key in PIPELINE_PHASES:
+            if key not in phases:
+                fail(f"{where}.pipeline_phases: missing '{key}'")
+            check_histogram(f"{where}.pipeline_phases.{key}", phases[key])
+            # Calm rows always drive the pipelined path, so an empty phase
+            # histogram there means the instrumentation came unplugged.
+            if not row["chaos"] and phases[key].get("count", 0) <= 0:
+                fail(f"{where}.pipeline_phases.{key}: empty on a calm row")
+        admin = row["admin"]
+        if admin.get("snapshot_ok") is not True:
+            fail(f"{where}: live admin /metrics probe did not succeed")
+        if admin.get("slow_log_ok") is not True:
+            fail(f"{where}: live admin /slow probe did not succeed")
 
 
 def committed_bench_files():
