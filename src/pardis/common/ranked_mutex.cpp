@@ -9,52 +9,11 @@ namespace pardis::common {
 
 const char* to_string(LockRank rank) {
   switch (rank) {
-    case LockRank::kNetFabric:
-      return "kNetFabric";
-    case LockRank::kNetAcceptor:
-      return "kNetAcceptor";
-    case LockRank::kTransportReactor:
-      return "kTransportReactor";
-    case LockRank::kTransportListener:
-      return "kTransportListener";
-    case LockRank::kTransportPool:
-      return "kTransportPool";
-    case LockRank::kTransportStreamTx:
-      return "kTransportStreamTx";
-    case LockRank::kTransportStream:
-      return "kTransportStream";
-    case LockRank::kNetConnection:
-      return "kNetConnection";
-    case LockRank::kNetLink:
-      return "kNetLink";
-    case LockRank::kNetStreamPacer:
-      return "kNetStreamPacer";
-    case LockRank::kRtsMailbox:
-      return "kRtsMailbox";
-    case LockRank::kRtsTeamError:
-      return "kRtsTeamError";
-    case LockRank::kTransferServerQueue:
-      return "kTransferServerQueue";
-    case LockRank::kTransferPipeline:
-      return "kTransferPipeline";
-    case LockRank::kOrbFuture:
-      return "kOrbFuture";
-    case LockRank::kOrbNaming:
-      return "kOrbNaming";
-    case LockRank::kOrbExceptions:
-      return "kOrbExceptions";
-    case LockRank::kOrbAdmin:
-      return "kOrbAdmin";
-    case LockRank::kObsMetrics:
-      return "kObsMetrics";
-    case LockRank::kObsHistogram:
-      return "kObsHistogram";
-    case LockRank::kObsSlowLog:
-      return "kObsSlowLog";
-    case LockRank::kObsTrace:
-      return "kObsTrace";
-    case LockRank::kCommonLog:
-      return "kCommonLog";
+#define PARDIS_LOCK_RANK(name, value, description) \
+  case LockRank::name:                             \
+    return #name;
+#include "pardis/common/lock_ranks.def"
+#undef PARDIS_LOCK_RANK
   }
   return "<unknown rank>";
 }

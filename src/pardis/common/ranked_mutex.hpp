@@ -20,9 +20,11 @@
 // must pair RankedMutex with std::condition_variable_any, which drives the
 // rank bookkeeping through lock()/unlock() transparently.
 //
-// The rank table below is the repository's documented acquisition order;
-// docs/concurrency.md explains which thread owns what.  New mutexes must
-// be added here, ranked after everything they may be acquired under.
+// The rank table lives in lock_ranks.def (one PARDIS_LOCK_RANK entry per
+// rank) so that tools/pardis-analyze can parse the same table it
+// cross-checks observed nestings against; docs/concurrency.md explains
+// which thread owns what.  New mutexes must be added to the .def file,
+// ranked after everything they may be acquired under.
 
 #pragma once
 
@@ -38,29 +40,9 @@ namespace pardis::common {
 /// holding rank r may only acquire ranks strictly greater than r.  Gaps
 /// leave room for future locks without renumbering.
 enum class LockRank : int {
-  kNetFabric = 10,          // net::Fabric registry (listeners, links)
-  kNetAcceptor = 20,        // net::Acceptor pending-connection queue
-  kTransportReactor = 22,   // transport TCP reactor fd->handler registry
-  kTransportListener = 24,  // transport::Listener pending-stream queue
-  kTransportPool = 26,      // transport::Transport idle-stream pool
-  kTransportStreamTx = 27,  // transport TCP per-stream writer serialization
-  kTransportStream = 28,    // transport TCP per-stream rx queue + state
-  kNetConnection = 30,      // net::detail::Pipe frame queue
-  kNetLink = 40,            // net::LinkGovernor virtual-time slot queue
-  kNetStreamPacer = 50,     // net::StreamPacer per-stream admission time
-  kRtsMailbox = 60,         // rts::Mailbox message queue
-  kRtsTeamError = 70,       // rts::Team first-error slot
-  kTransferServerQueue = 72,  // transfer::SpmdServer pipelined-request queue
-  kTransferPipeline = 74,   // transfer::ReplyRouter pending-reply table
-  kOrbFuture = 80,          // orb::detail::FutureState completion state
-  kOrbNaming = 90,          // orb::NameService registration map
-  kOrbExceptions = 100,     // orb::ExceptionRegistry thrower map
-  kOrbAdmin = 105,          // orb::AdminServer active-connection slot
-  kObsMetrics = 110,        // obs::MetricsRegistry instrument map
-  kObsHistogram = 120,      // obs::Histogram running stat
-  kObsSlowLog = 125,        // obs::SlowLog slow-request ring buffer
-  kObsTrace = 130,          // obs::Tracer event buffer
-  kCommonLog = 140,         // common log sink (leaf: loggable anywhere)
+#define PARDIS_LOCK_RANK(name, value, description) name = (value),
+#include "pardis/common/lock_ranks.def"
+#undef PARDIS_LOCK_RANK
 };
 
 /// Human-readable rank name for diagnostics ("kNetFabric" etc.).

@@ -44,7 +44,15 @@ pardis::Bytes to_bytes(const std::string& s) {
 
 AdminServer::AdminServer(Orb& orb, const std::string& host, int port)
     : orb_(orb), listener_(orb.transport().listen(host, port)) {
-  thread_ = std::thread([this] { serve(); });
+  // The catch-all is the thread boundary: anything escaping serve() would
+  // std::terminate the process, taking the whole rank down with it.
+  thread_ = std::thread([this] {
+    try {
+      serve();
+    } catch (...) {
+      PARDIS_LOG_WARN << "admin server thread exiting on unexpected error";
+    }
+  });
   PARDIS_LOG_DEBUG << "admin endpoint listening on "
                    << listener_->address().host << ":"
                    << listener_->address().port;

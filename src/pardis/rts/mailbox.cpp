@@ -16,20 +16,18 @@ void Mailbox::post(Message m) {
 
 Message Mailbox::recv(int src, int tag) {
   std::unique_lock<common::RankedMutex> lock(mu_);
-  for (;;) {
-    if (poison_) {
-      throw COMM_FAILURE("mailbox poisoned: " + *poison_, Completion::kMaybe);
-    }
-    const auto it = std::find_if(
-        queue_.begin(), queue_.end(),
-        [&](const Message& m) { return matches(m, src, tag); });
-    if (it != queue_.end()) {
-      Message out = std::move(*it);
-      queue_.erase(it);
-      return out;
-    }
-    cv_.wait(lock);
+  const auto match = [&](const Message& m) { return matches(m, src, tag); };
+  cv_.wait(lock, [&] {
+    return poison_.has_value() ||
+           std::any_of(queue_.begin(), queue_.end(), match);
+  });
+  if (poison_) {
+    throw COMM_FAILURE("mailbox poisoned: " + *poison_, Completion::kMaybe);
   }
+  const auto it = std::find_if(queue_.begin(), queue_.end(), match);
+  Message out = std::move(*it);
+  queue_.erase(it);
+  return out;
 }
 
 bool Mailbox::probe(int src, int tag) const {

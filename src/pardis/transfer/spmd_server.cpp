@@ -849,7 +849,15 @@ void SpmdServer::ensure_workers() {
   if (!workers_.empty()) return;
   workers_.reserve(worker_count_);
   for (std::size_t i = 0; i < worker_count_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    // Thread boundary: an exception escaping a worker would std::terminate
+    // the whole rank, not just drop the one request.
+    workers_.emplace_back([this] {
+      try {
+        worker_loop();
+      } catch (...) {
+        PARDIS_LOG_WARN << "pipelined worker exiting on unexpected error";
+      }
+    });
   }
   PARDIS_LOG_DEBUG << "started " << worker_count_
                    << " pipelined-request workers (queue " << queue_cap_

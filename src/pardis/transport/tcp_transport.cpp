@@ -100,7 +100,16 @@ Reactor::Reactor(obs::Observability* obs) : obs_(obs) {
   ev.events = EPOLLIN;
   ev.data.fd = wake_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
-  thread_ = std::thread([this] { run(); });
+  // Thread boundary: an exception escaping the reactor loop would
+  // std::terminate the process; log and fall out instead (streams then see
+  // EOF-style failures and surface COMM_FAILURE on their own threads).
+  thread_ = std::thread([this] {
+    try {
+      run();
+    } catch (...) {
+      PARDIS_LOG_WARN << "reactor thread exiting on unexpected error";
+    }
+  });
 }
 
 Reactor::~Reactor() {
@@ -218,8 +227,14 @@ void TcpStream::send(pardis::Bytes frame) {
   std::uint8_t prefix[4];
   encode_be32(static_cast<std::uint32_t>(frame.size()), prefix);
   {
+    // tx_mu_ is a dedicated leaf (kTransportStreamTx): nothing is ever
+    // acquired under it and recv never takes it, so holding it across the
+    // socket write is exactly its job — serializing concurrent frame
+    // writers so prefix+payload stay contiguous on the wire.
     std::lock_guard<common::RankedMutex> tx(tx_mu_);
+    // pardis-lint: allow(blocking-under-lock-transitive: tx_mu_ is the leaf transmit lock; serializing writers across the socket write is its purpose)
     write_all(fd_, prefix, sizeof(prefix), owner_->connect_timeout(), label_);
+    // pardis-lint: allow(blocking-under-lock-transitive: tx_mu_ is the leaf transmit lock; serializing writers across the socket write is its purpose)
     write_all(fd_, frame.data(), frame.size(), owner_->connect_timeout(),
               label_);
   }

@@ -1,0 +1,65 @@
+// Fixture: patterns the analyzer must NOT flag.
+//
+//   * the pump-style reader-duty handoff: take() passes its held unique_lock
+//     into pump(), which unlocks it before blocking on the wire;
+//   * a thread entry wrapped in a catch-all;
+//   * a predicated condition-variable wait.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "pardis/common/ranked_mutex.hpp"
+
+namespace fixture {
+
+struct Wire {
+  int recv();
+};
+
+class Router {
+ public:
+  int take() {
+    std::unique_lock<pardis::common::RankedMutex> lock(mu_);
+    cv_.wait(lock, [this] { return ready_; });
+    while (frame_ == 0) {
+      pump(lock);
+    }
+    ready_ = false;
+    return frame_;
+  }
+
+  void pump(std::unique_lock<pardis::common::RankedMutex>& lock) {
+    lock.unlock();
+    const int frame = wire_.recv();
+    lock.lock();
+    frame_ = frame;
+    ready_ = true;
+  }
+
+ private:
+  pardis::common::RankedMutex mu_{
+      pardis::common::LockRank::kTransferPipeline};
+  std::condition_variable_any cv_;
+  Wire wire_;
+  bool ready_ = false;
+  int frame_ = 0;
+};
+
+class SafePoller {
+ public:
+  SafePoller() {
+    thread_ = std::thread([this] {
+      try {
+        loop();
+      } catch (...) {
+      }
+    });
+  }
+
+  void loop();
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: TU A of a cross-TU lock-order cycle.
+//
+// refresh_registry holds kNetFabric(10) and calls drain_mailbox (cycle_b.cpp),
+// which acquires kRtsMailbox(60) and then calls back into audit_registry here,
+// re-acquiring kNetFabric.  The analyzer must stitch the two TUs together and
+// report the kNetFabric -> kRtsMailbox -> kNetFabric cycle plus the rank
+// inversions on the back edges.
+#include <mutex>
+
+#include "pardis/common/ranked_mutex.hpp"
+
+namespace fixture {
+
+void drain_mailbox();  // cycle_b.cpp
+
+pardis::common::RankedMutex registry_mu{pardis::common::LockRank::kNetFabric};
+pardis::common::RankedMutex audit_mu{pardis::common::LockRank::kNetFabric};
+
+void audit_registry() {
+  std::lock_guard<pardis::common::RankedMutex> lock(audit_mu);
+}
+
+void refresh_registry() {
+  std::lock_guard<pardis::common::RankedMutex> lock(registry_mu);
+  drain_mailbox();
+}
+
+}  // namespace fixture

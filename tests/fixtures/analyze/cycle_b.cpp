@@ -1,0 +1,17 @@
+// Fixture: TU B of a cross-TU lock-order cycle (see cycle_a.cpp).
+#include <mutex>
+
+#include "pardis/common/ranked_mutex.hpp"
+
+namespace fixture {
+
+void audit_registry();  // cycle_a.cpp
+
+pardis::common::RankedMutex mailbox_mu{pardis::common::LockRank::kRtsMailbox};
+
+void drain_mailbox() {
+  std::lock_guard<pardis::common::RankedMutex> lock(mailbox_mu);
+  audit_registry();
+}
+
+}  // namespace fixture

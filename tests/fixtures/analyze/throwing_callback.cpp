@@ -1,0 +1,24 @@
+// Fixture: a detached-thread entry that is neither noexcept nor wrapped in a
+// catch-all.  loop() delegates to a function the index cannot resolve, so an
+// exception can cross the thread boundary and std::terminate the rank.
+#include <thread>
+
+namespace fixture {
+
+void poll_once();
+
+class Poller {
+ public:
+  Poller() {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  void loop() {
+    poll_once();
+  }
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: a blocking primitive two call-graph hops below a guard scope.
+// publish -> relay -> wire_flush -> Conn::transmit; the guard is live at the
+// publish call site, so the analyzer must walk the chain and flag it.
+#include <mutex>
+
+#include "pardis/common/ranked_mutex.hpp"
+
+namespace fixture {
+
+struct Conn {
+  void transmit(int payload);
+};
+
+pardis::common::RankedMutex table_mu{pardis::common::LockRank::kOrbNaming};
+
+void wire_flush(Conn& c) {
+  c.transmit(42);
+}
+
+void relay(Conn& c) {
+  wire_flush(c);
+}
+
+void publish(Conn& c) {
+  std::lock_guard<pardis::common::RankedMutex> lock(table_mu);
+  relay(c);
+}
+
+}  // namespace fixture

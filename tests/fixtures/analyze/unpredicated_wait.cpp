@@ -1,0 +1,34 @@
+// Fixture: a condition-variable wait without a predicate.  A spurious wakeup
+// or missed notify leaves take() consuming garbage or hanging forever.
+#include <condition_variable>
+#include <mutex>
+
+#include "pardis/common/ranked_mutex.hpp"
+
+namespace fixture {
+
+class JobQueue {
+ public:
+  int take() {
+    std::unique_lock<pardis::common::RankedMutex> lock(mu_);
+    cv_.wait(lock);
+    const int out = head_;
+    head_ = 0;
+    return out;
+  }
+
+  void put(int job) {
+    {
+      std::lock_guard<pardis::common::RankedMutex> lock(mu_);
+      head_ = job;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  pardis::common::RankedMutex mu_{pardis::common::LockRank::kRtsTeamError};
+  std::condition_variable_any cv_;
+  int head_ = 0;
+};
+
+}  // namespace fixture

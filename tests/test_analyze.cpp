@@ -1,0 +1,178 @@
+// pardis-analyze behavior: the fixture corpus must reproduce the golden
+// diagnostics exactly (no false negatives, no false positives), plus unit
+// coverage for the rank-table parser, suppression handling, and the JSON
+// report.  PARDIS_ANALYZE_FIXTURES / PARDIS_LOCK_RANKS_DEF are injected by
+// the build (tests/CMakeLists.txt).
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze.hpp"
+
+namespace fs = std::filesystem;
+using pardis::analyze::Options;
+using pardis::analyze::Result;
+using pardis::analyze::Source;
+
+namespace {
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  EXPECT_TRUE(in) << "cannot read " << p;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string ranks_path() { return PARDIS_LOCK_RANKS_DEF; }
+std::string ranks_text() { return slurp(PARDIS_LOCK_RANKS_DEF); }
+
+Result analyze_sources(const std::vector<Source>& sources,
+                       Options options = {}) {
+  options.check_unused_ranks = false;
+  return pardis::analyze::analyze(sources, ranks_path(), ranks_text(), {},
+                                  options);
+}
+
+TEST(AnalyzeFixtures, MatchesGoldenDiagnostics) {
+  const fs::path dir = PARDIS_ANALYZE_FIXTURES;
+  std::vector<Source> sources;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".cpp") {
+      sources.emplace_back(entry.path().generic_string(),
+                           slurp(entry.path()));
+    }
+  }
+  ASSERT_GE(sources.size(), 6u);
+
+  std::set<std::string> expected;
+  std::istringstream golden(slurp(dir / "expected.txt"));
+  std::string line;
+  while (std::getline(golden, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    expected.insert(line);
+  }
+  ASSERT_FALSE(expected.empty());
+
+  const Result result = analyze_sources(sources);
+  std::set<std::string> got;
+  for (const auto& d : result.findings) {
+    got.insert(fs::path(d.file).filename().string() + ":" +
+               std::to_string(d.line) + ": [" + d.rule + "]");
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(AnalyzeFixtures, RaisedHopBudgetKeepsCleanFixtureClean) {
+  const fs::path dir = PARDIS_ANALYZE_FIXTURES;
+  Options options;
+  options.max_hops = 6;
+  const Result result = analyze_sources(
+      {{(dir / "clean.cpp").generic_string(), slurp(dir / "clean.cpp")}},
+      options);
+  EXPECT_TRUE(result.findings.empty())
+      << pardis::lint::format(result.findings.front());
+}
+
+TEST(RankTable, ParsesTheRealTable) {
+  std::vector<pardis::analyze::Diagnostic> diags;
+  const auto table =
+      pardis::analyze::parse_rank_table(ranks_path(), ranks_text(), diags);
+  EXPECT_TRUE(diags.empty());
+  EXPECT_GE(table.entries.size(), 20u);
+  EXPECT_TRUE(table.known("kNetFabric"));
+  EXPECT_EQ(table.values.at("kCommonLog"), 140);
+}
+
+TEST(RankTable, FlagsDuplicateValuesAndMalformedEntries) {
+  const std::string text =
+      "PARDIS_LOCK_RANK(kA, 10, \"a\")\n"
+      "PARDIS_LOCK_RANK(kB, 10, \"b\")\n"
+      "PARDIS_LOCK_RANK(kC, xyz, \"c\")\n";
+  std::vector<pardis::analyze::Diagnostic> diags;
+  pardis::analyze::parse_rank_table("ranks.def", text, diags);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "rank-table-drift");
+  EXPECT_EQ(diags[1].rule, "rank-table-drift");
+}
+
+TEST(RankTable, UsedButUndeclaredRankDrifts) {
+  const std::string src =
+      "#include \"pardis/common/ranked_mutex.hpp\"\n"
+      "pardis::common::RankedMutex mu{pardis::common::LockRank::kBogus};\n";
+  const Result result = analyze_sources({{"drift.cpp", src}});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "rank-table-drift");
+  EXPECT_EQ(result.findings[0].line, 2);
+}
+
+TEST(Suppressions, ReasonedAllowSilencesAndIsInventoried) {
+  const std::string src =
+      "#include <condition_variable>\n"
+      "#include \"pardis/common/ranked_mutex.hpp\"\n"
+      "struct Q {\n"
+      "  void take() {\n"
+      "    std::unique_lock<pardis::common::RankedMutex> lock(mu_);\n"
+      "    // pardis-lint: allow(wait-without-predicate: callers loop)\n"
+      "    cv_.wait(lock);\n"
+      "  }\n"
+      "  pardis::common::RankedMutex mu_{\n"
+      "      pardis::common::LockRank::kRtsMailbox};\n"
+      "  std::condition_variable_any cv_;\n"
+      "};\n";
+  const Result result = analyze_sources({{"q.cpp", src}});
+  EXPECT_TRUE(result.findings.empty());
+  ASSERT_EQ(result.suppressions.size(), 1u);
+  EXPECT_EQ(result.suppressions[0].rule, "wait-without-predicate");
+  EXPECT_EQ(result.suppressions[0].reason, "callers loop");
+}
+
+TEST(Suppressions, BareAllowIsAnErrorAndSuppressesNothing) {
+  const std::string src =
+      "#include <condition_variable>\n"
+      "#include \"pardis/common/ranked_mutex.hpp\"\n"
+      "struct Q {\n"
+      "  void take() {\n"
+      "    std::unique_lock<pardis::common::RankedMutex> lock(mu_);\n"
+      "    // pardis-lint: allow(wait-without-predicate)\n"
+      "    cv_.wait(lock);\n"
+      "  }\n"
+      "  pardis::common::RankedMutex mu_{\n"
+      "      pardis::common::LockRank::kRtsMailbox};\n"
+      "  std::condition_variable_any cv_;\n"
+      "};\n";
+  const Result result = analyze_sources({{"q.cpp", src}});
+  std::set<std::string> rules;
+  for (const auto& d : result.findings) rules.insert(d.rule);
+  EXPECT_TRUE(rules.count("missing-reason")) << "bare allow must be flagged";
+  EXPECT_TRUE(rules.count("wait-without-predicate"))
+      << "bare allow must not suppress";
+}
+
+TEST(Report, JsonCarriesFindingsAndCounters) {
+  const fs::path dir = PARDIS_ANALYZE_FIXTURES;
+  const Result result = analyze_sources(
+      {{(dir / "unpredicated_wait.cpp").generic_string(),
+        slurp(dir / "unpredicated_wait.cpp")}});
+  const std::string json = pardis::analyze::to_json(result);
+  EXPECT_NE(json.find("\"wait-without-predicate\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressions\""), std::string::npos);
+}
+
+TEST(Rules, ListsAllSeven) {
+  const auto& rules = pardis::analyze::rule_names();
+  EXPECT_EQ(rules.size(), 7u);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "lock-order-cycle"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "missing-reason"),
+            rules.end());
+}
+
+}  // namespace

@@ -164,18 +164,37 @@ TEST(LintRawNewDelete, DeletedFunctionIsAllowed) {
 TEST(LintSuppression, AllowCommentSilencesSameAndNextLine) {
   const auto same = scan_source(
       kNonWhitelistedPath,
-      "std::mutex mu_;  // pardis-lint: allow(raw-mutex)\n");
+      "std::mutex mu_;  // pardis-lint: allow(raw-mutex: ffi shim)\n");
   EXPECT_TRUE(same.empty());
 
   const auto next = scan_source(kNonWhitelistedPath,
-                                "// pardis-lint: allow(raw-mutex)\n"
+                                "// pardis-lint: allow(raw-mutex: ffi shim)\n"
                                 "std::mutex mu_;\n");
   EXPECT_TRUE(next.empty());
 
   const auto other = scan_source(
       kNonWhitelistedPath,
-      "std::mutex mu_;  // pardis-lint: allow(relaxed-order)\n");
+      "std::mutex mu_;  // pardis-lint: allow(relaxed-order: nope)\n");
   EXPECT_TRUE(fired(other, "raw-mutex")) << "wrong rule must not suppress";
+}
+
+TEST(LintSuppression, BareAllowIsAnErrorAndSuppressesNothing) {
+  const auto diags = scan_source(
+      kNonWhitelistedPath,
+      "std::mutex mu_;  // pardis-lint: allow(raw-mutex)\n");
+  EXPECT_TRUE(fired(diags, "missing-reason")) << "bare allow must be flagged";
+  EXPECT_TRUE(fired(diags, "raw-mutex")) << "bare allow must not suppress";
+}
+
+TEST(LintSuppression, ListSuppressionsInventoriesReasons) {
+  const auto sups = pardis::lint::list_suppressions(
+      kNonWhitelistedPath,
+      "std::mutex a_;  // pardis-lint: allow(raw-mutex: ffi shim)\n"
+      "std::mutex b_;  // pardis-lint: allow(raw-mutex)\n");
+  ASSERT_EQ(sups.size(), 2u);
+  EXPECT_EQ(sups[0].rule, "raw-mutex");
+  EXPECT_EQ(sups[0].reason, "ffi shim");
+  EXPECT_TRUE(sups[1].reason.empty());
 }
 
 TEST(LintClean, CleanFixturePasses) {
@@ -234,7 +253,7 @@ TEST(LintUnframedSend, QuietOnFramingHelperCalls) {
 TEST(LintUnframedSend, SuppressibleWithAllow) {
   const auto diags = scan_source(
       "src/pardis/transfer/spmd_client.cpp",
-      "// pardis-lint: allow(unframed-send)\n"
+      "// pardis-lint: allow(unframed-send: control channel predates mux)\n"
       "void f() { control_->send(frame); }\n");
   EXPECT_FALSE(fired(diags, "unframed-send"));
 }

@@ -1,0 +1,1551 @@
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <sstream>
+
+namespace pardis::analyze {
+namespace {
+
+using lint::LexOutput;
+using lint::Token;
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+// ---- token utilities -------------------------------------------------------
+
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          const std::string& o, const std::string& c) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (toks[j].text == o) ++depth;
+    if (toks[j].text == c && --depth == 0) return j;
+  }
+  return kNpos;
+}
+
+/// Matching `>` for the `<` at `open`, bounded by `;` (not a template).
+std::size_t match_angle(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (toks[j].text == "<") ++depth;
+    if (toks[j].text == ">" && --depth == 0) return j;
+    if (toks[j].text == ";" || toks[j].text == "{") break;
+  }
+  return kNpos;
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+std::string strip_underscores(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c != '_') out.push_back(c);
+  }
+  return out;
+}
+
+/// Does the receiver expression hint at the class?  `reply_future_` hints
+/// at `Future`, `stream_` at `TcpStream`, `conn` at `Connection`.
+bool hint_matches(const std::string& recv, const std::string& cls) {
+  const std::string r = strip_underscores(lower(recv));
+  const std::string c = strip_underscores(lower(cls));
+  if (r.size() < 3 || c.size() < 3) return false;
+  return r.find(c) != std::string::npos || c.find(r) != std::string::npos;
+}
+
+const std::set<std::string>& non_call_keywords() {
+  static const std::set<std::string> kWords{
+      "if",     "while",    "for",       "switch",        "catch",
+      "return", "sizeof",   "alignof",   "static_assert", "decltype",
+      "throw",  "noexcept", "operator",  "new",           "delete",
+      "assert", "defined",  "alignas",   "co_await",      "co_return",
+  };
+  return kWords;
+}
+
+bool is_guard_type(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock";
+}
+
+bool is_wait_name(const std::string& s) {
+  return s == "wait" || s == "wait_for" || s == "wait_until";
+}
+
+bool is_mutex_type(const std::string& s) {
+  return s == "RankedMutex" || s == "CheckedRankedMutex" ||
+         s == "PlainRankedMutex";
+}
+
+/// Syscall-shaped primitives only count with a global-scope `::` receiver
+/// (`::write`, `::poll`); bare `write(`/`read(` are too common as method
+/// names to treat as blocking.
+bool needs_global_scope(const std::string& s) {
+  return s == "write" || s == "read" || s == "poll" || s == "select" ||
+         s == "epoll_wait" || s == "accept4";
+}
+
+// ---- per-function model ----------------------------------------------------
+
+struct CallSite {
+  std::string callee;
+  std::string recv;      // receiver ident for member calls ("" = free call)
+  std::string cls_hint;  // `Class::fn(...)` qualifier
+  int line = 0;
+  std::vector<std::string> held_vars;  // mutex vars of held guards at site
+  bool under_param = false;            // the unique_lock& param is held here
+  bool passes_held_guard = false;      // an arg names a held guard object
+  bool passes_param = false;           // an arg names the lock param
+  std::vector<std::string> passed_mutex_vars;  // mutexes of passed guards
+};
+
+struct AcquireSite {
+  std::vector<std::string> vars;       // mutexes this guard acquires
+  std::vector<std::string> held_vars;  // mutexes already held
+  int line = 0;
+};
+
+struct BlockSite {
+  std::string what;
+  int line = 0;
+  std::vector<std::string> held_vars;
+  bool under_param = false;
+};
+
+struct Function {
+  std::string cls;   // "" for free functions
+  std::string name;  // "~X" for destructors
+  std::string file;
+  int line = 0;
+  bool is_noexcept = false;
+  bool has_catch_all = false;  // catch (...) at depth <= 2 in the body
+  bool has_lock_param = false;
+  std::string lock_param;
+  std::string delegate;  // body is a single `f(...)` call
+  std::map<std::string, std::string> local_mutex;  // var -> rank
+  std::vector<CallSite> calls;
+  std::vector<AcquireSite> acquires;
+  std::vector<BlockSite> blocks;
+  // computed by the relaxation passes
+  int depth_general = -1;     // hops to a blocking op (0 = in this body)
+  int depth_param_held = -1;  // same, counting only ops under the lock param
+  std::string witness_general;
+  std::string witness_param;
+};
+
+struct WaitSite {
+  std::string file;
+  std::string method;
+  std::string recv;
+  int argc = 0;
+  int line = 0;
+};
+
+struct EntrySite {
+  std::string file;
+  std::string enclosing_cls;
+  int line = 0;
+  std::string desc;  // "lambda" or the target name, for messages
+  bool is_lambda = false;
+  bool lam_noexcept = false;
+  bool lam_catch_all = false;
+  bool lam_trivial = false;  // lambda body contains no calls at all
+  std::string lam_delegate;  // single-call lambda body target
+  std::string target;        // named entry (&Class::f, free fn)
+  std::string target_cls;
+  bool skip = false;  // std::move-style forwarding, not a new entry
+};
+
+struct Program {
+  std::vector<Function> fns;
+  std::multimap<std::string, std::size_t> by_name;
+  std::map<std::pair<std::string, std::string>, std::string> member_rank;
+  std::multimap<std::string, std::string> var_rank;  // var -> every rank
+  std::set<std::string> cv_vars;
+  std::set<std::string> thread_vec_vars;
+  std::vector<EntrySite> entries;
+  struct PendingPush {
+    std::string recv;
+    EntrySite entry;
+  };
+  std::vector<PendingPush> pending_pushes;
+  std::vector<WaitSite> waits;
+  // rank-name usages: name -> first (file, line) seen
+  std::map<std::string, std::pair<std::string, int>> used_ranks;
+  std::map<std::string, LexOutput> lexed;  // tokens cleared after parse
+};
+
+// ---- lambda / entry parsing ------------------------------------------------
+
+bool scan_catch_all(const std::vector<Token>& toks, std::size_t open,
+                    std::size_t close, int max_rel_depth) {
+  int depth = 0;
+  for (std::size_t i = open; i < close; ++i) {
+    const std::string& s = toks[i].text;
+    if (s == "{") ++depth;
+    if (s == "}") --depth;
+    if (s == "catch" && depth <= max_rel_depth && i + 5 < close &&
+        toks[i + 1].text == "(" && toks[i + 2].text == "." &&
+        toks[i + 3].text == "." && toks[i + 4].text == "." &&
+        toks[i + 5].text == ")") {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool has_any_call(const std::vector<Token>& toks, std::size_t open,
+                  std::size_t close) {
+  for (std::size_t i = open; i + 1 < close; ++i) {
+    if (toks[i].is_ident && toks[i + 1].text == "(" &&
+        non_call_keywords().count(toks[i].text) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Body tokens strictly inside the braces match `[return] f(...);` — the
+/// one-call delegation shape.  Returns the called name.
+std::optional<std::string> single_call_target(const std::vector<Token>& toks,
+                                              std::size_t s, std::size_t e) {
+  std::size_t j = s;
+  if (j < e && toks[j].text == "return") ++j;
+  std::size_t last_ident = kNpos;
+  while (j < e && (toks[j].is_ident || toks[j].text == "::" ||
+                   toks[j].text == "." ||
+                   (toks[j].text == "-" && j + 1 < e &&
+                    toks[j + 1].text == ">"))) {
+    if (toks[j].is_ident) last_ident = j;
+    if (toks[j].text == "-") ++j;  // consume the `>` of `->` too
+    ++j;
+  }
+  if (j >= e || toks[j].text != "(" || last_ident == kNpos) return std::nullopt;
+  const std::size_t close = match_forward(toks, j, "(", ")");
+  if (close == kNpos || close + 2 != e || toks[close + 1].text != ";") {
+    return std::nullopt;
+  }
+  return toks[last_ident].text;
+}
+
+/// Parses the first constructor argument of a std::thread / thread-vector
+/// push as a thread entry point.
+EntrySite parse_entry(const std::vector<Token>& toks, std::size_t s,
+                      std::size_t e, const std::string& file, int line,
+                      const std::string& enclosing_cls) {
+  EntrySite entry;
+  entry.file = file;
+  entry.line = line;
+  entry.enclosing_cls = enclosing_cls;
+  if (s >= e) {
+    entry.skip = true;
+    return entry;
+  }
+  if (toks[s].text == "[") {
+    entry.is_lambda = true;
+    entry.desc = "lambda";
+    std::size_t j = match_forward(toks, s, "[", "]");
+    if (j == kNpos || j >= e) {
+      entry.skip = true;
+      return entry;
+    }
+    ++j;
+    if (j < e && toks[j].text == "(") {
+      j = match_forward(toks, j, "(", ")");
+      if (j == kNpos) {
+        entry.skip = true;
+        return entry;
+      }
+      ++j;
+    }
+    while (j < e && toks[j].text != "{") {
+      if (toks[j].text == "noexcept") entry.lam_noexcept = true;
+      ++j;
+    }
+    if (j >= e) {
+      entry.skip = true;
+      return entry;
+    }
+    const std::size_t body_close = match_forward(toks, j, "{", "}");
+    if (body_close == kNpos || body_close > e) {
+      entry.skip = true;
+      return entry;
+    }
+    entry.lam_catch_all = scan_catch_all(toks, j, body_close, 2);
+    entry.lam_trivial = !has_any_call(toks, j + 1, body_close);
+    if (const auto target = single_call_target(toks, j + 1, body_close)) {
+      entry.lam_delegate = *target;
+    }
+    return entry;
+  }
+  // `&Class::method`, plain function name, or a forwarded object.
+  std::size_t j = s;
+  if (toks[j].text == "&") ++j;
+  std::string last_ident;
+  std::string prev_ident;
+  while (j < e && (toks[j].is_ident || toks[j].text == "::")) {
+    if (toks[j].is_ident) {
+      prev_ident = last_ident;
+      last_ident = toks[j].text;
+    }
+    ++j;
+  }
+  if (last_ident.empty()) {
+    entry.skip = true;
+    return entry;
+  }
+  // std::move(t) / std::ref(x): thread hand-off, not a new entry body.
+  if (prev_ident == "std" || last_ident == "move" || last_ident == "ref" ||
+      last_ident == "exchange") {
+    entry.skip = true;
+    return entry;
+  }
+  entry.target = last_ident;
+  entry.target_cls = prev_ident;
+  entry.desc = last_ident;
+  return entry;
+}
+
+// ---- function header recognition -------------------------------------------
+
+struct Header {
+  std::string cls;
+  std::string name;
+  int line = 0;
+  bool is_noexcept = false;
+  bool has_lock_param = false;
+  std::string lock_param;
+  std::size_t body_open = 0;
+  std::size_t body_close = 0;
+};
+
+std::optional<Header> try_function(const std::vector<Token>& toks,
+                                   std::size_t i,
+                                   const std::string& cur_cls) {
+  Header h;
+  h.name = toks[i].text;
+  h.line = toks[i].line;
+  if (non_call_keywords().count(h.name) != 0 || is_guard_type(h.name)) {
+    return std::nullopt;
+  }
+  // Walk back over the `Ns::Class::` qualifier chain (and `~` for dtors).
+  std::vector<std::string> quals;
+  std::size_t k = i;
+  if (k > 0 && toks[k - 1].text == "~") {
+    h.name = "~" + h.name;
+    --k;
+  }
+  while (k >= 2 && toks[k - 1].text == "::" && toks[k - 2].is_ident) {
+    quals.insert(quals.begin(), toks[k - 2].text);
+    k -= 2;
+  }
+  h.cls = quals.empty() ? cur_cls : quals.back();
+  if (k > 0) {
+    const std::string& before = toks[k - 1].text;
+    if (before == "." || before == "::" ||
+        (before == ">" && k > 1 && toks[k - 2].text == "-")) {
+      return std::nullopt;  // member-call context, not a definition
+    }
+  }
+  const std::size_t open = i + 1;
+  const std::size_t close = match_forward(toks, open, "(", ")");
+  if (close == kNpos) return std::nullopt;
+  // `std::unique_lock<...>& name` parameter: the callee manages the
+  // caller's lock (ReplyRouter::pump's reader-duty handoff shape).
+  for (std::size_t j = open + 1; j < close; ++j) {
+    if (toks[j].text != "unique_lock") continue;
+    std::size_t p = j + 1;
+    if (p < close && toks[p].text == "<") {
+      p = match_angle(toks, p);
+      if (p == kNpos || p >= close) break;
+      ++p;
+    }
+    if (p < close && toks[p].text == "&") ++p;
+    if (p < close && toks[p].is_ident) {
+      h.has_lock_param = true;
+      h.lock_param = toks[p].text;
+    }
+    break;
+  }
+  // Skim from `)` to the body `{`; anything declaration-like rejects.
+  std::size_t j = close + 1;
+  bool in_init = false;
+  int steps = 0;
+  while (j < toks.size() && ++steps < 4096) {
+    const std::string& s = toks[j].text;
+    if (s == ";") return std::nullopt;
+    if ((s == "=" || s == ",") && !in_init) return std::nullopt;
+    if (s == "noexcept") {
+      h.is_noexcept = true;
+      if (j + 1 < toks.size() && toks[j + 1].text == "(") {
+        j = match_forward(toks, j + 1, "(", ")");
+        if (j == kNpos) return std::nullopt;
+      }
+      ++j;
+      continue;
+    }
+    if (s == ":") {
+      in_init = true;
+      ++j;
+      continue;
+    }
+    if (s == "(") {
+      j = match_forward(toks, j, "(", ")");
+      if (j == kNpos) return std::nullopt;
+      ++j;
+      continue;
+    }
+    if (s == "[") {
+      j = match_forward(toks, j, "[", "]");
+      if (j == kNpos) return std::nullopt;
+      ++j;
+      continue;
+    }
+    if (s == "{") {
+      if (in_init && j > 0 &&
+          (toks[j - 1].is_ident || toks[j - 1].text == ">")) {
+        j = match_forward(toks, j, "{", "}");  // member brace-init
+        if (j == kNpos) return std::nullopt;
+        ++j;
+        continue;
+      }
+      h.body_open = j;
+      break;
+    }
+    ++j;
+  }
+  if (h.body_open == 0) return std::nullopt;
+  h.body_close = match_forward(toks, h.body_open, "{", "}");
+  if (h.body_close == kNpos) return std::nullopt;
+  return h;
+}
+
+// ---- body scan -------------------------------------------------------------
+
+struct GuardInfo {
+  int depth = 0;
+  std::string guard_var;
+  std::vector<std::string> mutex_vars;
+  bool held = true;
+  bool is_param = false;
+};
+
+/// Last identifier of one guard-constructor argument — `state_->mu` names
+/// mutex `mu`, `mu_` names `mu_`.  std lock tags are not mutexes.
+void collect_arg_mutexes(const std::vector<Token>& toks, std::size_t s,
+                         std::size_t e, std::vector<std::string>* vars,
+                         bool* defer) {
+  std::string last;
+  for (std::size_t j = s; j <= e + 1; ++j) {
+    const bool at_end = j == e + 1;
+    if (!at_end && toks[j].is_ident) last = toks[j].text;
+    if (at_end || toks[j].text == ",") {
+      if (last == "defer_lock") {
+        *defer = true;
+      } else if (!last.empty() && last != "adopt_lock" &&
+                 last != "try_to_lock") {
+        vars->push_back(last);
+      }
+      last.clear();
+    }
+  }
+}
+
+void scan_body(Program& prog, const Options& opts, Function& fn,
+               const std::vector<Token>& toks, std::size_t body_open,
+               std::size_t body_close, const std::string& file) {
+  std::vector<GuardInfo> guards;
+  if (fn.has_lock_param) {
+    guards.push_back({0, fn.lock_param, {}, true, true});
+  }
+  int depth = 1;
+
+  auto held_mutexes = [&](const std::string& skip_guard) {
+    std::vector<std::string> out;
+    for (const GuardInfo& g : guards) {
+      if (g.held && !g.is_param && g.guard_var != skip_guard) {
+        out.insert(out.end(), g.mutex_vars.begin(), g.mutex_vars.end());
+      }
+    }
+    return out;
+  };
+  auto param_held = [&](const std::string& skip_guard) {
+    for (const GuardInfo& g : guards) {
+      if (g.is_param && g.held && g.guard_var != skip_guard) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = body_open + 1; i < body_close; ++i) {
+    const Token& t = toks[i];
+    auto nxt = [&](std::size_t k) -> const std::string& {
+      static const std::string kEmpty;
+      return i + k < body_close ? toks[i + k].text : kEmpty;
+    };
+    auto prv = [&](std::size_t k) -> const std::string& {
+      static const std::string kEmpty;
+      return i >= k ? toks[i - k].text : kEmpty;
+    };
+
+    if (t.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (t.text == "}") {
+      --depth;
+      guards.erase(std::remove_if(guards.begin(), guards.end(),
+                                  [&](const GuardInfo& g) {
+                                    return !g.is_param && g.depth > depth;
+                                  }),
+                   guards.end());
+      continue;
+    }
+
+    // catch (...) close enough to the top protects the whole body (one
+    // enclosing loop allowed: worker loops wrap per-job try/catch).
+    if (t.text == "catch" && depth <= 2 && nxt(1) == "(" && nxt(2) == "." &&
+        nxt(3) == "." && nxt(4) == "." && nxt(5) == ")") {
+      fn.has_catch_all = true;
+    }
+
+    // Function-local RankedMutex (log.cpp's static sink lock).
+    if (t.is_ident && is_mutex_type(t.text) && i + 1 < body_close &&
+        toks[i + 1].is_ident) {
+      const std::string var = toks[i + 1].text;
+      for (std::size_t j = i + 2; j < body_close && toks[j].text != ";"; ++j) {
+        if (toks[j].text == "LockRank" && j + 2 < body_close &&
+            toks[j + 1].text == "::" && toks[j + 2].is_ident) {
+          fn.local_mutex[var] = toks[j + 2].text;
+          break;
+        }
+      }
+    }
+
+    // Guard declaration: lock_guard<...> g(mu); / scoped_lock g(a, b);
+    if (t.is_ident && is_guard_type(t.text)) {
+      std::size_t v = kNpos;  // index of the guard variable
+      if (nxt(1) == "<") {
+        const std::size_t gt = match_angle(toks, i + 1);
+        if (gt != kNpos && gt + 1 < body_close && toks[gt + 1].is_ident) {
+          v = gt + 1;
+        }
+      } else if (i + 1 < body_close && toks[i + 1].is_ident) {
+        v = i + 1;
+      }
+      if (v != kNpos && v + 1 < body_close &&
+          (toks[v + 1].text == "(" || toks[v + 1].text == "{")) {
+        const std::string closer = toks[v + 1].text == "(" ? ")" : "}";
+        const std::size_t close =
+            match_forward(toks, v + 1, toks[v + 1].text, closer);
+        if (close != kNpos && close < body_close) {
+          std::vector<std::string> vars;
+          bool defer = false;
+          collect_arg_mutexes(toks, v + 2, close - 1, &vars, &defer);
+          if (!vars.empty()) {
+            fn.acquires.push_back({vars, held_mutexes(""), t.line});
+            guards.push_back({depth, toks[v].text, vars, !defer, false});
+          }
+          i = close;
+          continue;
+        }
+      }
+    }
+
+    // guard.unlock() / guard.lock() toggles held state (incl. the param).
+    if (t.is_ident && nxt(1) == "." &&
+        (nxt(2) == "unlock" || nxt(2) == "lock") && nxt(3) == "(") {
+      for (auto it = guards.rbegin(); it != guards.rend(); ++it) {
+        if (it->guard_var == t.text) {
+          it->held = nxt(2) == "lock";
+          break;
+        }
+      }
+      i += 3;
+      continue;
+    }
+
+    const bool member_recv =
+        prv(1) == "." || (prv(1) == ">" && prv(2) == "-");
+    std::string recv;
+    if (prv(1) == "." && i >= 2 && toks[i - 2].is_ident) {
+      recv = toks[i - 2].text;
+    } else if (prv(1) == ">" && prv(2) == "-" && i >= 3 &&
+               toks[i - 3].is_ident) {
+      recv = toks[i - 3].text;
+    }
+
+    // Condition-variable wait: record for the predicate rule, and model
+    // the suspension (the wait releases only its own lock argument; any
+    // other lock stays held while this thread sleeps).
+    if (t.is_ident && is_wait_name(t.text) && nxt(1) == "(" && member_recv) {
+      const std::size_t close = match_forward(toks, i + 1, "(", ")");
+      if (close != kNpos && close < body_close) {
+        int argc = 0;
+        int pdepth = 0;
+        for (std::size_t j = i + 1; j <= close; ++j) {
+          if (toks[j].text == "(" || toks[j].text == "[" ||
+              toks[j].text == "{") {
+            ++pdepth;
+          }
+          if (toks[j].text == ")" || toks[j].text == "]" ||
+              toks[j].text == "}") {
+            --pdepth;
+          }
+          if (toks[j].text == "," && pdepth == 1) ++argc;
+        }
+        if (close > i + 2) ++argc;  // non-empty arg list: commas + 1
+        prog.waits.push_back({file, t.text, recv, argc, t.line});
+        const std::string released =
+            i + 2 < close && toks[i + 2].is_ident ? toks[i + 2].text : "";
+        fn.blocks.push_back({"cv " + t.text, t.line, held_mutexes(released),
+                             param_held(released)});
+        i = close;
+        continue;
+      }
+    }
+
+    // Thread entry points: std::thread construction ...
+    if (t.is_ident && (t.text == "thread" || t.text == "jthread") &&
+        prv(1) == "::" && prv(2) == "std" &&
+        (nxt(1) == "(" || nxt(1) == "{")) {
+      const std::string closer = nxt(1) == "(" ? ")" : "}";
+      const std::size_t close =
+          match_forward(toks, i + 1, nxt(1), closer);
+      if (close != kNpos && close > i + 2 && close < body_close) {
+        EntrySite e =
+            parse_entry(toks, i + 2, close, file, t.line, fn.cls);
+        if (!e.skip) prog.entries.push_back(e);
+      }
+    }
+    // ... and pushes onto a std::vector<std::thread> member.
+    if (t.is_ident &&
+        (t.text == "emplace_back" || t.text == "push_back") &&
+        nxt(1) == "(" && member_recv && !recv.empty()) {
+      const std::size_t close = match_forward(toks, i + 1, "(", ")");
+      if (close != kNpos && close > i + 2 && close < body_close) {
+        EntrySite e =
+            parse_entry(toks, i + 2, close, file, t.line, fn.cls);
+        if (!e.skip) prog.pending_pushes.push_back({recv, e});
+      }
+    }
+
+    // Blocking primitive use.
+    if (t.is_ident && opts.blocking_primitives.count(t.text) != 0 &&
+        nxt(1) == "(") {
+      bool recv_ok;
+      if (needs_global_scope(t.text)) {
+        recv_ok = prv(1) == "::" && (i < 2 || !toks[i - 2].is_ident);
+      } else {
+        recv_ok = member_recv || prv(1) == "::" || prv(1) == ";" ||
+                  prv(1) == "{" || prv(1) == "}" || prv(1) == "=" ||
+                  prv(1) == "(" || prv(1) == "," || prv(1) == "!" ||
+                  prv(1) == "return";
+      }
+      if (recv_ok) {
+        fn.blocks.push_back(
+            {t.text, t.line, held_mutexes(""), param_held("")});
+      }
+    }
+
+    // Call site (kept even for primitive names: a like-named project
+    // function may acquire locks the caller must inherit edges for).
+    if (t.is_ident && nxt(1) == "(" &&
+        non_call_keywords().count(t.text) == 0 && !is_guard_type(t.text) &&
+        !is_wait_name(t.text) && t.text != "thread" && t.text != "jthread") {
+      // Skip the std:: namespace wholesale — never in the index.
+      const bool is_std_qualified =
+          prv(1) == "::" && i >= 2 && toks[i - 2].text == "std";
+      if (!is_std_qualified) {
+        CallSite cs;
+        cs.callee = t.text;
+        cs.recv = recv;
+        if (prv(1) == "::" && i >= 2 && toks[i - 2].is_ident) {
+          cs.cls_hint = toks[i - 2].text;
+        }
+        cs.line = t.line;
+        cs.held_vars = held_mutexes("");
+        cs.under_param = param_held("");
+        const std::size_t close = match_forward(toks, i + 1, "(", ")");
+        if (close != kNpos && close < body_close) {
+          for (std::size_t j = i + 2; j < close; ++j) {
+            if (!toks[j].is_ident) continue;
+            for (const GuardInfo& g : guards) {
+              if (!g.held || g.guard_var != toks[j].text) continue;
+              if (g.is_param) {
+                cs.passes_param = true;
+              } else {
+                cs.passes_held_guard = true;
+                cs.passed_mutex_vars.insert(cs.passed_mutex_vars.end(),
+                                            g.mutex_vars.begin(),
+                                            g.mutex_vars.end());
+              }
+            }
+          }
+        }
+        fn.calls.push_back(std::move(cs));
+      }
+    }
+  }
+
+  if (const auto target =
+          single_call_target(toks, body_open + 1, body_close)) {
+    fn.delegate = *target;
+  }
+}
+
+// ---- file-level structural walk --------------------------------------------
+
+void parse_file(Program& prog, const Options& opts, const std::string& path,
+                const std::string& text) {
+  LexOutput lexed = lint::lex(text);
+  const std::vector<Token>& toks = lexed.tokens;
+
+  // Rank-name usages, for declared-but-unused / used-but-undeclared drift.
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text == "LockRank" && toks[i + 1].text == "::" &&
+        toks[i + 2].is_ident) {
+      prog.used_ranks.emplace(toks[i + 2].text,
+                              std::make_pair(path, toks[i + 2].line));
+    }
+  }
+
+  struct ClassScope {
+    std::string name;
+    int open_depth;  // depth value inside the class braces
+  };
+  std::vector<ClassScope> classes;
+  int depth = 0;
+
+  auto cur_cls = [&]() -> std::string {
+    return classes.empty() ? "" : classes.back().name;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    auto nxt = [&](std::size_t k) -> const std::string& {
+      static const std::string kEmpty;
+      return i + k < toks.size() ? toks[i + k].text : kEmpty;
+    };
+
+    if (t.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (t.text == "}") {
+      --depth;
+      while (!classes.empty() && classes.back().open_depth > depth) {
+        classes.pop_back();
+      }
+      continue;
+    }
+
+    // Skip enum bodies entirely (enumerator names are not code).
+    if (t.text == "enum") {
+      std::size_t j = i + 1;
+      while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].text == "{") {
+        const std::size_t close = match_forward(toks, j, "{", "}");
+        if (close != kNpos) {
+          i = close;
+          continue;
+        }
+      }
+      i = j;
+      continue;
+    }
+
+    // class/struct definition opens a member-attribution scope.
+    if ((t.text == "class" || t.text == "struct") && i + 1 < toks.size() &&
+        toks[i + 1].is_ident) {
+      std::size_t j = i + 2;
+      while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";" &&
+             toks[j].text != "=" && toks[j].text != "(") {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].text == "{") {
+        classes.push_back({toks[i + 1].text, depth + 1});
+        depth += 1;
+        i = j;
+      } else {
+        i = j == toks.size() ? j - 1 : j;  // forward declaration etc.
+      }
+      continue;
+    }
+
+    // Member / global mutex declarations: RankedMutex mu_{LockRank::kX};
+    if (t.is_ident && is_mutex_type(t.text) && i + 1 < toks.size() &&
+        toks[i + 1].is_ident) {
+      const std::string var = toks[i + 1].text;
+      std::string rank;
+      for (std::size_t j = i + 2; j < toks.size() && toks[j].text != ";";
+           ++j) {
+        if (toks[j].text == "LockRank" && j + 2 < toks.size() &&
+            toks[j + 1].text == "::" && toks[j + 2].is_ident) {
+          rank = toks[j + 2].text;
+          break;
+        }
+      }
+      if (!rank.empty()) {
+        prog.member_rank[{cur_cls(), var}] = rank;
+        prog.var_rank.emplace(var, rank);
+      }
+    }
+
+    // Condition-variable members, for the wait-predicate receiver check.
+    if (t.is_ident &&
+        (t.text == "condition_variable" ||
+         t.text == "condition_variable_any") &&
+        i + 1 < toks.size() && toks[i + 1].is_ident) {
+      prog.cv_vars.insert(toks[i + 1].text);
+    }
+
+    // std::vector<std::thread> members, for worker-pool entry detection.
+    if (t.text == "vector" && nxt(1) == "<" && nxt(2) == "std" &&
+        nxt(3) == "::" && nxt(4) == "thread" && nxt(5) == ">" &&
+        i + 6 < toks.size() && toks[i + 6].is_ident) {
+      prog.thread_vec_vars.insert(toks[i + 6].text);
+    }
+
+    // Function definition: consume the body with the dedicated scanner.
+    if (t.is_ident && nxt(1) == "(") {
+      if (auto h = try_function(toks, i, cur_cls())) {
+        Function fn;
+        fn.cls = h->cls;
+        fn.name = h->name;
+        fn.file = path;
+        fn.line = h->line;
+        fn.is_noexcept = h->is_noexcept;
+        fn.has_lock_param = h->has_lock_param;
+        fn.lock_param = h->lock_param;
+        scan_body(prog, opts, fn, toks, h->body_open, h->body_close, path);
+        prog.fns.push_back(std::move(fn));
+        i = h->body_close;
+        continue;
+      }
+    }
+  }
+
+  lexed.tokens.clear();  // only the allow() directives are needed later
+  prog.lexed.emplace(path, std::move(lexed));
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kRules{
+      "lock-order-inversion",    "lock-order-cycle",
+      "rank-table-drift",        "blocking-under-lock-transitive",
+      "callback-exception-escape", "wait-without-predicate",
+      "missing-reason"};
+  return kRules;
+}
+
+RankTable parse_rank_table(const std::string& path, const std::string& text,
+                           std::vector<Diagnostic>& diags) {
+  RankTable table;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first =
+        line.find_first_not_of(" \t");
+    if (first == std::string::npos || line.compare(first, 2, "//") == 0) {
+      continue;
+    }
+    const std::size_t at = line.find("PARDIS_LOCK_RANK(");
+    if (at == std::string::npos) continue;
+    const std::size_t open = line.find('(', at);
+    const std::size_t c1 = line.find(',', open);
+    const std::size_t c2 = c1 == std::string::npos
+                               ? std::string::npos
+                               : line.find(',', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      diags.push_back({path, lineno, "rank-table-drift",
+                       "malformed PARDIS_LOCK_RANK entry"});
+      continue;
+    }
+    auto trim = [](std::string s) {
+      const std::size_t b = s.find_first_not_of(" \t");
+      const std::size_t e = s.find_last_not_of(" \t");
+      return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+    };
+    RankEntry entry;
+    entry.name = trim(line.substr(open + 1, c1 - open - 1));
+    entry.line = lineno;
+    try {
+      entry.value = std::stoi(trim(line.substr(c1 + 1, c2 - c1 - 1)));
+    } catch (...) {
+      diags.push_back({path, lineno, "rank-table-drift",
+                       "PARDIS_LOCK_RANK value for " + entry.name +
+                           " is not an integer"});
+      continue;
+    }
+    if (entry.name.empty() || entry.name[0] != 'k') {
+      diags.push_back({path, lineno, "rank-table-drift",
+                       "rank name '" + entry.name +
+                           "' does not follow the kName convention"});
+      continue;
+    }
+    if (table.values.count(entry.name) != 0) {
+      diags.push_back({path, lineno, "rank-table-drift",
+                       "rank " + entry.name + " declared twice"});
+      continue;
+    }
+    table.values[entry.name] = entry.value;
+    table.entries.push_back(entry);
+  }
+  // Duplicate values break strict ordering: two same-valued mutexes can
+  // never legally nest, silently.
+  std::map<int, std::string> by_value;
+  for (const RankEntry& e : table.entries) {
+    const auto [it, fresh] = by_value.emplace(e.value, e.name);
+    if (!fresh) {
+      diags.push_back({path, e.line, "rank-table-drift",
+                       "rank " + e.name + " reuses value " +
+                           std::to_string(e.value) + " already held by " +
+                           it->second});
+    }
+  }
+  return table;
+}
+
+Result analyze(const std::vector<Source>& sources,
+               const std::string& ranks_path, const std::string& ranks_text,
+               const std::vector<Source>& docs, const Options& options) {
+  Result result;
+  std::vector<Diagnostic> raw;  // pre-suppression findings
+
+  const RankTable table = parse_rank_table(ranks_path, ranks_text, raw);
+
+  Program prog;
+  for (const Source& src : sources) {
+    parse_file(prog, options, src.first, src.second);
+    ++result.files_scanned;
+  }
+  for (const Program::PendingPush& p : prog.pending_pushes) {
+    if (prog.thread_vec_vars.count(p.recv) != 0) {
+      prog.entries.push_back(p.entry);
+    }
+  }
+  for (std::size_t i = 0; i < prog.fns.size(); ++i) {
+    prog.by_name.emplace(prog.fns[i].name, i);
+    result.call_edges += static_cast<int>(prog.fns[i].calls.size());
+  }
+  result.functions_indexed = static_cast<int>(prog.fns.size());
+
+  auto qual = [](const Function& f) {
+    return f.cls.empty() ? f.name : f.cls + "::" + f.name;
+  };
+
+  // mutex variable -> rank name, in the context of one function.
+  auto resolve_rank = [&](const Function& fn,
+                          const std::string& var) -> std::string {
+    const auto local = fn.local_mutex.find(var);
+    if (local != fn.local_mutex.end()) return local->second;
+    auto member = prog.member_rank.find({fn.cls, var});
+    if (member != prog.member_rank.end()) return member->second;
+    member = prog.member_rank.find({"", var});
+    if (member != prog.member_rank.end()) return member->second;
+    // Unique-across-the-tree fallback: `state_->mu` resolves when only one
+    // class declares a RankedMutex named `mu`.
+    std::set<std::string> ranks;
+    const auto [b, e] = prog.var_rank.equal_range(var);
+    for (auto it = b; it != e; ++it) ranks.insert(it->second);
+    return ranks.size() == 1 ? *ranks.begin() : std::string();
+  };
+
+  auto rank_label = [&](const std::string& rank) {
+    const auto it = table.values.find(rank);
+    if (it == table.values.end()) return rank;
+    return rank + "(" + std::to_string(it->second) + ")";
+  };
+  auto held_label = [&](const Function& fn,
+                        const std::vector<std::string>& vars) {
+    std::string out;
+    for (const std::string& v : vars) {
+      if (!out.empty()) out += ", ";
+      const std::string r = resolve_rank(fn, v);
+      out += r.empty() ? "'" + v + "'" : rank_label(r);
+    }
+    return out;
+  };
+
+  // Call-site -> candidate function indices.
+  auto resolve_call = [&](const Function& caller,
+                          const CallSite& cs) -> std::vector<std::size_t> {
+    const auto [b, e] = prog.by_name.equal_range(cs.callee);
+    if (b == e) return {};
+    std::vector<std::size_t> all;
+    for (auto it = b; it != e; ++it) all.push_back(it->second);
+    auto with_cls = [&](const std::string& cls) {
+      std::vector<std::size_t> out;
+      for (std::size_t idx : all) {
+        if (prog.fns[idx].cls == cls) out.push_back(idx);
+      }
+      return out;
+    };
+    if (!cs.cls_hint.empty() && cs.cls_hint != "std") {
+      auto filtered = with_cls(cs.cls_hint);
+      if (!filtered.empty()) return filtered;
+    }
+    const bool generic = options.generic_names.count(cs.callee) != 0;
+    if (!cs.recv.empty()) {
+      // Member call: a receiver hint narrows; generic names *require* it.
+      std::vector<std::size_t> hinted;
+      for (std::size_t idx : all) {
+        if (hint_matches(cs.recv, prog.fns[idx].cls)) hinted.push_back(idx);
+      }
+      if (!hinted.empty()) return hinted;
+      if (generic) return {};
+      // No hint matched: only resolve when the name is unambiguous (all
+      // candidates live in one class).  `it->second->set_fault_rate(r)` on a
+      // governor must not resolve into Fabric::set_fault_rate just because
+      // the names collide — that fabricates self-cycles.
+      std::vector<std::size_t> members;
+      std::set<std::string> classes;
+      for (std::size_t idx : all) {
+        if (!prog.fns[idx].cls.empty()) {
+          members.push_back(idx);
+          classes.insert(prog.fns[idx].cls);
+        }
+      }
+      if (classes.size() == 1) return members;
+      return {};
+    }
+    // Free call: same class (implicit this) or a free function.
+    std::vector<std::size_t> local;
+    for (std::size_t idx : all) {
+      if (prog.fns[idx].cls == caller.cls || prog.fns[idx].cls.empty()) {
+        local.push_back(idx);
+      }
+    }
+    if (generic) {
+      auto same = with_cls(caller.cls);
+      return same;
+    }
+    return local;
+  };
+
+  // Pre-resolve every call site once.
+  std::vector<std::vector<std::vector<std::size_t>>> cands(prog.fns.size());
+  for (std::size_t i = 0; i < prog.fns.size(); ++i) {
+    cands[i].reserve(prog.fns[i].calls.size());
+    for (const CallSite& cs : prog.fns[i].calls) {
+      cands[i].push_back(resolve_call(prog.fns[i], cs));
+    }
+  }
+
+  // ---- blocking-depth relaxation -------------------------------------------
+  for (Function& f : prog.fns) {
+    for (const BlockSite& b : f.blocks) {
+      if (f.depth_general < 0) {
+        f.depth_general = 0;
+        f.witness_general =
+            "'" + b.what + "' (" + f.file + ":" + std::to_string(b.line) +
+            ")";
+      }
+      if (f.has_lock_param && b.under_param && f.depth_param_held < 0) {
+        f.depth_param_held = 0;
+        f.witness_param = "'" + b.what + "' (" + f.file + ":" +
+                          std::to_string(b.line) + ")";
+      }
+    }
+  }
+  for (int iter = 0; iter < options.max_hops; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < prog.fns.size(); ++i) {
+      Function& f = prog.fns[i];
+      for (std::size_t c = 0; c < f.calls.size(); ++c) {
+        const CallSite& cs = f.calls[c];
+        for (std::size_t idx : cands[i][c]) {
+          const Function& callee = prog.fns[idx];
+          if (callee.depth_general >= 0) {
+            const int d = callee.depth_general + 1;
+            if (f.depth_general < 0 || d < f.depth_general) {
+              f.depth_general = d;
+              f.witness_general =
+                  qual(callee) + " -> " + callee.witness_general;
+              changed = true;
+            }
+          }
+          if (f.has_lock_param && cs.under_param) {
+            const bool via_param =
+                cs.passes_param && callee.has_lock_param;
+            const int cd = via_param ? callee.depth_param_held
+                                     : callee.depth_general;
+            if (cd >= 0) {
+              const int d = cd + 1;
+              if (f.depth_param_held < 0 || d < f.depth_param_held) {
+                f.depth_param_held = d;
+                f.witness_param =
+                    qual(callee) + " -> " +
+                    (via_param ? callee.witness_param
+                               : callee.witness_general);
+                changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // ---- transitive acquires (for cross-function lock-order edges) -----------
+  // fn index -> rank -> (hops below the call site, witness chain)
+  std::vector<std::map<std::string, std::pair<int, std::string>>> acq(
+      prog.fns.size());
+  for (std::size_t i = 0; i < prog.fns.size(); ++i) {
+    const Function& f = prog.fns[i];
+    for (const AcquireSite& a : f.acquires) {
+      for (const std::string& v : a.vars) {
+        const std::string r = resolve_rank(f, v);
+        if (r.empty()) continue;
+        acq[i].emplace(r, std::make_pair(0, qual(f) + " (" + f.file + ":" +
+                                                std::to_string(a.line) +
+                                                ")"));
+      }
+    }
+  }
+  for (int iter = 0; iter + 1 < options.max_hops; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < prog.fns.size(); ++i) {
+      for (std::size_t c = 0; c < prog.fns[i].calls.size(); ++c) {
+        const CallSite& cs = prog.fns[i].calls[c];
+        for (std::size_t idx : cands[i][c]) {
+          // Pump-style handoff: passing our held unique_lock into a
+          // `unique_lock&` parameter delegates the unlock window to the
+          // callee — its acquires are made with our lock released, so they
+          // must not propagate as held-while-acquired nestings.
+          if (cs.passes_held_guard && prog.fns[idx].has_lock_param) continue;
+          for (const auto& [rank, hw] : acq[idx]) {
+            const int hops = hw.first + 1;
+            if (hops + 1 > options.max_hops) continue;
+            const auto it = acq[i].find(rank);
+            if (it == acq[i].end() || it->second.first > hops) {
+              // The hop-0 witness already names the acquiring function.
+              acq[i][rank] = {hops, hw.first == 0
+                                        ? hw.second
+                                        : qual(prog.fns[idx]) + " -> " +
+                                              hw.second};
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // ---- acquired-before edges -----------------------------------------------
+  struct Edge {
+    std::string from, to, file, witness;
+    int line = 0;
+  };
+  std::vector<Edge> edges;
+  std::set<std::string> edge_seen;
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      const std::string& file, int line,
+                      const std::string& witness) {
+    if (from.empty() || to.empty()) return;
+    if (edge_seen.insert(from + "->" + to + "@" + file + ":" +
+                         std::to_string(line))
+            .second) {
+      edges.push_back({from, to, file, witness, line});
+    }
+  };
+  for (std::size_t i = 0; i < prog.fns.size(); ++i) {
+    const Function& f = prog.fns[i];
+    for (const AcquireSite& a : f.acquires) {
+      for (const std::string& hv : a.held_vars) {
+        for (const std::string& av : a.vars) {
+          add_edge(resolve_rank(f, hv), resolve_rank(f, av), f.file, a.line,
+                   "nested guards in " + qual(f));
+        }
+      }
+    }
+    for (std::size_t c = 0; c < f.calls.size(); ++c) {
+      const CallSite& cs = f.calls[c];
+      if (cs.held_vars.empty()) continue;
+      for (std::size_t idx : cands[i][c]) {
+        if (cs.passes_held_guard && prog.fns[idx].has_lock_param) continue;
+        for (const auto& [rank, hw] : acq[idx]) {
+          for (const std::string& hv : cs.held_vars) {
+            add_edge(resolve_rank(f, hv), rank, f.file, cs.line,
+                     "call chain " + qual(f) + " -> " + hw.second);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- rule: lock-order-inversion ------------------------------------------
+  for (const Edge& e : edges) {
+    const auto fit = table.values.find(e.from);
+    const auto tit = table.values.find(e.to);
+    if (fit == table.values.end() || tit == table.values.end()) continue;
+    if (fit->second >= tit->second) {
+      raw.push_back(
+          {e.file, e.line, "lock-order-inversion",
+           "acquires " + rank_label(e.to) + " while holding " +
+               rank_label(e.from) +
+               "; declared order requires strictly increasing ranks "
+               "(lock_ranks.def) [" +
+               e.witness + "]"});
+    }
+  }
+
+  // ---- rule: lock-order-cycle ----------------------------------------------
+  {
+    std::map<std::string, std::set<std::string>> adj;
+    std::map<std::string, std::pair<std::string, int>> edge_loc;
+    for (const Edge& e : edges) {
+      adj[e.from].insert(e.to);
+      edge_loc.emplace(e.from + "->" + e.to,
+                       std::make_pair(e.file, e.line));
+    }
+    std::set<std::string> reported;
+    std::vector<std::string> stack;
+    std::set<std::string> on_stack;
+    std::set<std::string> done;
+    std::function<void(const std::string&)> dfs =
+        [&](const std::string& node) {
+          stack.push_back(node);
+          on_stack.insert(node);
+          for (const std::string& next : adj[node]) {
+            if (on_stack.count(next) != 0) {
+              // Extract the cycle next -> ... -> node -> next.
+              std::vector<std::string> cycle;
+              for (auto it = std::find(stack.begin(), stack.end(), next);
+                   it != stack.end(); ++it) {
+                cycle.push_back(*it);
+              }
+              // Canonical rotation so each cycle reports once.
+              const auto min_it =
+                  std::min_element(cycle.begin(), cycle.end());
+              std::rotate(cycle.begin(), min_it, cycle.end());
+              std::string desc;
+              for (const std::string& n : cycle) desc += n + " -> ";
+              desc += cycle.front();
+              if (reported.insert(desc).second) {
+                // Anchor at the back edge (node -> next): that is the
+                // acquisition that closes the cycle.
+                const auto loc = edge_loc.find(node + "->" + next);
+                const std::string file =
+                    loc != edge_loc.end() ? loc->second.first : ranks_path;
+                const int line =
+                    loc != edge_loc.end() ? loc->second.second : 1;
+                raw.push_back({file, line, "lock-order-cycle",
+                               "cycle in the observed acquired-before "
+                               "graph: " +
+                                   desc});
+              }
+            } else if (done.count(next) == 0) {
+              dfs(next);
+            }
+          }
+          on_stack.erase(node);
+          stack.pop_back();
+          done.insert(node);
+        };
+    for (const auto& [node, targets] : adj) {
+      (void)targets;
+      if (done.count(node) == 0) dfs(node);
+    }
+  }
+
+  // ---- rule: rank-table-drift (code + docs cross-check) --------------------
+  for (const auto& [name, loc] : prog.used_ranks) {
+    if (!table.known(name)) {
+      raw.push_back({loc.first, loc.second, "rank-table-drift",
+                     "LockRank::" + name +
+                         " is used here but not declared in lock_ranks.def"});
+    }
+  }
+  if (options.check_unused_ranks) {
+    for (const RankEntry& e : table.entries) {
+      if (prog.used_ranks.count(e.name) == 0) {
+        raw.push_back({ranks_path, e.line, "rank-table-drift",
+                       "rank " + e.name +
+                           " is declared but no RankedMutex in the scanned "
+                           "tree uses it"});
+      }
+    }
+  }
+  for (const Source& doc : docs) {
+    std::map<std::string, std::pair<int, int>> rows;  // name -> (value, line)
+    std::istringstream in(doc.second);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] != '|') continue;
+      const std::size_t tick = line.find('`');
+      if (tick == std::string::npos || tick + 1 >= line.size() ||
+          line[tick + 1] != 'k') {
+        continue;
+      }
+      const std::size_t tick2 = line.find('`', tick + 1);
+      if (tick2 == std::string::npos) continue;
+      const std::string name = line.substr(tick + 1, tick2 - tick - 1);
+      const std::size_t bar = line.find('|', tick2);
+      if (bar == std::string::npos) continue;
+      try {
+        const int value = std::stoi(line.substr(bar + 1));
+        rows.emplace(name, std::make_pair(value, lineno));
+      } catch (...) {
+        continue;
+      }
+    }
+    if (rows.empty()) continue;  // no rank table in this document
+    for (const auto& [name, vl] : rows) {
+      const auto it = table.values.find(name);
+      if (it == table.values.end()) {
+        raw.push_back({doc.first, vl.second, "rank-table-drift",
+                       "documented rank " + name +
+                           " does not exist in lock_ranks.def"});
+      } else if (it->second != vl.first) {
+        raw.push_back({doc.first, vl.second, "rank-table-drift",
+                       "documented value " + std::to_string(vl.first) +
+                           " for " + name + " disagrees with lock_ranks.def "
+                           "(" +
+                           std::to_string(it->second) + ")"});
+      }
+    }
+    for (const RankEntry& e : table.entries) {
+      if (rows.count(e.name) == 0) {
+        raw.push_back({doc.first, 1, "rank-table-drift",
+                       "rank " + e.name +
+                           " (lock_ranks.def) is missing from the rank "
+                           "table in " +
+                           doc.first});
+      }
+    }
+  }
+
+  // ---- rule: blocking-under-lock-transitive --------------------------------
+  for (std::size_t i = 0; i < prog.fns.size(); ++i) {
+    const Function& f = prog.fns[i];
+    for (const BlockSite& b : f.blocks) {
+      if (b.held_vars.empty()) continue;
+      raw.push_back({f.file, b.line, "blocking-under-lock-transitive",
+                     "blocking '" + b.what + "' while holding " +
+                         held_label(f, b.held_vars) +
+                         "; release the lock first"});
+    }
+    for (std::size_t c = 0; c < f.calls.size(); ++c) {
+      const CallSite& cs = f.calls[c];
+      if (cs.held_vars.empty()) continue;
+      for (std::size_t idx : cands[i][c]) {
+        const Function& callee = prog.fns[idx];
+        if (callee.has_lock_param && cs.passes_held_guard) {
+          // The callee manages the caller's lock (pump-style handoff): it
+          // only counts when it blocks with that lock still held, or when
+          // the caller holds *other* locks over a generally-blocking call.
+          if (callee.depth_param_held >= 0 &&
+              callee.depth_param_held + 1 <= options.max_hops) {
+            raw.push_back(
+                {f.file, cs.line, "blocking-under-lock-transitive",
+                 "call to '" + cs.callee + "' blocks " +
+                     std::to_string(callee.depth_param_held + 1) +
+                     " hop(s) down without releasing the passed lock (" +
+                     held_label(f, cs.held_vars) + "): " + cs.callee +
+                     " -> " + callee.witness_param});
+          }
+          std::vector<std::string> other;
+          for (const std::string& v : cs.held_vars) {
+            if (std::find(cs.passed_mutex_vars.begin(),
+                          cs.passed_mutex_vars.end(),
+                          v) == cs.passed_mutex_vars.end()) {
+              other.push_back(v);
+            }
+          }
+          if (!other.empty() && callee.depth_general >= 0 &&
+              callee.depth_general + 1 <= options.max_hops) {
+            raw.push_back(
+                {f.file, cs.line, "blocking-under-lock-transitive",
+                 "call to '" + cs.callee + "' reaches blocking " +
+                     std::to_string(callee.depth_general + 1) +
+                     " hop(s) down while holding " + held_label(f, other) +
+                     ": " + cs.callee + " -> " + callee.witness_general});
+          }
+        } else if (callee.depth_general >= 0 &&
+                   callee.depth_general + 1 <= options.max_hops) {
+          raw.push_back(
+              {f.file, cs.line, "blocking-under-lock-transitive",
+               "call to '" + cs.callee + "' reaches blocking " +
+                   std::to_string(callee.depth_general + 1) +
+                   " hop(s) down while holding " +
+                   held_label(f, cs.held_vars) + ": " + cs.callee + " -> " +
+                   callee.witness_general});
+        }
+      }
+    }
+  }
+
+  // ---- rule: callback-exception-escape -------------------------------------
+  {
+    std::function<bool(const std::string&, const std::string&, int)>
+        fn_passes_name = [&](const std::string& name,
+                             const std::string& cls_pref, int d) -> bool {
+      const auto [b, e] = prog.by_name.equal_range(name);
+      if (b == e) return false;  // unresolved entry: conservatively flag
+      std::vector<std::size_t> all;
+      for (auto it = b; it != e; ++it) all.push_back(it->second);
+      std::vector<std::size_t> preferred;
+      for (std::size_t idx : all) {
+        if (prog.fns[idx].cls == cls_pref) preferred.push_back(idx);
+      }
+      const std::vector<std::size_t>& picked =
+          preferred.empty() ? all : preferred;
+      for (std::size_t idx : picked) {
+        const Function& f = prog.fns[idx];
+        if (f.is_noexcept || f.has_catch_all) continue;
+        if (d < 3 && !f.delegate.empty() &&
+            fn_passes_name(f.delegate, f.cls, d + 1)) {
+          continue;
+        }
+        return false;
+      }
+      return true;
+    };
+    for (const EntrySite& e : prog.entries) {
+      bool ok;
+      if (e.is_lambda) {
+        ok = e.lam_noexcept || e.lam_catch_all || e.lam_trivial;
+        if (!ok && !e.lam_delegate.empty()) {
+          ok = fn_passes_name(e.lam_delegate, e.enclosing_cls, 0);
+        }
+      } else {
+        ok = fn_passes_name(e.target,
+                            e.target_cls.empty() ? e.enclosing_cls
+                                                 : e.target_cls,
+                            0);
+      }
+      if (!ok) {
+        raw.push_back(
+            {e.file, e.line, "callback-exception-escape",
+             "thread entry '" + e.desc +
+                 "' can leak an exception across the thread boundary "
+                 "(std::terminate tears down the rank); make it noexcept "
+                 "or wrap the body in try { ... } catch (...)"});
+      }
+    }
+  }
+
+  // ---- rule: wait-without-predicate ----------------------------------------
+  for (const WaitSite& w : prog.waits) {
+    const bool cv_like = lower(w.recv).find("cv") != std::string::npos ||
+                         prog.cv_vars.count(w.recv) != 0;
+    if (!cv_like) continue;
+    const int required = w.method == "wait" ? 2 : 3;
+    if (w.argc < required) {
+      raw.push_back({w.file, w.line, "wait-without-predicate",
+                     "'" + w.recv + "." + w.method +
+                         "' has no predicate: spurious wakeups and missed "
+                         "notifies go unnoticed; pass the condition as a "
+                         "lambda"});
+    }
+  }
+
+  // ---- suppression filtering + missing-reason ------------------------------
+  for (const auto& [path, lexed] : prog.lexed) {
+    for (Diagnostic& d : lint::missing_reason_diags(path, lexed)) {
+      raw.push_back(std::move(d));
+    }
+    for (lint::Suppression& s : lint::collect_suppressions(path, lexed)) {
+      result.suppressions.push_back(std::move(s));
+    }
+  }
+  std::set<std::string> seen;
+  for (Diagnostic& d : raw) {
+    const auto lx = prog.lexed.find(d.file);
+    if (lx != prog.lexed.end() && d.rule != "missing-reason" &&
+        lint::allow_covers(lx->second, d.line, d.rule)) {
+      continue;
+    }
+    if (seen.insert(d.file + ":" + std::to_string(d.line) + ":" + d.rule)
+            .second) {
+      result.findings.push_back(std::move(d));
+    }
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  std::sort(result.suppressions.begin(), result.suppressions.end(),
+            [](const Suppression& a, const Suppression& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return result;
+}
+
+std::string to_json(const Result& result) {
+  auto esc = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+  std::string json = "{\n  \"files_scanned\": " +
+                     std::to_string(result.files_scanned) +
+                     ",\n  \"functions_indexed\": " +
+                     std::to_string(result.functions_indexed) +
+                     ",\n  \"call_edges\": " +
+                     std::to_string(result.call_edges) +
+                     ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Diagnostic& d = result.findings[i];
+    json += (i == 0 ? "\n" : ",\n");
+    json += "    {\"file\": \"" + esc(d.file) + "\", \"line\": " +
+            std::to_string(d.line) + ", \"rule\": \"" + esc(d.rule) +
+            "\", \"message\": \"" + esc(d.message) + "\"}";
+  }
+  json += result.findings.empty() ? "],\n" : "\n  ],\n";
+  json += "  \"suppressions\": [";
+  for (std::size_t i = 0; i < result.suppressions.size(); ++i) {
+    const Suppression& s = result.suppressions[i];
+    json += (i == 0 ? "\n" : ",\n");
+    json += "    {\"file\": \"" + esc(s.file) + "\", \"line\": " +
+            std::to_string(s.line) + ", \"rule\": \"" + esc(s.rule) +
+            "\", \"reason\": \"" + esc(s.reason) + "\"}";
+  }
+  json += result.suppressions.empty() ? "]\n" : "\n  ]\n";
+  json += "}\n";
+  return json;
+}
+
+}  // namespace pardis::analyze

@@ -1,0 +1,127 @@
+// pardis-analyze: whole-program call-graph analysis for lock order,
+// blocking regions and thread-boundary exception safety.
+//
+// Where pardis-lint is a line-local scanner, pardis-analyze tokenizes the
+// whole tree (same shared lexer), builds a per-TU function index plus a
+// cross-TU call graph, and models lock regions: every RankedMutex guard
+// scope becomes a node in an acquired-before graph.  Four rules ride on
+// that model:
+//
+//   lock-order-inversion   an observed nesting (rank A held while rank B is
+//                          acquired, possibly through a call chain) whose
+//                          declared values are not strictly increasing.
+//   lock-order-cycle       a cycle in the observed acquired-before graph.
+//   rank-table-drift       the declared LockRank table (lock_ranks.def)
+//                          disagrees with itself (duplicate values), with
+//                          the code (rank declared but never used / used
+//                          but never declared), or with the documented
+//                          table in docs/concurrency.md.
+//   blocking-under-lock-transitive
+//                          a blocking operation (socket ops, Future::get,
+//                          condvar waits, admin_fetch...) reachable from a
+//                          guard scope within --max-hops call-graph hops.
+//   callback-exception-escape
+//                          a thread entry point (reactor loop, worker-pool
+//                          job, detached thread body) that is neither
+//                          noexcept nor wrapped in a catch-all: an escaping
+//                          exception calls std::terminate and tears down
+//                          the rank.
+//   wait-without-predicate a condition-variable wait with no predicate
+//                          argument (spurious-wakeup hazard).
+//
+// Suppressions use the shared `// pardis-lint: allow(rule: reason)` syntax;
+// bare allows are missing-reason findings, exactly as in pardis-lint.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace pardis::analyze {
+
+using lint::Diagnostic;
+using lint::Suppression;
+
+struct Options {
+  /// Maximum call-graph depth for the transitive walks.  1 = only calls
+  /// textually under the guard; N lets the blocking primitive (or nested
+  /// acquire) sit N-1 frames below the called function.
+  int max_hops = 3;
+
+  /// Report ranks declared in lock_ranks.def but never used by any scanned
+  /// RankedMutex.  On for whole-tree runs; fixture tests (which scan a few
+  /// files) turn it off.
+  bool check_unused_ranks = true;
+
+  /// Leaf operations that suspend the calling thread.
+  std::set<std::string> blocking_primitives{
+      "send",       "recv",        "recv_or_throw",
+      "accept",     "accept4",     "connect",
+      "transmit",   "sleep_for",   "sleep_until",
+      "precise_sleep_until",       "admin_fetch",
+      "write",      "read",        "poll",
+      "epoll_wait", "select",      "join",
+  };
+
+  /// Method names too common to resolve by name alone: a member call only
+  /// resolves to a class's method when the receiver expression hints at the
+  /// class (e.g. `reply_future_.get()` -> Future::get).  Free calls to
+  /// these names never resolve.
+  std::set<std::string> generic_names{
+      "get",  "put",   "run",   "close",  "open",  "start",   "stop",
+      "size", "reset", "clear", "post",   "flush", "next",    "begin",
+      "end",  "count", "value", "insert", "erase", "push",    "pop",
+      "add",  "set",   "wait",  "record", "find",  "reserve", "resize",
+  };
+};
+
+/// One rank parsed from lock_ranks.def.
+struct RankEntry {
+  std::string name;
+  int value = 0;
+  int line = 0;  // line in the .def file
+};
+
+struct RankTable {
+  std::vector<RankEntry> entries;
+  std::map<std::string, int> values;  // name -> value
+
+  bool known(const std::string& name) const {
+    return values.count(name) != 0;
+  }
+};
+
+/// Parses PARDIS_LOCK_RANK(name, value, "desc") entries.  Malformed lines
+/// become rank-table-drift diagnostics.
+RankTable parse_rank_table(const std::string& path, const std::string& text,
+                           std::vector<Diagnostic>& diags);
+
+/// One source file: (path, contents).
+using Source = std::pair<std::string, std::string>;
+
+struct Result {
+  std::vector<Diagnostic> findings;       // after suppression filtering
+  std::vector<Suppression> suppressions;  // every allow() in the inputs
+  int files_scanned = 0;
+  int functions_indexed = 0;
+  int call_edges = 0;
+};
+
+/// Whole-program analysis over the given sources.  `ranks_path`/`ranks_text`
+/// is the lock_ranks.def table; `docs` are optional markdown files whose
+/// `| \`kRank\` | value |` tables are cross-checked against it.
+Result analyze(const std::vector<Source>& sources,
+               const std::string& ranks_path, const std::string& ranks_text,
+               const std::vector<Source>& docs, const Options& options = {});
+
+/// All rule names, for --rules.
+const std::vector<std::string>& rule_names();
+
+/// JSON findings report (findings + suppressions + counters) for CI.
+std::string to_json(const Result& result);
+
+}  // namespace pardis::analyze

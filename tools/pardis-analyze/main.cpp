@@ -1,0 +1,204 @@
+// pardis-analyze CLI: whole-program concurrency analysis.
+//
+//   pardis-analyze [options] <file-or-dir>...
+//       --ranks PATH     lock_ranks.def location (default:
+//                        src/pardis/common/lock_ranks.def under the first
+//                        scanned root, then the path itself)
+//       --docs PATH      markdown file whose rank table is cross-checked
+//                        against lock_ranks.def (repeatable)
+//       --max-hops N     transitive walk depth (default 3)
+//       --no-unused      skip the declared-but-unused rank drift check
+//       --json FILE      also write a JSON report (findings, suppressions,
+//                        counters) for CI artifacts
+//       --rules          list the rule names
+//       --list-suppressions <paths>   inventory allow() directives
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+std::vector<fs::path> collect(const std::vector<std::string>& args) {
+  std::vector<fs::path> files;
+  for (const std::string& arg : args) {
+    const fs::path p(arg);
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && is_cpp_source(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "pardis-analyze: no such file or directory: " << arg
+                << "\n";
+      std::exit(2);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  if (!in) {
+    std::cerr << "pardis-analyze: cannot read " << p << "\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int usage() {
+  std::cerr << "usage: pardis-analyze [--ranks PATH] [--docs PATH]... "
+               "[--max-hops N] [--no-unused] [--json FILE] <file-or-dir>...\n"
+               "       pardis-analyze --rules\n"
+               "       pardis-analyze --list-suppressions <file-or-dir>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  if (args.size() == 1 && args[0] == "--rules") {
+    for (const std::string& rule : pardis::analyze::rule_names()) {
+      std::cout << rule << "\n";
+    }
+    return 0;
+  }
+
+  pardis::analyze::Options options;
+  std::string ranks_arg;
+  std::string json_path;
+  std::vector<std::string> doc_args;
+  std::vector<std::string> paths;
+  bool list_suppressions = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        std::exit(usage());
+      }
+      return args[++i];
+    };
+    if (a == "--ranks") {
+      ranks_arg = value();
+    } else if (a == "--docs") {
+      doc_args.push_back(value());
+    } else if (a == "--max-hops") {
+      try {
+        options.max_hops = std::stoi(value());
+      } catch (...) {
+        return usage();
+      }
+      if (options.max_hops < 1) return usage();
+    } else if (a == "--no-unused") {
+      options.check_unused_ranks = false;
+    } else if (a == "--json") {
+      json_path = value();
+    } else if (a == "--list-suppressions") {
+      list_suppressions = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  std::vector<pardis::analyze::Source> sources;
+  for (const fs::path& file : collect(paths)) {
+    sources.emplace_back(file.generic_string(), slurp(file));
+  }
+
+  if (list_suppressions) {
+    std::size_t count = 0;
+    for (const auto& [path, text] : sources) {
+      for (const auto& s : pardis::lint::list_suppressions(path, text)) {
+        std::cout << s.file << ":" << s.line << ": allow(" << s.rule
+                  << "): "
+                  << (s.reason.empty() ? "<missing reason>" : s.reason)
+                  << "\n";
+        ++count;
+      }
+    }
+    std::cerr << "pardis-analyze: " << sources.size() << " files, " << count
+              << " suppression(s)\n";
+    return 0;
+  }
+
+  // Locate lock_ranks.def: explicit --ranks wins, else look under each
+  // scanned root, else next to the binary's source tree layout.
+  fs::path ranks_path;
+  if (!ranks_arg.empty()) {
+    ranks_path = ranks_arg;
+  } else {
+    for (const std::string& p : paths) {
+      for (const fs::path& cand :
+           {fs::path(p) / "pardis/common/lock_ranks.def",
+            fs::path(p) / "src/pardis/common/lock_ranks.def"}) {
+        if (fs::is_regular_file(cand)) {
+          ranks_path = cand;
+          break;
+        }
+      }
+      if (!ranks_path.empty()) break;
+    }
+    if (ranks_path.empty() &&
+        fs::is_regular_file("src/pardis/common/lock_ranks.def")) {
+      ranks_path = "src/pardis/common/lock_ranks.def";
+    }
+  }
+  if (ranks_path.empty() || !fs::is_regular_file(ranks_path)) {
+    std::cerr << "pardis-analyze: cannot find lock_ranks.def (use --ranks)\n";
+    return 2;
+  }
+
+  std::vector<pardis::analyze::Source> docs;
+  for (const std::string& d : doc_args) {
+    docs.emplace_back(fs::path(d).generic_string(), slurp(d));
+  }
+
+  const pardis::analyze::Result result = pardis::analyze::analyze(
+      sources, ranks_path.generic_string(), slurp(ranks_path), docs,
+      options);
+
+  for (const auto& d : result.findings) {
+    std::cout << pardis::lint::format(d) << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "pardis-analyze: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << pardis::analyze::to_json(result);
+  }
+  std::cerr << "pardis-analyze: " << result.files_scanned << " files, "
+            << result.functions_indexed << " functions, "
+            << result.call_edges << " call edges, "
+            << result.findings.size() << " finding(s), "
+            << result.suppressions.size() << " suppression(s)\n";
+  return result.findings.empty() ? 0 : 1;
+}

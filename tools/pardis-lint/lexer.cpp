@@ -1,0 +1,211 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pardis::lint {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+void record_allow(LexOutput& out, const std::string& comment, int line) {
+  const std::string marker = "pardis-lint: allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(marker, pos)) != std::string::npos) {
+    pos += marker.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos) break;
+    const std::string body = comment.substr(pos, close - pos);
+    const std::size_t colon = body.find(':');
+    Allow a;
+    if (colon == std::string::npos) {
+      a.rule = trim(body);
+    } else {
+      a.rule = trim(body.substr(0, colon));
+      a.reason = trim(body.substr(colon + 1));
+    }
+    if (!a.rule.empty()) out.allows[line].push_back(a);
+    pos = close;
+  }
+}
+
+}  // namespace
+
+LexOutput lex(const std::string& src) {
+  LexOutput out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line (honoring backslash
+    // continuations) so macro bodies and #includes don't trip rules.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments (keeping allow-directives).
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t end = src.find('\n', i);
+      const std::string body =
+          src.substr(i, end == std::string::npos ? std::string::npos : end - i);
+      record_allow(out, body, line);
+      i = end == std::string::npos ? n : end;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j < n && !(src[j] == '*' && j + 1 < n && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      record_allow(out, src.substr(i, j - i), start_line);
+      i = j < n ? j + 2 : n;
+      continue;
+    }
+    // String / char literals (with escapes; raw strings unsupported — the
+    // tree has none and the IDL-style lexer keeps to the same subset).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      continue;
+    }
+    // Identifiers / keywords / numbers.
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) != 0 ||
+                       src[j] == '_')) {
+        ++j;
+      }
+      out.tokens.push_back({src.substr(i, j - i), line,
+                            std::isdigit(static_cast<unsigned char>(c)) == 0});
+      i = j;
+      continue;
+    }
+    // `::` as one token; everything else char-by-char.
+    if (c == ':' && peek(1) == ':') {
+      out.tokens.push_back({"::", line, false});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return out;
+}
+
+std::string format(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+         d.message;
+}
+
+bool allow_covers(const LexOutput& lexed, int line, const std::string& rule) {
+  for (int l : {line, line - 1}) {
+    const auto it = lexed.allows.find(l);
+    if (it == lexed.allows.end()) continue;
+    for (const Allow& a : it->second) {
+      if (a.rule == rule && !a.reason.empty()) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Diagnostic> missing_reason_diags(const std::string& path,
+                                             const LexOutput& lexed) {
+  std::vector<Diagnostic> diags;
+  for (const auto& [line, allows] : lexed.allows) {
+    for (const Allow& a : allows) {
+      if (a.reason.empty()) {
+        diags.push_back({path, line, "missing-reason",
+                         "suppression 'allow(" + a.rule +
+                             ")' has no reason; write // pardis-lint: "
+                             "allow(" +
+                             a.rule + ": why this pattern is safe)"});
+      }
+    }
+  }
+  return diags;
+}
+
+std::vector<Suppression> collect_suppressions(const std::string& path,
+                                              const LexOutput& lexed) {
+  std::vector<Suppression> out;
+  for (const auto& [line, allows] : lexed.allows) {
+    for (const Allow& a : allows) {
+      out.push_back({path, line, a.rule, a.reason});
+    }
+  }
+  return out;
+}
+
+bool path_matches_suffix(const std::string& path,
+                         const std::vector<std::string>& suffixes) {
+  return std::any_of(suffixes.begin(), suffixes.end(),
+                     [&](const std::string& s) {
+                       return path.size() >= s.size() &&
+                              path.compare(path.size() - s.size(), s.size(),
+                                           s) == 0;
+                     });
+}
+
+bool path_contains(const std::string& path,
+                   const std::vector<std::string>& fragments) {
+  return std::any_of(fragments.begin(), fragments.end(),
+                     [&](const std::string& f) {
+                       return path.find(f) != std::string::npos;
+                     });
+}
+
+std::size_t match_template_open(const std::vector<Token>& toks,
+                                std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i + 1; j-- > 0;) {
+    if (toks[j].text == ">") ++depth;
+    if (toks[j].text == "<") {
+      --depth;
+      if (depth == 0) return j;
+    }
+    if (toks[j].text == ";" || toks[j].text == "{") break;
+  }
+  return std::string::npos;
+}
+
+}  // namespace pardis::lint

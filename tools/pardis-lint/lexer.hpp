@@ -1,0 +1,83 @@
+// Shared token-stream front end for pardis-lint and pardis-analyze.
+//
+// Mirrors the IDL lexer's shape: a flat vector of (text, line) tokens with
+// comments, string/char literals and preprocessor lines stripped.  C++ is
+// richer than IDL, but the analysis rules only need identifiers and
+// structural punctuation; `::` is fused into one token so qualified names
+// are three tokens (`std`, `::`, `mutex`).
+//
+// Suppression directives survive lexing: `// pardis-lint: allow(rule:
+// reason)` attaches an Allow to its line.  The reason is mandatory — both
+// tools turn a bare `allow(rule)` into a `missing-reason` finding, so every
+// suppression in the tree documents why the pattern is safe.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pardis::lint {
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_ident = false;
+};
+
+/// One `allow(rule: reason)` directive.  `reason` is empty for the
+/// (erroneous) bare `allow(rule)` form.
+struct Allow {
+  std::string rule;
+  std::string reason;
+};
+
+struct LexOutput {
+  std::vector<Token> tokens;
+  // line -> suppression directives written in a comment on that line.
+  std::map<int, std::vector<Allow>> allows;
+};
+
+LexOutput lex(const std::string& src);
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// "file:line: [rule] message" — the clickable diagnostic format.
+std::string format(const Diagnostic& d);
+
+/// True when a reasoned `allow(rule: ...)` on `line` or the line above
+/// covers the diagnostic.  Bare (reason-less) allows never suppress.
+bool allow_covers(const LexOutput& lexed, int line, const std::string& rule);
+
+/// One `missing-reason` diagnostic per bare `allow(rule)` in the file.
+std::vector<Diagnostic> missing_reason_diags(const std::string& path,
+                                             const LexOutput& lexed);
+
+/// A suppression with its location, for the --list-suppressions inventory.
+struct Suppression {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string reason;  // empty = bare allow (itself a finding)
+};
+
+std::vector<Suppression> collect_suppressions(const std::string& path,
+                                              const LexOutput& lexed);
+
+// ---- shared path helpers ---------------------------------------------------
+
+bool path_matches_suffix(const std::string& path,
+                         const std::vector<std::string>& suffixes);
+
+bool path_contains(const std::string& path,
+                   const std::vector<std::string>& fragments);
+
+/// Index of the matching `<` for the `>` at `i`, or npos.
+std::size_t match_template_open(const std::vector<Token>& toks, std::size_t i);
+
+}  // namespace pardis::lint

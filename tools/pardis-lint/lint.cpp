@@ -1,174 +1,12 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <map>
 #include <set>
+
+#include "lexer.hpp"
 
 namespace pardis::lint {
 namespace {
-
-// ---- token stream ----------------------------------------------------------
-//
-// Mirrors the IDL lexer's shape: a flat vector of (text, line) tokens with
-// comments, string/char literals and preprocessor lines stripped.  C++ is
-// richer than IDL, but the lint rules only need identifiers and structural
-// punctuation; `::` is fused into one token so qualified names are three
-// tokens (`std`, `::`, `mutex`).
-
-struct Token {
-  std::string text;
-  int line = 0;
-  bool is_ident = false;
-};
-
-struct LexOutput {
-  std::vector<Token> tokens;
-  // line -> rules suppressed by a `pardis-lint: allow(rule)` comment there.
-  std::map<int, std::set<std::string>> allows;
-};
-
-void record_allow(LexOutput& out, const std::string& comment, int line) {
-  const std::string marker = "pardis-lint: allow(";
-  std::size_t pos = 0;
-  while ((pos = comment.find(marker, pos)) != std::string::npos) {
-    pos += marker.size();
-    const std::size_t close = comment.find(')', pos);
-    if (close == std::string::npos) break;
-    out.allows[line].insert(comment.substr(pos, close - pos));
-    pos = close;
-  }
-}
-
-LexOutput lex(const std::string& src) {
-  LexOutput out;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  bool at_line_start = true;  // only whitespace seen since the newline
-
-  auto peek = [&](std::size_t k) -> char {
-    return i + k < n ? src[i + k] : '\0';
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      at_line_start = true;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: skip to end of line (honoring backslash
-    // continuations) so macro bodies and #includes don't trip rules.
-    if (c == '#' && at_line_start) {
-      while (i < n) {
-        if (src[i] == '\\' && peek(1) == '\n') {
-          ++line;
-          i += 2;
-          continue;
-        }
-        if (src[i] == '\n') break;
-        ++i;
-      }
-      continue;
-    }
-    at_line_start = false;
-    // Comments (keeping allow-directives).
-    if (c == '/' && peek(1) == '/') {
-      const std::size_t end = src.find('\n', i);
-      const std::string body =
-          src.substr(i, end == std::string::npos ? std::string::npos : end - i);
-      record_allow(out, body, line);
-      i = end == std::string::npos ? n : end;
-      continue;
-    }
-    if (c == '/' && peek(1) == '*') {
-      const int start_line = line;
-      std::size_t j = i + 2;
-      while (j < n && !(src[j] == '*' && j + 1 < n && src[j + 1] == '/')) {
-        if (src[j] == '\n') ++line;
-        ++j;
-      }
-      record_allow(out, src.substr(i, j - i), start_line);
-      i = j < n ? j + 2 : n;
-      continue;
-    }
-    // String / char literals (with escapes; raw strings unsupported — the
-    // tree has none and the IDL-style lexer keeps to the same subset).
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\' && i + 1 < n) ++i;
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      if (i < n) ++i;  // closing quote
-      continue;
-    }
-    // Identifiers / keywords / numbers.
-    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
-      std::size_t j = i;
-      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) != 0 ||
-                       src[j] == '_')) {
-        ++j;
-      }
-      out.tokens.push_back({src.substr(i, j - i), line,
-                            std::isdigit(static_cast<unsigned char>(c)) == 0});
-      i = j;
-      continue;
-    }
-    // `::` as one token; everything else char-by-char.
-    if (c == ':' && peek(1) == ':') {
-      out.tokens.push_back({"::", line, false});
-      i += 2;
-      continue;
-    }
-    out.tokens.push_back({std::string(1, c), line, false});
-    ++i;
-  }
-  return out;
-}
-
-// ---- helpers ---------------------------------------------------------------
-
-bool path_matches_suffix(const std::string& path,
-                         const std::vector<std::string>& suffixes) {
-  return std::any_of(suffixes.begin(), suffixes.end(),
-                     [&](const std::string& s) {
-                       return path.size() >= s.size() &&
-                              path.compare(path.size() - s.size(), s.size(),
-                                           s) == 0;
-                     });
-}
-
-bool path_contains(const std::string& path,
-                   const std::vector<std::string>& fragments) {
-  return std::any_of(fragments.begin(), fragments.end(),
-                     [&](const std::string& f) {
-                       return path.find(f) != std::string::npos;
-                     });
-}
-
-/// Index of the matching `<` for the `>` at `i`, or npos.
-std::size_t match_template_open(const std::vector<Token>& toks,
-                                std::size_t i) {
-  int depth = 0;
-  for (std::size_t j = i + 1; j-- > 0;) {
-    if (toks[j].text == ">") ++depth;
-    if (toks[j].text == "<") {
-      --depth;
-      if (depth == 0) return j;
-    }
-    if (toks[j].text == ";" || toks[j].text == "{") break;
-  }
-  return std::string::npos;
-}
 
 const std::set<std::string>& blocking_calls() {
   // Calls that block on the simulated wire or wall clock: making one while
@@ -200,13 +38,13 @@ const std::set<std::string>& mutex_types() {
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kRules{
       "relaxed-order", "raw-mutex", "blocking-under-lock", "raw-new-delete",
-      "unframed-send"};
+      "unframed-send", "missing-reason"};
   return kRules;
 }
 
-std::string format(const Diagnostic& d) {
-  return d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
-         d.message;
+std::vector<Suppression> list_suppressions(const std::string& path,
+                                           const std::string& text) {
+  return collect_suppressions(path, lex(text));
 }
 
 std::vector<Diagnostic> scan_source(const std::string& path,
@@ -215,13 +53,12 @@ std::vector<Diagnostic> scan_source(const std::string& path,
   const LexOutput lexed = lex(text);
   const std::vector<Token>& toks = lexed.tokens;
 
-  std::vector<Diagnostic> diags;
+  // A suppression only counts when it carries a reason; bare allows are
+  // themselves findings (missing-reason) and suppress nothing.
+  std::vector<Diagnostic> diags = missing_reason_diags(path, lexed);
   auto report = [&](int line, const std::string& rule,
                     const std::string& message) {
-    for (int l : {line, line - 1}) {
-      const auto it = lexed.allows.find(l);
-      if (it != lexed.allows.end() && it->second.count(rule) != 0) return;
-    }
+    if (allow_covers(lexed, line, rule)) return;
     diags.push_back({path, line, rule, message});
   };
 
@@ -382,6 +219,10 @@ std::vector<Diagnostic> scan_source(const std::string& path,
       }
     }
   }
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
   return diags;
 }
 

@@ -19,23 +19,20 @@
 //                        frame must go through send_frame/send_mux_frame/
 //                        send_framed (framing.hpp) so the request-ID mux
 //                        prologue cannot be bypassed.
+//   missing-reason       a suppression written as bare `allow(rule)` — every
+//                        suppression must carry a reason.
 //
-// A diagnostic can be suppressed with `// pardis-lint: allow(<rule>)` on
-// the same line or the line above.
+// A diagnostic can be suppressed with `// pardis-lint: allow(<rule>:
+// <reason>)` on the same line or the line above.  The reason is mandatory.
 
 #pragma once
 
 #include <string>
 #include <vector>
 
-namespace pardis::lint {
+#include "lexer.hpp"
 
-struct Diagnostic {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
+namespace pardis::lint {
 
 struct Options {
   /// Path suffixes where memory_order_relaxed is allowed (monotonic
@@ -65,7 +62,8 @@ std::vector<Diagnostic> scan_source(const std::string& path,
                                     const std::string& text,
                                     const Options& options = {});
 
-/// "file:line: [rule] message" — the clickable diagnostic format.
-std::string format(const Diagnostic& d);
+/// All suppression directives in one source, for --list-suppressions.
+std::vector<Suppression> list_suppressions(const std::string& path,
+                                           const std::string& text);
 
 }  // namespace pardis::lint

@@ -3,6 +3,9 @@
 //   pardis-lint <file-or-dir>...   scan, print file:line diagnostics,
 //                                  exit 1 when anything fires
 //   pardis-lint --rules            list the rule names
+//   pardis-lint --list-suppressions <file-or-dir>...
+//                                  inventory every allow(rule: reason)
+//                                  directive (suppression debt audit)
 
 #include <algorithm>
 #include <filesystem>
@@ -58,6 +61,15 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  bool list_suppressions = false;
+  if (!args.empty() && args[0] == "--list-suppressions") {
+    list_suppressions = true;
+    args.erase(args.begin());
+    if (args.empty()) {
+      std::cerr << "usage: pardis-lint --list-suppressions <file-or-dir>...\n";
+      return 2;
+    }
+  }
 
   const pardis::lint::Options options;
   std::size_t count = 0;
@@ -71,11 +83,26 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     ++files;
+    if (list_suppressions) {
+      for (const auto& s : pardis::lint::list_suppressions(
+               file.generic_string(), buf.str())) {
+        std::cout << s.file << ":" << s.line << ": allow(" << s.rule << "): "
+                  << (s.reason.empty() ? "<missing reason>" : s.reason)
+                  << "\n";
+        ++count;
+      }
+      continue;
+    }
     for (const auto& d : pardis::lint::scan_source(file.generic_string(),
                                                    buf.str(), options)) {
       std::cout << pardis::lint::format(d) << "\n";
       ++count;
     }
+  }
+  if (list_suppressions) {
+    std::cerr << "pardis-lint: " << files << " files, " << count
+              << " suppression(s)\n";
+    return 0;
   }
   std::cerr << "pardis-lint: " << files << " files, " << count
             << " finding(s)\n";
