@@ -1,0 +1,47 @@
+#include "pardis/io/engine.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "pardis/common/error.hpp"
+#include "pardis/common/log.hpp"
+
+namespace pardis::io {
+
+const char* to_string(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kEpoll:
+      return "epoll";
+    case EngineKind::kUring:
+      return "uring";
+  }
+  return "?";
+}
+
+EngineKind engine_kind_from_env() {
+  const char* raw = std::getenv("PARDIS_IO_ENGINE");
+  const std::string value = raw != nullptr ? raw : "";
+  if (value.empty() || value == "epoll") return EngineKind::kEpoll;
+  if (value == "uring") {
+    if (uring_supported()) return EngineKind::kUring;
+    PARDIS_LOG_WARN << "PARDIS_IO_ENGINE=uring requested but io_uring is "
+                       "unavailable on this kernel/build; falling back to "
+                       "epoll";
+    return EngineKind::kEpoll;
+  }
+  throw BAD_PARAM("PARDIS_IO_ENGINE: expected 'epoll' or 'uring', got '" +
+                  value + "'");
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind) {
+  if (kind == EngineKind::kUring) {
+    auto engine = detail::make_uring_engine();
+    if (engine == nullptr) {
+      throw INTERNAL("io_uring engine requested but unsupported here");
+    }
+    return engine;
+  }
+  return detail::make_epoll_engine();
+}
+
+}  // namespace pardis::io

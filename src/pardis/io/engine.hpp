@@ -1,0 +1,91 @@
+// Readiness-notification engine behind the reactor shards.
+//
+// One shard thread blocks in Engine::wait() and dispatches the fds it
+// returns; other threads add and remove fds (watch/unwatch) and interrupt
+// the wait (wake).  Two backends implement the interface:
+//
+//   * EpollEngine — level-triggered epoll + eventfd wakeup.  The default,
+//     and the fallback everywhere io_uring is unavailable.
+//   * UringEngine — raw-syscall io_uring (no liburing dependency): oneshot
+//     IORING_OP_POLL_ADD per fd, re-armed by the shard thread after each
+//     dispatch.  Compiled only when <linux/io_uring.h> exists; selected at
+//     runtime only when io_uring_setup succeeds (containers and seccomp
+//     policies commonly deny it even on new kernels).
+//
+// Selection: PARDIS_IO_ENGINE=epoll|uring (unset → epoll).  Requesting
+// uring where it is unsupported logs a warning and falls back to epoll —
+// the knob is a performance hint, not a correctness switch.  Any other
+// value throws BAD_PARAM.
+//
+// Threading contract (what the two implementations must provide):
+//   * wait() is called by exactly one thread (the owning shard's);
+//   * watch/unwatch/wake may be called from any thread, concurrently;
+//   * unwatch(fd) guarantees that once it returns, a concurrent or later
+//     wait() may still *report* the fd at most from events already in
+//     flight — callers (ReactorShard) must tolerate stale readiness for a
+//     removed fd, which they already do via the weak_ptr handler map;
+//   * rearm(fd) is called only from the wait() thread, after dispatching
+//     the fd's readiness (no-op for level-triggered epoll).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pardis::io {
+
+enum class EngineKind : std::uint8_t { kEpoll = 0, kUring = 1 };
+
+const char* to_string(EngineKind kind) noexcept;
+
+/// True when this process can actually create an io_uring instance
+/// (header present at build time AND io_uring_setup succeeds at runtime).
+/// Probed once and cached.
+bool uring_supported() noexcept;
+
+/// Parses PARDIS_IO_ENGINE.  Unset/empty/"epoll" → kEpoll; "uring" →
+/// kUring when supported, else a logged fallback to kEpoll; anything else
+/// throws BAD_PARAM.
+EngineKind engine_kind_from_env();
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual EngineKind kind() const noexcept = 0;
+
+  /// Starts delivering readiness for `fd` (input direction).
+  virtual void watch(int fd) = 0;
+
+  /// Stops delivering readiness for `fd`.  The caller still owns the fd
+  /// and closes it afterwards.
+  virtual void unwatch(int fd) = 0;
+
+  /// Blocks until at least one watched fd is readable or wake() is
+  /// called; appends ready fds to `ready` (which the caller cleared).
+  /// Returns the number appended (0 on a pure wakeup).
+  virtual std::size_t wait(std::vector<int>& ready) = 0;
+
+  /// Re-arms readiness for `fd` after a dispatch.  Only the wait() thread
+  /// calls this.  Level-triggered backends make it a no-op.
+  virtual void rearm(int fd) = 0;
+
+  /// Interrupts a concurrent wait().  Callable from any thread.
+  virtual void wake() = 0;
+};
+
+/// Builds the requested backend; kUring where unsupported throws INTERNAL
+/// (callers are expected to have consulted uring_supported(), as
+/// engine_kind_from_env does).
+std::unique_ptr<Engine> make_engine(EngineKind kind);
+
+namespace detail {
+// Per-backend factories (epoll_engine.cpp / uring_engine.cpp).  The uring
+// factory returns null when the backend is compiled out or the runtime
+// probe fails.
+std::unique_ptr<Engine> make_epoll_engine();
+std::unique_ptr<Engine> make_uring_engine();
+}  // namespace detail
+
+}  // namespace pardis::io

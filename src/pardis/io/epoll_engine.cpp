@@ -1,0 +1,126 @@
+// Level-triggered epoll backend — the default readiness engine, ported
+// from the original single-reactor TcpTransport loop.  Stateless beyond
+// the two kernel fds: registration lives in the kernel's interest list,
+// so watch/unwatch are plain epoll_ctl calls and need no user-space lock.
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "pardis/common/error.hpp"
+#include "pardis/common/log.hpp"
+#include "pardis/io/engine.hpp"
+
+namespace pardis::io {
+
+namespace {
+
+std::string errno_text(int err) {
+  std::array<char, 128> buf{};
+  return std::string(strerror_r(err, buf.data(), buf.size()));
+}
+
+class EpollEngine final : public Engine {
+ public:
+  EpollEngine() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      throw INTERNAL("epoll_create1 failed: " + errno_text(errno));
+    }
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+      const int err = errno;
+      ::close(epoll_fd_);
+      throw INTERNAL("eventfd failed: " + errno_text(err));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+      const int err = errno;
+      ::close(wake_fd_);
+      ::close(epoll_fd_);
+      throw INTERNAL("epoll_ctl(wake) failed: " + errno_text(err));
+    }
+  }
+
+  ~EpollEngine() override {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+  }
+
+  EngineKind kind() const noexcept override { return EngineKind::kEpoll; }
+
+  void watch(int fd) override {
+    epoll_event ev{};
+    ev.events = EPOLLIN;  // level-triggered: re-reported until drained
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      throw INTERNAL("epoll_ctl(add) failed: " + errno_text(errno));
+    }
+  }
+
+  void unwatch(int fd) override {
+    // The fd may already be gone (peer close raced with teardown); only
+    // surprising errors are worth a log line, none are worth throwing on
+    // a teardown path.
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0 &&
+        errno != ENOENT && errno != EBADF) {
+      PARDIS_LOG_DEBUG << "epoll_ctl(del) failed: " << errno_text(errno);
+    }
+  }
+
+  std::size_t wait(std::vector<int>& ready) override {
+    std::array<epoll_event, 64> events{};
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      throw INTERNAL("epoll_wait failed: " + errno_text(errno));
+    }
+    std::size_t appended = 0;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t rc =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      ready.push_back(fd);
+      ++appended;
+    }
+    return appended;
+  }
+
+  void rearm(int /*fd*/) override {
+    // Level-triggered: the kernel keeps reporting readiness until the
+    // handler drains the socket, so there is nothing to re-arm.
+  }
+
+  void wake() override {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+  }
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<Engine> make_epoll_engine() {
+  return std::make_unique<EpollEngine>();
+}
+
+}  // namespace detail
+
+}  // namespace pardis::io

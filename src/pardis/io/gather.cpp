@@ -1,0 +1,103 @@
+#include "pardis/io/gather.hpp"
+
+#include <sys/uio.h>
+
+#include <utility>
+
+#include "pardis/common/error.hpp"
+
+namespace pardis::io {
+
+namespace {
+
+// Shared zero block for pad_to: padding is a borrowed view into static
+// storage, so alignment never allocates.
+constexpr std::uint8_t kZeros[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+}  // namespace
+
+void GatherList::append(pardis::Bytes owned) {
+  if (owned.empty()) return;
+  Segment seg;
+  seg.owned = std::move(owned);
+  seg.view = pardis::BytesView(seg.owned);
+  total_ += seg.view.size();
+  segs_.push_back(std::move(seg));
+}
+
+void GatherList::append_view(pardis::BytesView view) {
+  if (view.empty()) return;
+  Segment seg;
+  seg.view = view;
+  total_ += view.size();
+  segs_.push_back(std::move(seg));
+}
+
+void GatherList::pad_to(std::size_t alignment) {
+  if (alignment == 0 || alignment > sizeof(kZeros) ||
+      (alignment & (alignment - 1)) != 0) {
+    throw BAD_PARAM("GatherList::pad_to: alignment must be a power of two <= 8");
+  }
+  const std::size_t rem = total_ % alignment;
+  if (rem != 0) append_view(pardis::BytesView(kZeros, alignment - rem));
+}
+
+pardis::BytesView GatherList::segment(std::size_t i) const noexcept {
+  return i < segs_.size() ? segs_[i].view : pardis::BytesView{};
+}
+
+pardis::Bytes GatherList::flatten() && {
+  pardis::Bytes out;
+  out.reserve(total_);
+  for (const Segment& seg : segs_) pardis::append(out, seg.view);
+  segs_.clear();
+  total_ = 0;
+  return out;
+}
+
+std::size_t GatherList::fill_iovecs(struct iovec* out, std::size_t max,
+                                    std::size_t skip) const noexcept {
+  std::size_t n = 0;
+  for (const Segment& seg : segs_) {
+    if (n == max) break;
+    if (skip >= seg.view.size()) {
+      skip -= seg.view.size();
+      continue;
+    }
+    out[n].iov_base =
+        const_cast<std::uint8_t*>(seg.view.data() + skip);  // NOLINT
+    out[n].iov_len = seg.view.size() - skip;
+    skip = 0;
+    ++n;
+  }
+  return n;
+}
+
+void WireMessage::set_prefix(std::uint32_t frame_len) noexcept {
+  prefix[0] = static_cast<std::uint8_t>((frame_len >> 24) & 0xff);
+  prefix[1] = static_cast<std::uint8_t>((frame_len >> 16) & 0xff);
+  prefix[2] = static_cast<std::uint8_t>((frame_len >> 8) & 0xff);
+  prefix[3] = static_cast<std::uint8_t>(frame_len & 0xff);
+}
+
+std::size_t WireMessage::total_bytes() const noexcept {
+  return sizeof(prefix) + (payload != nullptr ? payload->total_bytes() : 0);
+}
+
+std::size_t WireMessage::fill_iovecs(struct iovec* out, std::size_t max,
+                                     std::size_t skip) const noexcept {
+  std::size_t n = 0;
+  if (skip < sizeof(prefix)) {
+    if (max == 0) return 0;
+    out[0].iov_base = const_cast<std::uint8_t*>(prefix + skip);  // NOLINT
+    out[0].iov_len = sizeof(prefix) - skip;
+    skip = 0;
+    n = 1;
+  } else {
+    skip -= sizeof(prefix);
+  }
+  if (payload != nullptr) n += payload->fill_iovecs(out + n, max - n, skip);
+  return n;
+}
+
+}  // namespace pardis::io

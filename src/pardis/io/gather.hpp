@@ -1,0 +1,108 @@
+// Scatter-gather wire-message builder (DESIGN.md "zero-copy tx path").
+//
+// The paper's evaluation (Tables 1-2, Figure 4) is an accounting of where
+// argument bytes get copied; the transport's job is to not add copies of
+// its own.  A GatherList is an ordered sequence of byte segments — some
+// owned (moved-in Bytes buffers), some borrowed views into caller storage —
+// that the TCP backend hands to `writev` as an iovec array, so the ORB
+// prologue, transfer headers, and POD dsequence local_data blocks reach the
+// kernel without ever being packed into one staging buffer.
+//
+// Buffer-lifetime contract
+// ------------------------
+// Sends in this repo are *synchronous*: `Stream::sendv` returns only after
+// the final byte has been accepted by the kernel (or throws).  Therefore:
+//
+//   * owned segments (append) are pinned by the GatherList itself;
+//   * borrowed segments (append_view) must point into storage that the
+//     caller keeps alive across the sendv call — which is trivially true
+//     for locals in the calling frame.  Nothing retains a view after sendv
+//     returns.
+//
+// If a future backend completes writes asynchronously it must either
+// flatten borrowed segments or take ownership; the contract above is what
+// transfer-layer callers are written against.
+//
+// Non-contiguous or very short messages fall back to a single flatten()
+// copy — one memcpy is cheaper than a long iovec for tiny frames, and some
+// paths (the sim backend, frame validation in tests) want contiguous bytes.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pardis/common/bytes.hpp"
+
+struct iovec;  // <sys/uio.h>; kept out of this header on purpose
+
+namespace pardis::io {
+
+class GatherList {
+ public:
+  GatherList() = default;
+  GatherList(GatherList&&) noexcept = default;
+  GatherList& operator=(GatherList&&) noexcept = default;
+  GatherList(const GatherList&) = delete;
+  GatherList& operator=(const GatherList&) = delete;
+
+  /// Appends an owned segment; the buffer is pinned until destruction.
+  /// Empty buffers are dropped (zero-length iovecs are legal but useless).
+  void append(pardis::Bytes owned);
+
+  /// Appends a borrowed segment.  See the lifetime contract above: the
+  /// caller keeps `view`'s storage alive until the send completes.
+  void append_view(pardis::BytesView view);
+
+  /// Pads with zero bytes so total_bytes() becomes a multiple of
+  /// `alignment` (power of two, <= 8).  Mirrors cdr::Encoder::align for
+  /// frames assembled segment-by-segment.
+  void pad_to(std::size_t alignment);
+
+  std::size_t total_bytes() const noexcept { return total_; }
+  std::size_t segment_count() const noexcept { return segs_.size(); }
+  bool empty() const noexcept { return total_ == 0; }
+
+  /// Read-only view of one segment (valid while the list lives).
+  pardis::BytesView segment(std::size_t i) const noexcept;
+
+  /// Copies every segment into one contiguous buffer — the documented
+  /// fallback path for short messages and for backends without
+  /// scatter-gather output (sim).  Consumes the list.
+  pardis::Bytes flatten() &&;
+
+  /// Fills up to `max` iovecs starting `skip` bytes into the message
+  /// (supporting partial-write resumption); returns how many were filled.
+  /// Pointers stay valid while the list is alive and unmodified.
+  std::size_t fill_iovecs(struct iovec* out, std::size_t max,
+                          std::size_t skip) const noexcept;
+
+ private:
+  struct Segment {
+    pardis::Bytes owned;        // empty for borrowed segments
+    pardis::BytesView view;     // always set; points into owned or caller
+  };
+
+  std::vector<Segment> segs_;
+  std::size_t total_ = 0;
+};
+
+/// A frame as it leaves a TCP stream: the 4-byte big-endian length prefix
+/// followed by the gathered payload.  Built inside TcpStream::sendv; the
+/// prefix lives in the WireMessage so it joins the same writev batch as
+/// the first payload segment (one syscall for header + prologue + data).
+struct WireMessage {
+  std::uint8_t prefix[4] = {0, 0, 0, 0};
+  const GatherList* payload = nullptr;
+
+  void set_prefix(std::uint32_t frame_len) noexcept;
+  std::size_t total_bytes() const noexcept;
+
+  /// Same contract as GatherList::fill_iovecs, with the prefix as the
+  /// leading pseudo-segment.
+  std::size_t fill_iovecs(struct iovec* out, std::size_t max,
+                          std::size_t skip) const noexcept;
+};
+
+}  // namespace pardis::io

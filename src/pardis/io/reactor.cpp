@@ -1,0 +1,131 @@
+#include "pardis/io/reactor.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "pardis/common/log.hpp"
+#include "pardis/obs/observability.hpp"
+
+namespace pardis::io {
+
+ReactorShard::ReactorShard(std::size_t index, EngineKind kind,
+                           obs::Observability* obs,
+                           const std::string& metric_prefix,
+                           std::uint32_t trace_pid)
+    : index_(index), engine_(make_engine(kind)), obs_(obs),
+      trace_pid_(trace_pid) {
+  if (obs_ != nullptr) {
+    const std::string shard_prefix =
+        metric_prefix + "." + std::to_string(index_);
+    wakeups_ = &obs_->metrics().counter(shard_prefix + ".wakeups");
+    wakeups_total_ = &obs_->metrics().counter(metric_prefix + ".wakeups");
+    fds_ = &obs_->metrics().gauge(shard_prefix + ".fds");
+    batch_ = &obs_->metrics().histogram(shard_prefix + ".batch");
+  }
+  thread_ = std::thread([this] {
+    try {
+      run();
+    } catch (const std::exception& e) {
+      PARDIS_LOG_WARN << "reactor shard " << index_
+                      << " exiting on unexpected error: " << e.what();
+    } catch (...) {
+      PARDIS_LOG_WARN << "reactor shard " << index_
+                      << " exiting on unexpected error";
+    }
+  });
+}
+
+ReactorShard::~ReactorShard() {
+  stop_.store(true, std::memory_order_release);
+  engine_->wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ReactorShard::add(int fd, const std::shared_ptr<FdHandler>& handler) {
+  {
+    const std::lock_guard<common::RankedMutex> lock(mu_);
+    handlers_[fd] = handler;
+  }
+  // Registry first, then engine: a readiness event that fires immediately
+  // must find its handler.
+  engine_->watch(fd);
+  if (fds_ != nullptr) fds_->add(1);
+}
+
+void ReactorShard::remove(int fd) {
+  engine_->unwatch(fd);
+  bool erased = false;
+  {
+    const std::lock_guard<common::RankedMutex> lock(mu_);
+    erased = handlers_.erase(fd) != 0;
+  }
+  if (erased && fds_ != nullptr) fds_->add(-1);
+}
+
+std::size_t ReactorShard::watched() const {
+  const std::lock_guard<common::RankedMutex> lock(mu_);
+  return handlers_.size();
+}
+
+void ReactorShard::run() {
+  obs::Tracer* tracer = obs_ != nullptr ? &obs_->tracer() : nullptr;
+  std::vector<int> ready;
+  while (!stop_.load(std::memory_order_acquire)) {
+    ready.clear();
+    engine_->wait(ready);
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (wakeups_ != nullptr) {
+      wakeups_->add();
+      wakeups_total_->add();
+      batch_->add(static_cast<double>(ready.size()));
+    }
+    const auto dispatch = [&] {
+      for (const int fd : ready) {
+        std::shared_ptr<FdHandler> handler;
+        {
+          const std::lock_guard<common::RankedMutex> lock(mu_);
+          auto it = handlers_.find(fd);
+          if (it != handlers_.end()) handler = it->second.lock();
+        }
+        // A handler that vanished between wait and here was removed (and
+        // possibly its fd reused); skipping is always safe — oneshot
+        // engines drop the stale arm, level-triggered ones never re-report
+        // an unregistered fd.
+        if (handler) handler->on_readable();
+        engine_->rearm(fd);
+      }
+    };
+    if (tracer != nullptr && tracer->enabled() && !ready.empty()) {
+      const obs::SpanGuard span(tracer, "reactor.drain", "reactor",
+                                trace_pid_, static_cast<std::uint32_t>(index_));
+      dispatch();
+    } else {
+      dispatch();
+    }
+  }
+}
+
+ReactorPool::ReactorPool(std::size_t shards, EngineKind kind,
+                         obs::Observability* obs,
+                         const std::string& metric_prefix,
+                         std::uint32_t trace_pid) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<ReactorShard>(i, kind, obs,
+                                                     metric_prefix, trace_pid));
+  }
+}
+
+ReactorShard& ReactorPool::assign() noexcept {
+  const std::size_t i = next_.fetch_add(1) % shards_.size();
+  return *shards_[i];
+}
+
+std::size_t ReactorPool::watched() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->watched();
+  return total;
+}
+
+}  // namespace pardis::io

@@ -1,0 +1,112 @@
+// Sharded reactor: N event-loop threads, each owning one io::Engine and
+// the registry of fds assigned to it.
+//
+// The original TcpTransport ran a single reactor thread whose fd→handler
+// registry lock (and epoll interest list) every connection shared; under
+// the many-client regime (the SLS deployment in PAPERS.md) that one lock
+// and one thread become the bottleneck.  A ReactorPool splits both: each
+// shard has its own engine, its own registry lock (kIoReactorShard), and
+// its own dispatch thread.  Connections are assigned round-robin at
+// accept/connect time and stay on their shard for life — fd add/remove
+// only ever contends with the shard's own dispatch loop.
+//
+// Per-shard instruments (prefix supplied by the owner, e.g. "tcp.reactor"):
+//   <prefix>.<i>.wakeups   engine wait() returns for shard i
+//   <prefix>.<i>.fds       gauge: fds currently registered on shard i
+//   <prefix>.<i>.batch     histogram: ready-fds per wakeup (dispatch queue
+//                          depth seen by one engine wait)
+// plus an aggregated "<prefix>.wakeups" counter kept for dashboards that
+// predate sharding (docs/observability.md).  The owner aggregates fd
+// totals at collect time.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pardis/common/ranked_mutex.hpp"
+#include "pardis/io/engine.hpp"
+
+namespace pardis::obs {
+class Observability;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace pardis::obs
+
+namespace pardis::io {
+
+/// Implemented by stream/listener objects that own an fd registered with
+/// a shard.  on_readable() runs on the shard thread and must consume
+/// until EAGAIN (engines may be level- or oneshot-triggered; handlers
+/// cannot tell the difference).
+class FdHandler {
+ public:
+  virtual ~FdHandler() = default;
+  virtual void on_readable() = 0;
+};
+
+class ReactorShard {
+ public:
+  /// `trace_pid` labels this shard's dispatch spans ("reactor.drain") in
+  /// merged traces; tid is the shard index.
+  ReactorShard(std::size_t index, EngineKind kind, obs::Observability* obs,
+               const std::string& metric_prefix, std::uint32_t trace_pid);
+  ~ReactorShard();
+
+  ReactorShard(const ReactorShard&) = delete;
+  ReactorShard& operator=(const ReactorShard&) = delete;
+
+  void add(int fd, const std::shared_ptr<FdHandler>& handler);
+  void remove(int fd);
+
+  std::size_t index() const noexcept { return index_; }
+  std::size_t watched() const;
+  Engine& engine() noexcept { return *engine_; }
+
+ private:
+  void run();
+
+  const std::size_t index_;
+  std::unique_ptr<Engine> engine_;
+  std::atomic<bool> stop_{false};
+
+  mutable common::RankedMutex mu_{common::LockRank::kIoReactorShard};
+  std::map<int, std::weak_ptr<FdHandler>> handlers_;
+
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* wakeups_ = nullptr;        // per-shard
+  obs::Counter* wakeups_total_ = nullptr;  // pool-wide aggregate
+  obs::Gauge* fds_ = nullptr;
+  obs::Histogram* batch_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+
+  std::thread thread_;  // last member: joins in ~ReactorShard
+};
+
+class ReactorPool {
+ public:
+  /// Spins up `shards` dispatch threads (>= 1) over `kind` engines.
+  ReactorPool(std::size_t shards, EngineKind kind, obs::Observability* obs,
+              const std::string& metric_prefix, std::uint32_t trace_pid);
+
+  /// Round-robin shard assignment for a new connection.
+  ReactorShard& assign() noexcept;
+
+  std::size_t size() const noexcept { return shards_.size(); }
+  ReactorShard& shard(std::size_t i) noexcept { return *shards_[i]; }
+
+  /// Sum of registered fds across shards.
+  std::size_t watched() const;
+
+ private:
+  std::vector<std::unique_ptr<ReactorShard>> shards_;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace pardis::io

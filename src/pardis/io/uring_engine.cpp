@@ -1,0 +1,399 @@
+// io_uring readiness backend — raw syscalls, no liburing dependency.
+//
+// The engine runs io_uring in its simplest mode (no SQPOLL, no registered
+// files): one oneshot IORING_OP_POLL_ADD per watched fd, re-armed by the
+// shard thread after each dispatch, plus a persistent poll on an eventfd
+// for cross-thread wakeups.  The shard thread is the only submitter and
+// the only caller of io_uring_enter, so the SQ needs no user-space lock;
+// the only shared state is the pending watch/unwatch queue, guarded by a
+// kIoEngine-ranked mutex and drained by the shard thread at the top of
+// every wait().
+//
+// Correctness notes (see docs/transport.md):
+//   * POLL_ADD resolves the fd to a file at submission time, so a poll
+//     armed for a since-closed-and-reused fd number can complete late; the
+//     CQE is attributed by fd number and at worst causes one spurious
+//     dispatch (the handler reads EAGAIN), never a miss — after every
+//     dispatched completion the fd is re-armed if still watched.
+//   * unwatch issues IORING_OP_POLL_REMOVE; a -ENOENT result just means
+//     the poll had already completed and its CQE is in flight, which the
+//     watched-set check filters out.
+//
+// Compiled to a stub (uring unsupported, factory returns null) when the
+// kernel headers or syscall numbers are missing, and detected at runtime
+// via an io_uring_setup probe — containers commonly deny the syscall even
+// on new kernels, and the right answer there is a quiet epoll fallback.
+
+#include "pardis/io/engine.hpp"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>) && \
+    defined(__NR_io_uring_setup) && defined(__NR_io_uring_enter)
+#define PARDIS_HAS_URING 1
+#else
+#define PARDIS_HAS_URING 0
+#endif
+
+#if PARDIS_HAS_URING
+
+#include <linux/io_uring.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "pardis/common/error.hpp"
+#include "pardis/common/log.hpp"
+#include "pardis/common/ranked_mutex.hpp"
+
+namespace pardis::io {
+
+namespace {
+
+std::string errno_text(int err) {
+  std::array<char, 128> buf{};
+  return std::string(strerror_r(err, buf.data(), buf.size()));
+}
+
+int sys_uring_setup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_uring_enter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+// user_data encoding: fd in the high bits, a 2-bit tag below.
+constexpr std::uint64_t kTagPoll = 0;
+constexpr std::uint64_t kTagCancel = 1;
+constexpr std::uint64_t kTagWake = 2;
+
+constexpr std::uint64_t pack_user_data(int fd, std::uint64_t tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(fd)) << 2) |
+         tag;
+}
+
+class UringEngine final : public Engine {
+ public:
+  static constexpr unsigned kEntries = 64;
+
+  UringEngine() {
+    io_uring_params params{};
+    ring_fd_ = sys_uring_setup(kEntries, &params);
+    if (ring_fd_ < 0) {
+      throw INTERNAL("io_uring_setup failed: " + errno_text(errno));
+    }
+
+    sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    cq_ring_bytes_ =
+        params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap =
+        (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap && cq_ring_bytes_ > sq_ring_bytes_) {
+      sq_ring_bytes_ = cq_ring_bytes_;
+    }
+
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) fail_ctor("mmap(sq ring)");
+    if (single_mmap) {
+      cq_ring_ = sq_ring_;
+    } else {
+      cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_,
+                        IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) fail_ctor("mmap(cq ring)");
+    }
+    sqe_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, sqe_bytes_, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) fail_ctor("mmap(sqes)");
+
+    auto* sq = static_cast<std::uint8_t*>(sq_ring_);
+    sq_khead_ = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+    sq_ktail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+    auto* cq = static_cast<std::uint8_t*>(cq_ring_);
+    cq_khead_ = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+    cq_ktail_ = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+    sq_entries_ = params.sq_entries;
+    sq_local_tail_ = std::atomic_ref<unsigned>(*sq_ktail_).load(
+        std::memory_order_acquire);
+
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) fail_ctor("eventfd");
+  }
+
+  ~UringEngine() override {
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    unmap_all();
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  EngineKind kind() const noexcept override { return EngineKind::kUring; }
+
+  void watch(int fd) override {
+    {
+      const std::lock_guard<common::RankedMutex> lock(mu_);
+      pending_.emplace_back(fd, true);
+    }
+    wake();
+  }
+
+  void unwatch(int fd) override {
+    {
+      const std::lock_guard<common::RankedMutex> lock(mu_);
+      pending_.emplace_back(fd, false);
+    }
+    wake();
+  }
+
+  std::size_t wait(std::vector<int>& ready) override {
+    apply_pending();
+    if (!wake_armed_) {
+      arm_poll(wake_fd_, pack_user_data(wake_fd_, kTagWake));
+      wake_armed_ = true;
+    }
+    if (!flush_submissions(/*min_complete=*/1,
+                           /*flags=*/IORING_ENTER_GETEVENTS)) {
+      return 0;  // EINTR: let the caller re-check its stop flag
+    }
+    return drain_completions(ready);
+  }
+
+  void rearm(int fd) override {
+    if (watched_.count(fd) != 0 && armed_.count(fd) == 0) {
+      arm_poll(fd, pack_user_data(fd, kTagPoll));
+      armed_.insert(fd);
+    }
+  }
+
+  void wake() override {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+  }
+
+ private:
+  [[noreturn]] void fail_ctor(const char* what) {
+    const int err = errno;
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    unmap_all();
+    ::close(ring_fd_);
+    throw INTERNAL(std::string("io_uring init: ") + what +
+                   " failed: " + errno_text(err));
+  }
+
+  void unmap_all() {
+    if (sqes_ != nullptr && sqes_ != MAP_FAILED) ::munmap(sqes_, sqe_bytes_);
+    if (cq_ring_ != nullptr && cq_ring_ != MAP_FAILED && cq_ring_ != sq_ring_) {
+      ::munmap(cq_ring_, cq_ring_bytes_);
+    }
+    if (sq_ring_ != nullptr && sq_ring_ != MAP_FAILED) {
+      ::munmap(sq_ring_, sq_ring_bytes_);
+    }
+    sqes_ = nullptr;
+    cq_ring_ = nullptr;
+    sq_ring_ = nullptr;
+  }
+
+  // --- submission side; shard thread only -------------------------------
+
+  io_uring_sqe* get_sqe() {
+    const unsigned head =
+        std::atomic_ref<unsigned>(*sq_khead_).load(std::memory_order_acquire);
+    if (sq_local_tail_ - head == sq_entries_) {
+      // Ring full: submit what we have (the kernel consumes synchronously
+      // in non-SQPOLL mode) and retry.
+      (void)flush_submissions(0, 0);
+    }
+    io_uring_sqe* sqe = &sqes_[sq_local_tail_ & sq_mask_];
+    *sqe = io_uring_sqe{};
+    return sqe;
+  }
+
+  void advance_tail() {
+    sq_array_[sq_local_tail_ & sq_mask_] = sq_local_tail_ & sq_mask_;
+    ++sq_local_tail_;
+    std::atomic_ref<unsigned>(*sq_ktail_).store(sq_local_tail_,
+                                                std::memory_order_release);
+    ++unsubmitted_;
+  }
+
+  void arm_poll(int fd, std::uint64_t user_data) {
+    io_uring_sqe* sqe = get_sqe();
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = fd;
+    sqe->poll_events = POLLIN;
+    sqe->user_data = user_data;
+    advance_tail();
+  }
+
+  void cancel_poll(int fd) {
+    io_uring_sqe* sqe = get_sqe();
+    sqe->opcode = IORING_OP_POLL_REMOVE;
+    sqe->fd = -1;
+    sqe->addr = pack_user_data(fd, kTagPoll);
+    sqe->user_data = pack_user_data(fd, kTagCancel);
+    advance_tail();
+  }
+
+  /// Submits all queued SQEs; with IORING_ENTER_GETEVENTS also blocks for
+  /// `min_complete` completions.  Returns false on EINTR.
+  bool flush_submissions(unsigned min_complete, unsigned flags) {
+    do {
+      const int rc = sys_uring_enter(ring_fd_, unsubmitted_, min_complete,
+                                     flags);
+      if (rc < 0) {
+        if (errno == EINTR) return false;
+        throw INTERNAL("io_uring_enter failed: " + errno_text(errno));
+      }
+      unsubmitted_ -= std::min(static_cast<unsigned>(rc), unsubmitted_);
+      // A short submit (rc < to_submit) leaves SQEs queued; loop only in
+      // that case.  Once everything is in, a single GETEVENTS wait above
+      // has already satisfied min_complete.
+    } while (unsubmitted_ > 0 && flags == 0);
+    return true;
+  }
+
+  void apply_pending() {
+    std::vector<std::pair<int, bool>> batch;
+    {
+      const std::lock_guard<common::RankedMutex> lock(mu_);
+      batch.swap(pending_);
+    }
+    for (const auto& [fd, add] : batch) {
+      if (add) {
+        watched_.insert(fd);
+        if (armed_.count(fd) == 0) {
+          arm_poll(fd, pack_user_data(fd, kTagPoll));
+          armed_.insert(fd);
+        }
+      } else {
+        watched_.erase(fd);
+        if (armed_.count(fd) != 0) {
+          cancel_poll(fd);
+          armed_.erase(fd);
+        }
+      }
+    }
+  }
+
+  std::size_t drain_completions(std::vector<int>& ready) {
+    unsigned head =
+        std::atomic_ref<unsigned>(*cq_khead_).load(std::memory_order_acquire);
+    const unsigned tail =
+        std::atomic_ref<unsigned>(*cq_ktail_).load(std::memory_order_acquire);
+    std::size_t appended = 0;
+    while (head != tail) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      const std::uint64_t tag = cqe.user_data & 0x3;
+      const int fd = static_cast<int>(cqe.user_data >> 2);
+      if (tag == kTagWake) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t rc =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        wake_armed_ = false;  // oneshot poll consumed; wait() re-arms
+      } else if (tag == kTagPoll) {
+        armed_.erase(fd);
+        if (watched_.count(fd) != 0) {
+          ready.push_back(fd);
+          ++appended;
+        }
+        // else: stale completion for an unwatched fd — dropped, matching
+        // the epoll backend's weak_ptr-miss behavior.
+      }
+      // kTagCancel results (-ENOENT when the poll already fired) carry no
+      // state we track.
+      ++head;
+    }
+    std::atomic_ref<unsigned>(*cq_khead_).store(head,
+                                                std::memory_order_release);
+    return appended;
+  }
+
+  int ring_fd_ = -1;
+  int wake_fd_ = -1;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  std::size_t cq_ring_bytes_ = 0;
+  std::size_t sqe_bytes_ = 0;
+  unsigned* sq_khead_ = nullptr;
+  unsigned* sq_ktail_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned sq_entries_ = 0;
+  unsigned sq_local_tail_ = 0;
+  unsigned* cq_khead_ = nullptr;
+  unsigned* cq_ktail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned unsubmitted_ = 0;
+
+  // Shard-thread-only bookkeeping.
+  std::set<int> watched_;
+  std::set<int> armed_;
+  bool wake_armed_ = false;
+
+  // Cross-thread control plane: watch/unwatch enqueue here and wake().
+  common::RankedMutex mu_{common::LockRank::kIoEngine};
+  std::vector<std::pair<int, bool>> pending_;
+};
+
+}  // namespace
+
+bool uring_supported() noexcept {
+  static const bool supported = [] {
+    io_uring_params params{};
+    const int fd = sys_uring_setup(4, &params);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+namespace detail {
+
+std::unique_ptr<Engine> make_uring_engine() {
+  if (!uring_supported()) return nullptr;
+  return std::make_unique<UringEngine>();
+}
+
+}  // namespace detail
+
+}  // namespace pardis::io
+
+#else  // !PARDIS_HAS_URING
+
+namespace pardis::io {
+
+bool uring_supported() noexcept { return false; }
+
+namespace detail {
+
+std::unique_ptr<Engine> make_uring_engine() { return nullptr; }
+
+}  // namespace detail
+
+}  // namespace pardis::io
+
+#endif  // PARDIS_HAS_URING

@@ -62,4 +62,15 @@ inline void send_framed(transport::Stream& conn, pardis::Bytes frame) {
   conn.send(std::move(frame));
 }
 
+/// Gather-path flavor: the frame is a segment list whose first segment
+/// carries the prologue and headers (built with cdr::Encoder), followed by
+/// payload segments — dsequence local_data blocks ride to writev without a
+/// pack copy.  The prologue is validated on the first segment; alignment
+/// padding between segments is the builder's job (GatherList::pad_to
+/// mirrors Encoder::align relative to the frame start).
+inline void send_framed(transport::Stream& conn, io::GatherList&& frame) {
+  (void)orb::parse_frame(frame.segment(0));
+  conn.sendv(std::move(frame));
+}
+
 }  // namespace pardis::transfer

@@ -275,8 +275,12 @@ void SpmdBinding::send_phase(
 
   if (opts.method == orb::TransferMethod::kCentralized) {
     // Gather every distributed in/inout argument at the communicating
-    // thread, then ship request + arguments as one message (§3.2).
-    std::vector<pardis::Bytes> gathered(dseq_args.size());
+    // thread, then ship request + arguments as one message (§3.2).  The
+    // per-rank local_data blocks stay separate buffers: packing threads
+    // them onto the frame as gather segments (io::GatherList), so rank 0
+    // never concatenates them into a staging buffer — writev does the
+    // concatenation on the way into the kernel.
+    std::vector<std::vector<pardis::Bytes>> gathered(dseq_args.size());
     timer.time(Phase::kGather, [&] {
       for (std::size_t i = 0; i < dseq_args.size(); ++i) {
         const DSeqArgBase& arg = *dseq_args[i];
@@ -284,27 +288,25 @@ void SpmdBinding::send_phase(
         pardis::Bytes local;
         arg.pack_local(0, arg.distribution().count(rank), local);
         auto parts = comm_->gather_bytes(local, 0);
-        if (rank == 0) {
-          pardis::Bytes& all = gathered[i];
-          all.reserve(arg.total_length() * arg.elem_size());
-          for (auto& p : parts) append(all, p);
-        }
+        if (rank == 0) gathered[i] = std::move(parts);
       }
     });
     if (rank == 0) {
-      pardis::Bytes frame = timer.time(Phase::kPack, [&] {
+      io::GatherList frame = timer.time(Phase::kPack, [&] {
         cdr::Encoder enc;
         orb::begin_frame(enc, orb::MsgType::kRequest);
         header.encode(enc);
+        io::GatherList gl;
+        gl.append(enc.take());
         for (std::size_t i = 0; i < dseq_args.size(); ++i) {
           if (dseq_args[i]->direction() == orb::ArgDir::kOut) continue;
-          enc.align(8);
-          enc.put_octets(gathered[i]);
+          gl.pad_to(8);  // same wire layout as Encoder::align(8)
+          for (pardis::Bytes& part : gathered[i]) gl.append(std::move(part));
         }
-        return enc.take();
+        return gl;
       });
       PARDIS_LOG_TRACE << "client rank 0 sending centralized request ("
-                       << frame.size() << " bytes)";
+                       << frame.total_bytes() << " bytes)";
       timer.time(Phase::kSend, [&] { send_framed(*control_, std::move(frame)); });
       PARDIS_LOG_TRACE << "client rank 0 centralized request sent";
     }
@@ -332,7 +334,7 @@ void SpmdBinding::send_phase(
         server_ranks());
     const dseq::RedistributionPlan plan(arg.distribution(), server_dist);
     for (const dseq::Segment& seg : plan.outgoing(rank)) {
-      pardis::Bytes frame = timer.time(Phase::kPack, [&] {
+      io::GatherList frame = timer.time(Phase::kPack, [&] {
         cdr::Encoder enc;
         orb::begin_frame(enc, orb::MsgType::kArgTransfer);
         orb::ArgTransferHeader h;
@@ -343,11 +345,13 @@ void SpmdBinding::send_phase(
         h.dst_offset = seg.dst_offset;
         h.count = seg.count;
         h.encode(enc);
-        enc.align(8);
+        io::GatherList gl;
+        gl.append(enc.take());
+        gl.pad_to(8);  // same wire layout as Encoder::align(8)
         pardis::Bytes data;
         arg.pack_local(seg.src_offset, seg.count, data);
-        enc.put_octets(data);
-        return enc.take();
+        gl.append(std::move(data));  // segment rides to writev, no re-pack
+        return gl;
       });
       timer.time(Phase::kSend, [&] {
         send_framed(*data_conns_[static_cast<std::size_t>(seg.dst_rank)],

@@ -629,21 +629,20 @@ void SpmdServer::handle_request(const Event& event) {
 
   if (header.method == orb::TransferMethod::kCentralized) {
     // Gather result data at the communicating thread and piggyback it on
-    // the reply frame.
-    std::vector<pardis::Bytes> gathered(call.out_args_.size());
+    // the reply frame.  As on the client's request path, the per-rank
+    // result blocks stay separate buffers and ride the reply frame as
+    // gather segments — no staging concatenation on rank 0.
+    std::vector<std::vector<pardis::Bytes>> gathered(call.out_args_.size());
     if (ok) {
       timer.time(Phase::kGather, [&] {
         for (std::size_t i = 0; i < call.out_args_.size(); ++i) {
           auto parts = comm_->gather_bytes(call.out_args_[i].chunk, 0);
-          if (rank == 0) {
-            pardis::Bytes& all = gathered[i];
-            for (auto& p : parts) append(all, p);
-          }
+          if (rank == 0) gathered[i] = std::move(parts);
         }
       });
     }
     if (rank == 0) {
-      pardis::Bytes frame = timer.time(Phase::kPack, [&] {
+      io::GatherList frame = timer.time(Phase::kPack, [&] {
         cdr::Encoder enc;
         orb::begin_frame(enc, orb::MsgType::kReply);
         orb::ReplyHeader reply;
@@ -653,11 +652,13 @@ void SpmdServer::handle_request(const Event& event) {
         reply.dseqs = reply_descs;
         reply.server_stats_ms.assign(stats_now.begin(), stats_now.end());
         reply.encode(enc);
-        for (const auto& data : gathered) {
-          enc.align(8);
-          enc.put_octets(data);
+        io::GatherList gl;
+        gl.append(enc.take());
+        for (std::vector<pardis::Bytes>& parts : gathered) {
+          gl.pad_to(8);  // same wire layout as Encoder::align(8)
+          for (pardis::Bytes& part : parts) gl.append(std::move(part));
         }
-        return enc.take();
+        return gl;
       });
       try {
         timer.time(Phase::kSend,
@@ -709,7 +710,7 @@ void SpmdServer::handle_request(const Event& event) {
             dist_from_counts(out.desc.src_counts);
         const dseq::RedistributionPlan plan(server_dist, client_dist);
         for (const dseq::Segment& seg : plan.outgoing(rank)) {
-          pardis::Bytes frame = timer.time(Phase::kPack, [&] {
+          io::GatherList frame = timer.time(Phase::kPack, [&] {
             cdr::Encoder enc;
             orb::begin_frame(enc, orb::MsgType::kArgTransfer);
             orb::ArgTransferHeader h;
@@ -720,11 +721,16 @@ void SpmdServer::handle_request(const Event& event) {
             h.dst_offset = seg.dst_offset;
             h.count = seg.count;
             h.encode(enc);
-            enc.align(8);
-            enc.put_octets(BytesView(out.chunk).subspan(
+            io::GatherList gl;
+            gl.append(enc.take());
+            gl.pad_to(8);  // same wire layout as Encoder::align(8)
+            // Borrowed view into out.chunk: zero copies.  Legal under the
+            // gather.hpp lifetime contract — the send below is synchronous
+            // and out_args_ outlives it.
+            gl.append_view(BytesView(out.chunk).subspan(
                 seg.src_offset * out.desc.elem_size,
                 seg.count * out.desc.elem_size));
-            return enc.take();
+            return gl;
           });
           try {
             timer.time(Phase::kSend, [&] {

@@ -4,14 +4,15 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,13 +29,6 @@ std::string errno_text(int err) {
          ")";
 }
 
-void encode_be32(std::uint32_t value, std::uint8_t out[4]) {
-  out[0] = static_cast<std::uint8_t>(value >> 24);
-  out[1] = static_cast<std::uint8_t>(value >> 16);
-  out[2] = static_cast<std::uint8_t>(value >> 8);
-  out[3] = static_cast<std::uint8_t>(value);
-}
-
 std::uint32_t decode_be32(const std::uint8_t* in) {
   return (static_cast<std::uint32_t>(in[0]) << 24) |
          (static_cast<std::uint32_t>(in[1]) << 16) |
@@ -45,6 +39,21 @@ std::uint32_t decode_be32(const std::uint8_t* in) {
 void set_nodelay(int fd) {
   int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Waits for POLLOUT on a stalled socket; throws TIMEOUT on expiry.
+void wait_writable(int fd, std::chrono::milliseconds stall_timeout,
+                   const std::string& label) {
+  struct pollfd p {};
+  p.fd = fd;
+  p.events = POLLOUT;
+  const int rc = ::poll(&p, 1, static_cast<int>(stall_timeout.count()));
+  if (rc == 0) {
+    throw TIMEOUT("send stalled for " + std::to_string(stall_timeout.count()) +
+                      "ms on " + label,
+                  Completion::kMaybe);
+  }
+  // ready, error or EINTR: let the next write decide
 }
 
 /// Writes everything, waiting for POLLOUT on a full socket buffer.  Each
@@ -62,158 +71,91 @@ void write_all(int fd, const std::uint8_t* data, std::size_t size,
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      struct pollfd p {};
-      p.fd = fd;
-      p.events = POLLOUT;
-      const int rc =
-          ::poll(&p, 1, static_cast<int>(stall_timeout.count()));
-      if (rc == 0) {
-        throw TIMEOUT("send stalled for " +
-                          std::to_string(stall_timeout.count()) + "ms on " +
-                          label,
-                      Completion::kMaybe);
-      }
-      continue;  // ready, error or EINTR: retry the write and let it decide
+      wait_writable(fd, stall_timeout, label);
+      continue;
     }
     throw COMM_FAILURE("send failed on " + label + ": " + errno_text(errno),
                        Completion::kMaybe);
   }
 }
 
+/// Scatter-gather flavor of write_all: pushes the whole WireMessage
+/// (length prefix + payload segments) through `writev`, resuming from the
+/// written-bytes cursor after partial writes.  Feeds the tx instruments
+/// (iovecs per syscall, bytes per syscall) when provided.
+void writev_all(int fd, const io::WireMessage& msg,
+                std::chrono::milliseconds stall_timeout,
+                const std::string& label, obs::Histogram* iovec_batch,
+                obs::Histogram* bytes_per_syscall) {
+  constexpr std::size_t kMaxIov = 64;  // < IOV_MAX everywhere we run
+  const std::size_t total = msg.total_bytes();
+  std::size_t written = 0;
+  while (written < total) {
+    struct iovec iov[kMaxIov];
+    const std::size_t n = msg.fill_iovecs(iov, kMaxIov, written);
+    const ssize_t rc = ::writev(fd, iov, static_cast<int>(n));
+    if (rc > 0) {
+      written += static_cast<std::size_t>(rc);
+      if (iovec_batch != nullptr) iovec_batch->add(static_cast<double>(n));
+      if (bytes_per_syscall != nullptr) {
+        bytes_per_syscall->add(static_cast<double>(rc));
+      }
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_writable(fd, stall_timeout, label);
+      continue;
+    }
+    throw COMM_FAILURE("send failed on " + label + ": " + errno_text(errno),
+                       written == 0 ? Completion::kNo : Completion::kMaybe);
+  }
+}
+
+/// Below this payload size the gather path is not worth the iovec setup:
+/// prefix + segments are copied into one small stack buffer and written
+/// with a single syscall — the documented short-message fallback copy.
+constexpr std::size_t kShortFrameCopy = 512;
+
 }  // namespace
 
-namespace tcpdetail {
-
-// ---- Reactor ---------------------------------------------------------------
-
-Reactor::Reactor(obs::Observability* obs) : obs_(obs) {
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) {
-    throw INTERNAL("epoll_create1 failed: " + errno_text(errno));
+std::size_t reactor_count_from_env() {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t fallback = std::min<std::size_t>(4, hw);
+  const std::uint64_t n = env_u64("PARDIS_TCP_REACTORS", fallback);
+  if (n == 0 || n > 1024) {
+    throw BAD_PARAM("PARDIS_TCP_REACTORS must be in [1, 1024], got " +
+                    std::to_string(n));
   }
-  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  if (wake_fd_ < 0) {
-    ::close(epoll_fd_);
-    throw INTERNAL("eventfd failed: " + errno_text(errno));
-  }
-  struct epoll_event ev {};
-  ev.events = EPOLLIN;
-  ev.data.fd = wake_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
-  // Thread boundary: an exception escaping the reactor loop would
-  // std::terminate the process; log and fall out instead (streams then see
-  // EOF-style failures and surface COMM_FAILURE on their own threads).
-  thread_ = std::thread([this] {
-    try {
-      run();
-    } catch (...) {
-      PARDIS_LOG_WARN << "reactor thread exiting on unexpected error";
-    }
-  });
+  return static_cast<std::size_t>(n);
 }
-
-Reactor::~Reactor() {
-  stop_.store(true);
-  (void)::eventfd_write(wake_fd_, 1);
-  if (thread_.joinable()) thread_.join();
-  ::close(wake_fd_);
-  ::close(epoll_fd_);
-}
-
-void Reactor::add(int fd, const std::shared_ptr<FdHandler>& handler) {
-  {
-    std::lock_guard<common::RankedMutex> lock(mu_);
-    handlers_[fd] = handler;
-  }
-  struct epoll_event ev {};
-  ev.events = EPOLLIN;
-  ev.data.fd = fd;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-    std::lock_guard<common::RankedMutex> lock(mu_);
-    handlers_.erase(fd);
-    throw INTERNAL("epoll_ctl(ADD) failed: " + errno_text(errno));
-  }
-}
-
-void Reactor::remove(int fd) {
-  // DEL may race a concurrent EOF-removal from the reactor thread; ENOENT
-  // is the benign outcome of losing that race.
-  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  std::lock_guard<common::RankedMutex> lock(mu_);
-  handlers_.erase(fd);
-}
-
-std::size_t Reactor::watched() const {
-  std::lock_guard<common::RankedMutex> lock(mu_);
-  return handlers_.size();
-}
-
-void Reactor::run() {
-  obs::Tracer* tracer = obs_ != nullptr ? &obs_->tracer() : nullptr;
-  obs::Counter* wakeups =
-      obs_ != nullptr ? &obs_->metrics().counter("tcp.reactor.wakeups")
-                      : nullptr;
-  std::vector<struct epoll_event> events(64);
-  while (!stop_.load()) {
-    const int n =
-        ::epoll_wait(epoll_fd_, events.data(),
-                     static_cast<int>(events.size()), /*timeout=*/-1);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      PARDIS_LOG_WARN << "reactor: epoll_wait failed: " << errno_text(errno);
-      return;
-    }
-    if (stop_.load()) return;
-    if (wakeups != nullptr) wakeups->add();
-
-    const auto dispatch = [&] {
-      for (int i = 0; i < n; ++i) {
-        const int fd = events[static_cast<std::size_t>(i)].data.fd;
-        if (fd == wake_fd_) {
-          eventfd_t value = 0;
-          (void)::eventfd_read(wake_fd_, &value);
-          continue;
-        }
-        std::shared_ptr<FdHandler> handler;
-        {
-          std::lock_guard<common::RankedMutex> lock(mu_);
-          auto it = handlers_.find(fd);
-          if (it != handlers_.end()) handler = it->second.lock();
-        }
-        // A handler that vanished between epoll_wait and here was removed
-        // (and possibly its fd reused); skipping is always safe under
-        // level-triggered polling.
-        if (handler) handler->on_readable();
-      }
-    };
-    if (tracer != nullptr && tracer->enabled()) {
-      const obs::SpanGuard span(tracer, "reactor.drain", "reactor",
-                                kTransportPid, 0);
-      dispatch();
-    } else {
-      dispatch();
-    }
-  }
-}
-
-}  // namespace tcpdetail
 
 // ---- TcpStream -------------------------------------------------------------
 
 TcpStream::TcpStream(int fd, std::string label, std::string origin,
-                     Endpoint peer, TcpTransport* owner)
+                     Endpoint peer, TcpTransport* owner,
+                     io::ReactorShard* shard)
     : fd_(fd),
       label_(std::move(label)),
       origin_(std::move(origin)),
       peer_(std::move(peer)),
-      owner_(owner) {}
+      owner_(owner),
+      shard_(shard) {}
 
 TcpStream::~TcpStream() {
-  owner_->reactor().remove(fd_);
+  shard_->remove(fd_);
   ::close(fd_);
 }
 
 void TcpStream::send(pardis::Bytes frame) {
+  io::GatherList gl;
+  gl.append(std::move(frame));
+  send_wire(gl);
+}
+
+void TcpStream::sendv(io::GatherList&& frame) { send_wire(frame); }
+
+void TcpStream::send_wire(const io::GatherList& frame) {
   {
     std::lock_guard<common::RankedMutex> lock(mu_);
     if (closed_) {
@@ -224,27 +166,44 @@ void TcpStream::send(pardis::Bytes frame) {
                          Completion::kNo);
     }
   }
-  std::uint8_t prefix[4];
-  encode_be32(static_cast<std::uint32_t>(frame.size()), prefix);
+  const std::size_t payload = frame.total_bytes();
+  io::WireMessage msg;
+  msg.set_prefix(static_cast<std::uint32_t>(payload));
+  msg.payload = &frame;
   {
     // tx_mu_ is a dedicated leaf (kTransportStreamTx): nothing is ever
     // acquired under it and recv never takes it, so holding it across the
     // socket write is exactly its job — serializing concurrent frame
     // writers so prefix+payload stay contiguous on the wire.
     std::lock_guard<common::RankedMutex> tx(tx_mu_);
-    // pardis-lint: allow(blocking-under-lock-transitive: tx_mu_ is the leaf transmit lock; serializing writers across the socket write is its purpose)
-    write_all(fd_, prefix, sizeof(prefix), owner_->connect_timeout(), label_);
-    // pardis-lint: allow(blocking-under-lock-transitive: tx_mu_ is the leaf transmit lock; serializing writers across the socket write is its purpose)
-    write_all(fd_, frame.data(), frame.size(), owner_->connect_timeout(),
-              label_);
+    if (payload <= kShortFrameCopy) {
+      // Short-message fallback: one copy beats an iovec walk for tiny
+      // frames, and keeps prefix+payload in a single segment.
+      std::uint8_t buf[sizeof(msg.prefix) + kShortFrameCopy];
+      // pardis-lint: allow(staging-copy-in-tx: short-message fallback — copying <=512B into one stack buffer costs less than iovec setup; all larger sends take the gather path)
+      std::memcpy(buf, msg.prefix, sizeof(msg.prefix));
+      std::size_t off = sizeof(msg.prefix);
+      for (std::size_t i = 0; i < frame.segment_count(); ++i) {
+        const pardis::BytesView seg = frame.segment(i);
+        // pardis-lint: allow(staging-copy-in-tx: short-message fallback — copying <=512B into one stack buffer costs less than iovec setup; all larger sends take the gather path)
+        std::memcpy(buf + off, seg.data(), seg.size());
+        off += seg.size();
+      }
+      // pardis-lint: allow(blocking-under-lock-transitive: tx_mu_ is the leaf transmit lock; serializing writers across the socket write is its purpose)
+      write_all(fd_, buf, off, owner_->connect_timeout(), label_);
+    } else {
+      // pardis-lint: allow(blocking-under-lock-transitive: tx_mu_ is the leaf transmit lock; serializing writers across the socket write is its purpose)
+      writev_all(fd_, msg, owner_->connect_timeout(), label_,
+                 owner_->writev_batch_, owner_->bytes_per_syscall_);
+    }
   }
   {
     std::lock_guard<common::RankedMutex> lock(mu_);
     counters_.frames_sent += 1;
-    counters_.bytes_sent += frame.size();
+    counters_.bytes_sent += payload;
   }
   if (owner_->agg_frames_ != nullptr) owner_->agg_frames_->add(1);
-  if (owner_->agg_bytes_ != nullptr) owner_->agg_bytes_->add(frame.size());
+  if (owner_->agg_bytes_ != nullptr) owner_->agg_bytes_->add(payload);
 }
 
 std::optional<pardis::Bytes> TcpStream::recv() {
@@ -290,8 +249,8 @@ void TcpStream::close() {
     closed_ = true;
   }
   cv_.notify_all();
-  // Both directions go down: our reactor sees EOF (deregistering the fd)
-  // and the peer drains, then sees EOF.
+  // Both directions go down: our reactor shard sees EOF (deregistering the
+  // fd) and the peer drains, then sees EOF.
   (void)::shutdown(fd_, SHUT_RDWR);
 }
 
@@ -364,19 +323,21 @@ void TcpStream::mark_peer_closed() {
     peer_closed_ = true;
   }
   cv_.notify_all();
-  // Keep the EOF'd fd out of the (level-triggered) epoll set or it would
-  // report readable forever.  The fd itself stays open until destruction.
-  owner_->reactor().remove(fd_);
+  // Keep the EOF'd fd out of the shard's interest set or level-triggered
+  // engines would report it readable forever.  The fd itself stays open
+  // until destruction.
+  shard_->remove(fd_);
 }
 
 // ---- TcpListener -----------------------------------------------------------
 
-TcpListener::TcpListener(int fd, Endpoint address, TcpTransport* owner)
-    : fd_(fd), address_(std::move(address)), owner_(owner) {}
+TcpListener::TcpListener(int fd, Endpoint address, TcpTransport* owner,
+                         io::ReactorShard* shard)
+    : fd_(fd), address_(std::move(address)), owner_(owner), shard_(shard) {}
 
 TcpListener::~TcpListener() {
   close();
-  owner_->reactor().remove(fd_);
+  shard_->remove(fd_);
   ::close(fd_);
 }
 
@@ -409,7 +370,7 @@ void TcpListener::close() {
   // Stop watching: connection attempts may still complete in the kernel
   // backlog, but are never surfaced (the sim backend refuses them outright;
   // both satisfy "close() ends accepting").
-  owner_->reactor().remove(fd_);
+  shard_->remove(fd_);
   for (auto& stream : orphans) stream->close();
 }
 
@@ -451,7 +412,9 @@ TcpTransport::TcpTransport(obs::Observability* obs)
           env_u64("PARDIS_TCP_RECV_TIMEOUT_MS", 0))),
       max_frame_(env_u64("PARDIS_TCP_MAX_FRAME", 1ull << 30)),
       bind_addr_(env_string("PARDIS_TCP_BIND_ADDR").value_or("127.0.0.1")),
-      reactor_(obs) {
+      engine_kind_(io::engine_kind_from_env()),
+      reactors_(reactor_count_from_env(), engine_kind_, obs, "tcp.reactor",
+                kTransportPid) {
   if (const auto map = env_string("PARDIS_TCP_HOSTMAP")) {
     // "name=ip,name2=ip2"
     std::size_t start = 0;
@@ -472,6 +435,8 @@ TcpTransport::TcpTransport(obs::Observability* obs)
   if (obs_ != nullptr) {
     agg_frames_ = &obs_->metrics().counter("net.frames");
     agg_bytes_ = &obs_->metrics().counter("net.bytes");
+    writev_batch_ = &obs_->metrics().histogram("tcp.writev.iovecs");
+    bytes_per_syscall_ = &obs_->metrics().histogram("tcp.writev.bytes");
   }
   // A peer vanishing mid-write must surface as COMM_FAILURE from write(),
   // not kill the process.
@@ -479,8 +444,9 @@ TcpTransport::TcpTransport(obs::Observability* obs)
 }
 
 TcpTransport::~TcpTransport() {
-  // Pooled streams reference the reactor; drop them while it still runs
-  // (the base-class pool would otherwise outlive the members below).
+  // Pooled streams reference the reactor shards; drop them while they
+  // still run (the base-class pool would otherwise outlive the members
+  // below).
   clear_pool();
 }
 
@@ -535,9 +501,11 @@ std::shared_ptr<Listener> TcpTransport::listen(const std::string& host,
     ::close(fd);
     throw INTERNAL("getsockname failed: " + errno_text(err));
   }
+  io::ReactorShard& shard = reactors_.assign();
   auto listener = std::make_shared<TcpListener>(
-      fd, Endpoint{host, static_cast<int>(ntohs(bound.sin_port))}, this);
-  reactor_.add(fd, listener);
+      fd, Endpoint{host, static_cast<int>(ntohs(bound.sin_port))}, this,
+      &shard);
+  shard.add(fd, listener);
   if (metrics() != nullptr) metrics()->counter("tcp.listens").add();
   PARDIS_LOG_TRACE << "tcp listen " << host << " -> " << bind_addr_ << ":"
                    << ntohs(bound.sin_port);
@@ -604,18 +572,30 @@ std::shared_ptr<Stream> TcpTransport::connect(const std::string& from_host,
 std::shared_ptr<TcpStream> TcpTransport::adopt(int fd, std::string label,
                                                std::string origin,
                                                Endpoint peer) {
+  io::ReactorShard& shard = reactors_.assign();
   auto stream =
       std::make_shared<TcpStream>(fd, std::move(label), std::move(origin),
-                                  std::move(peer), this);
-  reactor_.add(fd, stream);
+                                  std::move(peer), this, &shard);
+  shard.add(fd, stream);
   return stream;
 }
 
 void TcpTransport::collect_metrics() {
   if (metrics() == nullptr) return;
+  // Per-shard gauges plus the pre-sharding aggregate name, so dashboards
+  // keyed on tcp.reactor.fds keep working with any shard count.
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < reactors_.size(); ++i) {
+    const std::size_t watched = reactors_.shard(i).watched();
+    total += watched;
+    metrics()
+        ->gauge("tcp.reactor." + std::to_string(i) + ".fds")
+        .set(static_cast<std::int64_t>(watched));
+  }
+  metrics()->gauge("tcp.reactor.fds").set(static_cast<std::int64_t>(total));
   metrics()
-      ->gauge("tcp.reactor.fds")
-      .set(static_cast<std::int64_t>(reactor_.watched()));
+      ->gauge("tcp.reactor.shards")
+      .set(static_cast<std::int64_t>(reactors_.size()));
 }
 
 }  // namespace pardis::transport

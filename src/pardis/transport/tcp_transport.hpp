@@ -1,13 +1,19 @@
-// Real-sockets transport backend: POSIX TCP with an epoll reactor.
+// Real-sockets transport backend: POSIX TCP over sharded reactors.
 //
 // Wire format: each frame travels as a 4-byte big-endian payload length
 // followed by the payload bytes (the ORB's own "PDIS" prologue stays inside
-// the payload, untouched).  One reactor thread per TcpTransport owns every
-// socket's read side: it drains readable fds into per-stream reassembly
-// buffers, parses complete frames and hands them to the stream's queue,
-// where recv() blocks exactly like the simulated backend.  Writes happen on
-// the caller's thread (each PARDIS stream has a single protocol writer) via
-// a nonblocking write/poll loop serialized by a per-stream tx mutex.
+// the payload, untouched).  Read side: an io::ReactorPool of
+// PARDIS_TCP_REACTORS shard threads (default min(4, hw cores)), each
+// owning an io::Engine (epoll by default, io_uring via
+// PARDIS_IO_ENGINE=uring) and the fds assigned to it round-robin at
+// accept/connect time.  A shard drains readable fds into per-stream
+// reassembly buffers, parses complete frames and hands them to the
+// stream's queue, where recv() blocks exactly like the simulated backend.
+// Writes happen on the caller's thread (each PARDIS stream has a single
+// protocol writer) via a nonblocking writev/poll loop serialized by a
+// per-stream tx mutex: the length prefix and the frame's gather segments
+// go out in one scatter-gather syscall (io::WireMessage), with a
+// single-buffer fallback for short frames.
 //
 // Logical host names are resolved to IPs as follows: IPv4 literals pass
 // through; otherwise PARDIS_TCP_HOSTMAP ("name=ip,name2=ip2") is consulted;
@@ -17,7 +23,9 @@
 // Knobs (docs/transport.md): PARDIS_TCP_CONNECT_TIMEOUT_MS (default
 // 10000), PARDIS_TCP_RECV_TIMEOUT_MS (0 = block forever),
 // PARDIS_TCP_MAX_FRAME (default 1g), PARDIS_TCP_BIND_ADDR (default
-// 127.0.0.1).  Timeouts surface as pardis::TIMEOUT; refused/reset
+// 127.0.0.1), PARDIS_TCP_REACTORS (shards, default min(4, hw cores)),
+// PARDIS_IO_ENGINE (epoll | uring; uring falls back to epoll when
+// unsupported).  Timeouts surface as pardis::TIMEOUT; refused/reset
 // connections as pardis::COMM_FAILURE.
 
 #pragma once
@@ -30,69 +38,34 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
 
+#include "pardis/io/reactor.hpp"
 #include "pardis/obs/trace.hpp"
 #include "pardis/transport/transport.hpp"
 
 namespace pardis::transport {
 
-/// Trace pid of the reactor thread's spans (client = 1, server = 2).
+/// Trace pid of the reactor shard threads' spans (client = 1, server = 2);
+/// the span tid is the shard index.
 inline constexpr std::uint32_t kTransportPid = 3;
 
 class TcpTransport;
 
-namespace tcpdetail {
+/// Reactor shard count from PARDIS_TCP_REACTORS; unset → min(4, hw
+/// cores), floor 1.  Throws pardis::BAD_PARAM on a non-positive or
+/// unparsable value.
+std::size_t reactor_count_from_env();
 
-/// Implemented by everything the reactor watches (streams, listeners).
-class FdHandler {
- public:
-  virtual ~FdHandler() = default;
-  /// Called on the reactor thread while the fd is readable; must consume
-  /// until EAGAIN (the reactor polls level-triggered but re-arms nothing).
-  virtual void on_readable() = 0;
-};
-
-/// The nonblocking read-side event loop: one thread, one epoll set.
-/// Handlers are held weakly — an fd's owner removes itself (remove() is
-/// epoll_ctl + map erase, safe from any thread) before closing the fd.
-class Reactor {
- public:
-  explicit Reactor(obs::Observability* obs);
-  ~Reactor();
-
-  Reactor(const Reactor&) = delete;
-  Reactor& operator=(const Reactor&) = delete;
-
-  void add(int fd, const std::shared_ptr<FdHandler>& handler);
-  void remove(int fd);
-
-  /// Watched fds right now (reactor gauge).
-  std::size_t watched() const;
-
- private:
-  void run();
-
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;  // eventfd: wakes run() for shutdown
-  std::atomic<bool> stop_{false};
-  mutable common::RankedMutex mu_{common::LockRank::kTransportReactor};
-  std::map<int, std::weak_ptr<FdHandler>> handlers_;
-  obs::Observability* obs_;
-  std::thread thread_;
-};
-
-}  // namespace tcpdetail
-
-class TcpStream final : public Stream, public tcpdetail::FdHandler {
+class TcpStream final : public Stream, public io::FdHandler {
  public:
   /// Takes ownership of connected nonblocking `fd` and registers with the
-  /// owning transport's reactor (via TcpTransport::adopt, the only caller).
+  /// given reactor shard (via TcpTransport::adopt, the only caller).
   TcpStream(int fd, std::string label, std::string origin, Endpoint peer,
-            TcpTransport* owner);
+            TcpTransport* owner, io::ReactorShard* shard);
   ~TcpStream() override;
 
   void send(pardis::Bytes frame) override;
+  void sendv(io::GatherList&& frame) override;
   std::optional<pardis::Bytes> recv() override;
   std::optional<pardis::Bytes> try_recv() override;
   bool has_frame() const override;
@@ -108,7 +81,11 @@ class TcpStream final : public Stream, public tcpdetail::FdHandler {
  private:
   friend class TcpTransport;
 
-  /// Appends parsed frames from rx_buf_ to the queue; reactor thread only.
+  /// Common tx path: prefix + gather segments via writev (or one write
+  /// for short frames), under tx_mu_.
+  void send_wire(const io::GatherList& frame);
+
+  /// Appends parsed frames from rx_buf_ to the queue; shard thread only.
   void deliver_frames();
   void mark_peer_closed();
 
@@ -117,8 +94,9 @@ class TcpStream final : public Stream, public tcpdetail::FdHandler {
   std::string origin_;
   Endpoint peer_;
   TcpTransport* owner_;
+  io::ReactorShard* shard_;
 
-  // Read-side reassembly state, touched only by the reactor thread.
+  // Read-side reassembly state, touched only by the owning shard thread.
   pardis::Bytes rx_buf_;
   bool rx_poisoned_ = false;  // oversized/garbled frame: stop parsing
 
@@ -134,9 +112,10 @@ class TcpStream final : public Stream, public tcpdetail::FdHandler {
   Counters counters_{};
 };
 
-class TcpListener final : public Listener, public tcpdetail::FdHandler {
+class TcpListener final : public Listener, public io::FdHandler {
  public:
-  TcpListener(int fd, Endpoint address, TcpTransport* owner);
+  TcpListener(int fd, Endpoint address, TcpTransport* owner,
+              io::ReactorShard* shard);
   ~TcpListener() override;
 
   const Endpoint& address() const noexcept override { return address_; }
@@ -150,6 +129,7 @@ class TcpListener final : public Listener, public tcpdetail::FdHandler {
   int fd_;
   Endpoint address_;
   TcpTransport* owner_;
+  io::ReactorShard* shard_;
   mutable common::RankedMutex mu_{common::LockRank::kTransportListener};
   std::condition_variable_any cv_;
   std::deque<std::shared_ptr<Stream>> pending_;
@@ -177,6 +157,8 @@ class TcpTransport final : public Transport {
     return recv_timeout_;
   }
   std::size_t max_frame() const noexcept { return max_frame_; }
+  std::size_t reactor_shards() const noexcept { return reactors_.size(); }
+  io::EngineKind engine_kind() const noexcept { return engine_kind_; }
 
   /// Maps a logical host name to an IPv4 address (header comment).
   std::string resolve(const std::string& host) const;
@@ -185,11 +167,12 @@ class TcpTransport final : public Transport {
   friend class TcpStream;
   friend class TcpListener;
 
-  /// Wraps a connected nonblocking fd and registers it with the reactor.
+  /// Wraps a connected nonblocking fd and registers it with the next
+  /// reactor shard (round-robin).
   std::shared_ptr<TcpStream> adopt(int fd, std::string label,
                                    std::string origin, Endpoint peer);
 
-  tcpdetail::Reactor& reactor() noexcept { return reactor_; }
+  io::ReactorPool& reactors() noexcept { return reactors_; }
 
   obs::Observability* obs_;
   std::chrono::milliseconds connect_timeout_;
@@ -197,10 +180,14 @@ class TcpTransport final : public Transport {
   std::size_t max_frame_;
   std::string bind_addr_;
   std::map<std::string, std::string> hostmap_;  // logical name -> IP
+  io::EngineKind engine_kind_;
   /// Fabric-wide aggregate traffic counters (same names the sim feeds).
   obs::Counter* agg_frames_ = nullptr;
   obs::Counter* agg_bytes_ = nullptr;
-  tcpdetail::Reactor reactor_;
+  /// Tx-path instruments: iovecs per writev and payload bytes per syscall.
+  obs::Histogram* writev_batch_ = nullptr;
+  obs::Histogram* bytes_per_syscall_ = nullptr;
+  io::ReactorPool reactors_;
 };
 
 }  // namespace pardis::transport

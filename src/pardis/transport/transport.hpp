@@ -13,8 +13,9 @@
 //   * SimTransport (sim_transport.hpp) adapts the in-process simulated
 //     net::Fabric — the default, keeping tier-1 tests deterministic and the
 //     paper's link model in charge of wire time;
-//   * TcpTransport (tcp_transport.hpp) speaks real POSIX TCP with a
-//     nonblocking epoll reactor thread and 4-byte length-prefixed framing.
+//   * TcpTransport (tcp_transport.hpp) speaks real POSIX TCP with sharded
+//     nonblocking reactor threads (io::ReactorPool over epoll or io_uring)
+//     and 4-byte length-prefixed framing.
 //
 // The backend is selected per Orb via OrbConfig::transport, defaulting to
 // the PARDIS_TRANSPORT environment variable (sim | tcp).
@@ -39,6 +40,7 @@
 
 #include "pardis/common/bytes.hpp"
 #include "pardis/common/ranked_mutex.hpp"
+#include "pardis/io/gather.hpp"
 #include "pardis/net/fabric.hpp"
 #include "pardis/obs/observability.hpp"
 
@@ -74,6 +76,16 @@ class Stream {
   /// Sends one frame.  Throws pardis::COMM_FAILURE when the stream is
   /// closed (kNo before any bytes moved, kMaybe afterwards).
   virtual void send(pardis::Bytes frame) = 0;
+
+  /// Sends one frame assembled as a gather list (io::GatherList) — the
+  /// zero-copy tx path.  Semantics are identical to send(); the send is
+  /// synchronous, so borrowed segments only need to outlive the call (the
+  /// lifetime contract in pardis/io/gather.hpp).  The default flattens
+  /// into one buffer and delegates to send(); the TCP backend overrides
+  /// this with a writev scatter-gather path.
+  virtual void sendv(io::GatherList&& frame) {
+    send(std::move(frame).flatten());
+  }
 
   /// Blocks for the next frame; nullopt on EOF (closed and drained).  The
   /// TCP backend throws pardis::TIMEOUT when PARDIS_TCP_RECV_TIMEOUT_MS

@@ -258,6 +258,54 @@ TEST(LintUnframedSend, SuppressibleWithAllow) {
   EXPECT_FALSE(fired(diags, "unframed-send"));
 }
 
+TEST(LintUnframedSend, FiresOnDirectSendvInTransferLayer) {
+  const auto diags = scan_source("src/pardis/transfer/spmd_client.cpp",
+                                 "void f() { control_->sendv(std::move(gl)); }");
+  EXPECT_TRUE(fired(diags, "unframed-send"));
+}
+
+// ---- staging-copy-in-tx ----------------------------------------------------
+
+TEST(LintStagingCopyInTx, FiresOnMemcpyInTransportAndIo) {
+  const auto transport =
+      scan_source("src/pardis/transport/tcp_transport.cpp",
+                  "void f() { std::memcpy(buf, seg.data(), seg.size()); }");
+  EXPECT_TRUE(fired(transport, "staging-copy-in-tx"));
+
+  const auto io =
+      scan_source("src/pardis/io/reactor.cpp",
+                  "void f() { memmove(dst, src, n); }");
+  EXPECT_TRUE(fired(io, "staging-copy-in-tx"));
+}
+
+TEST(LintStagingCopyInTx, QuietInGatherBuilderAndOutsideTxPaths) {
+  const auto gather =
+      scan_source("src/pardis/io/gather.cpp",
+                  "void f() { std::memcpy(out, seg.data(), seg.size()); }");
+  EXPECT_FALSE(fired(gather, "staging-copy-in-tx"));
+
+  const auto cdr =
+      scan_source("src/pardis/cdr/encoder.hpp",
+                  "void f() { std::memcpy(buf, data, n); }");
+  EXPECT_FALSE(fired(cdr, "staging-copy-in-tx"));
+}
+
+TEST(LintStagingCopyInTx, QuietInCommentsAndOnNonCallUses) {
+  const auto diags = scan_source(
+      "src/pardis/transport/tcp_transport.cpp",
+      "// transfers complete at memcpy speed\n"
+      "const char* s = \"memcpy\";\n");
+  EXPECT_FALSE(fired(diags, "staging-copy-in-tx"));
+}
+
+TEST(LintStagingCopyInTx, SuppressibleWithReason) {
+  const auto diags = scan_source(
+      "src/pardis/transport/tcp_transport.cpp",
+      "// pardis-lint: allow(staging-copy-in-tx: short-message fallback)\n"
+      "void f() { std::memcpy(buf, msg.prefix, sizeof(msg.prefix)); }\n");
+  EXPECT_FALSE(fired(diags, "staging-copy-in-tx"));
+}
+
 TEST(LintFormat, ClickableDiagnostic) {
   const Diagnostic d{"src/pardis/rts/foo.cpp", 12, "raw-mutex", "msg"};
   EXPECT_EQ(pardis::lint::format(d),

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -85,13 +86,55 @@ void run_direct(sim::Scenario& scenario, const sim::ScenarioConfig& cfg,
       "pipe");
 }
 
-class PipelineSweep : public ::testing::TestWithParam<transport::Kind> {};
+/// Scoped environment override (process-wide; gtest serializes tests
+/// within a binary, so no two overrides race).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+/// Backend x reactor-shard sweep: the pipelining semantics must be
+/// identical whether the TCP read side runs one reactor shard or four
+/// (the sim backend ignores the knob).
+struct PipeParam {
+  transport::Kind kind;
+  const char* reactors;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipeParam> {
+ protected:
+  void SetUp() override {
+    reactors_env_.emplace("PARDIS_TCP_REACTORS", GetParam().reactors);
+  }
+
+  transport::Kind kind() const { return GetParam().kind; }
+
+ private:
+  std::optional<ScopedEnv> reactors_env_;
+};
 
 TEST_P(PipelineSweep, FuturesCompleteOutOfOrder) {
   sim::ScenarioConfig cfg;
   cfg.client.nranks = 1;
   cfg.server.nranks = 1;
-  cfg.orb.transport = GetParam();
+  cfg.orb.transport = kind();
   sim::Scenario scenario(cfg);
   run_direct(scenario, cfg, [&](DirectBinding& binding) {
     EXPECT_GE(binding.window(), 8u);
@@ -123,7 +166,7 @@ TEST_P(PipelineSweep, WindowIsMinOfClientCapAndServerCredit) {
   sim::ScenarioConfig cfg;
   cfg.client.nranks = 1;
   cfg.server.nranks = 1;
-  cfg.orb.transport = GetParam();
+  cfg.orb.transport = kind();
   sim::Scenario scenario(cfg);
   run_direct(scenario, cfg, [&](DirectBinding& binding) {
     EXPECT_EQ(binding.window(), 2u);
@@ -146,7 +189,7 @@ TEST_P(PipelineSweep, MixedSyncAndPipelinedShareOneStream) {
   sim::ScenarioConfig cfg;
   cfg.client.nranks = 1;
   cfg.server.nranks = 1;
-  cfg.orb.transport = GetParam();
+  cfg.orb.transport = kind();
   sim::Scenario scenario(cfg);
   run_direct(scenario, cfg, [&](DirectBinding& binding) {
     auto f1 = binding.invoke_nb("square", encode_long(3));
@@ -171,7 +214,7 @@ TEST_P(PipelineSweep, SingleClientNeverOverrunsItsCredit) {
   sim::ScenarioConfig cfg;
   cfg.client.nranks = 1;
   cfg.server.nranks = 1;
-  cfg.orb.transport = GetParam();
+  cfg.orb.transport = kind();
   sim::Scenario scenario(cfg);
   run_direct(scenario, cfg, [&](DirectBinding& binding) {
     EXPECT_EQ(binding.window(), 1u) << "credit is capped by the queue";
@@ -200,7 +243,7 @@ TEST_P(PipelineSweep, OverloadAcrossConnectionsShedsWithTransient) {
   sim::ScenarioConfig cfg;
   cfg.client.nranks = 1;
   cfg.server.nranks = 1;
-  cfg.orb.transport = GetParam();
+  cfg.orb.transport = kind();
   sim::Scenario scenario(cfg);
   int ok = 0;
   int shed = 0;
@@ -250,7 +293,7 @@ TEST_P(PipelineSweep, UnbindWithUncollectedFutureFailsItCleanly) {
   sim::ScenarioConfig cfg;
   cfg.client.nranks = 1;
   cfg.server.nranks = 1;
-  cfg.orb.transport = GetParam();
+  cfg.orb.transport = kind();
   sim::Scenario scenario(cfg);
   orb::Future<pardis::Bytes> orphan;
   run_direct(scenario, cfg, [&](DirectBinding& binding) {
@@ -266,7 +309,7 @@ TEST_P(PipelineSweep, SampledInvocationStitchesClientAndServerSpans) {
   sim::ScenarioConfig cfg;
   cfg.client.nranks = 1;
   cfg.server.nranks = 1;
-  cfg.orb.transport = GetParam();
+  cfg.orb.transport = kind();
   sim::Scenario scenario(cfg);
   auto& tracer = obs::Tracer::global();
   tracer.clear();
@@ -311,7 +354,7 @@ TEST_P(PipelineSweep, SampledOutRequestsRecordZeroSpans) {
   sim::ScenarioConfig cfg;
   cfg.client.nranks = 1;
   cfg.server.nranks = 1;
-  cfg.orb.transport = GetParam();
+  cfg.orb.transport = kind();
   // Orb construction resets the sampling period from PARDIS_TRACE_SAMPLE,
   // so configure the tracer after the scenario exists.
   sim::Scenario scenario(cfg);
@@ -353,9 +396,15 @@ TEST_P(PipelineSweep, SampledOutRequestsRecordZeroSpans) {
 
 INSTANTIATE_TEST_SUITE_P(
     Backends, PipelineSweep,
-    ::testing::Values(transport::Kind::kSim, transport::Kind::kTcp),
-    [](const ::testing::TestParamInfo<transport::Kind>& info) {
-      return std::string(transport::to_string(info.param));
+    ::testing::Values(PipeParam{transport::Kind::kSim, "1"},
+                      PipeParam{transport::Kind::kTcp, "1"},
+                      PipeParam{transport::Kind::kTcp, "4"}),
+    [](const ::testing::TestParamInfo<PipeParam>& info) {
+      std::string name(transport::to_string(info.param.kind));
+      if (info.param.kind == transport::Kind::kTcp) {
+        name += std::string("_r") + info.param.reactors;
+      }
+      return name;
     });
 
 TEST(SpmdPipeline, CollectiveFuturesCollectOutOfOrder) {

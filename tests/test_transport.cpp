@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -67,10 +68,20 @@ TEST(TransportKind, EnvSelectsBackend) {
   }
 }
 
-class TransportSuite : public ::testing::TestWithParam<Kind> {
+/// Backend x reactor-shard-count sweep: everything the suite asserts must
+/// hold whether the TCP read side runs one shard or several (the sim
+/// backend ignores the knob).
+struct SuiteParam {
+  Kind kind;
+  int reactors;
+};
+
+class TransportSuite : public ::testing::TestWithParam<SuiteParam> {
  protected:
   void SetUp() override {
-    transport_ = make_transport(GetParam(), fabric_, &obs_);
+    reactors_env_.emplace("PARDIS_TCP_REACTORS",
+                          std::to_string(GetParam().reactors).c_str());
+    transport_ = make_transport(GetParam().kind, fabric_, &obs_);
   }
 
   std::shared_ptr<Stream> connected_pair(std::shared_ptr<Listener>& listener,
@@ -84,11 +95,16 @@ class TransportSuite : public ::testing::TestWithParam<Kind> {
 
   net::Fabric fabric_;
   obs::Observability obs_;
+  std::optional<ScopedEnv> reactors_env_;
   std::unique_ptr<Transport> transport_;
 };
 
-std::string kind_name(const ::testing::TestParamInfo<Kind>& info) {
-  return to_string(info.param);
+std::string kind_name(const ::testing::TestParamInfo<SuiteParam>& info) {
+  std::string name = to_string(info.param.kind);
+  if (info.param.kind == Kind::kTcp) {
+    name += "_r" + std::to_string(info.param.reactors);
+  }
+  return name;
 }
 
 TEST_P(TransportSuite, ListenAssignsDistinctPorts) {
@@ -316,7 +332,7 @@ TEST_P(TransportSuite, DeadPooledStreamsAreDiscarded) {
 
 TEST_P(TransportSuite, PoolCanBeDisabledByEnv) {
   ScopedEnv env("PARDIS_TRANSPORT_POOL", "0");
-  auto transport = make_transport(GetParam(), fabric_, &obs_);
+  auto transport = make_transport(GetParam().kind, fabric_, &obs_);
   auto listener = transport->listen("serverhost", 0);
   bool reused = true;
   auto first = transport->acquire("clienthost", listener->address(), &reused);
@@ -376,7 +392,9 @@ TEST(TcpTransport, OversizedFramePoisonsStream) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, TransportSuite,
-                         ::testing::Values(Kind::kSim, Kind::kTcp),
+                         ::testing::Values(SuiteParam{Kind::kSim, 1},
+                                           SuiteParam{Kind::kTcp, 1},
+                                           SuiteParam{Kind::kTcp, 4}),
                          kind_name);
 
 // ---- peer death mid-pipelined-window -------------------------------------
@@ -399,10 +417,12 @@ class SquareServant : public transfer::SpmdServant {
 /// is recycling connections underneath.  PARDIS_CHAOS_KILL_EVERY makes the
 /// server slam the control stream shut on every 5th admitted request, so
 /// the first kill lands inside the first full window.
-class PeerKillSweep : public ::testing::TestWithParam<const char*> {};
+class PeerKillSweep : public ::testing::TestWithParam<
+                          std::tuple<const char*, const char*>> {};
 
 TEST_P(PeerKillSweep, MidWindowKillSettlesEveryFuture) {
-  ScopedEnv pool("PARDIS_TRANSPORT_POOL", GetParam());
+  ScopedEnv pool("PARDIS_TRANSPORT_POOL", std::get<0>(GetParam()));
+  ScopedEnv reactors("PARDIS_TCP_REACTORS", std::get<1>(GetParam()));
   ScopedEnv kill("PARDIS_CHAOS_KILL_EVERY", "5");
   ScopedEnv inflight("PARDIS_MAX_INFLIGHT", "8");
 
@@ -488,11 +508,19 @@ TEST_P(PeerKillSweep, MidWindowKillSettlesEveryFuture) {
   EXPECT_EQ(sheds, 0);  // nothing here overloads the admission queue
 }
 
-std::string pool_name(const ::testing::TestParamInfo<const char*>& info) {
-  return std::string(info.param) == "0" ? "PoolOff" : "PoolOn";
+std::string pool_name(
+    const ::testing::TestParamInfo<std::tuple<const char*, const char*>>&
+        info) {
+  const std::string pool =
+      std::string(std::get<0>(info.param)) == "0" ? "PoolOff" : "PoolOn";
+  return pool + "_R" + std::get<1>(info.param);
 }
 
-INSTANTIATE_TEST_SUITE_P(Pool, PeerKillSweep, ::testing::Values("0", "1"),
+// The kill must settle every future on every shard: sweep reactor counts
+// so a victim stream parked on a non-zero shard gets the same treatment.
+INSTANTIATE_TEST_SUITE_P(Pool, PeerKillSweep,
+                         ::testing::Combine(::testing::Values("0", "1"),
+                                            ::testing::Values("1", "4")),
                          pool_name);
 
 }  // namespace

@@ -40,6 +40,14 @@ const bool kTracePidModeSet = [] {
   return true;
 }();
 
+// Run both processes with reactor sharding on (4 shards): the cross-process
+// handshake and centralized transfer must be oblivious to which shard a
+// connection lands on.  The forked server inherits the knob.
+const bool kShardedReactors = [] {
+  ::setenv("PARDIS_TCP_REACTORS", "4", 1);
+  return true;
+}();
+
 class SumServant : public SpmdServant {
  public:
   const char* type_id() const override { return "IDL:test/sum:1.0"; }
@@ -86,6 +94,7 @@ class SumServant : public SpmdServant {
 }
 
 TEST(TcpTwoProcess, SpmdBindAndCentralizedInvoke) {
+  ASSERT_TRUE(kShardedReactors);
   int fds[2];
   ASSERT_EQ(::pipe(fds), 0);
 

@@ -101,9 +101,33 @@ def check_schema_file(filename):
     walk_histograms(base, doc)
     if expected == "storm":
         check_storm_rows(base, doc)
+    if expected == "fig4_bandwidth":
+        check_fig4_cells(base, doc)
 
 
 PIPELINE_PHASES = ("credit_wait_us", "wire_us", "queue_wait_us", "exec_us")
+
+
+def fig4_cells(doc):
+    """A fig4 document is either one run ('transport' + 'points') or the
+    committed multi-transport form ({'cells': [run, run]}); a fresh bench
+    invocation always emits the single-run form."""
+    return doc.get("cells") if isinstance(doc.get("cells"), list) else [doc]
+
+
+def check_fig4_cells(base, doc):
+    seen = set()
+    for i, cell in enumerate(fig4_cells(doc)):
+        where = f"{base}.cells[{i}]" if "cells" in doc else base
+        transport = cell.get("transport")
+        if not isinstance(transport, str) or not transport:
+            fail(f"{where}: missing 'transport'")
+        if transport in seen:
+            fail(f"{base}: duplicate cell for transport {transport!r}")
+        seen.add(transport)
+        points = cell.get("points")
+        if not isinstance(points, list) or not points:
+            fail(f"{where}: no points")
 
 
 def check_storm_rows(base, doc):
@@ -180,6 +204,20 @@ def extract_throughputs(doc):
             if row.get("spmd_bulk"):
                 out[f"{backend}/spmd_mbytes_per_sec"] = (
                     row["spmd_bulk"]["mbytes_per_sec"])
+    elif bench == "fig4_bandwidth":
+        # Only the bandwidth-dominated points are stable enough to gate;
+        # the small sizes measure per-invocation latency, which CI noise
+        # swamps.
+        for cell in fig4_cells(doc):
+            transport = cell.get("transport", "?")
+            for point in cell.get("points", []):
+                if point.get("doubles", 0) < 100_000:
+                    continue
+                size = point["doubles"]
+                out[f"{transport}/centralized_mbps@{size}"] = (
+                    point["centralized_mbps"])
+                out[f"{transport}/multiport_mbps@{size}"] = (
+                    point["multiport_mbps"])
     return out
 
 
@@ -278,6 +316,11 @@ def run_self_test(tolerance):
                     row["bulk_stream"]["mbytes_per_sec"] /= 2.0
                     if row.get("spmd_bulk"):
                         row["spmd_bulk"]["mbytes_per_sec"] /= 2.0
+            elif doc.get("bench") == "fig4_bandwidth":
+                for cell in fig4_cells(doc):
+                    for point in cell.get("points", []):
+                        point["centralized_mbps"] /= 2.0
+                        point["multiport_mbps"] /= 2.0
 
         halve(None, slowed)
         name = os.path.basename(filename)

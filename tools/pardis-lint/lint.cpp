@@ -37,8 +37,9 @@ const std::set<std::string>& mutex_types() {
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kRules{
-      "relaxed-order", "raw-mutex", "blocking-under-lock", "raw-new-delete",
-      "unframed-send", "missing-reason"};
+      "relaxed-order",      "raw-mutex",     "blocking-under-lock",
+      "raw-new-delete",     "unframed-send", "staging-copy-in-tx",
+      "missing-reason"};
   return kRules;
 }
 
@@ -68,6 +69,9 @@ std::vector<Diagnostic> scan_source(const std::string& path,
   const bool framed_send_checked =
       path_contains(path, options.framed_paths) &&
       !path_matches_suffix(path, options.framing_whitelist);
+  const bool tx_copy_checked =
+      path_contains(path, options.tx_paths) &&
+      !path_matches_suffix(path, options.gather_whitelist);
 
   // Live lock-guard scopes for blocking-under-lock.
   struct Guard {
@@ -172,15 +176,31 @@ std::vector<Diagnostic> scan_source(const std::string& path,
     // A member call `x.send(` / `x->send(` in the transfer layer bypasses
     // the request-ID framing helpers.  (The helpers in framing.hpp are the
     // whitelisted home of the real sends.)
-    if (framed_send_checked && t.is_ident && t.text == "send" &&
-        next_text(1) == "(" && i > 0 &&
+    if (framed_send_checked && t.is_ident &&
+        (t.text == "send" || t.text == "sendv") && next_text(1) == "(" &&
+        i > 0 &&
         (toks[i - 1].text == "." ||
          (toks[i - 1].text == ">" && i > 1 && toks[i - 2].text == "-"))) {
       report(t.line, "unframed-send",
-             "direct Stream::send in the transfer layer; route the frame "
-             "through send_frame/send_mux_frame/send_framed "
-             "(pardis/transfer/framing.hpp) so the mux prologue and credit "
-             "accounting cannot be bypassed");
+             "direct Stream::" + t.text +
+                 " in the transfer layer; route the frame "
+                 "through send_frame/send_mux_frame/send_framed "
+                 "(pardis/transfer/framing.hpp) so the mux prologue and "
+                 "credit accounting cannot be bypassed");
+    }
+
+    // staging-copy-in-tx -------------------------------------------------
+    // A memcpy/memmove in the transport or io layer: the send path must
+    // hand payload bytes to writev as io::GatherList segments.  Copies
+    // belong only in the GatherList builder (whitelisted) or behind a
+    // reasoned suppression (the short-message fallback).
+    if (tx_copy_checked && t.is_ident &&
+        (t.text == "memcpy" || t.text == "memmove") && next_text(1) == "(") {
+      report(t.line, "staging-copy-in-tx",
+             t.text +
+                 " in a tx path; build the frame as io::GatherList "
+                 "segments and let writev gather them (pardis/io/gather.hpp)"
+                 " instead of copying into a staging buffer");
     }
 
     // raw-new-delete: paren context tracking ----------------------------

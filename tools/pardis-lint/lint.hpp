@@ -14,11 +14,17 @@
 //                        lock_guard/unique_lock/scoped_lock is live.
 //   raw-new-delete       new/delete outside an immediate shared_ptr /
 //                        unique_ptr wrapper (RAII discipline).
-//   unframed-send        a direct Stream::send call in the transfer layer
-//                        outside the framing helpers — every transfer-layer
-//                        frame must go through send_frame/send_mux_frame/
-//                        send_framed (framing.hpp) so the request-ID mux
-//                        prologue cannot be bypassed.
+//   unframed-send        a direct Stream::send/sendv call in the transfer
+//                        layer outside the framing helpers — every
+//                        transfer-layer frame must go through
+//                        send_frame/send_mux_frame/send_framed (framing.hpp)
+//                        so the request-ID mux prologue cannot be bypassed.
+//   staging-copy-in-tx   a memcpy/memmove in the transport or io layer —
+//                        the tx path is zero-copy: payloads ride to writev
+//                        as io::GatherList segments, never through an
+//                        ad-hoc staging buffer.  The GatherList builder
+//                        itself is whitelisted; the short-message fallback
+//                        carries a reasoned suppression.
 //   missing-reason       a suppression written as bare `allow(rule)` — every
 //                        suppression must carry a reason.
 //
@@ -51,6 +57,13 @@ struct Options {
   /// Path suffixes allowed to call Stream::send directly (the framing
   /// layer itself).
   std::vector<std::string> framing_whitelist{"pardis/transfer/framing.hpp"};
+  /// Path fragments the staging-copy-in-tx rule polices: send paths that
+  /// must hand payloads to writev as gather segments, not copies.
+  std::vector<std::string> tx_paths{"pardis/transport/", "pardis/io/"};
+  /// Path suffixes exempt from staging-copy-in-tx (the GatherList builder
+  /// itself: flatten() and padding are the sanctioned copy sites).
+  std::vector<std::string> gather_whitelist{"pardis/io/gather.hpp",
+                                            "pardis/io/gather.cpp"};
 };
 
 /// All rule names, for --rules and suppression validation.
